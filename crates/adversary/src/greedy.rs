@@ -1,0 +1,133 @@
+//! A cheap replay heuristic: capture one retransmission per message, then
+//! replay the captured copies in order.
+//!
+//! Much weaker than the [`MfFalsifier`](crate::MfFalsifier) (no boundness
+//! oracle, no coverage reasoning) but enough to break the classic cycle
+//! protocols, and it makes a good ablation point for the benches: how much
+//! of the falsifier's power comes from the paper's construction versus
+//! brute replay.
+
+use crate::system::{Disposition, System};
+use crate::{FalsifyOutcome, SurvivalReport, ViolationReport};
+use nonfifo_channel::Channel;
+use nonfifo_ioa::{Dir, Packet};
+use nonfifo_protocols::DataLink;
+
+/// The greedy capture-and-replay adversary.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyReplayAdversary {
+    /// Messages to deliver while capturing copies.
+    pub capture_messages: u64,
+    /// Scheduler steps allowed per message.
+    pub max_steps_per_message: u64,
+}
+
+impl Default for GreedyReplayAdversary {
+    fn default() -> Self {
+        GreedyReplayAdversary {
+            capture_messages: 16,
+            max_steps_per_message: 10_000,
+        }
+    }
+}
+
+impl GreedyReplayAdversary {
+    /// Runs the attack: phase 1 delivers `capture_messages` messages
+    /// normally while parking one retransmitted copy of each; phase 2
+    /// replays the parked pool oldest-first into the receiver.
+    pub fn run(&self, proto: &dyn DataLink) -> FalsifyOutcome {
+        let mut sys = System::new(proto);
+
+        // Phase 1: capture. Park the first copy of each message, deliver
+        // the retransmissions.
+        for _ in 0..self.capture_messages {
+            sys.send_msg();
+            let mut captured = false;
+            let mut steps = 0;
+            while sys.counts().rm < sys.counts().sm {
+                if steps >= self.max_steps_per_message {
+                    return FalsifyOutcome::BudgetExhausted {
+                        delivered: sys.counts().rm,
+                        forward_packets_sent: sys.fwd.total_sent(),
+                    };
+                }
+                sys.step(|_pkt, _copy, _ch| {
+                    if captured {
+                        Disposition::Deliver
+                    } else {
+                        captured = true;
+                        Disposition::Park
+                    }
+                });
+                if sys.violation().is_some() {
+                    break;
+                }
+                steps += 1;
+            }
+            if let Some(v) = sys.violation() {
+                return FalsifyOutcome::Violation(ViolationReport {
+                    violation: v,
+                    execution: sys.execution().clone(),
+                    messages_before_violation: sys.counts().sm,
+                    forward_packets_sent: sys.fwd.total_sent(),
+                });
+            }
+        }
+
+        // Phase 2: replay everything captured, oldest first.
+        let pool: Vec<Packet> = sys
+            .fwd
+            .parked_multiset()
+            .iter()
+            .map(|(pkt, _)| pkt)
+            .collect();
+        for pkt in pool {
+            sys.replay_receipts(&[pkt]);
+            if let Some(v) = sys.violation() {
+                return FalsifyOutcome::Violation(ViolationReport {
+                    violation: v,
+                    execution: sys.execution().clone(),
+                    messages_before_violation: sys.counts().sm,
+                    forward_packets_sent: sys.fwd.total_sent(),
+                });
+            }
+        }
+
+        FalsifyOutcome::Survived(SurvivalReport {
+            messages_delivered: sys.counts().rm,
+            forward_packets_sent: sys.fwd.total_sent(),
+            final_in_transit: sys.counts().in_transit(Dir::Forward),
+            peak_space_bytes: sys.peak_space_bytes(),
+            distinct_forward_packets: sys.distinct_forward_packets(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_protocols::{AlternatingBit, NaiveCycle, SequenceNumber};
+
+    #[test]
+    fn breaks_alternating_bit() {
+        let outcome = GreedyReplayAdversary::default().run(&AlternatingBit::new());
+        assert!(outcome.is_violation(), "got {outcome:?}");
+    }
+
+    #[test]
+    fn breaks_naive_cycles() {
+        for k in [2u32, 4] {
+            let outcome = GreedyReplayAdversary::default().run(&NaiveCycle::new(k));
+            assert!(outcome.is_violation(), "k={k}: {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_resist_greed() {
+        let outcome = GreedyReplayAdversary::default().run(&SequenceNumber::new());
+        assert!(
+            matches!(outcome, FalsifyOutcome::Survived(_)),
+            "got {outcome:?}"
+        );
+    }
+}

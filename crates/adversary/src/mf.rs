@@ -1,0 +1,302 @@
+//! The Theorem 3.1 falsifier: `M_f`-bounded protocols with `< n` headers
+//! cannot exist.
+//!
+//! The proof's induction alternates two moves, both realised here:
+//!
+//! 1. **Growth** (the claim's inductive step): hand over a real message and
+//!    run the system in *lockstep replay* — every fresh forward copy is
+//!    parked and, when a genuinely stale copy of the same packet value
+//!    exists, that stale copy is delivered in its place. The receiver (and
+//!    hence the transmitter, via its acknowledgements) cannot distinguish
+//!    this from the optimal-channel extension β, so the run is a legal
+//!    execution in which the delayed pool strictly grows. The round ends at
+//!    the first packet value with no stale copy — exactly the paper's
+//!    `β̂ = prefix of β up to the first receive of p ∉ P_i`; the message is
+//!    then completed under optimal behaviour (fresh copies delivered, pool
+//!    frozen).
+//! 2. **Coverage check** (the theorem's punchline): before each message,
+//!    compute the boundness extension β for a hypothetical next message and
+//!    ask whether the pool holds enough stale copies of every packet value
+//!    in β. If it does, replay β *without any `send_msg`* — the receiver
+//!    sees a perfectly ordinary extension and delivers a message that was
+//!    never sent: `rm = sm + 1`, the invalid execution of the theorem.
+//!
+//! The coverage replay runs on a fork first, so a protocol that resists it
+//! (e.g. the ghost-protected [`AfekFlush`](nonfifo_protocols::AfekFlush))
+//! leaves the live construction unpolluted.
+
+use crate::oracle::BoundnessOracle;
+use crate::system::{Disposition, System};
+use crate::{FalsifyOutcome, SurvivalReport, ViolationReport};
+use nonfifo_channel::Channel;
+use nonfifo_ioa::{Dir, Packet};
+use nonfifo_protocols::DataLink;
+use std::collections::BTreeMap;
+
+/// Budgets for the Theorem 3.1 falsifier.
+#[derive(Debug, Clone, Copy)]
+pub struct MfConfig {
+    /// Messages to attempt before declaring survival.
+    pub max_messages: u64,
+    /// Scheduler steps allowed per growth/completion phase.
+    pub max_steps_per_phase: u64,
+    /// Step budget of the boundness oracle.
+    pub oracle_steps: u64,
+}
+
+impl Default for MfConfig {
+    fn default() -> Self {
+        MfConfig {
+            max_messages: 64,
+            max_steps_per_phase: 100_000,
+            oracle_steps: 200_000,
+        }
+    }
+}
+
+/// Per-message record of the growth of the delayed pool (the paper's
+/// `(k−i−1)!·f(k+1)^{k−i}`-scale copies in transition).
+#[derive(Debug, Clone)]
+pub struct MfGrowthStage {
+    /// Message index (0-based).
+    pub message: u64,
+    /// Forward packets the transmitter sent for this message.
+    pub sends_this_message: u64,
+    /// Delayed-pool size after the message completed.
+    pub pool_size: u64,
+    /// Per-packet-value pool histogram after the message.
+    pub pool_histogram: BTreeMap<Packet, u64>,
+}
+
+/// The Theorem 3.1 falsifier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MfFalsifier {
+    /// Budgets.
+    pub config: MfConfig,
+}
+
+impl MfFalsifier {
+    /// Creates a falsifier with explicit budgets.
+    pub fn new(config: MfConfig) -> Self {
+        MfFalsifier { config }
+    }
+
+    /// Runs the construction against `proto`.
+    ///
+    /// Returns [`FalsifyOutcome::Violation`] with the invalid execution if
+    /// the protocol falls, [`FalsifyOutcome::Survived`] with growth
+    /// statistics otherwise. The growth trace is available via
+    /// [`MfFalsifier::run_with_trace`].
+    pub fn run(&self, proto: &dyn DataLink) -> FalsifyOutcome {
+        self.run_with_trace(proto).0
+    }
+
+    /// Like [`run`](MfFalsifier::run), also returning the per-message
+    /// growth stages (experiment E2's table rows).
+    pub fn run_with_trace(&self, proto: &dyn DataLink) -> (FalsifyOutcome, Vec<MfGrowthStage>) {
+        let oracle = BoundnessOracle::new(self.config.oracle_steps);
+        let mut sys = System::new(proto);
+        let mut stages = Vec::new();
+
+        for message in 0..self.config.max_messages {
+            // Coverage check: can the pool fund a phantom extension?
+            match oracle.extension_with_new_message(&sys) {
+                None => {
+                    return (
+                        FalsifyOutcome::Stuck {
+                            delivered: sys.counts().rm,
+                        },
+                        stages,
+                    )
+                }
+                Some(ext) => {
+                    if !ext.receipts.is_empty() && self.pool_covers(&sys, &ext.histogram()) {
+                        if let Some(report) = self.attempt_phantom_replay(&sys, &ext.receipts) {
+                            return (FalsifyOutcome::Violation(report), stages);
+                        }
+                        // Ghost-protected receiver resisted the replay;
+                        // keep growing.
+                    }
+                }
+            }
+
+            // Growth round.
+            let sends_before = sys.fwd.total_sent();
+            sys.send_msg();
+            // Only copies delayed since *before* this message count as
+            // replayable — the paper's P_i pool is frozen at the round
+            // boundary. Copies parked earlier in the same round are fresh.
+            let watermark = sys.round_watermark();
+            let mut stalled = false;
+            let mut steps = 0;
+            while !stalled && sys.counts().rm < sys.counts().sm {
+                if steps >= self.config.max_steps_per_phase {
+                    return (
+                        FalsifyOutcome::BudgetExhausted {
+                            delivered: sys.counts().rm,
+                            forward_packets_sent: sys.fwd.total_sent(),
+                        },
+                        stages,
+                    );
+                }
+                sys.step(|pkt, _copy, ch| {
+                    if !stalled && ch.release_oldest_of_packet_before(pkt, watermark).is_none() {
+                        stalled = true;
+                    }
+                    // Fresh copies always stay parked during lockstep
+                    // replay; receipts come from the released stale copies.
+                    Disposition::Park
+                });
+                if let Some(v) = sys.violation() {
+                    // A protocol can fall during lockstep replay too.
+                    let report = ViolationReport {
+                        violation: v,
+                        execution: sys.execution().clone(),
+                        messages_before_violation: sys.counts().sm,
+                        forward_packets_sent: sys.fwd.total_sent(),
+                    };
+                    return (FalsifyOutcome::Violation(report), stages);
+                }
+                steps += 1;
+            }
+
+            // Completion: deliver fresh copies until the message lands; the
+            // pool stays frozen.
+            if sys.counts().rm < sys.counts().sm
+                && !sys.run_to_quiescence(self.config.max_steps_per_phase)
+            {
+                return (
+                    FalsifyOutcome::BudgetExhausted {
+                        delivered: sys.counts().rm,
+                        forward_packets_sent: sys.fwd.total_sent(),
+                    },
+                    stages,
+                );
+            }
+
+            let histogram: BTreeMap<Packet, u64> = sys
+                .fwd
+                .parked_multiset()
+                .histogram()
+                .into_iter()
+                .map(|(p, n)| (p, n as u64))
+                .collect();
+            stages.push(MfGrowthStage {
+                message,
+                sends_this_message: sys.fwd.total_sent() - sends_before,
+                pool_size: sys.fwd.in_transit_len() as u64,
+                pool_histogram: histogram,
+            });
+        }
+
+        let report = SurvivalReport {
+            messages_delivered: sys.counts().rm,
+            forward_packets_sent: sys.fwd.total_sent(),
+            final_in_transit: sys.counts().in_transit(Dir::Forward),
+            peak_space_bytes: sys.peak_space_bytes(),
+            distinct_forward_packets: sys.distinct_forward_packets(),
+        };
+        (FalsifyOutcome::Survived(report), stages)
+    }
+
+    fn pool_covers(&self, sys: &System, need: &BTreeMap<Packet, u64>) -> bool {
+        need.iter()
+            .all(|(&p, &n)| sys.fwd.packet_copies(p) as u64 >= n)
+    }
+
+    /// Replays the extension on a fork without a `send_msg`. Returns the
+    /// violation evidence if the receiver delivers a phantom message.
+    fn attempt_phantom_replay(&self, sys: &System, receipts: &[Packet]) -> Option<ViolationReport> {
+        let mut fork = sys.clone();
+        fork.replay_receipts(receipts);
+        fork.violation().map(|violation| ViolationReport {
+            violation,
+            execution: fork.execution().clone(),
+            messages_before_violation: fork.counts().sm,
+            forward_packets_sent: fork.fwd.total_sent(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_ioa::SpecViolation;
+    use nonfifo_protocols::{AfekFlush, AlternatingBit, NaiveCycle, SequenceNumber, SlidingWindow};
+
+    fn quick() -> MfFalsifier {
+        MfFalsifier::new(MfConfig {
+            max_messages: 32,
+            max_steps_per_phase: 20_000,
+            oracle_steps: 50_000,
+        })
+    }
+
+    #[test]
+    fn breaks_alternating_bit() {
+        let (outcome, _) = quick().run_with_trace(&AlternatingBit::new());
+        let FalsifyOutcome::Violation(report) = outcome else {
+            panic!("expected violation, got {outcome:?}");
+        };
+        assert!(matches!(
+            report.violation,
+            SpecViolation::MessageInvented { .. }
+        ));
+        let c = report.execution.counts();
+        assert_eq!(c.rm, c.sm + 1, "the paper's invalid execution shape");
+    }
+
+    #[test]
+    fn breaks_naive_cycle_for_every_k() {
+        for k in [2u32, 3, 5] {
+            let outcome = quick().run(&NaiveCycle::new(k));
+            assert!(
+                outcome.is_violation(),
+                "naive-cycle(k={k}) should fall: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn breaks_sliding_window() {
+        let outcome = quick().run(&SlidingWindow::new(2));
+        assert!(outcome.is_violation(), "got {outcome:?}");
+    }
+
+    #[test]
+    fn sequence_number_survives() {
+        let (outcome, stages) = quick().run_with_trace(&SequenceNumber::new());
+        let FalsifyOutcome::Survived(report) = outcome else {
+            panic!("sequence numbers must survive, got {outcome:?}");
+        };
+        assert_eq!(report.messages_delivered, 32);
+        // Space stays tiny even under attack (O(log n)).
+        assert!(report.peak_space_bytes < 1024);
+        assert_eq!(stages.len(), 32);
+    }
+
+    #[test]
+    fn afek_flush_survives_by_paying() {
+        let (outcome, stages) = quick().run_with_trace(&AfekFlush::new());
+        let FalsifyOutcome::Survived(report) = outcome else {
+            panic!("ghost-protected afek should survive, got {outcome:?}");
+        };
+        // The pool keeps growing…
+        assert!(report.final_in_transit > 0);
+        // …and per-message cost grows with it (the T3.1 trade-off).
+        let early = stages[1].sends_this_message;
+        let late = stages.last().unwrap().sends_this_message;
+        assert!(
+            late > early,
+            "cost should grow with the pool: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn growth_stages_record_pool_monotonicity_for_survivors() {
+        let (_, stages) = quick().run_with_trace(&SequenceNumber::new());
+        for w in stages.windows(2) {
+            assert!(w[1].pool_size >= w[0].pool_size);
+        }
+    }
+}

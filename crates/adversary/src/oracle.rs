@@ -1,0 +1,217 @@
+//! The boundness quantifier made effective.
+//!
+//! Each boundness definition (k-bounded, `M_f`, `P_f`) quantifies over an
+//! extension β of a semi-valid execution in which the channel delivers no
+//! old packets and the protocol finishes the outstanding message. For a
+//! *deterministic* protocol implementation this β is computable: clone the
+//! composed system, let the channel behave optimally from now on
+//! (Theorem 2.1's extension γ: fresh sends delivered immediately, the
+//! delayed pool frozen), and run until delivery. The forward receipt
+//! sequence of that run is exactly the β the proofs replay.
+
+use crate::system::System;
+use nonfifo_ioa::Packet;
+use std::collections::BTreeMap;
+
+/// A computed boundness extension β.
+#[derive(Debug, Clone)]
+pub struct Extension {
+    /// Forward packets in the order the receiver saw them in β (equal to
+    /// the send order, since an optimal channel delivers immediately).
+    pub receipts: Vec<Packet>,
+    /// Scheduler steps β took.
+    pub steps: u64,
+    /// The full recorded events of β (the extension only, not the prefix
+    /// it extends). Used to verify the simulation argument: a replayed β′
+    /// must be receiver-indistinguishable from this.
+    pub events: nonfifo_ioa::Execution,
+}
+
+impl Extension {
+    /// `spᵗ→ʳ(β)` — forward sends in the extension (every send is
+    /// delivered under the optimal channel, so sends = receipts).
+    pub fn forward_sends(&self) -> u64 {
+        self.receipts.len() as u64
+    }
+
+    /// Per-packet-value send counts within β.
+    pub fn histogram(&self) -> BTreeMap<Packet, u64> {
+        let mut h = BTreeMap::new();
+        for &p in &self.receipts {
+            *h.entry(p).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Computes boundness extensions by forward simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundnessOracle {
+    /// Maximum scheduler steps before declaring the protocol stuck.
+    pub max_steps: u64,
+}
+
+impl Default for BoundnessOracle {
+    fn default() -> Self {
+        BoundnessOracle { max_steps: 200_000 }
+    }
+}
+
+impl BoundnessOracle {
+    /// Creates an oracle with the given step budget.
+    pub fn new(max_steps: u64) -> Self {
+        BoundnessOracle { max_steps }
+    }
+
+    /// Computes the extension that delivers the system's *outstanding*
+    /// message under optimal channel behaviour, or `None` if the protocol
+    /// fails to deliver within the step budget (it is not live).
+    ///
+    /// The live system is not disturbed: everything happens in a fork.
+    pub fn extension(&self, sys: &System) -> Option<Extension> {
+        let fork = sys.clone();
+        self.run_fork(fork)
+    }
+
+    /// Computes the extension for the *next* message: forks the system,
+    /// injects one `send_msg`, and runs to delivery.
+    ///
+    /// Returns `None` if the transmitter is not ready or the budget is
+    /// exhausted.
+    pub fn extension_with_new_message(&self, sys: &System) -> Option<Extension> {
+        if !sys.ready() {
+            return None;
+        }
+        let mut fork = sys.clone();
+        fork.send_msg();
+        self.run_fork(fork)
+    }
+
+    fn run_fork(&self, mut fork: System) -> Option<Extension> {
+        let target_rm = fork.counts().sm;
+        if fork.counts().rm >= target_rm {
+            return Some(Extension {
+                receipts: Vec::new(),
+                steps: 0,
+                events: nonfifo_ioa::Execution::new(),
+            });
+        }
+        let start_events = fork.execution().len();
+        let mut steps = 0;
+        while fork.counts().rm < target_rm {
+            if steps >= self.max_steps {
+                return None;
+            }
+            fork.step_deliver_all();
+            steps += 1;
+        }
+        let events: nonfifo_ioa::Execution = fork.execution().events()[start_events..]
+            .iter()
+            .copied()
+            .collect();
+        let receipts = events
+            .iter()
+            .filter_map(|e| match *e {
+                nonfifo_ioa::Event::ReceivePkt {
+                    dir: nonfifo_ioa::Dir::Forward,
+                    packet,
+                    ..
+                } => Some(packet),
+                _ => None,
+            })
+            .collect();
+        Some(Extension {
+            receipts,
+            steps,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_channel::Channel;
+    use nonfifo_ioa::Header;
+    use nonfifo_protocols::{AfekFlush, AlternatingBit, SequenceNumber};
+
+    #[test]
+    fn quiescent_system_has_empty_extension() {
+        let sys = System::new(&SequenceNumber::new());
+        let ext = BoundnessOracle::default().extension(&sys).unwrap();
+        assert_eq!(ext.forward_sends(), 0);
+    }
+
+    #[test]
+    fn clean_alternating_bit_extension_is_one_packet() {
+        let mut sys = System::new(&AlternatingBit::new());
+        sys.send_msg();
+        let ext = BoundnessOracle::default().extension(&sys).unwrap();
+        assert_eq!(ext.forward_sends(), 1);
+        assert_eq!(ext.receipts[0], Packet::header_only(Header::new(0)));
+        // The live system is untouched.
+        assert_eq!(sys.counts().rm, 0);
+    }
+
+    #[test]
+    fn extension_with_new_message_requires_ready() {
+        let mut sys = System::new(&AlternatingBit::new());
+        sys.send_msg(); // busy now
+        assert!(BoundnessOracle::default()
+            .extension_with_new_message(&sys)
+            .is_none());
+    }
+
+    #[test]
+    fn afek_extension_scales_with_parked_pool() {
+        // Park stale copies of the label message 1 will reuse … label of
+        // message 0 is 0; message 3 reuses label 0.
+        let mut sys = System::new(&AfekFlush::new());
+        sys.send_msg();
+        for _ in 0..7 {
+            sys.step_park_all();
+        }
+        assert!(sys.run_to_quiescence(64));
+        for _ in 1..3 {
+            sys.send_msg();
+            assert!(sys.run_to_quiescence(64));
+        }
+        // Message 3 reuses label 0; its extension must outnumber the stale
+        // copies of label 0 parked during message 0.
+        let stale0 = sys.fwd.packet_copies(Packet::header_only(Header::new(0)));
+        assert!(stale0 >= 7, "expected parked pool, got {stale0}");
+        let ext = BoundnessOracle::default()
+            .extension_with_new_message(&sys)
+            .unwrap();
+        assert!(
+            ext.forward_sends() > stale0 as u64,
+            "extension {} should exceed stale pool {stale0}",
+            ext.forward_sends()
+        );
+    }
+
+    #[test]
+    fn histogram_counts_values() {
+        let ext = Extension {
+            receipts: vec![
+                Packet::header_only(Header::new(0)),
+                Packet::header_only(Header::new(0)),
+                Packet::header_only(Header::new(1)),
+            ],
+            steps: 3,
+            events: nonfifo_ioa::Execution::new(),
+        };
+        let h = ext.histogram();
+        assert_eq!(h[&Packet::header_only(Header::new(0))], 2);
+        assert_eq!(h[&Packet::header_only(Header::new(1))], 1);
+    }
+
+    #[test]
+    fn stuck_protocol_returns_none() {
+        // A system whose message can never be delivered because the budget
+        // is zero steps.
+        let mut sys = System::new(&SequenceNumber::new());
+        sys.send_msg();
+        assert!(BoundnessOracle::new(0).extension(&sys).is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! The Theorem 4.1 falsifier: with `k < n` headers, delivering a message
+//! costs at least `1/k` times the number of packets in transit.
+//!
+//! The proof's induction parks exactly one copy of a *dominant* packet per
+//! message — a packet value the boundness extension sends more often than
+//! the pool already holds (one must exist, otherwise the whole extension is
+//! replayable and the protocol is already broken). After `l` messages the
+//! pool holds `l` copies spread over at most `k` values, and any further
+//! extension must out-send some value's pool count, i.e. send more than
+//! `⌊l/k⌋` packets.
+//!
+//! Run against a correct bounded-header protocol this yields the measured
+//! cost curve of experiment E4 (per-message sends vs. in-transit count);
+//! run against an unsafe protocol the coverage check fires and the
+//! invalid execution drops out, exactly as in Theorem 3.1.
+
+use crate::oracle::BoundnessOracle;
+use crate::system::{Disposition, System};
+use crate::{FalsifyOutcome, SurvivalReport, ViolationReport};
+use nonfifo_channel::Channel;
+use nonfifo_ioa::{Dir, Packet};
+use nonfifo_protocols::DataLink;
+use std::collections::BTreeMap;
+
+/// Budgets for the Theorem 4.1 falsifier.
+#[derive(Debug, Clone, Copy)]
+pub struct PfConfig {
+    /// Messages to run (the `l` of the theorem).
+    pub messages: u64,
+    /// Scheduler steps allowed per message.
+    pub max_steps_per_message: u64,
+    /// Step budget of the boundness oracle.
+    pub oracle_steps: u64,
+}
+
+impl Default for PfConfig {
+    fn default() -> Self {
+        PfConfig {
+            messages: 128,
+            max_steps_per_message: 100_000,
+            oracle_steps: 200_000,
+        }
+    }
+}
+
+/// Cost record for one message under the Theorem 4.1 adversary.
+#[derive(Debug, Clone, Copy)]
+pub struct PfMessageCost {
+    /// Message index (0-based).
+    pub message: u64,
+    /// Packets in transit when the message was handed over (the theorem's
+    /// `l` for this step).
+    pub in_transit_before: u64,
+    /// Forward sends of the boundness extension computed at that point —
+    /// the quantity Theorem 4.1 bounds below by `⌊l/k⌋`.
+    pub extension_sends: u64,
+    /// Forward packets actually sent while delivering the message.
+    pub sends_this_message: u64,
+}
+
+/// The Theorem 4.1 falsifier / cost prober.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PfFalsifier {
+    /// Budgets.
+    pub config: PfConfig,
+}
+
+impl PfFalsifier {
+    /// Creates a falsifier with explicit budgets.
+    pub fn new(config: PfConfig) -> Self {
+        PfFalsifier { config }
+    }
+
+    /// Runs the construction, returning the outcome and the per-message
+    /// cost curve.
+    pub fn run(&self, proto: &dyn DataLink) -> (FalsifyOutcome, Vec<PfMessageCost>) {
+        let oracle = BoundnessOracle::new(self.config.oracle_steps);
+        let mut sys = System::new(proto);
+        let mut costs = Vec::new();
+
+        for message in 0..self.config.messages {
+            let Some(ext) = oracle.extension_with_new_message(&sys) else {
+                return (
+                    FalsifyOutcome::Stuck {
+                        delivered: sys.counts().rm,
+                    },
+                    costs,
+                );
+            };
+            let need = ext.histogram();
+
+            // Coverage: a fully replayable extension is an invalid
+            // execution (same punchline as Theorem 3.1).
+            if !ext.receipts.is_empty() && self.pool_covers(&sys, &need) {
+                if let Some(report) = self.attempt_phantom_replay(&sys, &ext.receipts) {
+                    return (FalsifyOutcome::Violation(report), costs);
+                }
+            }
+
+            // Pick the dominant value: sent in β more often than the pool
+            // holds. Prefer the value with the smallest pool so copies
+            // spread across values (the pigeonhole the theorem needs).
+            let dominant = need
+                .iter()
+                .filter(|(&p, &n)| n > sys.fwd.packet_copies(p) as u64)
+                .min_by_key(|(&p, _)| sys.fwd.packet_copies(p))
+                .map(|(&p, _)| p);
+
+            let in_transit_before = sys.counts().in_transit(Dir::Forward);
+            let sends_before = sys.fwd.total_sent();
+            sys.send_msg();
+
+            let mut parked_one = false;
+            let mut steps = 0;
+            while sys.counts().rm < sys.counts().sm {
+                if steps >= self.config.max_steps_per_message {
+                    return (
+                        FalsifyOutcome::BudgetExhausted {
+                            delivered: sys.counts().rm,
+                            forward_packets_sent: sys.fwd.total_sent(),
+                        },
+                        costs,
+                    );
+                }
+                sys.step(|pkt, _copy, _ch| {
+                    if !parked_one && Some(pkt) == dominant {
+                        parked_one = true;
+                        Disposition::Park
+                    } else {
+                        Disposition::Deliver
+                    }
+                });
+                if let Some(v) = sys.violation() {
+                    let report = ViolationReport {
+                        violation: v,
+                        execution: sys.execution().clone(),
+                        messages_before_violation: sys.counts().sm,
+                        forward_packets_sent: sys.fwd.total_sent(),
+                    };
+                    return (FalsifyOutcome::Violation(report), costs);
+                }
+                steps += 1;
+            }
+
+            costs.push(PfMessageCost {
+                message,
+                in_transit_before,
+                extension_sends: ext.forward_sends(),
+                sends_this_message: sys.fwd.total_sent() - sends_before,
+            });
+        }
+
+        let report = SurvivalReport {
+            messages_delivered: sys.counts().rm,
+            forward_packets_sent: sys.fwd.total_sent(),
+            final_in_transit: sys.counts().in_transit(Dir::Forward),
+            peak_space_bytes: sys.peak_space_bytes(),
+            distinct_forward_packets: sys.distinct_forward_packets(),
+        };
+        (FalsifyOutcome::Survived(report), costs)
+    }
+
+    fn pool_covers(&self, sys: &System, need: &BTreeMap<Packet, u64>) -> bool {
+        need.iter()
+            .all(|(&p, &n)| sys.fwd.packet_copies(p) as u64 >= n)
+    }
+
+    fn attempt_phantom_replay(&self, sys: &System, receipts: &[Packet]) -> Option<ViolationReport> {
+        let mut fork = sys.clone();
+        fork.replay_receipts(receipts);
+        fork.violation().map(|violation| ViolationReport {
+            violation,
+            execution: fork.execution().clone(),
+            messages_before_violation: fork.counts().sm,
+            forward_packets_sent: fork.fwd.total_sent(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_protocols::{AfekFlush, NaiveCycle, SequenceNumber};
+
+    fn quick(messages: u64) -> PfFalsifier {
+        PfFalsifier::new(PfConfig {
+            messages,
+            max_steps_per_message: 50_000,
+            oracle_steps: 100_000,
+        })
+    }
+
+    #[test]
+    fn afek_cost_is_linear_in_transit() {
+        let (outcome, costs) = quick(60).run(&AfekFlush::new());
+        assert!(
+            matches!(outcome, FalsifyOutcome::Survived(_)),
+            "got {outcome:?}"
+        );
+        assert_eq!(costs.len(), 60);
+        // In-transit grows by one per message…
+        for w in costs.windows(2) {
+            assert_eq!(w[1].in_transit_before, w[0].in_transit_before + 1);
+        }
+        // …and the extension cost tracks in-transit/k with k = 3: check the
+        // last point is at least l/k and at most l + O(1).
+        let last = costs.last().unwrap();
+        let l = last.in_transit_before;
+        assert!(
+            last.extension_sends >= l / 3,
+            "T4.1 lower bound violated: ext {} < l/k = {}",
+            last.extension_sends,
+            l / 3
+        );
+        assert!(
+            last.extension_sends <= l + 2,
+            "afek should be linear: ext {} for l {}",
+            last.extension_sends,
+            l
+        );
+    }
+
+    #[test]
+    fn naive_cycle_falls_to_coverage_replay() {
+        let (outcome, _) = quick(32).run(&NaiveCycle::new(3));
+        assert!(outcome.is_violation(), "got {outcome:?}");
+    }
+
+    #[test]
+    fn sequence_number_survives_with_constant_cost() {
+        let (outcome, costs) = quick(40).run(&SequenceNumber::new());
+        assert!(
+            matches!(outcome, FalsifyOutcome::Survived(_)),
+            "got {outcome:?}"
+        );
+        // Fresh headers every message: the extension never grows.
+        for c in &costs {
+            assert!(c.extension_sends <= 2, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn extension_lower_bound_holds_for_every_message() {
+        // The theorem: ext_sends ≥ ⌊l/k⌋ for a k-header protocol, here the
+        // ghost-protected 3-header reconstruction.
+        let (_, costs) = quick(45).run(&AfekFlush::new());
+        for c in costs {
+            assert!(
+                c.extension_sends >= c.in_transit_before / 3,
+                "message {}: ext {} < l/k = {}",
+                c.message,
+                c.extension_sends,
+                c.in_transit_before / 3
+            );
+        }
+    }
+}

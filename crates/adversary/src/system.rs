@@ -1,0 +1,388 @@
+//! The composed closed system under adversary control.
+
+use nonfifo_channel::{AdversarialChannel, Channel};
+use nonfifo_ioa::{CopyId, Dir, Event, Execution, Header, Message, Packet, SpecViolation};
+use nonfifo_ioa::{Counts, SpecMonitor};
+use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};
+use std::collections::BTreeMap;
+
+/// What the adversary does with a freshly sent forward packet during a
+/// [`System::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Leave the copy delayed on the channel.
+    Park,
+    /// Deliver the copy this step.
+    Deliver,
+}
+
+/// The closed system of the paper's Figure 1 with both physical channels
+/// under adversary control.
+///
+/// The forward channel is permanently in
+/// [`DeliveryMode::Park`](nonfifo_channel::DeliveryMode::Park): every fresh
+/// copy is parked, and the per-step policy decides which copies — fresh or
+/// stale — are released. Acknowledgements flow immediately (the proofs never
+/// need to manipulate the backward channel: in each simulation argument the
+/// receiver behaves identically and re-sends its acks fresh).
+///
+/// Every action is recorded in an [`Execution`] and checked online by a
+/// [`SpecMonitor`]; the falsifiers succeed precisely when the monitor flags
+/// `rm > sm`.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// The transmitting-station automaton.
+    pub tx: BoxedTransmitter,
+    /// The receiving-station automaton.
+    pub rx: BoxedReceiver,
+    /// The forward (t→r) channel, parked by default.
+    pub fwd: AdversarialChannel,
+    /// The backward (r→t) channel, immediate by default.
+    pub bwd: AdversarialChannel,
+    exec: Execution,
+    monitor: SpecMonitor,
+    next_msg: u64,
+    /// Forward-channel watermark at the most recent `send_msg` — copies
+    /// older than this are the stale population.
+    round_watermark: CopyId,
+    /// How many packets the policy may pump from the transmitter per step.
+    pub burst: usize,
+    peak_space: usize,
+    sent_values: std::collections::BTreeSet<Packet>,
+}
+
+impl System {
+    /// Builds the closed system for a fresh instance of `proto`.
+    pub fn new(proto: &dyn DataLink) -> Self {
+        let (tx, rx) = proto.make();
+        System {
+            tx,
+            rx,
+            fwd: AdversarialChannel::parked(Dir::Forward),
+            bwd: AdversarialChannel::immediate(Dir::Backward),
+            exec: Execution::new(),
+            monitor: SpecMonitor::new(),
+            next_msg: 0,
+            round_watermark: CopyId::from_raw(0),
+            burst: 64,
+            peak_space: 0,
+            sent_values: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The recorded execution so far.
+    pub fn execution(&self) -> &Execution {
+        &self.exec
+    }
+
+    /// The Definition 2 counters of the recorded execution.
+    pub fn counts(&self) -> Counts {
+        self.exec.counts()
+    }
+
+    /// The first specification violation observed, if any.
+    pub fn violation(&self) -> Option<SpecViolation> {
+        self.monitor.first_violation()
+    }
+
+    /// Messages handed to the transmitter so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.next_msg
+    }
+
+    /// Peak `space_bytes` observed across both automata.
+    pub fn peak_space_bytes(&self) -> usize {
+        self.peak_space
+    }
+
+    /// Number of distinct forward packet values sent so far — the paper's
+    /// header count `|P|` for this execution.
+    pub fn distinct_forward_packets(&self) -> u64 {
+        self.sent_values.len() as u64
+    }
+
+    /// The watermark separating stale from current-round forward copies.
+    pub fn round_watermark(&self) -> CopyId {
+        self.round_watermark
+    }
+
+    /// True when the transmitter can accept the next message.
+    pub fn ready(&self) -> bool {
+        self.tx.ready()
+    }
+
+    /// Hands the next (identical) message to the transmitter and marks the
+    /// round boundary for staleness accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmitter is not [`ready`](System::ready).
+    pub fn send_msg(&mut self) {
+        assert!(self.tx.ready(), "send_msg while transmitter busy");
+        self.round_watermark = self.fwd.watermark();
+        let m = Message::identical(self.next_msg);
+        self.next_msg += 1;
+        self.record(Event::SendMsg(m));
+        self.tx.on_send_msg(m);
+    }
+
+    fn record(&mut self, event: Event) {
+        let _ = self.monitor.observe(&event);
+        self.exec.push(event);
+    }
+
+    /// Current ghost summary (pushed to the automata at each step).
+    pub fn ghost(&self) -> GhostInfo {
+        let mut stale: BTreeMap<Header, u64> = BTreeMap::new();
+        for (packet, _copy) in self.fwd.parked_multiset().iter() {
+            let h = packet.header();
+            if stale.contains_key(&h) {
+                continue;
+            }
+            let n = self.fwd.header_copies_older_than(h, self.round_watermark) as u64;
+            stale.insert(h, n);
+        }
+        GhostInfo {
+            fwd_in_transit: self.fwd.in_transit_len() as u64,
+            bwd_in_transit: self.bwd.in_transit_len() as u64,
+            stale_fwd_by_header: stale,
+        }
+    }
+
+    /// Runs one scheduler step:
+    ///
+    /// 1. push ghost summaries and tick both automata;
+    /// 2. pump up to [`burst`](System::burst) transmitter sends onto the
+    ///    forward channel (parked), consulting `dispose` for each;
+    /// 3. deliver everything released on the forward channel to the
+    ///    receiver;
+    /// 4. drain receiver deliveries and acknowledgements; acks flow to the
+    ///    transmitter immediately.
+    ///
+    /// Returns the number of `receive_msg` actions that occurred.
+    pub fn step<F>(&mut self, mut dispose: F) -> u64
+    where
+        F: FnMut(Packet, CopyId, &mut AdversarialChannel) -> Disposition,
+    {
+        let ghost = self.ghost();
+        self.tx.on_ghost(&ghost);
+        self.rx.on_ghost(&ghost);
+        self.tx.on_tick();
+        self.rx.on_tick();
+
+        // Transmitter output.
+        for _ in 0..self.burst {
+            let Some(pkt) = self.tx.poll_send() else { break };
+            self.sent_values.insert(pkt);
+            let copy = self.fwd.send(pkt);
+            self.record(Event::SendPkt {
+                dir: Dir::Forward,
+                packet: pkt,
+                copy,
+            });
+            if dispose(pkt, copy, &mut self.fwd) == Disposition::Deliver {
+                // Release may be a no-op if the policy already released it.
+                let _ = self.fwd.release_copy(copy);
+            }
+        }
+
+        self.drain_released()
+    }
+
+    /// Delivers everything currently queued on both channels and drains the
+    /// automata outputs; returns the number of `receive_msg` actions.
+    pub fn drain_released(&mut self) -> u64 {
+        let mut delivered_msgs = 0;
+        // Forward deliveries to the receiver.
+        while let Some((pkt, copy)) = self.fwd.poll_deliver() {
+            self.record(Event::ReceivePkt {
+                dir: Dir::Forward,
+                packet: pkt,
+                copy,
+            });
+            self.rx.on_receive_pkt(pkt);
+            delivered_msgs += self.drain_rx_outputs();
+        }
+        // A receiver may also have pending outputs without new receipts
+        // (e.g. after a tick).
+        delivered_msgs += self.drain_rx_outputs();
+        for (pkt, copy) in self.fwd.drain_drops() {
+            self.record(Event::DropPkt {
+                dir: Dir::Forward,
+                packet: pkt,
+                copy,
+            });
+        }
+        self.note_space();
+        delivered_msgs
+    }
+
+    fn drain_rx_outputs(&mut self) -> u64 {
+        let mut delivered = 0;
+        while let Some(m) = self.rx.poll_deliver() {
+            self.record(Event::ReceiveMsg(m));
+            delivered += 1;
+        }
+        while let Some(ack) = self.rx.poll_send() {
+            let copy = self.bwd.send(ack);
+            self.record(Event::SendPkt {
+                dir: Dir::Backward,
+                packet: ack,
+                copy,
+            });
+        }
+        while let Some((ack, copy)) = self.bwd.poll_deliver() {
+            self.record(Event::ReceivePkt {
+                dir: Dir::Backward,
+                packet: ack,
+                copy,
+            });
+            self.tx.on_receive_pkt(ack);
+        }
+        delivered
+    }
+
+    fn note_space(&mut self) {
+        let s = self.tx.space_bytes() + self.rx.space_bytes();
+        self.peak_space = self.peak_space.max(s);
+    }
+
+    /// Convenience: one step delivering every fresh forward copy.
+    pub fn step_deliver_all(&mut self) -> u64 {
+        self.step(|_, _, _| Disposition::Deliver)
+    }
+
+    /// Convenience: one step parking every fresh forward copy.
+    pub fn step_park_all(&mut self) -> u64 {
+        self.step(|_, _, _| Disposition::Park)
+    }
+
+    /// Replays stale copies into the receiver: for each packet value in
+    /// `receipts`, releases the oldest delayed copy of that value and
+    /// delivers it. The transmitter is not ticked — this realises the
+    /// paper's simulated extension `β′`, in which the channel substitutes
+    /// delayed copies for the automaton's sends.
+    ///
+    /// Stops early once the monitor flags a violation (the goal) and
+    /// returns how many receipts were replayed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested value has no delayed copy — callers must check
+    /// coverage first.
+    pub fn replay_receipts(&mut self, receipts: &[Packet]) -> usize {
+        for (i, &pkt) in receipts.iter().enumerate() {
+            let (_, _copy) = self
+                .fwd
+                .release_oldest_of_packet(pkt)
+                .unwrap_or_else(|| panic!("replay of {pkt} without coverage"));
+            self.drain_released();
+            if self.violation().is_some() {
+                return i + 1;
+            }
+        }
+        receipts.len()
+    }
+
+    /// Runs `step_deliver_all` until the outstanding message count reaches
+    /// zero or `max_steps` elapse; returns true on success.
+    pub fn run_to_quiescence(&mut self, max_steps: u64) -> bool {
+        for _ in 0..max_steps {
+            if self.counts().rm >= self.counts().sm {
+                return true;
+            }
+            self.step_deliver_all();
+        }
+        self.counts().rm >= self.counts().sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_protocols::{AlternatingBit, SequenceNumber};
+
+    #[test]
+    fn deliver_all_runs_a_message_end_to_end() {
+        let mut sys = System::new(&SequenceNumber::new());
+        sys.send_msg();
+        assert!(sys.run_to_quiescence(32));
+        let c = sys.counts();
+        assert_eq!((c.sm, c.rm), (1, 1));
+        assert_eq!(sys.violation(), None);
+    }
+
+    #[test]
+    fn park_all_blocks_delivery_and_grows_pool() {
+        let mut sys = System::new(&SequenceNumber::new());
+        sys.send_msg();
+        for _ in 0..10 {
+            sys.step_park_all();
+        }
+        let c = sys.counts();
+        assert_eq!(c.rm, 0);
+        assert!(c.in_transit(Dir::Forward) >= 10);
+        assert_eq!(
+            sys.fwd.in_transit_len() as u64,
+            c.in_transit(Dir::Forward)
+        );
+    }
+
+    #[test]
+    fn ghost_reports_stale_copies() {
+        let mut sys = System::new(&AlternatingBit::new());
+        sys.send_msg();
+        for _ in 0..5 {
+            sys.step_park_all();
+        }
+        // Complete message 0 so we can start round 1.
+        assert!(sys.run_to_quiescence(16));
+        sys.send_msg();
+        let ghost = sys.ghost();
+        // The parked copies of bit 0 are stale relative to round 1.
+        assert!(ghost.stale_fwd(Header::new(0)) >= 5);
+        assert_eq!(ghost.stale_fwd(Header::new(1)), 0);
+    }
+
+    #[test]
+    fn replay_produces_phantom_delivery_for_alternating_bit() {
+        let mut sys = System::new(&AlternatingBit::new());
+        // Message 0: park a few copies of bit 0, then deliver.
+        sys.send_msg();
+        for _ in 0..3 {
+            sys.step_park_all();
+        }
+        assert!(sys.run_to_quiescence(16));
+        // Message 1 (bit 1) delivered cleanly.
+        sys.send_msg();
+        assert!(sys.run_to_quiescence(16));
+        // Receiver now expects bit 0 again; replay one stale copy.
+        let stale0 = Packet::header_only(Header::new(0));
+        assert!(sys.fwd.packet_copies(stale0) >= 3);
+        sys.replay_receipts(&[stale0]);
+        assert!(matches!(
+            sys.violation(),
+            Some(SpecViolation::MessageInvented { .. })
+        ));
+        let c = sys.counts();
+        assert_eq!(c.rm, c.sm + 1);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut sys = System::new(&SequenceNumber::new());
+        sys.send_msg();
+        let mut fork = sys.clone();
+        assert!(fork.run_to_quiescence(32));
+        assert_eq!(sys.counts().rm, 0);
+        assert_eq!(fork.counts().rm, 1);
+    }
+
+    #[test]
+    fn space_tracking_moves() {
+        let mut sys = System::new(&SequenceNumber::new());
+        sys.send_msg();
+        sys.run_to_quiescence(32);
+        assert!(sys.peak_space_bytes() > 0);
+    }
+}

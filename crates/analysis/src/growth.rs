@@ -1,0 +1,196 @@
+//! Growth-rate fitting by least squares.
+//!
+//! Experiment E5 measures total packets sent as a function of the number
+//! of messages `n` and must decide whether the curve is exponential (and
+//! with what base) or linear. We fit `log y = a + n·log b` by ordinary
+//! least squares; `b` is the recovered growth base, and the residual tells
+//! linear from exponential apart.
+
+/// A least-squares line fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl GrowthFit {
+    /// For a fit of `log y` against `n`: the growth base `b = e^slope`.
+    pub fn base(&self) -> f64 {
+        self.slope.exp()
+    }
+}
+
+/// Ordinary least-squares fit of `y` against `x`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or all `x` are equal.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_analysis::fit_linear;
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let fit = fit_linear(&xs, &ys);
+/// assert!((fit.slope - 2.0).abs() < 1e-9);
+/// assert!((fit.intercept - 1.0).abs() < 1e-9);
+/// ```
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> GrowthFit {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must pair up");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    assert!(sxx > 0.0, "x values must not all be equal");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    GrowthFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits an exponential `y = c·bⁿ` through `(n, y)` points by regressing
+/// `ln y` on `n`. Points with `y ≤ 0` are rejected.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or any `y ≤ 0`.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_analysis::fit_exponential;
+/// let ns = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let ys: Vec<f64> = ns.iter().map(|n| 3.0 * 1.5f64.powf(*n)).collect();
+/// let fit = fit_exponential(&ns, &ys);
+/// assert!((fit.base() - 1.5).abs() < 1e-9);
+/// ```
+pub fn fit_exponential(ns: &[f64], ys: &[f64]) -> GrowthFit {
+    assert!(
+        ys.iter().all(|&y| y > 0.0),
+        "exponential fit needs positive y values"
+    );
+    let logs: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+    fit_linear(ns, &logs)
+}
+
+/// Fits a power law `y = c·n^d` through `(n, y)` points by regressing
+/// `ln y` on `ln n`; the returned slope is the degree `d`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or any `n ≤ 0` / `y ≤ 0`.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_analysis::growth::fit_power;
+/// let ns = [1.0, 2.0, 4.0, 8.0];
+/// let ys: Vec<f64> = ns.iter().map(|n| 5.0 * n * n).collect();
+/// let fit = fit_power(&ns, &ys);
+/// assert!((fit.slope - 2.0).abs() < 1e-9); // degree 2
+/// ```
+pub fn fit_power(ns: &[f64], ys: &[f64]) -> GrowthFit {
+    assert!(
+        ns.iter().all(|&n| n > 0.0) && ys.iter().all(|&y| y > 0.0),
+        "power fit needs positive coordinates"
+    );
+    let log_ns: Vec<f64> = ns.iter().map(|&n| n.ln()).collect();
+    let log_ys: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+    fit_linear(&log_ns, &log_ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_exponent() {
+        let ns: Vec<f64> = (1..=12).map(|n| n as f64).collect();
+        let ys: Vec<f64> = ns.iter().map(|n| 2.0 * 1.3f64.powf(*n)).collect();
+        let fit = fit_exponential(&ns, &ys);
+        assert!((fit.base() - 1.3).abs() < 1e-9, "base {}", fit.base());
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn linear_data_fits_base_near_one() {
+        let ns: Vec<f64> = (1..=40).map(|n| n as f64).collect();
+        let ys: Vec<f64> = ns.iter().map(|n| 10.0 * n).collect();
+        let fit = fit_exponential(&ns, &ys);
+        // log(10n) is concave and slow: the fitted base hugs 1.
+        assert!(fit.base() < 1.15, "base {}", fit.base());
+    }
+
+    #[test]
+    fn exponential_beats_linear_discriminably() {
+        let ns: Vec<f64> = (1..=16).map(|n| n as f64).collect();
+        let expo: Vec<f64> = ns.iter().map(|n| 1.4f64.powf(*n)).collect();
+        let line: Vec<f64> = ns.iter().map(|n| 5.0 * n).collect();
+        let b_expo = fit_exponential(&ns, &expo).base();
+        let b_line = fit_exponential(&ns, &line).base();
+        assert!(b_expo > 1.35 && b_line < 1.2);
+    }
+
+    #[test]
+    fn power_fit_recovers_degree() {
+        let ns: Vec<f64> = (1..=30).map(|n| n as f64).collect();
+        let quad: Vec<f64> = ns.iter().map(|n| 3.0 * n.powi(2)).collect();
+        let cube: Vec<f64> = ns.iter().map(|n| 0.5 * n.powi(3)).collect();
+        assert!((fit_power(&ns, &quad).slope - 2.0).abs() < 1e-9);
+        assert!((fit_power(&ns, &cube).slope - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_fit_separates_regimes() {
+        // Linear, quadratic, exponential data get degrees ~1, ~2, and
+        // super-polynomial (large, unstable) respectively.
+        let ns: Vec<f64> = (2..=20).map(|n| n as f64).collect();
+        let lin: Vec<f64> = ns.iter().map(|n| 7.0 * n).collect();
+        let expo: Vec<f64> = ns.iter().map(|n| 1.5f64.powf(*n)).collect();
+        assert!((fit_power(&ns, &lin).slope - 1.0).abs() < 1e-9);
+        assert!(fit_power(&ns, &expo).slope > 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn power_fit_rejects_nonpositive() {
+        let _ = fit_power(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn r_squared_penalises_noise() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let clean = [0.0, 1.0, 2.0, 3.0];
+        let noisy = [0.0, 2.0, 1.0, 3.0];
+        assert!(fit_linear(&xs, &clean).r_squared > fit_linear(&xs, &noisy).r_squared);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn rejects_single_point() {
+        let _ = fit_linear(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_y() {
+        let _ = fit_exponential(&[1.0, 2.0], &[1.0, 0.0]);
+    }
+}

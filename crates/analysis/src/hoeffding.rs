@@ -1,0 +1,142 @@
+//! The Hoeffding tail bound (the paper's Theorem 5.4) and exact binomial
+//! tails.
+
+/// The Hoeffding bound on the lower tail of a sum of `n` independent
+/// Bernoulli(`q`) variables: for `alpha < q`,
+/// `Pr[ΣXᵢ ≤ alpha·n] ≤ e^{−2n(alpha−q)²}` (\[Hoe63\], quoted as
+/// Theorem 5.4 in the paper).
+///
+/// For `alpha ≥ q` the bound is vacuous and this function returns 1.
+///
+/// # Panics
+///
+/// Panics if `q` or `alpha` is not in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_analysis::hoeffding_lower_tail;
+/// let b = hoeffding_lower_tail(100, 0.5, 0.25);
+/// assert!(b < 0.01);
+/// ```
+pub fn hoeffding_lower_tail(n: u64, q: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be a probability");
+    if alpha >= q {
+        return 1.0;
+    }
+    let n = n as f64;
+    (-2.0 * n * (alpha - q) * (alpha - q)).exp()
+}
+
+/// The exact lower tail `Pr[Binomial(n, q) ≤ k]`, computed with a
+/// numerically stable recurrence in log space.
+///
+/// # Panics
+///
+/// Panics if `q` is not in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_analysis::binomial_lower_tail;
+/// // A fair coin: Pr[X ≤ n/2] is a bit over 1/2.
+/// let p = binomial_lower_tail(100, 0.5, 50);
+/// assert!(p > 0.5 && p < 0.6);
+/// ```
+pub fn binomial_lower_tail(n: u64, q: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    if k >= n {
+        return 1.0;
+    }
+    if q == 0.0 {
+        return 1.0;
+    }
+    if q == 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    // log pmf(0) = n·ln(1−q); pmf(i+1)/pmf(i) = (n−i)/(i+1) · q/(1−q).
+    let ratio = q / (1.0 - q);
+    let mut log_pmf = n as f64 * (1.0 - q).ln();
+    let mut total = log_pmf.exp();
+    for i in 0..k {
+        log_pmf += ((n - i) as f64 / (i + 1) as f64).ln() + ratio.ln();
+        total += log_pmf.exp();
+    }
+    total.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_dominates_exact_tail() {
+        // The whole point of the bound: it upper-bounds the exact tail for
+        // every (n, q, alpha) with alpha < q.
+        for &n in &[10u64, 50, 200, 1000] {
+            for &q in &[0.2, 0.4, 0.6] {
+                for &alpha in &[0.05, 0.1, 0.15] {
+                    if alpha >= q {
+                        continue;
+                    }
+                    let k = (alpha * n as f64).floor() as u64;
+                    let exact = binomial_lower_tail(n, q, k);
+                    let bound = hoeffding_lower_tail(n, q, alpha);
+                    assert!(
+                        exact <= bound + 1e-12,
+                        "n={n} q={q} alpha={alpha}: exact {exact} > bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_decays_exponentially_in_n() {
+        let b10 = hoeffding_lower_tail(10, 0.5, 0.25);
+        let b100 = hoeffding_lower_tail(100, 0.5, 0.25);
+        let b1000 = hoeffding_lower_tail(1000, 0.5, 0.25);
+        assert!(b100 < b10 && b1000 < b100);
+        // e^{-2·1000·0.0625} is astronomically small.
+        assert!(b1000 < 1e-50);
+    }
+
+    #[test]
+    fn vacuous_region_returns_one() {
+        assert_eq!(hoeffding_lower_tail(100, 0.3, 0.3), 1.0);
+        assert_eq!(hoeffding_lower_tail(100, 0.3, 0.9), 1.0);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        assert_eq!(binomial_lower_tail(10, 0.5, 10), 1.0);
+        assert_eq!(binomial_lower_tail(10, 0.0, 0), 1.0);
+        assert_eq!(binomial_lower_tail(10, 1.0, 5), 0.0);
+        assert_eq!(binomial_lower_tail(10, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    fn binomial_matches_hand_computation() {
+        // Binomial(4, 0.5): Pr[X ≤ 1] = (1 + 4) / 16 = 0.3125.
+        let p = binomial_lower_tail(4, 0.5, 1);
+        assert!((p - 0.3125).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn binomial_tail_is_monotone_in_k() {
+        let mut prev = 0.0;
+        for k in 0..=20 {
+            let p = binomial_lower_tail(20, 0.35, k);
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+        assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_q() {
+        let _ = hoeffding_lower_tail(10, 1.5, 0.1);
+    }
+}

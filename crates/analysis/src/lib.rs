@@ -1,0 +1,25 @@
+//! Statistics substrate for the `nonfifo` reproduction of Mansour &
+//! Schieber (PODC 1989).
+//!
+//! Section 5 of the paper rests on the Hoeffding bound (its Theorem 5.4)
+//! and on reasoning about exponential growth rates. This crate provides
+//! those tools, plus the summary statistics the experiment harness uses:
+//!
+//! - [`hoeffding`] — the tail bound `Pr[ΣXᵢ ≤ αn] ≤ e^{−2n(α−q)²}` and
+//!   exact binomial tails to compare it against (experiment E7).
+//! - [`growth`] — log-linear regression for growth-rate fitting: given a
+//!   packets-vs-n curve, recover the base `b` of `b^n` (experiment E5
+//!   checks `b ≥ 1 + q − εₙ`).
+//! - [`summary`] — Welford mean/variance, quantiles, and empirical CDFs
+//!   for Monte-Carlo experiments (E6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod growth;
+pub mod hoeffding;
+pub mod summary;
+
+pub use growth::{fit_exponential, fit_linear, fit_power, GrowthFit};
+pub use hoeffding::{binomial_lower_tail, hoeffding_lower_tail};
+pub use summary::{empirical_cdf_at, quantile, Summary};

@@ -1,0 +1,230 @@
+//! Summary statistics for Monte-Carlo experiments.
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_analysis::Summary;
+/// let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (0 with fewer than two observations).
+    pub fn stderr(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// A normal-approximation 95% confidence interval for the mean:
+    /// `(mean − 1.96·se, mean + 1.96·se)`.
+    pub fn mean_ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.stderr();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Smallest observation (0 for an empty summary).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 for an empty summary).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// The `p`-quantile (0 ≤ p ≤ 1) of a sample, by the nearest-rank method.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `p` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_analysis::quantile;
+/// let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5), 3.0);
+/// ```
+pub fn quantile(sample: &[f64], p: f64) -> f64 {
+    assert!(!sample.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The empirical CDF of `sample` evaluated at `x`: the fraction of
+/// observations `≤ x`.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_analysis::empirical_cdf_at;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(empirical_cdf_at(&xs, 2.5), 0.5);
+/// ```
+pub fn empirical_cdf_at(sample: &[f64], x: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    sample.iter().filter(|&&v| v <= x).count() as f64 / sample.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = xs.into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance: Σ(x−5)²/7 = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        let s: Summary = [3.0].into_iter().collect();
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.0);
+    }
+
+    #[test]
+    fn ci_brackets_the_mean_and_shrinks_with_n() {
+        let small: Summary = (0..10).map(|i| i as f64).collect();
+        let large: Summary = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (lo_s, hi_s) = small.mean_ci95();
+        let (lo_l, hi_l) = large.mean_ci95();
+        assert!(lo_s <= small.mean() && small.mean() <= hi_s);
+        assert!(hi_l - lo_l < hi_s - lo_s, "more samples, tighter CI");
+        // Degenerate cases are quiet.
+        assert_eq!(Summary::new().mean_ci95(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0]);
+        s.extend([3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.25), 1.0);
+        assert_eq!(quantile(&xs, 0.26), 2.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+    }
+
+    #[test]
+    fn cdf_steps() {
+        let xs = [1.0, 1.0, 2.0];
+        assert_eq!(empirical_cdf_at(&xs, 0.5), 0.0);
+        assert!((empirical_cdf_at(&xs, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(empirical_cdf_at(&xs, 5.0), 1.0);
+        assert_eq!(empirical_cdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+}

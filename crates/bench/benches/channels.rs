@@ -1,0 +1,81 @@
+//! Bench: raw channel-substrate throughput — send/deliver cycles per
+//! channel implementation, and the adversarial replay primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonfifo_channel::{
+    AdversarialChannel, BoundedReorderChannel, Channel, FifoChannel, LossyFifoChannel,
+    ProbabilisticChannel,
+};
+use nonfifo_ioa::{Dir, Header, Packet};
+use nonfifo_transport::VirtualLinkBuilder;
+use std::hint::black_box;
+
+const BATCH: u32 = 1024;
+
+fn pump(ch: &mut dyn Channel) -> u64 {
+    let mut delivered = 0;
+    for i in 0..BATCH {
+        ch.send(Packet::header_only(Header::new(i % 8)));
+        while let Some(hit) = ch.poll_deliver() {
+            black_box(hit);
+            delivered += 1;
+        }
+        ch.tick();
+    }
+    delivered
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_send_deliver_1k");
+    group.bench_function(BenchmarkId::from_parameter("fifo"), |b| {
+        b.iter(|| pump(&mut FifoChannel::new(Dir::Forward)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("lossy_fifo"), |b| {
+        b.iter(|| pump(&mut LossyFifoChannel::new(Dir::Forward, 0.3, 1)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("probabilistic"), |b| {
+        b.iter(|| pump(&mut ProbabilisticChannel::new(Dir::Forward, 0.3, 1)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("bounded_reorder"), |b| {
+        b.iter(|| pump(&mut BoundedReorderChannel::new(Dir::Forward, 8, 1)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("adversarial_immediate"), |b| {
+        b.iter(|| pump(&mut AdversarialChannel::immediate(Dir::Forward)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("virtual_link_3routes"), |b| {
+        b.iter(|| {
+            let mut link = VirtualLinkBuilder::new(Dir::Forward)
+                .route(0)
+                .route(2)
+                .route(5)
+                .build();
+            pump(&mut link)
+        })
+    });
+    group.finish();
+}
+
+fn bench_replay_primitive(c: &mut Criterion) {
+    c.bench_function("adversarial_replay_oldest_of_packet", |b| {
+        b.iter_batched(
+            || {
+                let mut ch = AdversarialChannel::parked(Dir::Forward);
+                for i in 0..BATCH {
+                    ch.send(Packet::header_only(Header::new(i % 8)));
+                }
+                ch
+            },
+            |mut ch| {
+                for i in 0..BATCH {
+                    let p = Packet::header_only(Header::new(i % 8));
+                    ch.release_oldest_of_packet(p);
+                    black_box(ch.poll_deliver());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_throughput, bench_replay_primitive);
+criterion_main!(benches);

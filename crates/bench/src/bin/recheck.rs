@@ -1,0 +1,68 @@
+//! Re-validates a dumped execution trace against the layer specifications.
+//!
+//! ```text
+//! cargo run --example falsify -- cycle3 mf --dump trace.txt
+//! cargo run -p nonfifo-bench --bin recheck -- trace.txt
+//! ```
+//!
+//! Prints the Definition 2 counters, the PL1 verdict per channel, and the
+//! DL1/DL2/validity classification — so a violation artifact can be checked
+//! independently of the adversary that produced it. Pass `--diagram` to
+//! also render the trace as an ASCII sequence diagram.
+
+use nonfifo_ioa::spec::{check_dl1, check_dl1_dl2, check_pl1, Validity};
+use nonfifo_ioa::text::parse_text;
+use nonfifo_ioa::Dir;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let diagram = if let Some(i) = args.iter().position(|a| a == "--diagram") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let Some(path) = args.first().cloned() else {
+        eprintln!("usage: recheck <trace-file> [--diagram]");
+        return ExitCode::FAILURE;
+    };
+    let input = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exec = match parse_text(&input) {
+        Ok(exec) => exec,
+        Err(e) => {
+            eprintln!("parse error in {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let c = exec.counts();
+    println!("events: {}", exec.len());
+    println!("counters: {c}");
+
+    for dir in Dir::BOTH {
+        match check_pl1(&exec, dir) {
+            Ok(()) => println!("PL1 [{dir}]: ok (the physical layer behaved legally)"),
+            Err(v) => println!("PL1 [{dir}]: VIOLATED — {v}"),
+        }
+    }
+    match check_dl1(&exec) {
+        Ok(_) => println!("DL1: ok"),
+        Err(v) => println!("DL1: VIOLATED — {v}"),
+    }
+    match check_dl1_dl2(&exec) {
+        Ok(_) => println!("DL1+DL2: ok"),
+        Err(v) => println!("DL1+DL2: VIOLATED — {v}"),
+    }
+    println!("classification: {}", Validity::classify(&exec));
+    if diagram {
+        println!("\n{}", nonfifo_ioa::diagram::render(&exec));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! Regenerates every experiment table of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p nonfifo-bench --bin report            # all
+//! cargo run --release -p nonfifo-bench --bin report -- --exp e5
+//! ```
+
+use nonfifo_core::experiments::{
+    e10_transport, e11_exhaustive, e1_boundness, e2_mf_falsifier, e3_naive_protocol, e4_pf_cost,
+    e5_probabilistic_growth, e6_seeding_lemma, e7_hoeffding, e8_classic_break,
+    e9_window_ablation,
+};
+use std::process::ExitCode;
+
+const SEED: u64 = 20260705;
+
+fn run(exp: &str) -> bool {
+    match exp {
+        "e1" => {
+            println!("## E1 — Theorem 2.1: boundness ≤ kₜ·kᵣ\n");
+            println!("{}", e1_boundness(SEED));
+        }
+        "e2" => {
+            println!("## E2 — Theorem 3.1: the inductive falsifier\n");
+            println!("{}", e2_mf_falsifier());
+        }
+        "e3" => {
+            println!("## E3 — Theorem 3.1 contrapositive: the naive n-header protocol\n");
+            println!("{}", e3_naive_protocol());
+        }
+        "e4" => {
+            println!("## E4 — Theorem 4.1: cost ≥ in-transit/k; [Afe88] is tight\n");
+            println!("{}", e4_pf_cost(120));
+        }
+        "e5" => {
+            println!("## E5 — Theorem 5.1: exponential vs linear over PL2p\n");
+            println!("{}", e5_probabilistic_growth(SEED));
+        }
+        "e6" => {
+            println!("## E6 — Lemma 5.2: seeding the dominant packet\n");
+            println!("{}", e6_seeding_lemma(12, 0.3, 50));
+        }
+        "e7" => {
+            println!("## E7 — Theorem 5.4 [Hoe63]: the Hoeffding bound\n");
+            println!("{}", e7_hoeffding(20_000, SEED));
+        }
+        "e8" => {
+            println!("## E8 — the alternating bit: correct on lossy FIFO, falls on non-FIFO\n");
+            println!("{}", e8_classic_break(SEED));
+        }
+        "e9" => {
+            println!("## E9 — ablation: sliding window vs bounded reorder\n");
+            println!("{}", e9_window_ablation(150, SEED));
+        }
+        "e10" => {
+            println!("## E10 — transport protocols over non-FIFO virtual links\n");
+            println!("{}", e10_transport(100));
+        }
+        "e11" => {
+            println!("## E11 — exhaustive small-scope verification\n");
+            println!("{}", e11_exhaustive());
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    ];
+    let selected: Vec<&str> = match args.as_slice() {
+        [] => all.to_vec(),
+        [flag, exp] if flag == "--exp" => vec![exp.as_str()],
+        _ => {
+            eprintln!("usage: report [--exp e1..e11]");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("# nonfifo experiment report\n");
+    println!("Reproduction of Mansour & Schieber, *The Intractability of Bounded");
+    println!("Protocols for Non-FIFO Channels*, PODC 1989. Seed {SEED}.\n");
+    for exp in selected {
+        if !run(exp) {
+            eprintln!("unknown experiment {exp:?} (expected e1..e11)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

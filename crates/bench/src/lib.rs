@@ -1,0 +1,15 @@
+//! Benchmark harness for the `nonfifo` reproduction of Mansour & Schieber
+//! (PODC 1989).
+//!
+//! Two entry points:
+//!
+//! - `cargo run -p nonfifo-bench --bin report [-- --exp eN]` regenerates the
+//!   experiment tables of `EXPERIMENTS.md` (E1–E9 per `DESIGN.md` §4).
+//! - `cargo bench -p nonfifo-bench` runs the criterion benches: the
+//!   falsifier constructions (`falsify_mf`, `falsify_pf`), the
+//!   probabilistic growth runs (`probabilistic`), boundness probing
+//!   (`boundness`), raw channel throughput (`channels`), and the
+//!   window-vs-reorder ablation (`ablation_window`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,0 +1,280 @@
+//! A multiset of in-transit packet copies with per-copy provenance.
+
+use nonfifo_ioa::{CopyId, Header, Packet};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The set of packet copies currently delayed on a channel.
+///
+/// Copies are indexed both by packet value (so an adversary can ask for "the
+/// oldest delayed copy of `p`", the replay primitive of every proof) and by
+/// copy id (so a scripted adversary can release a specific copy). "Oldest"
+/// means smallest [`CopyId`], i.e. mint order.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_channel::PacketMultiset;
+/// use nonfifo_ioa::{CopyId, Header, Packet};
+///
+/// let mut ms = PacketMultiset::new();
+/// let p = Packet::header_only(Header::new(0));
+/// ms.insert(p, CopyId::from_raw(1));
+/// ms.insert(p, CopyId::from_raw(2));
+/// assert_eq!(ms.packet_copies(p), 2);
+/// let (_, oldest) = ms.take_oldest_of_packet(p).unwrap();
+/// assert_eq!(oldest, CopyId::from_raw(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketMultiset {
+    // Copies are inserted in increasing CopyId order, so each deque is
+    // sorted and `front()` is the oldest copy of that exact packet value.
+    by_packet: BTreeMap<Packet, VecDeque<CopyId>>,
+    by_copy: BTreeMap<CopyId, Packet>,
+}
+
+impl PacketMultiset {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        PacketMultiset::default()
+    }
+
+    /// Total number of delayed copies.
+    pub fn len(&self) -> usize {
+        self.by_copy.len()
+    }
+
+    /// True if no copies are delayed.
+    pub fn is_empty(&self) -> bool {
+        self.by_copy.is_empty()
+    }
+
+    /// Inserts a copy of `packet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copy` is already present — copy ids are minted uniquely by
+    /// the channel, so a duplicate insert is a harness bug.
+    pub fn insert(&mut self, packet: Packet, copy: CopyId) {
+        let prev = self.by_copy.insert(copy, packet);
+        assert!(prev.is_none(), "copy {copy} inserted twice");
+        self.by_packet.entry(packet).or_default().push_back(copy);
+    }
+
+    /// Number of delayed copies of the exact packet value `p`.
+    pub fn packet_copies(&self, p: Packet) -> usize {
+        self.by_packet.get(&p).map_or(0, VecDeque::len)
+    }
+
+    /// Number of delayed copies whose header is `h` (any payload).
+    pub fn header_copies(&self, h: Header) -> usize {
+        self.by_packet
+            .iter()
+            .filter(|(p, _)| p.header() == h)
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+
+    /// The packet value of a delayed copy, if it is delayed.
+    pub fn packet_of(&self, copy: CopyId) -> Option<Packet> {
+        self.by_copy.get(&copy).copied()
+    }
+
+    /// Number of delayed copies with header `h` minted before `watermark`.
+    pub fn header_copies_older_than(&self, h: Header, watermark: CopyId) -> usize {
+        self.by_copy
+            .range(..watermark)
+            .filter(|(_, p)| p.header() == h)
+            .count()
+    }
+
+    /// Removes and returns a specific copy.
+    pub fn take_copy(&mut self, copy: CopyId) -> Option<Packet> {
+        let packet = self.by_copy.remove(&copy)?;
+        let deque = self
+            .by_packet
+            .get_mut(&packet)
+            .expect("indices out of sync");
+        let pos = deque
+            .iter()
+            .position(|&c| c == copy)
+            .expect("indices out of sync");
+        deque.remove(pos);
+        if deque.is_empty() {
+            self.by_packet.remove(&packet);
+        }
+        Some(packet)
+    }
+
+    /// The oldest delayed copy of the exact packet `p`, if any.
+    pub fn oldest_of_packet(&self, p: Packet) -> Option<CopyId> {
+        self.by_packet.get(&p).and_then(|d| d.front().copied())
+    }
+
+    /// Removes and returns the oldest delayed copy of the exact packet `p`.
+    pub fn take_oldest_of_packet(&mut self, p: Packet) -> Option<(Packet, CopyId)> {
+        let deque = self.by_packet.get_mut(&p)?;
+        let copy = deque.pop_front().expect("empty deque left in index");
+        if deque.is_empty() {
+            self.by_packet.remove(&p);
+        }
+        self.by_copy.remove(&copy);
+        Some((p, copy))
+    }
+
+    /// Removes and returns the oldest delayed copy with header `h`.
+    pub fn take_oldest_of_header(&mut self, h: Header) -> Option<(Packet, CopyId)> {
+        let best = self
+            .by_packet
+            .iter()
+            .filter(|(p, _)| p.header() == h)
+            .filter_map(|(p, v)| v.front().map(|&c| (c, *p)))
+            .min()?;
+        let (copy, packet) = best;
+        self.take_copy(copy).map(|p| {
+            debug_assert_eq!(p, packet);
+            (p, copy)
+        })
+    }
+
+    /// Removes and returns the oldest delayed copy overall.
+    pub fn take_oldest(&mut self) -> Option<(Packet, CopyId)> {
+        let (&copy, &packet) = self.by_copy.iter().next()?;
+        self.take_copy(copy);
+        Some((packet, copy))
+    }
+
+    /// Iterates over `(packet, copy)` pairs in copy-mint order.
+    pub fn iter(&self) -> impl Iterator<Item = (Packet, CopyId)> + '_ {
+        self.by_copy.iter().map(|(&c, &p)| (p, c))
+    }
+
+    /// Iterates over the distinct packet values present.
+    pub fn packets(&self) -> impl Iterator<Item = Packet> + '_ {
+        self.by_packet.keys().copied()
+    }
+
+    /// Per-packet-value copy counts, in packet order (deterministic).
+    pub fn histogram(&self) -> Vec<(Packet, usize)> {
+        self.by_packet
+            .iter()
+            .map(|(&p, v)| (p, v.len()))
+            .collect()
+    }
+
+    /// Removes every copy, returning them in mint order.
+    pub fn drain_all(&mut self) -> Vec<(Packet, CopyId)> {
+        let all: Vec<_> = self.iter().collect();
+        self.by_copy.clear();
+        self.by_packet.clear();
+        all
+    }
+}
+
+impl IntoIterator for &PacketMultiset {
+    type Item = (Packet, CopyId);
+    type IntoIter = std::vec::IntoIter<(Packet, CopyId)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_ioa::Payload;
+
+    fn p(h: u32) -> Packet {
+        Packet::header_only(Header::new(h))
+    }
+
+    fn c(raw: u64) -> CopyId {
+        CopyId::from_raw(raw)
+    }
+
+    #[test]
+    fn insert_and_counts() {
+        let mut ms = PacketMultiset::new();
+        ms.insert(p(0), c(1));
+        ms.insert(p(0), c(2));
+        ms.insert(p(1), c(3));
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms.packet_copies(p(0)), 2);
+        assert_eq!(ms.header_copies(Header::new(1)), 1);
+        assert_eq!(ms.header_copies(Header::new(9)), 0);
+    }
+
+    #[test]
+    fn header_copies_spans_payloads() {
+        let mut ms = PacketMultiset::new();
+        ms.insert(Packet::new(Header::new(0), Payload::new(1)), c(1));
+        ms.insert(Packet::new(Header::new(0), Payload::new(2)), c(2));
+        assert_eq!(ms.header_copies(Header::new(0)), 2);
+        assert_eq!(ms.packet_copies(Packet::new(Header::new(0), Payload::new(1))), 1);
+    }
+
+    #[test]
+    fn take_oldest_of_packet_is_fifo() {
+        let mut ms = PacketMultiset::new();
+        ms.insert(p(0), c(5));
+        ms.insert(p(0), c(9));
+        assert_eq!(ms.take_oldest_of_packet(p(0)), Some((p(0), c(5))));
+        assert_eq!(ms.take_oldest_of_packet(p(0)), Some((p(0), c(9))));
+        assert_eq!(ms.take_oldest_of_packet(p(0)), None);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn take_oldest_of_header_crosses_payloads() {
+        let mut ms = PacketMultiset::new();
+        let a = Packet::new(Header::new(0), Payload::new(7));
+        ms.insert(a, c(2));
+        ms.insert(p(0), c(1));
+        let (_, copy) = ms.take_oldest_of_header(Header::new(0)).unwrap();
+        assert_eq!(copy, c(1));
+    }
+
+    #[test]
+    fn take_specific_copy() {
+        let mut ms = PacketMultiset::new();
+        ms.insert(p(0), c(1));
+        ms.insert(p(0), c(2));
+        assert_eq!(ms.take_copy(c(2)), Some(p(0)));
+        assert_eq!(ms.take_copy(c(2)), None);
+        assert_eq!(ms.packet_copies(p(0)), 1);
+    }
+
+    #[test]
+    fn take_oldest_overall() {
+        let mut ms = PacketMultiset::new();
+        ms.insert(p(1), c(4));
+        ms.insert(p(0), c(2));
+        assert_eq!(ms.take_oldest(), Some((p(0), c(2))));
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics() {
+        let mut ms = PacketMultiset::new();
+        ms.insert(p(0), c(1));
+        ms.insert(p(1), c(1));
+    }
+
+    #[test]
+    fn histogram_is_deterministic() {
+        let mut ms = PacketMultiset::new();
+        ms.insert(p(1), c(1));
+        ms.insert(p(0), c(2));
+        ms.insert(p(1), c(3));
+        assert_eq!(ms.histogram(), vec![(p(0), 1), (p(1), 2)]);
+    }
+
+    #[test]
+    fn drain_all_in_mint_order() {
+        let mut ms = PacketMultiset::new();
+        ms.insert(p(1), c(3));
+        ms.insert(p(0), c(1));
+        assert_eq!(ms.drain_all(), vec![(p(0), c(1)), (p(1), c(3))]);
+        assert!(ms.is_empty());
+    }
+}

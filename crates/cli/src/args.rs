@@ -1,0 +1,127 @@
+//! A small dependency-free argument parser: positional arguments plus
+//! `--flag` and `--key value` options.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An argument-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parsed arguments: positionals in order, options by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments. `bool_flags` names the options that take no
+    /// value; every other `--name` consumes the following token.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a value-taking option with no following token.
+    pub fn parse<I, S>(raw: I, bool_flags: &[&str]) -> Result<Args, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    out.flags.push(name.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgsError(format!("--{name} needs a value")))?;
+                    out.options.insert(name.to_string(), value);
+                }
+            } else {
+                out.positionals.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// The value of `--name`, if given.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// True if the boolean flag `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of `--name` parsed as `T`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value is present but unparsable.
+    pub fn option_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positionals_and_options() {
+        let a = Args::parse(["attack", "abp", "--seed", "7", "--diagram"], &["diagram"]).unwrap();
+        assert_eq!(a.positional(0), Some("attack"));
+        assert_eq!(a.positional(1), Some("abp"));
+        assert_eq!(a.positional_count(), 2);
+        assert_eq!(a.option("seed"), Some("7"));
+        assert!(a.flag("diagram"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn typed_options_with_defaults() {
+        let a = Args::parse(["--q", "0.25"], &[]).unwrap();
+        assert_eq!(a.option_or("q", 0.5f64).unwrap(), 0.25);
+        assert_eq!(a.option_or("seed", 42u64).unwrap(), 42);
+        assert!(a.option_or::<u64>("q", 0).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Args::parse(["--seed"], &[]).unwrap_err();
+        assert!(err.to_string().contains("--seed"));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let a = Args::parse(Vec::<String>::new(), &[]).unwrap();
+        assert_eq!(a.positional(0), None);
+    }
+}

@@ -1,0 +1,311 @@
+//! `nonfifo` — the command-line face of the reproduction.
+//!
+//! ```text
+//! nonfifo simulate <protocol> <channel> [--messages N] [--seed S] [--q Q]
+//!                  [--loss L] [--bound B] [--spread D] [--payloads]
+//! nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
+//! nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
+//! nonfifo schedule <protocol> <attack-file> [--diagram]
+//! nonfifo recheck  <trace-file> [--diagram]
+//! nonfifo report   [--exp eN]
+//! nonfifo list
+//! ```
+
+mod args;
+mod registry;
+
+use args::{Args, ArgsError};
+use nonfifo_adversary::{
+    explore, ExploreConfig, ExploreOutcome, FalsifyOutcome, GreedyReplayAdversary, MfConfig,
+    MfFalsifier, PfConfig, PfFalsifier,
+};
+use nonfifo_core::SimConfig;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nonfifo — executable reproduction of Mansour & Schieber (PODC 1989)
+
+usage:
+  nonfifo simulate <protocol> <channel> [--messages N] [--seed S] [--q Q]
+                   [--loss L] [--bound B] [--spread D] [--payloads]
+  nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
+  nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
+  nonfifo schedule <protocol> <attack-file> [--diagram]
+  nonfifo recheck  <trace-file> [--diagram]
+  nonfifo report   [--exp e1..e11]
+  nonfifo list
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(raw: Vec<String>) -> Result<(), ArgsError> {
+    let args = Args::parse(raw, &["payloads", "diagram"])?;
+    match args.positional(0) {
+        Some("simulate") => cmd_simulate(&args),
+        Some("attack") => cmd_attack(&args),
+        Some("explore") => cmd_explore(&args),
+        Some("schedule") => cmd_schedule(&args),
+        Some("recheck") => cmd_recheck(&args),
+        Some("report") => cmd_report(&args),
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        _ => Err(ArgsError("missing or unknown subcommand".into())),
+    }
+}
+
+fn cmd_list() {
+    println!("protocols:");
+    for (name, desc) in registry::PROTOCOLS {
+        println!("  {name:<14} {desc}");
+    }
+    println!("\nchannels:");
+    for (name, desc) in registry::CHANNELS {
+        println!("  {name:<14} {desc}");
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), ArgsError> {
+    if args.positional_count() > 3 {
+        return Err(ArgsError("simulate takes exactly two positionals".into()));
+    }
+    let proto = args
+        .positional(1)
+        .ok_or_else(|| ArgsError("simulate needs a protocol".into()))?;
+    let channel = args
+        .positional(2)
+        .ok_or_else(|| ArgsError("simulate needs a channel".into()))?;
+    let messages: u64 = args.option_or("messages", 100)?;
+    let mut sim = registry::simulation(proto, channel, args)?;
+    let cfg = SimConfig {
+        payloads: args.flag("payloads"),
+        ..SimConfig::default()
+    };
+    match sim.deliver(messages, &cfg) {
+        Ok(stats) => {
+            println!("{proto} over {channel}:");
+            println!("  messages delivered : {}", stats.messages_delivered);
+            println!("  forward packets    : {}", stats.packets_sent_forward);
+            println!("  backward packets   : {}", stats.packets_sent_backward);
+            println!("  distinct headers   : {}", stats.distinct_forward_packets);
+            println!("  steps              : {}", stats.steps);
+            println!("  peak space (bytes) : {}", stats.peak_space_bytes);
+            println!("  in transit at end  : {}", stats.final_in_transit);
+            if args.flag("payloads") {
+                let expect: Vec<u64> = (0..messages).collect();
+                println!(
+                    "  payload order      : {}",
+                    if stats.delivered_payloads == expect { "intact" } else { "CORRUPT" }
+                );
+            }
+            Ok(())
+        }
+        Err(e) => Err(ArgsError(format!("run failed: {e}"))),
+    }
+}
+
+fn cmd_attack(args: &Args) -> Result<(), ArgsError> {
+    let proto_name = args
+        .positional(1)
+        .ok_or_else(|| ArgsError("attack needs a protocol".into()))?;
+    let proto = registry::protocol(proto_name)?;
+    let adversary = args.positional(2).unwrap_or("mf");
+    let messages: u64 = args.option_or("messages", 64)?;
+    println!(
+        "attacking {} ({}) with {adversary}…\n",
+        proto.name(),
+        proto.forward_headers()
+    );
+    let outcome = match adversary {
+        "mf" => MfFalsifier::new(MfConfig {
+            max_messages: messages,
+            ..MfConfig::default()
+        })
+        .run(proto.as_ref()),
+        "pf" => {
+            let (outcome, costs) = PfFalsifier::new(PfConfig {
+                messages,
+                ..PfConfig::default()
+            })
+            .run(proto.as_ref());
+            if !costs.is_empty() {
+                println!("cost curve (in transit → extension sends):");
+                for c in costs.iter().step_by(costs.len().div_ceil(8).max(1)) {
+                    println!("  {:>5} → {:<5}", c.in_transit_before, c.extension_sends);
+                }
+                println!();
+            }
+            outcome
+        }
+        "greedy" => GreedyReplayAdversary {
+            capture_messages: messages.min(32),
+            ..GreedyReplayAdversary::default()
+        }
+        .run(proto.as_ref()),
+        other => return Err(ArgsError(format!("unknown adversary {other:?}"))),
+    };
+    match outcome {
+        FalsifyOutcome::Violation(report) => {
+            let c = report.execution.counts();
+            println!("INVALID EXECUTION: {}", report.violation);
+            println!("  sm = {}, rm = {} (rm = sm + 1)", c.sm, c.rm);
+            if let Some(path) = args.option("dump") {
+                std::fs::write(path, nonfifo_ioa::text::write_text(&report.execution))
+                    .map_err(|e| ArgsError(format!("cannot write {path}: {e}")))?;
+                println!("  trace written to {path} (recheck with `nonfifo recheck {path}`)");
+            }
+        }
+        FalsifyOutcome::Survived(report) => {
+            println!("survived the adversary:");
+            println!("  messages delivered : {}", report.messages_delivered);
+            println!("  forward packets    : {}", report.forward_packets_sent);
+            println!("  copies in transit  : {}", report.final_in_transit);
+        }
+        FalsifyOutcome::Stuck { delivered } => {
+            println!("protocol wedged under an optimal channel after {delivered} messages");
+        }
+        FalsifyOutcome::BudgetExhausted {
+            delivered,
+            forward_packets_sent,
+        } => {
+            println!("safety held but cost exploded: {delivered} messages, {forward_packets_sent} packets");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_explore(args: &Args) -> Result<(), ArgsError> {
+    let proto_name = args
+        .positional(1)
+        .ok_or_else(|| ArgsError("explore needs a protocol".into()))?;
+    let proto = registry::protocol(proto_name)?;
+    let cfg = ExploreConfig {
+        max_messages: args.option_or("messages", 3)?,
+        max_depth: args.option_or("depth", 12)?,
+        max_pool: args.option_or("pool", 5)?,
+        max_states: args.option_or("states", 500_000)?,
+    };
+    println!(
+        "exhaustively exploring {} in scope msgs={} depth={} pool={}…",
+        proto.name(),
+        cfg.max_messages,
+        cfg.max_depth,
+        cfg.max_pool
+    );
+    match explore(proto.as_ref(), &cfg) {
+        ExploreOutcome::Counterexample {
+            execution,
+            depth,
+            schedule,
+        } => {
+            println!("shortest invalid execution: {depth} adversary actions");
+            println!("\nattack script (replay with `nonfifo schedule {proto_name} <file>`):");
+            print!("{}", schedule.to_text());
+            println!("\n{}", nonfifo_ioa::diagram::render(&execution));
+        }
+        ExploreOutcome::Exhausted { states } => {
+            println!("no invalid execution in scope (exhaustive, {states} states)");
+        }
+        ExploreOutcome::Truncated { states } => {
+            println!("inconclusive: state budget exhausted after {states} states");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_schedule(args: &Args) -> Result<(), ArgsError> {
+    use nonfifo_adversary::Schedule;
+    let proto_name = args
+        .positional(1)
+        .ok_or_else(|| ArgsError("schedule needs a protocol".into()))?;
+    let path = args
+        .positional(2)
+        .ok_or_else(|| ArgsError("schedule needs an attack file".into()))?;
+    let proto = registry::protocol(proto_name)?;
+    let input =
+        std::fs::read_to_string(path).map_err(|e| ArgsError(format!("cannot read {path}: {e}")))?;
+    let schedule = Schedule::parse(&input).map_err(|e| ArgsError(format!("parse: {e}")))?;
+    println!(
+        "replaying {} adversary actions against {}…",
+        schedule.steps().len(),
+        proto.name()
+    );
+    let sys = schedule
+        .run(proto.as_ref())
+        .map_err(|e| ArgsError(format!("run: {e}")))?;
+    let c = sys.counts();
+    println!("counters: {c}");
+    match sys.violation() {
+        Some(v) => println!("outcome: INVALID EXECUTION — {v}"),
+        None => println!("outcome: no violation"),
+    }
+    if args.flag("diagram") {
+        println!("\n{}", nonfifo_ioa::diagram::render(sys.execution()));
+    }
+    Ok(())
+}
+
+fn cmd_recheck(args: &Args) -> Result<(), ArgsError> {
+    use nonfifo_ioa::spec::{check_dl1_dl2, check_pl1, Validity};
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgsError("recheck needs a trace file".into()))?;
+    let input =
+        std::fs::read_to_string(path).map_err(|e| ArgsError(format!("cannot read {path}: {e}")))?;
+    let exec =
+        nonfifo_ioa::text::parse_text(&input).map_err(|e| ArgsError(format!("parse: {e}")))?;
+    println!("events: {}", exec.len());
+    println!("counters: {}", exec.counts());
+    for dir in nonfifo_ioa::Dir::BOTH {
+        match check_pl1(&exec, dir) {
+            Ok(()) => println!("PL1 [{dir}]: ok"),
+            Err(v) => println!("PL1 [{dir}]: VIOLATED — {v}"),
+        }
+    }
+    match check_dl1_dl2(&exec) {
+        Ok(_) => println!("DL1+DL2: ok"),
+        Err(v) => println!("DL1+DL2: VIOLATED — {v}"),
+    }
+    println!("classification: {}", Validity::classify(&exec));
+    if args.flag("diagram") {
+        println!("\n{}", nonfifo_ioa::diagram::render(&exec));
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), ArgsError> {
+    use nonfifo_core::experiments as ex;
+    let seed = 20260705u64;
+    let selected: Vec<String> = match args.option("exp") {
+        Some(e) => vec![e.to_string()],
+        None => (1..=11).map(|i| format!("e{i}")).collect(),
+    };
+    for exp in selected {
+        match exp.as_str() {
+            "e1" => println!("## E1\n\n{}", ex::e1_boundness(seed)),
+            "e2" => println!("## E2\n\n{}", ex::e2_mf_falsifier()),
+            "e3" => println!("## E3\n\n{}", ex::e3_naive_protocol()),
+            "e4" => println!("## E4\n\n{}", ex::e4_pf_cost(120)),
+            "e5" => println!("## E5\n\n{}", ex::e5_probabilistic_growth(seed)),
+            "e6" => println!("## E6\n\n{}", ex::e6_seeding_lemma(12, 0.3, 50)),
+            "e7" => println!("## E7\n\n{}", ex::e7_hoeffding(20_000, seed)),
+            "e8" => println!("## E8\n\n{}", ex::e8_classic_break(seed)),
+            "e9" => println!("## E9\n\n{}", ex::e9_window_ablation(150, seed)),
+            "e10" => println!("## E10\n\n{}", ex::e10_transport(100)),
+            "e11" => println!("## E11\n\n{}", ex::e11_exhaustive()),
+            other => return Err(ArgsError(format!("unknown experiment {other:?}"))),
+        }
+    }
+    Ok(())
+}

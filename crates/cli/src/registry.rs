@@ -1,0 +1,207 @@
+//! Name-based registries for protocols and channel substrates.
+
+use crate::args::{Args, ArgsError};
+use nonfifo_channel::BoxedChannel;
+use nonfifo_core::Simulation;
+use nonfifo_ioa::Dir;
+use nonfifo_protocols::{
+    AfekFlush, AlternatingBit, DataLink, GoBackN, NaiveCycle, Outnumber, SelectiveReject,
+    SequenceNumber, SlidingWindow,
+};
+use nonfifo_transport::VirtualLinkBuilder;
+
+/// Protocol names accepted by the CLI.
+pub const PROTOCOLS: &[(&str, &str)] = &[
+    ("abp", "alternating bit [BSW69]: 2 headers, lossy-FIFO only"),
+    ("cycle<k>", "naive k-label cycle (e.g. cycle3): FIFO only"),
+    ("seqnum", "sequence numbers: n headers, safe everywhere"),
+    ("window<w>", "selective-repeat sliding window (e.g. window4): 2w headers"),
+    ("gbn<w>", "go-back-n (e.g. gbn4): w+1 headers, cumulative acks"),
+    ("srej<w>", "selective reject (e.g. srej4): NAK-driven ARQ"),
+    ("outnumber<L>", "AFWZ'88 reconstruction (e.g. outnumber5): exponential"),
+    ("afek<k>", "Afek'88 reconstruction (e.g. afek3): oracle-assisted, linear in transit"),
+];
+
+/// Channel substrate names accepted by the CLI.
+pub const CHANNELS: &[(&str, &str)] = &[
+    ("fifo", "reliable FIFO (control substrate)"),
+    ("lossy", "FIFO with loss (--loss, default 0.3)"),
+    ("probabilistic", "PL2p: delayed with probability --q (default 0.3)"),
+    ("reorder", "bounded reorder distance (--bound, default 4)"),
+    ("multipath", "two-route virtual link (--spread, default 8)"),
+];
+
+fn parse_suffix(name: &str, prefix: &str) -> Option<u32> {
+    name.strip_prefix(prefix).and_then(|s| s.parse().ok())
+}
+
+/// Builds a protocol factory from its CLI name.
+///
+/// # Errors
+///
+/// Fails on unknown names or out-of-range parameters.
+pub fn protocol(name: &str) -> Result<Box<dyn DataLink>, ArgsError> {
+    if name == "abp" {
+        return Ok(Box::new(AlternatingBit::new()));
+    }
+    if name == "seqnum" {
+        return Ok(Box::new(SequenceNumber::new()));
+    }
+    if let Some(k) = parse_suffix(name, "cycle") {
+        if k >= 2 {
+            return Ok(Box::new(NaiveCycle::new(k)));
+        }
+    }
+    if let Some(w) = parse_suffix(name, "window") {
+        if w >= 1 {
+            return Ok(Box::new(SlidingWindow::new(w)));
+        }
+    }
+    if let Some(w) = parse_suffix(name, "gbn") {
+        if w >= 1 {
+            return Ok(Box::new(GoBackN::new(w)));
+        }
+    }
+    if let Some(w) = parse_suffix(name, "srej") {
+        if w >= 1 {
+            return Ok(Box::new(SelectiveReject::new(w)));
+        }
+    }
+    if let Some(l) = parse_suffix(name, "outnumber") {
+        if l >= 3 {
+            return Ok(Box::new(Outnumber::new(l)));
+        }
+    }
+    if let Some(k) = parse_suffix(name, "afek") {
+        if k >= 3 {
+            return Ok(Box::new(AfekFlush::with_labels(k)));
+        }
+    }
+    Err(ArgsError(format!(
+        "unknown protocol {name:?} (try: abp, cycle3, seqnum, window4, gbn4, outnumber5, afek3)"
+    )))
+}
+
+fn channel_pair(name: &str, args: &Args) -> Result<(BoxedChannel, BoxedChannel), ArgsError> {
+    use nonfifo_channel::{
+        BoundedReorderChannel, FifoChannel, LossyFifoChannel, ProbabilisticChannel,
+    };
+    let seed: u64 = args.option_or("seed", 0)?;
+    let pair: (BoxedChannel, BoxedChannel) = match name {
+        "fifo" => (
+            Box::new(FifoChannel::new(Dir::Forward)),
+            Box::new(FifoChannel::new(Dir::Backward)),
+        ),
+        "lossy" => {
+            let loss: f64 = args.option_or("loss", 0.3)?;
+            (
+                Box::new(LossyFifoChannel::new(Dir::Forward, loss, seed)),
+                Box::new(LossyFifoChannel::new(Dir::Backward, loss, seed.wrapping_add(1))),
+            )
+        }
+        "probabilistic" => {
+            let q: f64 = args.option_or("q", 0.3)?;
+            (
+                Box::new(ProbabilisticChannel::new(Dir::Forward, q, seed)),
+                Box::new(ProbabilisticChannel::new(Dir::Backward, q, seed.wrapping_add(1))),
+            )
+        }
+        "reorder" => {
+            let bound: u64 = args.option_or("bound", 4)?;
+            (
+                Box::new(BoundedReorderChannel::new(Dir::Forward, bound, seed)),
+                Box::new(BoundedReorderChannel::new(Dir::Backward, bound, seed.wrapping_add(1))),
+            )
+        }
+        "multipath" => {
+            let spread: u64 = args.option_or("spread", 8)?;
+            (
+                Box::new(
+                    VirtualLinkBuilder::new(Dir::Forward)
+                        .route(0)
+                        .route(spread)
+                        .seed(seed)
+                        .build(),
+                ),
+                Box::new(
+                    VirtualLinkBuilder::new(Dir::Backward)
+                        .route(0)
+                        .route(spread)
+                        .seed(seed.wrapping_add(1))
+                        .build(),
+                ),
+            )
+        }
+        other => {
+            return Err(ArgsError(format!(
+                "unknown channel {other:?} (try: fifo, lossy, probabilistic, reorder, multipath)"
+            )))
+        }
+    };
+    Ok(pair)
+}
+
+/// Builds a [`Simulation`] from CLI names and options.
+///
+/// # Errors
+///
+/// Fails on unknown names or bad option values.
+pub fn simulation(proto_name: &str, channel_name: &str, args: &Args) -> Result<Simulation, ArgsError> {
+    let proto = protocol(proto_name)?;
+    let (fwd, bwd) = channel_pair(channel_name, args)?;
+    struct Boxed(Box<dyn DataLink>);
+    impl std::fmt::Debug for Boxed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+    impl DataLink for Boxed {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn forward_headers(&self) -> nonfifo_protocols::HeaderBound {
+            self.0.forward_headers()
+        }
+        fn make(&self) -> (nonfifo_protocols::BoxedTransmitter, nonfifo_protocols::BoxedReceiver) {
+            self.0.make()
+        }
+        fn uses_ghosts(&self) -> bool {
+            self.0.uses_ghosts()
+        }
+    }
+    Ok(Simulation::with_channels(Boxed(proto), fwd, bwd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names_resolve() {
+        for name in ["abp", "cycle3", "seqnum", "window4", "gbn2", "srej4", "outnumber5", "afek3"] {
+            assert!(protocol(name).is_ok(), "{name}");
+        }
+        assert!(protocol("cycle1").is_err());
+        assert!(protocol("afek2").is_err());
+        assert!(protocol("nope").is_err());
+    }
+
+    #[test]
+    fn channel_names_resolve() {
+        let args = Args::parse(Vec::<String>::new(), &[]).unwrap();
+        for name in ["fifo", "lossy", "probabilistic", "reorder", "multipath"] {
+            assert!(channel_pair(name, &args).is_ok(), "{name}");
+        }
+        assert!(channel_pair("carrier-pigeon", &args).is_err());
+    }
+
+    #[test]
+    fn simulation_builds_and_runs() {
+        let args = Args::parse(["--q", "0.2", "--seed", "5"], &[]).unwrap();
+        let mut sim = simulation("seqnum", "probabilistic", &args).unwrap();
+        let stats = sim
+            .deliver(20, &nonfifo_core::SimConfig::default())
+            .unwrap();
+        assert_eq!(stats.messages_delivered, 20);
+    }
+}

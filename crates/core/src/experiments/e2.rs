@@ -1,0 +1,178 @@
+//! E2 — Theorem 3.1: the inductive falsifier versus bounded-header
+//! protocols.
+
+use super::table::markdown;
+use nonfifo_adversary::{FalsifyOutcome, MfConfig, MfFalsifier};
+use nonfifo_protocols::{
+    AfekFlush, AlternatingBit, DataLink, GoBackN, HeaderBound, NaiveCycle, Outnumber,
+    SelectiveReject, SlidingWindow,
+};
+use std::fmt;
+
+/// One protocol's fate under the Theorem 3.1 adversary.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// Protocol name.
+    pub protocol: String,
+    /// Forward header budget.
+    pub headers: String,
+    /// Outcome summary.
+    pub outcome: String,
+    /// Messages delivered before the outcome.
+    pub messages: u64,
+    /// Forward packets sent in total.
+    pub packets: u64,
+    /// Final delayed-pool size (copies in transition).
+    pub pool: u64,
+    /// True if the adversary produced an invalid execution.
+    pub violated: bool,
+}
+
+/// The E2 report.
+#[derive(Debug, Clone)]
+pub struct E2Report {
+    /// One row per attacked protocol.
+    pub rows: Vec<E2Row>,
+    /// Pool-size trajectory for the surviving 3-header reconstruction
+    /// (shows the forced growth of copies in transition).
+    pub afek_pool_growth: Vec<(u64, u64)>,
+}
+
+impl fmt::Display for E2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.clone(),
+                    r.headers.clone(),
+                    r.outcome.clone(),
+                    r.messages.to_string(),
+                    r.packets.to_string(),
+                    r.pool.to_string(),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            markdown(
+                &["protocol", "fwd headers", "outcome", "messages", "fwd packets", "final pool"],
+                &rows
+            )
+        )?;
+        writeln!(f, "\nafek-flush pool growth (message, pool size):")?;
+        let growth: Vec<String> = self
+            .afek_pool_growth
+            .iter()
+            .map(|(m, p)| format!("({m},{p})"))
+            .collect();
+        writeln!(f, "{}", growth.join(" "))
+    }
+}
+
+/// Runs E2.
+pub fn e2_mf_falsifier() -> E2Report {
+    let protocols: Vec<Box<dyn DataLink>> = vec![
+        Box::new(AlternatingBit::new()),
+        Box::new(NaiveCycle::new(3)),
+        Box::new(NaiveCycle::new(5)),
+        Box::new(SlidingWindow::new(2)),
+        Box::new(GoBackN::new(2)),
+        Box::new(SelectiveReject::new(2)),
+        Box::new(AfekFlush::new()),
+        Box::new(Outnumber::new(3)),
+    ];
+    let mut rows = Vec::new();
+    let mut afek_pool_growth = Vec::new();
+    for p in &protocols {
+        // Outnumber's per-message cost doubles; cap its run so the table
+        // regenerates quickly.
+        let max_messages = if p.name().starts_with("outnumber") { 10 } else { 40 };
+        let falsifier = MfFalsifier::new(MfConfig {
+            max_messages,
+            ..MfConfig::default()
+        });
+        let (outcome, stages) = falsifier.run_with_trace(p.as_ref());
+        let headers = match p.forward_headers() {
+            HeaderBound::Fixed(k) => k.to_string(),
+            HeaderBound::PerMessage => "n".into(),
+        };
+        let (outcome_str, messages, packets, pool, violated) = match &outcome {
+            FalsifyOutcome::Violation(rep) => (
+                format!("INVALID EXECUTION ({})", rep.violation),
+                rep.messages_before_violation,
+                rep.forward_packets_sent,
+                0,
+                true,
+            ),
+            FalsifyOutcome::Survived(rep) => (
+                "survived".to_string(),
+                rep.messages_delivered,
+                rep.forward_packets_sent,
+                rep.final_in_transit,
+                false,
+            ),
+            FalsifyOutcome::Stuck { delivered } => ("stuck".to_string(), *delivered, 0, 0, false),
+            FalsifyOutcome::BudgetExhausted {
+                delivered,
+                forward_packets_sent,
+            } => (
+                "cost blow-up (budget)".to_string(),
+                *delivered,
+                *forward_packets_sent,
+                0,
+                false,
+            ),
+        };
+        if p.name().starts_with("afek") {
+            afek_pool_growth = stages.iter().map(|s| (s.message, s.pool_size)).collect();
+        }
+        rows.push(E2Row {
+            protocol: p.name(),
+            headers,
+            outcome: outcome_str,
+            messages,
+            packets,
+            pool,
+            violated,
+        });
+    }
+    E2Report {
+        rows,
+        afek_pool_growth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_protocols_fall_and_reconstructions_pay() {
+        let report = e2_mf_falsifier();
+        let by_name = |n: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.protocol.starts_with(n))
+                .unwrap_or_else(|| panic!("missing row {n}"))
+        };
+        assert!(by_name("alternating-bit").violated);
+        assert!(by_name("naive-cycle(k=3)").violated);
+        assert!(by_name("naive-cycle(k=5)").violated);
+        assert!(by_name("sliding-window").violated);
+        assert!(by_name("go-back-n").violated);
+        assert!(by_name("selective-reject").violated);
+        assert!(!by_name("afek").violated);
+        // The surviving reconstruction's pool grows monotonically.
+        assert!(report.afek_pool_growth.len() > 10);
+        assert!(
+            report.afek_pool_growth.last().unwrap().1
+                > report.afek_pool_growth.first().unwrap().1
+        );
+        let text = report.to_string();
+        assert!(text.contains("INVALID EXECUTION"));
+    }
+}

@@ -1,0 +1,111 @@
+//! E3 — Theorem 3.1's contrapositive: the naive `n`-header protocol
+//! survives the adversary in `O(log n)` space.
+
+use super::table::markdown;
+use nonfifo_adversary::{FalsifyOutcome, MfConfig, MfFalsifier};
+use nonfifo_protocols::SequenceNumber;
+use std::fmt;
+
+/// One run of the naive protocol under attack.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Number of messages `n`.
+    pub n: u64,
+    /// Whether the protocol survived the Theorem 3.1 adversary.
+    pub survived: bool,
+    /// Distinct forward packets used (the paper: exactly `n`).
+    pub headers_used: u64,
+    /// Peak live space in bytes (the paper: `O(log n)`).
+    pub peak_space_bytes: usize,
+    /// Forward packets sent in total.
+    pub packets: u64,
+}
+
+/// The E3 report.
+#[derive(Debug, Clone)]
+pub struct E3Report {
+    /// One row per `n`.
+    pub rows: Vec<E3Row>,
+}
+
+impl fmt::Display for E3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    if r.survived { "survived".into() } else { "FELL".into() },
+                    r.headers_used.to_string(),
+                    r.peak_space_bytes.to_string(),
+                    r.packets.to_string(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            markdown(
+                &["n", "outcome", "headers used", "peak space (B)", "fwd packets"],
+                &rows
+            )
+        )
+    }
+}
+
+/// Runs E3 for `n ∈ {8, 32, 128}`.
+pub fn e3_naive_protocol() -> E3Report {
+    let rows = [8u64, 32, 128]
+        .into_iter()
+        .map(|n| {
+            let falsifier = MfFalsifier::new(MfConfig {
+                max_messages: n,
+                ..MfConfig::default()
+            });
+            let outcome = falsifier.run(&SequenceNumber::new());
+            match outcome {
+                FalsifyOutcome::Survived(rep) => E3Row {
+                    n,
+                    survived: true,
+                    headers_used: rep.distinct_forward_packets,
+                    peak_space_bytes: rep.peak_space_bytes,
+                    packets: rep.forward_packets_sent,
+                },
+                other => E3Row {
+                    n,
+                    survived: false,
+                    headers_used: 0,
+                    peak_space_bytes: 0,
+                    packets: match other {
+                        FalsifyOutcome::Violation(rep) => rep.forward_packets_sent,
+                        _ => 0,
+                    },
+                },
+            }
+        })
+        .collect();
+    E3Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_protocol_shape() {
+        let report = e3_naive_protocol();
+        for row in &report.rows {
+            assert!(row.survived, "n={}: fell", row.n);
+            // Exactly n headers (one per message).
+            assert_eq!(row.headers_used, row.n);
+        }
+        // Space grows sub-linearly: ~log-scale between n=8 and n=128.
+        let s8 = report.rows[0].peak_space_bytes;
+        let s128 = report.rows[2].peak_space_bytes;
+        assert!(
+            s128 <= s8 + 16,
+            "space should be O(log n): {s8} → {s128}"
+        );
+    }
+}

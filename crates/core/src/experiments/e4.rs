@@ -1,0 +1,151 @@
+//! E4 — Theorem 4.1: per-message cost is at least `in-transit / k`, and
+//! the [Afe88] reconstruction meets it within a constant factor (tight),
+//! with the measured slope tracking `1/k` across the header count.
+
+use super::table::{f3, markdown};
+use nonfifo_adversary::{FalsifyOutcome, PfConfig, PfFalsifier};
+use nonfifo_analysis::fit_linear;
+use nonfifo_protocols::AfekFlush;
+use std::fmt;
+
+/// A sampled point on the cost curve.
+#[derive(Debug, Clone, Copy)]
+pub struct E4Row {
+    /// Header count `k` of the protocol instance.
+    pub k: u64,
+    /// Packets in transit `l` when the message was handed over.
+    pub in_transit: u64,
+    /// Boundness-extension sends at that point (what T4.1 bounds below).
+    pub extension_sends: u64,
+    /// The theorem's lower bound `⌊l/k⌋`.
+    pub lower_bound: u64,
+}
+
+/// Per-`k` summary of the cost curve.
+#[derive(Debug, Clone, Copy)]
+pub struct E4Slope {
+    /// Header count `k`.
+    pub k: u64,
+    /// Least-squares slope of extension sends against `l`.
+    pub slope: f64,
+    /// The theorem's reference slope `1/k`.
+    pub one_over_k: f64,
+    /// True if `extension_sends ≥ ⌊l/k⌋` held for every message.
+    pub bound_respected: bool,
+}
+
+/// The E4 report.
+#[derive(Debug, Clone)]
+pub struct E4Report {
+    /// Sampled rows (every 20th message, per k).
+    pub rows: Vec<E4Row>,
+    /// One slope summary per header count.
+    pub slopes: Vec<E4Slope>,
+    /// Messages run per instance.
+    pub messages: u64,
+}
+
+impl fmt::Display for E4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    r.in_transit.to_string(),
+                    r.extension_sends.to_string(),
+                    r.lower_bound.to_string(),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            markdown(&["k", "in transit l", "ext sends", "⌊l/k⌋ bound"], &rows)
+        )?;
+        let slopes: Vec<Vec<String>> = self
+            .slopes
+            .iter()
+            .map(|s| {
+                vec![
+                    s.k.to_string(),
+                    f3(s.slope),
+                    f3(s.one_over_k),
+                    if s.bound_respected { "yes".into() } else { "NO".into() },
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "\n{}",
+            markdown(&["k", "measured slope", "1/k", "bound held everywhere"], &slopes)
+        )
+    }
+}
+
+/// Runs E4 across header counts `k ∈ {3, 4, 8}`.
+pub fn e4_pf_cost(messages: u64) -> E4Report {
+    let falsifier = PfFalsifier::new(PfConfig {
+        messages,
+        ..PfConfig::default()
+    });
+    let mut rows = Vec::new();
+    let mut slopes = Vec::new();
+    for k in [3u64, 4, 8] {
+        let proto = AfekFlush::with_labels(k as u32);
+        let (outcome, costs) = falsifier.run(&proto);
+        assert!(
+            matches!(outcome, FalsifyOutcome::Survived(_)),
+            "afek({k}) must survive T4.1 probing: {outcome:?}"
+        );
+        let bound_respected = costs
+            .iter()
+            .all(|c| c.extension_sends >= c.in_transit_before / k);
+        let xs: Vec<f64> = costs.iter().map(|c| c.in_transit_before as f64).collect();
+        let ys: Vec<f64> = costs.iter().map(|c| c.extension_sends as f64).collect();
+        let slope = fit_linear(&xs, &ys).slope;
+        slopes.push(E4Slope {
+            k,
+            slope,
+            one_over_k: 1.0 / k as f64,
+            bound_respected,
+        });
+        rows.extend(costs.iter().step_by(20).map(|c| E4Row {
+            k,
+            in_transit: c.in_transit_before,
+            extension_sends: c.extension_sends,
+            lower_bound: c.in_transit_before / k,
+        }));
+    }
+    E4Report {
+        rows,
+        slopes,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_tracks_one_over_k_across_header_counts() {
+        let report = e4_pf_cost(90);
+        assert_eq!(report.slopes.len(), 3);
+        for s in &report.slopes {
+            assert!(s.bound_respected, "k={}", s.k);
+            assert!(
+                (s.slope - s.one_over_k).abs() < 0.08,
+                "k={}: slope {} vs 1/k {}",
+                s.k,
+                s.slope,
+                s.one_over_k
+            );
+        }
+        // Slopes are ordered like 1/k: more headers, cheaper messages.
+        assert!(report.slopes[0].slope > report.slopes[1].slope);
+        assert!(report.slopes[1].slope > report.slopes[2].slope);
+        assert!(report.to_string().contains("measured slope"));
+    }
+}

@@ -1,0 +1,201 @@
+//! E5 — Theorem 5.1: over a probabilistic channel, bounded headers cost
+//! `(1+q−εₙ)^Ω(n)` packets; unbounded headers stay linear.
+//!
+//! A third regime is measured deliberately: the *oracle-assisted*
+//! [`AfekFlush`](nonfifo_protocols::AfekFlush) reconstruction. Over the
+//! never-draining PL2p channel the stale population of each label grows in
+//! proportion to the cumulative sends, so even with the exact stale-count
+//! oracle the cost is exponential — but with the *reduced* base
+//! `≈ 1 + q/(k(1−q))` instead of the outnumber witness's ≈ 2. The oracle
+//! shrinks the base, not the regime: Theorem 5.1's `(1+q−εₙ)^Ω(n)` form
+//! (note the `Ω(n)` exponent, which absorbs the base reduction) is robust
+//! even against stale-count information.
+
+use super::table::{f3, markdown};
+use nonfifo_adversary::{DominantTracker, ProbRunConfig};
+use nonfifo_analysis::{fit_exponential, fit_power};
+use nonfifo_protocols::{AfekFlush, DataLink, Outnumber, SequenceNumber};
+use std::fmt;
+
+/// One protocol × q growth measurement.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Protocol name.
+    pub protocol: String,
+    /// Channel delay probability.
+    pub q: f64,
+    /// Messages delivered.
+    pub n: u64,
+    /// Total forward packets.
+    pub total_packets: u64,
+    /// Fitted growth base of cumulative packets vs. `n`.
+    pub fitted_base: f64,
+    /// Fitted power-law degree of cumulative packets vs. `n` (separates
+    /// linear ≈ 1 from super-linear regimes).
+    pub fitted_degree: f64,
+    /// The theorem's reference growth `1 + q`.
+    pub one_plus_q: f64,
+    /// Whether the measured growth respects the lower bound (exponential
+    /// protocols must have base ≥ a positive margin above 1; linear
+    /// protocols are the contrast and are expected to hug 1).
+    pub exponential: bool,
+}
+
+/// The E5 report.
+#[derive(Debug, Clone)]
+pub struct E5Report {
+    /// One row per (protocol, q).
+    pub rows: Vec<E5Row>,
+}
+
+impl fmt::Display for E5Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.clone(),
+                    f3(r.q),
+                    r.n.to_string(),
+                    r.total_packets.to_string(),
+                    f3(r.fitted_base),
+                    f3(r.fitted_degree),
+                    f3(r.one_plus_q),
+                    if r.exponential {
+                        "exponential".into()
+                    } else if r.fitted_degree > 1.5 {
+                        "exponential (reduced base)".into()
+                    } else {
+                        "linear".into()
+                    },
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            markdown(
+                &["protocol", "q", "n", "total packets", "fitted base", "fitted degree", "1+q", "regime"],
+                &rows
+            )
+        )
+    }
+}
+
+fn measure(proto: &dyn DataLink, n: u64, q: f64, seed: u64) -> (u64, f64, f64) {
+    let report = DominantTracker::new(ProbRunConfig {
+        messages: n,
+        q,
+        seed,
+        max_steps_per_message: 5_000_000,
+    })
+    .run(proto);
+    assert!(report.completed, "{} did not complete at q={q}", proto.name());
+    assert!(
+        report.violation.is_none(),
+        "{} violated safety at q={q}: {:?}",
+        proto.name(),
+        report.violation
+    );
+    // Cumulative packets after each message, from the per-extension sends.
+    let mut cumulative = Vec::new();
+    let mut total = 0u64;
+    for obs in &report.per_message {
+        total += obs.sends_by_header.values().sum::<u64>();
+        cumulative.push(total as f64);
+    }
+    let ns: Vec<f64> = (1..=cumulative.len()).map(|i| i as f64).collect();
+    let base = fit_exponential(&ns, &cumulative).base();
+    let degree = fit_power(&ns, &cumulative).slope;
+    (report.total_forward_sent, base, degree)
+}
+
+/// Runs E5: the exponential/linear dichotomy across `q`.
+pub fn e5_probabilistic_growth(seed: u64) -> E5Report {
+    let mut rows = Vec::new();
+    for &q in &[0.1, 0.3, 0.5] {
+        let n = 12;
+        let (total, base, degree) = measure(&Outnumber::factory(), n, q, seed);
+        rows.push(E5Row {
+            protocol: Outnumber::factory().name(),
+            q,
+            n,
+            total_packets: total,
+            fitted_base: base,
+            fitted_degree: degree,
+            one_plus_q: 1.0 + q,
+            exponential: base > 1.2,
+        });
+    }
+    // The oracle-assisted reconstruction: still exponential over the
+    // never-draining channel, with the reduced base ≈ 1 + q/(k(1−q)) — the
+    // oracle shrinks the base, not the regime (see module docs).
+    {
+        let &q = &0.3;
+        let n = 40;
+        let (total, base, degree) = measure(&AfekFlush::new(), n, q, seed);
+        rows.push(E5Row {
+            protocol: AfekFlush::new().name() + " [oracle]",
+            q,
+            n,
+            total_packets: total,
+            fitted_base: base,
+            fitted_degree: degree,
+            one_plus_q: 1.0 + q,
+            exponential: base > 1.2,
+        });
+    }
+    for &q in &[0.1, 0.3, 0.5] {
+        let n = 200;
+        let (total, base, degree) = measure(&SequenceNumber::new(), n, q, seed);
+        rows.push(E5Row {
+            protocol: SequenceNumber::new().name(),
+            q,
+            n,
+            total_packets: total,
+            fitted_base: base,
+            fitted_degree: degree,
+            one_plus_q: 1.0 + q,
+            exponential: base > 1.2,
+        });
+    }
+    E5Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trichotomy_holds() {
+        let report = e5_probabilistic_growth(17);
+        for row in &report.rows {
+            if row.protocol.starts_with("outnumber") {
+                assert!(row.exponential, "outnumber at q={} not exponential", row.q);
+                // T5.1: growth at least (1+q−εₙ); our witness in fact
+                // doubles, comfortably above.
+                assert!(
+                    row.fitted_base > 1.0 + row.q - 0.3,
+                    "base {} below (1+q−ε) at q={}",
+                    row.fitted_base,
+                    row.q
+                );
+            } else if row.protocol.starts_with("afek") {
+                // Oracle-assisted: exponential with the reduced base
+                // ≈ 1 + q/(k(1−q)) = 1.143 at q = 0.3, k = 3 — well below
+                // the outnumber witness, well above linear.
+                let predicted = 1.0 + row.q / (3.0 * (1.0 - row.q));
+                assert!(
+                    (row.fitted_base - predicted).abs() < 0.08,
+                    "afek base {} vs predicted {}",
+                    row.fitted_base,
+                    predicted
+                );
+            } else {
+                assert!(!row.exponential, "seqnum at q={} looks exponential", row.q);
+                assert!(row.fitted_degree < 1.5, "seqnum degree {}", row.fitted_degree);
+            }
+        }
+    }
+}

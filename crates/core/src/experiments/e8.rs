@@ -1,0 +1,85 @@
+//! E8 — the motivating contrast: the alternating-bit protocol is correct
+//! over its classic lossy-FIFO domain and falls to the first replay on a
+//! non-FIFO channel.
+
+use crate::{SimConfig, Simulation};
+use nonfifo_adversary::{FalsifyOutcome, GreedyReplayAdversary, MfFalsifier};
+use nonfifo_protocols::AlternatingBit;
+use std::fmt;
+
+/// The E8 report.
+#[derive(Debug, Clone)]
+pub struct E8Report {
+    /// Messages delivered over the lossy-FIFO channel (domain of \[BSW69\]).
+    pub fifo_messages: u64,
+    /// Packets spent there.
+    pub fifo_packets: u64,
+    /// Whether the lossy-FIFO run stayed violation-free.
+    pub fifo_clean: bool,
+    /// Messages the greedy replay adversary needed before the phantom
+    /// delivery.
+    pub greedy_messages_to_violation: Option<u64>,
+    /// Messages the Theorem 3.1 falsifier needed.
+    pub mf_messages_to_violation: Option<u64>,
+}
+
+impl fmt::Display for E8Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lossy FIFO (loss 0.3): {} messages delivered with {} packets, clean = {}",
+            self.fifo_messages, self.fifo_packets, self.fifo_clean
+        )?;
+        writeln!(
+            f,
+            "non-FIFO greedy replay: phantom delivery after {:?} messages",
+            self.greedy_messages_to_violation
+        )?;
+        writeln!(
+            f,
+            "non-FIFO T3.1 falsifier: phantom delivery after {:?} messages",
+            self.mf_messages_to_violation
+        )
+    }
+}
+
+/// Runs E8.
+pub fn e8_classic_break(seed: u64) -> E8Report {
+    // Classic domain: lossy FIFO.
+    let mut sim = Simulation::lossy_fifo(AlternatingBit::new(), 0.3, seed);
+    let stats = sim
+        .deliver(200, &SimConfig::default())
+        .expect("alternating bit is correct over lossy FIFO");
+
+    // Non-FIFO: both adversaries.
+    let greedy = GreedyReplayAdversary::default().run(&AlternatingBit::new());
+    let mf = MfFalsifier::default().run(&AlternatingBit::new());
+    let to_violation = |o: &FalsifyOutcome| match o {
+        FalsifyOutcome::Violation(rep) => Some(rep.messages_before_violation),
+        _ => None,
+    };
+
+    E8Report {
+        fifo_messages: stats.messages_delivered,
+        fifo_packets: stats.packets_sent_forward,
+        fifo_clean: stats.violation.is_none(),
+        greedy_messages_to_violation: to_violation(&greedy),
+        mf_messages_to_violation: to_violation(&mf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contrast_holds() {
+        let report = e8_classic_break(4);
+        assert_eq!(report.fifo_messages, 200);
+        assert!(report.fifo_clean);
+        assert!(report.greedy_messages_to_violation.is_some());
+        let mf = report.mf_messages_to_violation.expect("mf violation");
+        // The T3.1 construction needs barely more messages than headers.
+        assert!(mf <= 4, "took {mf} messages");
+    }
+}

@@ -1,0 +1,48 @@
+//! One runner per experiment in `DESIGN.md` §4.
+//!
+//! The paper has no tables or figures — its "evaluation" is three theorems
+//! and two lemmas. Each runner below regenerates the quantitative shape one
+//! of those results asserts, against the real protocol implementations of
+//! [`nonfifo_protocols`], and renders a markdown table for
+//! `EXPERIMENTS.md`:
+//!
+//! | Runner | Paper claim |
+//! |--------|-------------|
+//! | [`e1_boundness`] | Theorem 2.1: boundness ≤ `kₜ·kᵣ` |
+//! | [`e2_mf_falsifier`] | Theorem 3.1: the inductive adversary breaks naive bounded-header protocols and forces pool growth on the rest |
+//! | [`e3_naive_protocol`] | Theorem 3.1 contrapositive: `n` headers buy `O(log n)` space and immunity |
+//! | [`e4_pf_cost`] | Theorem 4.1: per-message cost ≥ `l/k`; the \[Afe88\] reconstruction is linear (tight) |
+//! | [`e5_probabilistic_growth`] | Theorem 5.1: bounded headers ⇒ `(1+q−εₙ)^Ω(n)` packets; unbounded headers ⇒ linear |
+//! | [`e6_seeding_lemma`] | Lemma 5.2: the probable dominant packet accumulates `≥ nq/4k²` delayed copies w.h.p. |
+//! | [`e7_hoeffding`] | Theorem 5.4 \[Hoe63\]: the tail bound dominates exact and sampled binomial tails |
+//! | [`e8_classic_break`] | Motivation: the alternating bit is correct over lossy FIFO, falls on non-FIFO |
+//! | [`e9_window_ablation`] | Practice ablation: sliding window vs. bounded reorder distance |
+//! | [`e10_transport`] | §1 remark: the results extend to transport protocols over non-FIFO virtual links |
+//! | [`e11_exhaustive`] | Small-scope exhaustive verification: shortest counterexamples / in-scope safety certificates |
+//!
+//! All runners are deterministic given their seeds.
+
+mod e1;
+mod e10;
+mod e11;
+mod e2;
+mod e3;
+mod e4;
+mod e5;
+mod e6;
+mod e7;
+mod e8;
+mod e9;
+pub mod table;
+
+pub use e1::{e1_boundness, E1Report, E1Row};
+pub use e10::{e10_transport, E10Report, E10Row};
+pub use e11::{e11_exhaustive, E11Report, E11Row};
+pub use e2::{e2_mf_falsifier, E2Report, E2Row};
+pub use e3::{e3_naive_protocol, E3Report, E3Row};
+pub use e4::{e4_pf_cost, E4Report, E4Row};
+pub use e5::{e5_probabilistic_growth, E5Report, E5Row};
+pub use e6::{e6_seeding_lemma, E6Report, E6Row};
+pub use e7::{e7_hoeffding, E7Report, E7Row};
+pub use e8::{e8_classic_break, E8Report};
+pub use e9::{e9_window_ablation, E9Report, E9Row};

@@ -1,0 +1,54 @@
+//! Minimal markdown table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// Renders a markdown table from a header row and data rows.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_core::experiments::table::markdown;
+/// let t = markdown(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+/// assert!(t.contains("| a | b |"));
+/// assert!(t.contains("| 1 | 2 |"));
+/// ```
+pub fn markdown(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Formats a float with three significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_shape() {
+        let t = markdown(&["x"], &[vec!["1".into()], vec!["2".into()]]);
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let _ = markdown(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,418 @@
+//! The user-facing simulation engine.
+
+use nonfifo_channel::{
+    BoundedReorderChannel, BoxedChannel, FifoChannel, LossyFifoChannel, ProbabilisticChannel,
+};
+use nonfifo_ioa::{CopyId, Dir, Event, Header, Message, Payload, SpecMonitor, SpecViolation};
+use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Knobs for a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Scheduler steps allowed per message before the run is declared
+    /// stalled.
+    pub max_steps_per_message: u64,
+    /// Stamp each message with its index as payload (lets the checker and
+    /// caller verify content and order end to end). Protocols implementing
+    /// only the identical-message service ignore payloads.
+    pub payloads: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_steps_per_message: 1_000_000,
+            payloads: false,
+        }
+    }
+}
+
+/// Why a simulation run stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A message failed to deliver within the step budget.
+    Stalled {
+        /// Index of the stalled message.
+        message: u64,
+        /// Steps spent on it.
+        steps: u64,
+    },
+    /// The online monitor flagged a specification violation.
+    Violation(SpecViolation),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled { message, steps } => {
+                write!(f, "message {message} undelivered after {steps} steps")
+            }
+            SimError::Violation(v) => write!(f, "specification violated: {v}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Cost and safety statistics of a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Packets sent on the forward channel.
+    pub packets_sent_forward: u64,
+    /// Packets sent on the backward channel.
+    pub packets_sent_backward: u64,
+    /// Distinct forward packet values — the execution's header count.
+    pub distinct_forward_packets: u64,
+    /// Total scheduler steps.
+    pub steps: u64,
+    /// Peak transmitter + receiver space, in bytes.
+    pub peak_space_bytes: usize,
+    /// Copies still delayed on the forward channel at the end.
+    pub final_in_transit: u64,
+    /// First violation observed, if any (also surfaced as a [`SimError`]).
+    pub violation: Option<SpecViolation>,
+    /// Payloads of delivered messages, in delivery order (only recorded
+    /// when [`SimConfig::payloads`] is set).
+    pub delivered_payloads: Vec<u64>,
+}
+
+/// A protocol composed with a forward and a backward channel.
+///
+/// Unlike [`nonfifo_adversary::System`], which exposes full adversary
+/// control, `Simulation` drives *autonomous* channels (probabilistic,
+/// lossy, reordering): the channel decides what happens; the engine only
+/// pumps, records and checks.
+#[derive(Debug)]
+pub struct Simulation {
+    tx: BoxedTransmitter,
+    rx: BoxedReceiver,
+    fwd: BoxedChannel,
+    bwd: BoxedChannel,
+    monitor: SpecMonitor,
+    sent_values: BTreeSet<nonfifo_ioa::Packet>,
+    next_msg: u64,
+    steps: u64,
+    peak_space: usize,
+    delivered_payloads: Vec<u64>,
+    round_watermark: CopyId,
+    pending_deliveries: u64,
+    uses_ghosts: bool,
+}
+
+impl Simulation {
+    /// Composes `proto` with an explicit channel pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channels' directions are not forward/backward
+    /// respectively.
+    pub fn with_channels(proto: impl DataLink, fwd: BoxedChannel, bwd: BoxedChannel) -> Self {
+        assert_eq!(fwd.dir(), Dir::Forward, "fwd channel must be t→r");
+        assert_eq!(bwd.dir(), Dir::Backward, "bwd channel must be r→t");
+        let uses_ghosts = proto.uses_ghosts();
+        let (tx, rx) = proto.make();
+        Simulation {
+            tx,
+            rx,
+            fwd,
+            bwd,
+            monitor: SpecMonitor::new(),
+            sent_values: BTreeSet::new(),
+            next_msg: 0,
+            steps: 0,
+            peak_space: 0,
+            delivered_payloads: Vec::new(),
+            round_watermark: CopyId::from_raw(0),
+            pending_deliveries: 0,
+            uses_ghosts,
+        }
+    }
+
+    /// Probabilistic physical layer with delay probability `q` in both
+    /// directions (§5's PL2p model).
+    pub fn probabilistic(proto: impl DataLink, q: f64, seed: u64) -> Self {
+        Simulation::with_channels(
+            proto,
+            Box::new(ProbabilisticChannel::new(Dir::Forward, q, seed)),
+            Box::new(ProbabilisticChannel::new(Dir::Backward, q, seed.wrapping_add(1))),
+        )
+    }
+
+    /// Reliable FIFO channels (the control substrate).
+    pub fn fifo(proto: impl DataLink) -> Self {
+        Simulation::with_channels(
+            proto,
+            Box::new(FifoChannel::new(Dir::Forward)),
+            Box::new(FifoChannel::new(Dir::Backward)),
+        )
+    }
+
+    /// Lossy FIFO channels (the alternating-bit protocol's home turf).
+    pub fn lossy_fifo(proto: impl DataLink, loss: f64, seed: u64) -> Self {
+        Simulation::with_channels(
+            proto,
+            Box::new(LossyFifoChannel::new(Dir::Forward, loss, seed)),
+            Box::new(LossyFifoChannel::new(Dir::Backward, loss, seed.wrapping_add(1))),
+        )
+    }
+
+    /// Bounded-reorder channels with overtaking distance `< bound`
+    /// (experiment E9's substrate).
+    pub fn bounded_reorder(proto: impl DataLink, bound: u64, seed: u64) -> Self {
+        Simulation::with_channels(
+            proto,
+            Box::new(BoundedReorderChannel::new(Dir::Forward, bound, seed)),
+            Box::new(BoundedReorderChannel::new(Dir::Backward, bound, seed.wrapping_add(1))),
+        )
+    }
+
+    /// Delivers `n` messages, returning the run statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Stalled`] if a message exceeds the per-message step
+    /// budget; [`SimError::Violation`] if the online monitor flags a
+    /// specification violation (the statistics up to that point are lost —
+    /// use lower-level crates to post-mortem violations).
+    pub fn deliver(&mut self, n: u64, cfg: &SimConfig) -> Result<RunStats, SimError> {
+        let base = self.pending_deliveries;
+        let mut delivered = 0u64;
+        for _ in 0..n {
+            // Wait until the transmitter accepts the next message.
+            let mut waited = 0;
+            while !self.tx.ready() {
+                if waited >= cfg.max_steps_per_message {
+                    return Err(SimError::Stalled {
+                        message: self.next_msg,
+                        steps: waited,
+                    });
+                }
+                self.pump();
+                self.check()?;
+                waited += 1;
+            }
+
+            let m = if cfg.payloads {
+                Message::with_payload(self.next_msg, Payload::new(self.next_msg))
+            } else {
+                Message::identical(self.next_msg)
+            };
+            self.round_watermark = CopyId::from_raw(self.fwd.total_sent());
+            let _ = self.monitor.observe(&Event::SendMsg(m));
+            self.next_msg += 1;
+            self.tx.on_send_msg(m);
+
+            let target = base + delivered + 1;
+            let mut steps = 0;
+            while self.pending_deliveries < target {
+                if steps >= cfg.max_steps_per_message {
+                    return Err(SimError::Stalled {
+                        message: self.next_msg - 1,
+                        steps,
+                    });
+                }
+                self.pump();
+                self.check()?;
+                steps += 1;
+            }
+            delivered += 1;
+        }
+
+        Ok(RunStats {
+            messages_delivered: delivered,
+            packets_sent_forward: self.fwd.total_sent(),
+            packets_sent_backward: self.bwd.total_sent(),
+            distinct_forward_packets: self.sent_values.len() as u64,
+            steps: self.steps,
+            peak_space_bytes: self.peak_space,
+            final_in_transit: self.fwd.in_transit_len() as u64,
+            violation: self.monitor.first_violation(),
+            delivered_payloads: self.delivered_payloads.clone(),
+        })
+    }
+
+    fn check(&self) -> Result<(), SimError> {
+        match self.monitor.first_violation() {
+            Some(v) => Err(SimError::Violation(v)),
+            None => Ok(()),
+        }
+    }
+
+    fn ghost(&self) -> GhostInfo {
+        let mut stale: BTreeMap<Header, u64> = BTreeMap::new();
+        // Conservative sweep over a small header space: ghost info is only
+        // consumed by bounded-header reconstructions, whose alphabets are
+        // tiny. Headers beyond 64 are not swept (no consumer needs them).
+        for h in 0..64u32 {
+            let header = Header::new(h);
+            let n = self.fwd.header_copies_older_than(header, self.round_watermark);
+            if n > 0 {
+                stale.insert(header, n as u64);
+            }
+        }
+        GhostInfo {
+            fwd_in_transit: self.fwd.in_transit_len() as u64,
+            bwd_in_transit: self.bwd.in_transit_len() as u64,
+            stale_fwd_by_header: stale,
+        }
+    }
+
+    /// One scheduler step: ghosts, ticks, transmitter pump, channel
+    /// deliveries, receiver pump.
+    fn pump(&mut self) {
+        self.steps += 1;
+        if self.uses_ghosts {
+            let ghost = self.ghost();
+            self.tx.on_ghost(&ghost);
+            self.rx.on_ghost(&ghost);
+        }
+        self.tx.on_tick();
+        self.rx.on_tick();
+
+        while let Some(pkt) = self.tx.poll_send() {
+            self.sent_values.insert(pkt);
+            let copy = self.fwd.send(pkt);
+            let _ = self.monitor.observe(&Event::SendPkt {
+                dir: Dir::Forward,
+                packet: pkt,
+                copy,
+            });
+        }
+        for (pkt, copy) in self.fwd.drain_drops() {
+            let _ = self.monitor.observe(&Event::DropPkt {
+                dir: Dir::Forward,
+                packet: pkt,
+                copy,
+            });
+        }
+        while let Some((pkt, copy)) = self.fwd.poll_deliver() {
+            let _ = self.monitor.observe(&Event::ReceivePkt {
+                dir: Dir::Forward,
+                packet: pkt,
+                copy,
+            });
+            self.rx.on_receive_pkt(pkt);
+        }
+        while let Some(m) = self.rx.poll_deliver() {
+            let _ = self.monitor.observe(&Event::ReceiveMsg(m));
+            self.pending_deliveries += 1;
+            if let Some(p) = m.payload() {
+                self.delivered_payloads.push(p.word());
+            }
+        }
+        while let Some(ack) = self.rx.poll_send() {
+            let copy = self.bwd.send(ack);
+            let _ = self.monitor.observe(&Event::SendPkt {
+                dir: Dir::Backward,
+                packet: ack,
+                copy,
+            });
+        }
+        for (pkt, copy) in self.bwd.drain_drops() {
+            let _ = self.monitor.observe(&Event::DropPkt {
+                dir: Dir::Backward,
+                packet: pkt,
+                copy,
+            });
+        }
+        while let Some((ack, copy)) = self.bwd.poll_deliver() {
+            let _ = self.monitor.observe(&Event::ReceivePkt {
+                dir: Dir::Backward,
+                packet: ack,
+                copy,
+            });
+            self.tx.on_receive_pkt(ack);
+        }
+        self.fwd.tick();
+        self.bwd.tick();
+        let s = self.tx.space_bytes() + self.rx.space_bytes();
+        self.peak_space = self.peak_space.max(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_protocols::{AlternatingBit, Outnumber, SequenceNumber, SlidingWindow};
+
+    #[test]
+    fn seqnum_over_fifo_costs_one_packet_per_message() {
+        let mut sim = Simulation::fifo(SequenceNumber::new());
+        let stats = sim.deliver(20, &SimConfig::default()).unwrap();
+        assert_eq!(stats.messages_delivered, 20);
+        assert_eq!(stats.packets_sent_forward, 20);
+        assert_eq!(stats.distinct_forward_packets, 20);
+        assert!(stats.violation.is_none());
+    }
+
+    #[test]
+    fn seqnum_over_probabilistic_is_linear() {
+        let mut sim = Simulation::probabilistic(SequenceNumber::new(), 0.3, 99);
+        let stats = sim.deliver(100, &SimConfig::default()).unwrap();
+        assert_eq!(stats.messages_delivered, 100);
+        // About 1/(1−q)² round trips per message; certainly way below
+        // exponential.
+        assert!(stats.packets_sent_forward < 100 * 30);
+    }
+
+    #[test]
+    fn alternating_bit_is_fine_over_lossy_fifo() {
+        let mut sim = Simulation::lossy_fifo(AlternatingBit::new(), 0.4, 5);
+        let stats = sim.deliver(100, &SimConfig::default()).unwrap();
+        assert_eq!(stats.messages_delivered, 100);
+        assert_eq!(stats.distinct_forward_packets, 2);
+        assert!(stats.violation.is_none());
+    }
+
+    #[test]
+    fn payload_mode_checks_content_ordering() {
+        let mut sim = Simulation::fifo(SequenceNumber::new());
+        let cfg = SimConfig {
+            payloads: true,
+            ..SimConfig::default()
+        };
+        let stats = sim.deliver(10, &cfg).unwrap();
+        assert_eq!(stats.delivered_payloads, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sliding_window_survives_mild_reordering() {
+        let mut sim = Simulation::bounded_reorder(SlidingWindow::new(8), 4, 12);
+        let cfg = SimConfig {
+            payloads: true,
+            ..SimConfig::default()
+        };
+        let stats = sim.deliver(200, &cfg).unwrap();
+        assert_eq!(stats.messages_delivered, 200);
+        assert_eq!(stats.delivered_payloads, (0..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn outnumber_cost_explodes_but_stays_safe() {
+        let mut sim = Simulation::probabilistic(Outnumber::factory(), 0.3, 21);
+        let stats = sim.deliver(10, &SimConfig::default()).unwrap();
+        assert!(stats.violation.is_none());
+        assert!(
+            stats.packets_sent_forward > 1 << 8,
+            "sent {}",
+            stats.packets_sent_forward
+        );
+    }
+
+    #[test]
+    fn stall_is_reported() {
+        // q = 1: nothing is ever delivered.
+        let mut sim = Simulation::probabilistic(SequenceNumber::new(), 1.0, 0);
+        let cfg = SimConfig {
+            max_steps_per_message: 50,
+            payloads: false,
+        };
+        let err = sim.deliver(1, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::Stalled { message: 0, .. }));
+    }
+}

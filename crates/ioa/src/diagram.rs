@@ -1,0 +1,156 @@
+//! ASCII sequence diagrams for executions.
+//!
+//! Renders an execution as three lanes — transmitter, channel, receiver —
+//! one line per event, so a violation trace reads like the figures in a
+//! networking textbook:
+//!
+//! ```text
+//! Aᵗ                    channel                    Aʳ
+//! ● send_msg m0          .                          .
+//! ├─ h0 #0 ──────────▶   .                          .
+//! .                      .            ──────────▶ h0 #0 ─┤
+//! .                      .              receive_msg m0 ●
+//! ```
+
+use crate::event::Event;
+use crate::execution::Execution;
+use crate::packet::Dir;
+use std::fmt::Write as _;
+
+const LANE: usize = 26;
+
+fn pad(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    if len >= width {
+        s.to_string()
+    } else {
+        format!("{s}{}", " ".repeat(width - len))
+    }
+}
+
+/// Renders `exec` as a three-lane ASCII sequence diagram.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_ioa::diagram::render;
+/// use nonfifo_ioa::{Event, Execution, Message};
+///
+/// let exec: Execution = vec![Event::SendMsg(Message::identical(0))].into_iter().collect();
+/// let d = render(&exec);
+/// assert!(d.contains("send_msg m0"));
+/// ```
+pub fn render(exec: &Execution) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}{}receiver",
+        pad("transmitter", LANE),
+        pad("channel", LANE)
+    );
+    for event in exec.iter() {
+        let (tx_lane, ch_lane, rx_lane) = match *event {
+            Event::SendMsg(m) => (format!("* send_msg {m}"), String::new(), String::new()),
+            Event::ReceiveMsg(m) => (String::new(), String::new(), format!("* receive_msg {m}")),
+            Event::SendPkt { dir, packet, copy } => match dir {
+                Dir::Forward => (
+                    format!("|- {packet}{copy} -->"),
+                    "...".into(),
+                    String::new(),
+                ),
+                Dir::Backward => (
+                    String::new(),
+                    "...".into(),
+                    format!("<-- {packet}{copy} -|"),
+                ),
+            },
+            Event::ReceivePkt { dir, packet, copy } => match dir {
+                Dir::Forward => (
+                    String::new(),
+                    "-->".into(),
+                    format!("-> {packet}{copy} -|"),
+                ),
+                Dir::Backward => (
+                    format!("|- {packet}{copy} <-"),
+                    "<--".into(),
+                    String::new(),
+                ),
+            },
+            Event::DropPkt { dir, packet, copy } => (
+                String::new(),
+                format!(
+                    "x dropped {packet}{copy} [{}]",
+                    match dir {
+                        Dir::Forward => "t->r",
+                        Dir::Backward => "r->t",
+                    }
+                ),
+                String::new(),
+            ),
+        };
+        let _ = writeln!(out, "{}{}{}", pad(&tx_lane, LANE), pad(&ch_lane, LANE), rx_lane);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::packet::{CopyId, Header, Packet};
+
+    fn sample() -> Execution {
+        vec![
+            Event::SendMsg(Message::identical(0)),
+            Event::SendPkt {
+                dir: Dir::Forward,
+                packet: Packet::header_only(Header::new(0)),
+                copy: CopyId::from_raw(0),
+            },
+            Event::ReceivePkt {
+                dir: Dir::Forward,
+                packet: Packet::header_only(Header::new(0)),
+                copy: CopyId::from_raw(0),
+            },
+            Event::ReceiveMsg(Message::identical(0)),
+            Event::SendPkt {
+                dir: Dir::Backward,
+                packet: Packet::header_only(Header::new(0)),
+                copy: CopyId::from_raw(0),
+            },
+            Event::DropPkt {
+                dir: Dir::Backward,
+                packet: Packet::header_only(Header::new(0)),
+                copy: CopyId::from_raw(0),
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn renders_every_event_on_its_own_line() {
+        let d = render(&sample());
+        // Header line + one line per event.
+        assert_eq!(d.lines().count(), 1 + sample().len());
+    }
+
+    #[test]
+    fn lanes_carry_the_right_actions() {
+        let d = render(&sample());
+        let lines: Vec<&str> = d.lines().collect();
+        assert!(lines[1].starts_with("* send_msg m0"));
+        assert!(lines[2].starts_with("|- h0#0 -->"));
+        assert!(lines[3].contains("-> h0#0 -|"));
+        assert!(lines[4].contains("* receive_msg m0"));
+        assert!(lines[5].contains("<-- h0#0 -|"));
+        assert!(lines[6].contains("dropped h0#0"));
+    }
+
+    #[test]
+    fn empty_execution_is_just_the_header() {
+        let d = render(&Execution::new());
+        assert_eq!(d.lines().count(), 1);
+        assert!(d.contains("transmitter"));
+    }
+}

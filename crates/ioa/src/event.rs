@@ -1,0 +1,136 @@
+//! The action vocabulary of a data-link protocol execution.
+
+use crate::message::Message;
+use crate::packet::{CopyId, Dir, Packet};
+use std::fmt;
+
+/// One action in an execution of the composed system
+/// `Aᵗ ∥ PLᵗ→ʳ ∥ PLʳ→ᵗ ∥ Aʳ`.
+///
+/// The five variants correspond to the actions in the paper's §2 plus an
+/// explicit `DropPkt` for channels that delete packets (the paper folds
+/// deletion into "delayed forever"; recording drops makes the PL1 checker
+/// stricter, since a dropped copy must never be delivered afterwards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// `send_msg(m)` — the higher layer hands message `m` to `Aᵗ`.
+    SendMsg(Message),
+    /// `receive_msg(m)` — `Aʳ` delivers message `m` to the higher layer.
+    ReceiveMsg(Message),
+    /// `send_pkt(p)` — an automaton puts a fresh copy of packet `p` on the
+    /// physical channel in direction `dir`.
+    SendPkt {
+        /// Which physical channel the packet was sent on.
+        dir: Dir,
+        /// The packet value.
+        packet: Packet,
+        /// Fresh identity of this copy.
+        copy: CopyId,
+    },
+    /// `receive_pkt(p)` — the channel delivers copy `copy` of packet `p`.
+    ReceivePkt {
+        /// Which physical channel delivered the packet.
+        dir: Dir,
+        /// The packet value.
+        packet: Packet,
+        /// The delivered copy, matching an earlier [`Event::SendPkt`].
+        copy: CopyId,
+    },
+    /// The channel deletes copy `copy`; it will never be delivered.
+    DropPkt {
+        /// Which physical channel dropped the packet.
+        dir: Dir,
+        /// The packet value.
+        packet: Packet,
+        /// The deleted copy.
+        copy: CopyId,
+    },
+}
+
+impl Event {
+    /// The direction of the physical-channel action, if this is one.
+    pub fn dir(&self) -> Option<Dir> {
+        match *self {
+            Event::SendPkt { dir, .. }
+            | Event::ReceivePkt { dir, .. }
+            | Event::DropPkt { dir, .. } => Some(dir),
+            Event::SendMsg(_) | Event::ReceiveMsg(_) => None,
+        }
+    }
+
+    /// The packet of the physical-channel action, if this is one.
+    pub fn packet(&self) -> Option<Packet> {
+        match *self {
+            Event::SendPkt { packet, .. }
+            | Event::ReceivePkt { packet, .. }
+            | Event::DropPkt { packet, .. } => Some(packet),
+            Event::SendMsg(_) | Event::ReceiveMsg(_) => None,
+        }
+    }
+
+    /// True if this is a `send_msg` action.
+    pub fn is_send_msg(&self) -> bool {
+        matches!(self, Event::SendMsg(_))
+    }
+
+    /// True if this is a `receive_msg` action.
+    pub fn is_receive_msg(&self) -> bool {
+        matches!(self, Event::ReceiveMsg(_))
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::SendMsg(m) => write!(f, "send_msg({m})"),
+            Event::ReceiveMsg(m) => write!(f, "receive_msg({m})"),
+            Event::SendPkt { dir, packet, copy } => {
+                write!(f, "send_pkt[{dir}]({packet}){copy}")
+            }
+            Event::ReceivePkt { dir, packet, copy } => {
+                write!(f, "receive_pkt[{dir}]({packet}){copy}")
+            }
+            Event::DropPkt { dir, packet, copy } => {
+                write!(f, "drop_pkt[{dir}]({packet}){copy}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Header;
+
+    fn pkt(h: u32) -> Packet {
+        Packet::header_only(Header::new(h))
+    }
+
+    #[test]
+    fn accessors() {
+        let e = Event::SendPkt {
+            dir: Dir::Forward,
+            packet: pkt(1),
+            copy: CopyId::from_raw(9),
+        };
+        assert_eq!(e.dir(), Some(Dir::Forward));
+        assert_eq!(e.packet(), Some(pkt(1)));
+        assert!(!e.is_send_msg());
+
+        let m = Event::SendMsg(Message::identical(0));
+        assert_eq!(m.dir(), None);
+        assert_eq!(m.packet(), None);
+        assert!(m.is_send_msg());
+        assert!(Event::ReceiveMsg(Message::identical(0)).is_receive_msg());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Event::ReceivePkt {
+            dir: Dir::Backward,
+            packet: pkt(2),
+            copy: CopyId::from_raw(3),
+        };
+        assert_eq!(e.to_string(), "receive_pkt[r→t](h2)#3");
+    }
+}

@@ -1,0 +1,207 @@
+//! An incremental specification monitor for long-running simulations.
+//!
+//! [`crate::spec`] checks a recorded [`Execution`](crate::Execution) after
+//! the fact; this monitor checks PL1 and the identical-message form of
+//! DL1/DL2 *online*, in O(1) amortised time and O(in-transit) space, so the
+//! simulation engine can run millions of events without retaining the trace.
+
+use crate::event::Event;
+use crate::packet::{CopyId, Dir, Packet};
+use crate::spec::SpecViolation;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CopyState {
+    Sent(Packet),
+    Delivered,
+    Dropped,
+}
+
+/// Online checker for PL1 (both directions) and the prefix-count form of
+/// DL1 (`rm ≤ sm` at every prefix — exact for the identical-message model).
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_ioa::{Event, Message, SpecMonitor};
+///
+/// let mut mon = SpecMonitor::new();
+/// mon.observe(&Event::SendMsg(Message::identical(0))).unwrap();
+/// mon.observe(&Event::ReceiveMsg(Message::identical(0))).unwrap();
+/// // A second delivery with no matching send violates DL1.
+/// assert!(mon.observe(&Event::ReceiveMsg(Message::identical(1))).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpecMonitor {
+    copies_fwd: HashMap<CopyId, CopyState>,
+    copies_bwd: HashMap<CopyId, CopyState>,
+    sm: u64,
+    rm: u64,
+    events_seen: u64,
+    first_violation: Option<SpecViolation>,
+}
+
+impl SpecMonitor {
+    /// Creates a monitor with no observed events.
+    pub fn new() -> Self {
+        SpecMonitor::default()
+    }
+
+    /// Number of events observed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// The first violation observed, if any (also returned by the failing
+    /// [`observe`](Self::observe) call).
+    pub fn first_violation(&self) -> Option<SpecViolation> {
+        self.first_violation
+    }
+
+    /// `sm − rm`: messages accepted but not yet delivered.
+    pub fn outstanding_messages(&self) -> u64 {
+        self.sm - self.rm.min(self.sm)
+    }
+
+    /// Feeds one event to the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation if this event breaks PL1 or prefix-DL1. The
+    /// monitor latches the first violation but keeps accepting events, so a
+    /// caller may continue a run for diagnostics.
+    pub fn observe(&mut self, event: &Event) -> Result<(), SpecViolation> {
+        self.events_seen += 1;
+        let result = self.observe_inner(event);
+        if let Err(v) = result {
+            self.first_violation.get_or_insert(v);
+            return Err(v);
+        }
+        Ok(())
+    }
+
+    fn copies(&mut self, dir: Dir) -> &mut HashMap<CopyId, CopyState> {
+        match dir {
+            Dir::Forward => &mut self.copies_fwd,
+            Dir::Backward => &mut self.copies_bwd,
+        }
+    }
+
+    fn observe_inner(&mut self, event: &Event) -> Result<(), SpecViolation> {
+        match *event {
+            Event::SendMsg(_) => {
+                self.sm += 1;
+                Ok(())
+            }
+            Event::ReceiveMsg(_) => {
+                self.rm += 1;
+                if self.rm > self.sm {
+                    Err(SpecViolation::MessageInvented {
+                        event_index: (self.events_seen - 1) as usize,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Event::SendPkt { dir, packet, copy } => {
+                self.copies(dir).insert(copy, CopyState::Sent(packet));
+                Ok(())
+            }
+            Event::ReceivePkt { dir, packet, copy } => {
+                let state = self.copies(dir).get(&copy).copied();
+                match state {
+                    None => Err(SpecViolation::UnsentDelivery { dir, copy }),
+                    Some(CopyState::Delivered) => {
+                        Err(SpecViolation::DuplicateDelivery { dir, copy })
+                    }
+                    Some(CopyState::Dropped) => {
+                        Err(SpecViolation::DeliveredAfterDrop { dir, copy })
+                    }
+                    Some(CopyState::Sent(sent)) => {
+                        if sent != packet {
+                            Err(SpecViolation::CorruptedDelivery { dir, copy })
+                        } else {
+                            self.copies(dir).insert(copy, CopyState::Delivered);
+                            Ok(())
+                        }
+                    }
+                }
+            }
+            Event::DropPkt { dir, copy, .. } => {
+                self.copies(dir).insert(copy, CopyState::Dropped);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::packet::Header;
+
+    fn sp(c: u64) -> Event {
+        Event::SendPkt {
+            dir: Dir::Forward,
+            packet: Packet::header_only(Header::new(0)),
+            copy: CopyId::from_raw(c),
+        }
+    }
+
+    fn rp(c: u64) -> Event {
+        Event::ReceivePkt {
+            dir: Dir::Forward,
+            packet: Packet::header_only(Header::new(0)),
+            copy: CopyId::from_raw(c),
+        }
+    }
+
+    #[test]
+    fn accepts_matched_stream() {
+        let mut mon = SpecMonitor::new();
+        for e in [sp(1), sp(2), rp(2), rp(1)] {
+            mon.observe(&e).expect("ok");
+        }
+        assert_eq!(mon.events_seen(), 4);
+        assert_eq!(mon.first_violation(), None);
+    }
+
+    #[test]
+    fn latches_first_violation_but_keeps_running() {
+        let mut mon = SpecMonitor::new();
+        mon.observe(&sp(1)).unwrap();
+        mon.observe(&rp(1)).unwrap();
+        let v = mon.observe(&rp(1)).unwrap_err();
+        assert!(matches!(v, SpecViolation::DuplicateDelivery { .. }));
+        // Still accepts further (fine) events.
+        mon.observe(&sp(2)).unwrap();
+        assert_eq!(mon.first_violation(), Some(v));
+    }
+
+    #[test]
+    fn prefix_dl1() {
+        let mut mon = SpecMonitor::new();
+        mon.observe(&Event::SendMsg(Message::identical(0))).unwrap();
+        assert_eq!(mon.outstanding_messages(), 1);
+        mon.observe(&Event::ReceiveMsg(Message::identical(0)))
+            .unwrap();
+        assert_eq!(mon.outstanding_messages(), 0);
+        assert!(mon
+            .observe(&Event::ReceiveMsg(Message::identical(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut mon = SpecMonitor::new();
+        mon.observe(&sp(7)).unwrap();
+        // Same copy id on the other direction was never sent there.
+        let e = Event::ReceivePkt {
+            dir: Dir::Backward,
+            packet: Packet::header_only(Header::new(0)),
+            copy: CopyId::from_raw(7),
+        };
+        assert!(mon.observe(&e).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! A plain-text serialization of executions.
+//!
+//! Violation traces are the primary artifact this repository produces; this
+//! module gives them a stable, diff-able, round-trippable text form so they
+//! can be stored, shared, and re-checked:
+//!
+//! ```text
+//! send_msg m0
+//! send_pkt fwd h0 #0
+//! receive_pkt fwd h0 #0
+//! receive_msg m0
+//! ```
+//!
+//! The grammar is one event per line:
+//!
+//! ```text
+//! send_msg    m<id> [payload=<hex>]
+//! receive_msg m<id> [payload=<hex>]
+//! send_pkt    (fwd|bwd) h<index> [payload=<hex>] #<copy>
+//! receive_pkt (fwd|bwd) h<index> [payload=<hex>] #<copy>
+//! drop_pkt    (fwd|bwd) h<index> [payload=<hex>] #<copy>
+//! ```
+//!
+//! Blank lines and lines starting with `//` are ignored.
+
+use crate::event::Event;
+use crate::execution::Execution;
+use crate::message::Message;
+use crate::packet::{CopyId, Dir, Header, Packet, Payload};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTextError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTextError {}
+
+fn dir_token(dir: Dir) -> &'static str {
+    match dir {
+        Dir::Forward => "fwd",
+        Dir::Backward => "bwd",
+    }
+}
+
+fn write_msg(out: &mut String, m: &Message) {
+    let _ = write!(out, "m{}", m.id().raw());
+    if let Some(p) = m.payload() {
+        let _ = write!(out, " payload={:x}", p.word());
+    }
+}
+
+fn write_pkt(out: &mut String, p: &Packet) {
+    let _ = write!(out, "h{}", p.header().index());
+    if let Some(pl) = p.payload() {
+        let _ = write!(out, " payload={:x}", pl.word());
+    }
+}
+
+/// Serializes an execution, one event per line.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_ioa::text::{parse_text, write_text};
+/// use nonfifo_ioa::{Event, Execution, Message};
+///
+/// let exec: Execution = vec![Event::SendMsg(Message::identical(0))].into_iter().collect();
+/// let s = write_text(&exec);
+/// assert_eq!(s.trim(), "send_msg m0");
+/// assert_eq!(parse_text(&s).unwrap(), exec);
+/// ```
+pub fn write_text(exec: &Execution) -> String {
+    let mut out = String::new();
+    for e in exec.iter() {
+        match e {
+            Event::SendMsg(m) => {
+                out.push_str("send_msg ");
+                write_msg(&mut out, m);
+            }
+            Event::ReceiveMsg(m) => {
+                out.push_str("receive_msg ");
+                write_msg(&mut out, m);
+            }
+            Event::SendPkt { dir, packet, copy } => {
+                let _ = write!(out, "send_pkt {} ", dir_token(*dir));
+                write_pkt(&mut out, packet);
+                let _ = write!(out, " #{}", copy.raw());
+            }
+            Event::ReceivePkt { dir, packet, copy } => {
+                let _ = write!(out, "receive_pkt {} ", dir_token(*dir));
+                write_pkt(&mut out, packet);
+                let _ = write!(out, " #{}", copy.raw());
+            }
+            Event::DropPkt { dir, packet, copy } => {
+                let _ = write!(out, "drop_pkt {} ", dir_token(*dir));
+                write_pkt(&mut out, packet);
+                let _ = write!(out, " #{}", copy.raw());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+struct LineParser<'a> {
+    tokens: std::str::SplitWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseTextError {
+        ParseTextError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self, what: &str) -> Result<&'a str, ParseTextError> {
+        self.tokens
+            .next()
+            .ok_or_else(|| self.err(format!("expected {what}")))
+    }
+
+    fn done(&mut self) -> Result<(), ParseTextError> {
+        match self.tokens.next() {
+            None => Ok(()),
+            Some(t) => Err(self.err(format!("unexpected trailing token {t:?}"))),
+        }
+    }
+
+    fn dir(&mut self) -> Result<Dir, ParseTextError> {
+        match self.next("direction (fwd|bwd)")? {
+            "fwd" => Ok(Dir::Forward),
+            "bwd" => Ok(Dir::Backward),
+            other => Err(self.err(format!("bad direction {other:?}"))),
+        }
+    }
+
+    fn numeric<T: std::str::FromStr>(
+        &self,
+        token: &str,
+        what: &str,
+    ) -> Result<T, ParseTextError> {
+        token
+            .parse()
+            .map_err(|_| self.err(format!("bad {what} in {token:?}")))
+    }
+
+    fn message(&mut self) -> Result<Message, ParseTextError> {
+        let id_tok = self.next("message id (m<id>)")?;
+        let Some(raw) = id_tok.strip_prefix('m') else {
+            return Err(self.err(format!("expected m<id>, got {id_tok:?}")));
+        };
+        let id: u64 = self.numeric(raw, "message id")?;
+        match self.tokens.clone().next() {
+            Some(t) if t.starts_with("payload=") => {
+                let t = self.next("payload")?;
+                let hex = &t["payload=".len()..];
+                let word = u64::from_str_radix(hex, 16)
+                    .map_err(|_| self.err(format!("bad payload hex {hex:?}")))?;
+                Ok(Message::with_payload(id, Payload::new(word)))
+            }
+            _ => Ok(Message::identical(id)),
+        }
+    }
+
+    fn packet(&mut self) -> Result<Packet, ParseTextError> {
+        let h_tok = self.next("header (h<index>)")?;
+        let Some(raw) = h_tok.strip_prefix('h') else {
+            return Err(self.err(format!("expected h<index>, got {h_tok:?}")));
+        };
+        let index: u32 = self.numeric(raw, "header index")?;
+        match self.tokens.clone().next() {
+            Some(t) if t.starts_with("payload=") => {
+                let t = self.next("payload")?;
+                let hex = &t["payload=".len()..];
+                let word = u64::from_str_radix(hex, 16)
+                    .map_err(|_| self.err(format!("bad payload hex {hex:?}")))?;
+                Ok(Packet::new(Header::new(index), Payload::new(word)))
+            }
+            _ => Ok(Packet::header_only(Header::new(index))),
+        }
+    }
+
+    fn copy(&mut self) -> Result<CopyId, ParseTextError> {
+        let tok = self.next("copy id (#<copy>)")?;
+        let Some(raw) = tok.strip_prefix('#') else {
+            return Err(self.err(format!("expected #<copy>, got {tok:?}")));
+        };
+        let raw: u64 = self.numeric(raw, "copy id")?;
+        Ok(CopyId::from_raw(raw))
+    }
+}
+
+/// Parses the text form back into an [`Execution`].
+///
+/// # Errors
+///
+/// Returns a [`ParseTextError`] naming the offending line.
+pub fn parse_text(input: &str) -> Result<Execution, ParseTextError> {
+    let mut exec = Execution::new();
+    for (i, line) in input.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        let mut p = LineParser {
+            tokens: trimmed.split_whitespace(),
+            line: i + 1,
+        };
+        let kind = p.next("event kind")?;
+        let event = match kind {
+            "send_msg" => Event::SendMsg(p.message()?),
+            "receive_msg" => Event::ReceiveMsg(p.message()?),
+            "send_pkt" => {
+                let dir = p.dir()?;
+                let packet = p.packet()?;
+                let copy = p.copy()?;
+                Event::SendPkt { dir, packet, copy }
+            }
+            "receive_pkt" => {
+                let dir = p.dir()?;
+                let packet = p.packet()?;
+                let copy = p.copy()?;
+                Event::ReceivePkt { dir, packet, copy }
+            }
+            "drop_pkt" => {
+                let dir = p.dir()?;
+                let packet = p.packet()?;
+                let copy = p.copy()?;
+                Event::DropPkt { dir, packet, copy }
+            }
+            other => return Err(p.err(format!("unknown event kind {other:?}"))),
+        };
+        p.done()?;
+        exec.push(event);
+    }
+    Ok(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Execution {
+        vec![
+            Event::SendMsg(Message::identical(0)),
+            Event::SendPkt {
+                dir: Dir::Forward,
+                packet: Packet::header_only(Header::new(3)),
+                copy: CopyId::from_raw(7),
+            },
+            Event::ReceivePkt {
+                dir: Dir::Forward,
+                packet: Packet::header_only(Header::new(3)),
+                copy: CopyId::from_raw(7),
+            },
+            Event::ReceiveMsg(Message::identical(0)),
+            Event::SendPkt {
+                dir: Dir::Backward,
+                packet: Packet::new(Header::new(1), Payload::new(0xbeef)),
+                copy: CopyId::from_raw(0),
+            },
+            Event::DropPkt {
+                dir: Dir::Backward,
+                packet: Packet::new(Header::new(1), Payload::new(0xbeef)),
+                copy: CopyId::from_raw(0),
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let exec = sample();
+        let text = write_text(&exec);
+        let back = parse_text(&text).expect("parse");
+        assert_eq!(back, exec);
+    }
+
+    #[test]
+    fn payload_messages_round_trip() {
+        let exec: Execution = vec![
+            Event::SendMsg(Message::with_payload(5, Payload::new(0xff))),
+            Event::ReceiveMsg(Message::with_payload(5, Payload::new(0xff))),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(parse_text(&write_text(&exec)).unwrap(), exec);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n// a comment\nsend_msg m2\n\n";
+        let exec = parse_text(text).unwrap();
+        assert_eq!(exec.len(), 1);
+        assert_eq!(exec.counts().sm, 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "send_msg m0\nbogus_event x\n";
+        let err = parse_text(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus_event"));
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        assert!(parse_text("send_msg 0").is_err());
+        assert!(parse_text("send_pkt sideways h0 #1").is_err());
+        assert!(parse_text("send_pkt fwd h0 1").is_err());
+        assert!(parse_text("send_pkt fwd h0 #1 extra").is_err());
+        assert!(parse_text("receive_msg mX").is_err());
+        assert!(parse_text("send_msg m1 payload=zz").is_err());
+    }
+
+    #[test]
+    fn text_is_stable_and_readable() {
+        let text = write_text(&sample());
+        assert!(text.starts_with("send_msg m0\n"));
+        assert!(text.contains("send_pkt fwd h3 #7"));
+        assert!(text.contains("send_pkt bwd h1 payload=beef #0"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-automaton views of executions and the indistinguishability relation.
+//!
+//! Every proof in the paper rests on one move: the physical layer replaces
+//! the transmitter's fresh packets with delayed copies, and "`Aʳ` can not
+//! distinguish between β and β′. Thus its actions in both executions are
+//! the same." An automaton's *view* is the sequence of actions it
+//! participates in, with copy identities erased (automata never see copy
+//! ids — only the harness and the checkers do). Two executions are
+//! indistinguishable to an automaton exactly when their views are equal.
+//!
+//! The falsifier tests use this to *verify* the simulation argument rather
+//! than assume it: the receiver view of the replayed extension β′ must equal
+//! the receiver view of the oracle's extension β.
+
+use crate::event::Event;
+use crate::execution::Execution;
+use crate::message::Message;
+use crate::packet::{Dir, Packet};
+
+/// One action as seen by an automaton (copy identities erased).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewEvent {
+    /// The automaton received `send_msg(m)` from the higher layer
+    /// (transmitter only).
+    SendMsg(Message),
+    /// The automaton emitted `receive_msg(m)` (receiver only).
+    ReceiveMsg(Message),
+    /// The automaton sent packet `p` on its outgoing channel.
+    SendPkt(Packet),
+    /// The automaton received packet `p` from its incoming channel.
+    ReceivePkt(Packet),
+}
+
+/// The receiver automaton `Aʳ`'s view: forward receipts, backward sends,
+/// and deliveries, in order.
+pub fn receiver_view(exec: &Execution) -> Vec<ViewEvent> {
+    exec.iter()
+        .filter_map(|e| match *e {
+            Event::ReceiveMsg(m) => Some(ViewEvent::ReceiveMsg(m)),
+            Event::ReceivePkt {
+                dir: Dir::Forward,
+                packet,
+                ..
+            } => Some(ViewEvent::ReceivePkt(packet)),
+            Event::SendPkt {
+                dir: Dir::Backward,
+                packet,
+                ..
+            } => Some(ViewEvent::SendPkt(packet)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The transmitter automaton `Aᵗ`'s view: message hand-overs, forward
+/// sends, and backward receipts, in order.
+pub fn transmitter_view(exec: &Execution) -> Vec<ViewEvent> {
+    exec.iter()
+        .filter_map(|e| match *e {
+            Event::SendMsg(m) => Some(ViewEvent::SendMsg(m)),
+            Event::SendPkt {
+                dir: Dir::Forward,
+                packet,
+                ..
+            } => Some(ViewEvent::SendPkt(packet)),
+            Event::ReceivePkt {
+                dir: Dir::Backward,
+                packet,
+                ..
+            } => Some(ViewEvent::ReceivePkt(packet)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// True if `a` and `b` are indistinguishable to the receiver — the
+/// relation the paper's simulation arguments rely on.
+///
+/// In the identical-message model the ghost ids of delivered messages
+/// reflect delivery order, so equality of full views is exactly
+/// "behaves identically".
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_ioa::view::receiver_indistinguishable;
+/// use nonfifo_ioa::{Dir, Event, Execution, Header, CopyId, Packet};
+///
+/// let mk = |copy: u64| -> Execution {
+///     vec![Event::ReceivePkt {
+///         dir: Dir::Forward,
+///         packet: Packet::header_only(Header::new(0)),
+///         copy: CopyId::from_raw(copy),
+///     }]
+///     .into_iter()
+///     .collect()
+/// };
+/// // Same packet value, different physical copies: indistinguishable.
+/// assert!(receiver_indistinguishable(&mk(1), &mk(99)));
+/// ```
+pub fn receiver_indistinguishable(a: &Execution, b: &Execution) -> bool {
+    receiver_view(a) == receiver_view(b)
+}
+
+/// True if `a` and `b` are indistinguishable to the transmitter.
+pub fn transmitter_indistinguishable(a: &Execution, b: &Execution) -> bool {
+    transmitter_view(a) == transmitter_view(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{CopyId, Header};
+
+    fn recv_fwd(h: u32, c: u64) -> Event {
+        Event::ReceivePkt {
+            dir: Dir::Forward,
+            packet: Packet::header_only(Header::new(h)),
+            copy: CopyId::from_raw(c),
+        }
+    }
+
+    fn send_fwd(h: u32, c: u64) -> Event {
+        Event::SendPkt {
+            dir: Dir::Forward,
+            packet: Packet::header_only(Header::new(h)),
+            copy: CopyId::from_raw(c),
+        }
+    }
+
+    #[test]
+    fn copy_identity_is_erased() {
+        let a: Execution = vec![recv_fwd(0, 1)].into_iter().collect();
+        let b: Execution = vec![recv_fwd(0, 42)].into_iter().collect();
+        assert!(receiver_indistinguishable(&a, &b));
+    }
+
+    #[test]
+    fn packet_value_is_not_erased() {
+        let a: Execution = vec![recv_fwd(0, 1)].into_iter().collect();
+        let b: Execution = vec![recv_fwd(1, 1)].into_iter().collect();
+        assert!(!receiver_indistinguishable(&a, &b));
+    }
+
+    #[test]
+    fn receiver_ignores_forward_sends() {
+        // The receiver does not observe the transmitter's send actions,
+        // only their (possibly substituted) arrivals.
+        let a: Execution = vec![send_fwd(0, 1), recv_fwd(0, 1)].into_iter().collect();
+        let b: Execution = vec![recv_fwd(0, 7)].into_iter().collect();
+        assert!(receiver_indistinguishable(&a, &b));
+        assert!(!transmitter_indistinguishable(&a, &b));
+    }
+
+    #[test]
+    fn order_matters() {
+        let a: Execution = vec![recv_fwd(0, 1), recv_fwd(1, 2)].into_iter().collect();
+        let b: Execution = vec![recv_fwd(1, 2), recv_fwd(0, 1)].into_iter().collect();
+        assert!(!receiver_indistinguishable(&a, &b));
+    }
+
+    #[test]
+    fn views_project_the_right_actions() {
+        let exec: Execution = vec![
+            Event::SendMsg(Message::identical(0)),
+            send_fwd(0, 1),
+            recv_fwd(0, 1),
+            Event::ReceiveMsg(Message::identical(0)),
+            Event::SendPkt {
+                dir: Dir::Backward,
+                packet: Packet::header_only(Header::new(0)),
+                copy: CopyId::from_raw(0),
+            },
+            Event::ReceivePkt {
+                dir: Dir::Backward,
+                packet: Packet::header_only(Header::new(0)),
+                copy: CopyId::from_raw(0),
+            },
+        ]
+        .into_iter()
+        .collect();
+        let rv = receiver_view(&exec);
+        assert_eq!(rv.len(), 3); // fwd receipt, delivery, bwd send
+        let tv = transmitter_view(&exec);
+        assert_eq!(tv.len(), 3); // send_msg, fwd send, bwd receipt
+    }
+}

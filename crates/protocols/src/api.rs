@@ -1,0 +1,199 @@
+//! The protocol automaton API: [`Transmitter`], [`Receiver`], and the
+//! [`DataLink`] factory.
+
+use nonfifo_ioa::{Header, Message, Packet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Harness-computed channel summaries pushed to the automata every
+/// scheduler step.
+///
+/// Real protocols cannot observe channel state; the two unpublished
+/// protocols the paper cites (\[AFWZ88\], \[Afe88\]) realise equivalent
+/// knowledge through mechanisms whose specifications are unavailable, so our
+/// reconstructions receive it as an explicit oracle instead (see `DESIGN.md`
+/// §2). Honest protocols simply ignore [`Transmitter::on_ghost`] /
+/// [`Receiver::on_ghost`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GhostInfo {
+    /// Copies currently delayed on the forward channel.
+    pub fwd_in_transit: u64,
+    /// Copies currently delayed on the backward channel.
+    pub bwd_in_transit: u64,
+    /// Per forward header: copies delayed on the forward channel that were
+    /// sent *before* the most recent `send_msg` — the stale population that
+    /// could be replayed against the current message.
+    pub stale_fwd_by_header: BTreeMap<Header, u64>,
+}
+
+impl GhostInfo {
+    /// Stale forward copies of header `h` (0 if none).
+    pub fn stale_fwd(&self, h: Header) -> u64 {
+        self.stale_fwd_by_header.get(&h).copied().unwrap_or(0)
+    }
+
+    /// Total stale forward copies across all headers.
+    pub fn stale_fwd_total(&self) -> u64 {
+        self.stale_fwd_by_header.values().sum()
+    }
+}
+
+/// The transmitting-station automaton `Aᵗ`.
+///
+/// Input actions are the `on_*` methods (`send_msg`,
+/// `receive_pkt`ʳ→ᵗ, a clock tick, and the ghost push); the output action
+/// `send_pkt`ᵗ→ʳ is modelled by the harness draining
+/// [`poll_send`](Transmitter::poll_send).
+///
+/// Implementations must be deterministic: the adversaries compute boundness
+/// extensions by cloning the automaton and simulating forward, which is only
+/// sound if a clone behaves identically on identical inputs.
+pub trait Transmitter: fmt::Debug {
+    /// `send_msg(m)`: the higher layer hands over the next message.
+    ///
+    /// The harness only calls this when [`ready`](Transmitter::ready)
+    /// returns true.
+    fn on_send_msg(&mut self, m: Message);
+
+    /// `receive_pkt`ʳ→ᵗ`(p)`: an acknowledgement packet arrives.
+    fn on_receive_pkt(&mut self, p: Packet);
+
+    /// One scheduler step has elapsed (drives retransmission timers).
+    fn on_tick(&mut self) {}
+
+    /// Harness pushes ghost channel summaries; honest protocols ignore it.
+    fn on_ghost(&mut self, _ghost: &GhostInfo) {}
+
+    /// Drains the next enabled `send_pkt`ᵗ→ʳ output, if any.
+    fn poll_send(&mut self) -> Option<Packet>;
+
+    /// True when the automaton can accept the next `send_msg` (simple
+    /// stop-and-wait flow control; the paper's executions interleave one
+    /// message at a time).
+    fn ready(&self) -> bool;
+
+    /// Bytes of live protocol state — the space observable of Theorem 3.1.
+    fn space_bytes(&self) -> usize;
+
+    /// Deterministic fingerprint of the *control* state (used for product
+    /// state counting in the Theorem 2.1 experiments).
+    fn state_fingerprint(&self) -> u64;
+
+    /// Clones the automaton behind a box.
+    fn clone_box(&self) -> BoxedTransmitter;
+}
+
+/// The receiving-station automaton `Aʳ`.
+///
+/// Input actions: `receive_pkt`ᵗ→ʳ, tick, ghost. Output actions:
+/// `send_pkt`ʳ→ᵗ via [`poll_send`](Receiver::poll_send) and
+/// `receive_msg(m)` via [`poll_deliver`](Receiver::poll_deliver).
+pub trait Receiver: fmt::Debug {
+    /// `receive_pkt`ᵗ→ʳ`(p)`: a data packet arrives.
+    fn on_receive_pkt(&mut self, p: Packet);
+
+    /// One scheduler step has elapsed.
+    fn on_tick(&mut self) {}
+
+    /// Harness pushes ghost channel summaries; honest protocols ignore it.
+    fn on_ghost(&mut self, _ghost: &GhostInfo) {}
+
+    /// Drains the next enabled `send_pkt`ʳ→ᵗ output (acknowledgement).
+    fn poll_send(&mut self) -> Option<Packet>;
+
+    /// Drains the next enabled `receive_msg` output.
+    fn poll_deliver(&mut self) -> Option<Message>;
+
+    /// Bytes of live protocol state.
+    fn space_bytes(&self) -> usize;
+
+    /// Deterministic fingerprint of the control state.
+    fn state_fingerprint(&self) -> u64;
+
+    /// Clones the automaton behind a box.
+    fn clone_box(&self) -> BoxedReceiver;
+}
+
+/// A boxed transmitter trait object.
+pub type BoxedTransmitter = Box<dyn Transmitter>;
+
+/// A boxed receiver trait object.
+pub type BoxedReceiver = Box<dyn Receiver>;
+
+impl Clone for BoxedTransmitter {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl Clone for BoxedReceiver {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// How a protocol's forward-header usage grows with the number of messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderBound {
+    /// At most `k` distinct forward packets, ever (the paper's
+    /// "protocol with a fixed number k of headers").
+    Fixed(
+        /// The header count `k`.
+        u32,
+    ),
+    /// Header usage grows with the number of messages (the paper's naive
+    /// protocol: `h(n) = n`).
+    PerMessage,
+}
+
+impl fmt::Display for HeaderBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderBound::Fixed(k) => write!(f, "{k} headers"),
+            HeaderBound::PerMessage => write!(f, "n headers"),
+        }
+    }
+}
+
+/// A data-link protocol: a named factory for fresh `(Aᵗ, Aʳ)` pairs.
+///
+/// Experiment tables iterate over `Vec<Box<dyn DataLink>>`, instantiating a
+/// fresh automaton pair per run.
+pub trait DataLink: fmt::Debug {
+    /// Human-readable protocol name (appears in experiment tables).
+    fn name(&self) -> String;
+
+    /// The forward-header budget this protocol promises.
+    fn forward_headers(&self) -> HeaderBound;
+
+    /// Builds a fresh automaton pair in their initial states.
+    fn make(&self) -> (BoxedTransmitter, BoxedReceiver);
+
+    /// True if the automata consume [`GhostInfo`] (oracle-assisted
+    /// reconstructions). Harnesses may skip the — potentially expensive —
+    /// ghost computation when this is false.
+    fn uses_ghosts(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghost_accessors() {
+        let mut g = GhostInfo::default();
+        g.stale_fwd_by_header.insert(Header::new(0), 3);
+        g.stale_fwd_by_header.insert(Header::new(2), 4);
+        assert_eq!(g.stale_fwd(Header::new(0)), 3);
+        assert_eq!(g.stale_fwd(Header::new(1)), 0);
+        assert_eq!(g.stale_fwd_total(), 7);
+    }
+
+    #[test]
+    fn header_bound_display() {
+        assert_eq!(HeaderBound::Fixed(3).to_string(), "3 headers");
+        assert_eq!(HeaderBound::PerMessage.to_string(), "n headers");
+    }
+}

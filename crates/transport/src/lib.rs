@@ -1,0 +1,24 @@
+//! Transport-layer extension of the `nonfifo` reproduction.
+//!
+//! The paper closes its introduction with: *"we remark that all our results
+//! can be extended to transport layer protocols (see \[Tan81\]) over non-FIFO
+//! virtual links. Recall that the task of the transport layer is to
+//! establish reliable host to host communication."* This crate supplies the
+//! substrate for that remark: a [`VirtualLink`] — a multi-hop, multi-path
+//! network path whose non-FIFO behaviour *emerges* from routing rather than
+//! being assumed. Each route is individually FIFO with its own latency;
+//! spraying packets across routes with different latencies reorders them,
+//! and a route failure deletes everything queued on it.
+//!
+//! A `VirtualLink` implements [`Channel`](nonfifo_channel::Channel), so every data-link protocol in
+//! the workspace doubles as a transport protocol over it, and every theorem
+//! of the paper bites identically: bounded-header transport protocols alias
+//! under enough latency spread (experiment E10), unbounded sequence numbers
+//! stay correct.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod virtual_link;
+
+pub use virtual_link::{RoutePolicy, VirtualLink, VirtualLinkBuilder};

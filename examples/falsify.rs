@@ -1,0 +1,113 @@
+//! Run the paper's adversaries against a protocol of your choice.
+//!
+//! ```text
+//! cargo run --example falsify -- <protocol> [adversary] [--dump <file>]
+//!
+//! protocols: abp | cycle3 | cycle5 | window2 | window8 | seqnum | afek | outnumber
+//! adversary: mf (default, Theorem 3.1) | pf (Theorem 4.1) | greedy
+//!
+//! --dump writes the violating execution in the re-checkable text format
+//! of `nonfifo::ioa::text`.
+//! ```
+
+use nonfifo::adversary::{FalsifyOutcome, GreedyReplayAdversary, MfFalsifier, PfFalsifier};
+use nonfifo::protocols::{
+    AfekFlush, AlternatingBit, DataLink, NaiveCycle, Outnumber, SequenceNumber, SlidingWindow,
+};
+use std::process::ExitCode;
+
+fn protocol(name: &str) -> Option<Box<dyn DataLink>> {
+    Some(match name {
+        "abp" => Box::new(AlternatingBit::new()),
+        "cycle3" => Box::new(NaiveCycle::new(3)),
+        "cycle5" => Box::new(NaiveCycle::new(5)),
+        "window2" => Box::new(SlidingWindow::new(2)),
+        "window8" => Box::new(SlidingWindow::new(8)),
+        "seqnum" => Box::new(SequenceNumber::new()),
+        "afek" => Box::new(AfekFlush::new()),
+        "outnumber" => Box::new(Outnumber::new(3)),
+        _ => return None,
+    })
+}
+
+fn describe(outcome: &FalsifyOutcome, dump: Option<&str>) {
+    match outcome {
+        FalsifyOutcome::Violation(report) => {
+            let c = report.execution.counts();
+            println!("⚠ INVALID EXECUTION FOUND: {}", report.violation);
+            println!("  sm = {}, rm = {} (rm = sm + 1)", c.sm, c.rm);
+            println!("  after {} legitimate messages", report.messages_before_violation);
+            println!("\nfinal events:");
+            print!("{}", report.execution.render_tail(10));
+            if let Some(path) = dump {
+                let text = nonfifo::ioa::text::write_text(&report.execution);
+                std::fs::write(path, text).expect("write dump");
+                println!("\nfull execution written to {path}");
+            }
+        }
+        FalsifyOutcome::Survived(report) => {
+            println!("✓ survived the adversary");
+            println!("  messages delivered : {}", report.messages_delivered);
+            println!("  forward packets    : {}", report.forward_packets_sent);
+            println!("  distinct headers   : {}", report.distinct_forward_packets);
+            println!("  copies in transit  : {}", report.final_in_transit);
+            println!("  peak space (bytes) : {}", report.peak_space_bytes);
+        }
+        FalsifyOutcome::Stuck { delivered } => {
+            println!("✗ protocol wedged under an optimal channel after {delivered} messages");
+        }
+        FalsifyOutcome::BudgetExhausted {
+            delivered,
+            forward_packets_sent,
+        } => {
+            println!("… safety held but cost exploded past the step budget");
+            println!("  messages delivered : {delivered}");
+            println!("  forward packets    : {forward_packets_sent}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let dump = args
+        .iter()
+        .position(|a| a == "--dump")
+        .map(|i| {
+            let pair: Vec<String> = args.drain(i..i + 2).collect();
+            pair[1].clone()
+        });
+    let dump = dump.as_deref();
+    let Some(proto_name) = args.first() else {
+        eprintln!("usage: falsify <abp|cycle3|cycle5|window2|window8|seqnum|afek|outnumber> [mf|pf|greedy] [--dump <file>]");
+        return ExitCode::FAILURE;
+    };
+    let Some(proto) = protocol(proto_name) else {
+        eprintln!("unknown protocol {proto_name:?}");
+        return ExitCode::FAILURE;
+    };
+    let adversary = args.get(1).map(String::as_str).unwrap_or("mf");
+    println!(
+        "attacking {} ({}) with the {adversary} adversary…\n",
+        proto.name(),
+        proto.forward_headers()
+    );
+    match adversary {
+        "mf" => describe(&MfFalsifier::default().run(proto.as_ref()), dump),
+        "pf" => {
+            let (outcome, costs) = PfFalsifier::default().run(proto.as_ref());
+            describe(&outcome, dump);
+            if !costs.is_empty() {
+                println!("\nper-message cost samples (in-transit, extension sends):");
+                for c in costs.iter().step_by(costs.len().div_ceil(8).max(1)) {
+                    println!("  l = {:>4}  ext = {:>4}", c.in_transit_before, c.extension_sends);
+                }
+            }
+        }
+        "greedy" => describe(&GreedyReplayAdversary::default().run(proto.as_ref()), dump),
+        other => {
+            eprintln!("unknown adversary {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,174 @@
+//! Integration: the executable lower-bound constructions against every
+//! protocol, with the produced evidence re-validated by the independent
+//! offline checkers.
+
+use nonfifo::adversary::{
+    FalsifyOutcome, GreedyReplayAdversary, MfConfig, MfFalsifier, PfConfig, PfFalsifier,
+};
+use nonfifo::ioa::spec::{check_dl1, check_pl1, Validity};
+use nonfifo::ioa::Dir;
+use nonfifo::protocols::{
+    AfekFlush, AlternatingBit, DataLink, NaiveCycle, SequenceNumber, SlidingWindow,
+};
+
+fn mf() -> MfFalsifier {
+    MfFalsifier::new(MfConfig {
+        max_messages: 40,
+        ..MfConfig::default()
+    })
+}
+
+#[test]
+fn violations_are_real_invalid_executions() {
+    // The evidence must convince the *offline* checkers, not just the
+    // online monitor that produced it.
+    let victims: Vec<Box<dyn DataLink>> = vec![
+        Box::new(AlternatingBit::new()),
+        Box::new(NaiveCycle::new(3)),
+        Box::new(NaiveCycle::new(4)),
+        Box::new(SlidingWindow::new(2)),
+    ];
+    for proto in victims {
+        let FalsifyOutcome::Violation(report) = mf().run(proto.as_ref()) else {
+            panic!("{} should fall", proto.name());
+        };
+        let exec = &report.execution;
+        // The execution is invalid in exactly the paper's way…
+        assert!(check_dl1(exec).is_err(), "{}", proto.name());
+        assert!(matches!(Validity::classify(exec), Validity::Invalid(_)));
+        assert_eq!(exec.counts().rm, exec.counts().sm + 1, "{}", proto.name());
+        // …while the *physical* layer behaved perfectly legally: the blame
+        // is the protocol's.
+        check_pl1(exec, Dir::Forward).expect("channel was legal");
+        check_pl1(exec, Dir::Backward).expect("channel was legal");
+    }
+}
+
+#[test]
+fn prefix_before_phantom_is_semi_valid() {
+    let FalsifyOutcome::Violation(report) = mf().run(&NaiveCycle::new(3)) else {
+        panic!("cycle should fall");
+    };
+    // Strip the phantom delivery and everything after: what remains must be
+    // a perfectly ordinary (semi-)valid execution, as in the proofs.
+    let exec = &report.execution;
+    let phantom_index = exec
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_receive_msg())
+        .map(|(i, _)| i)
+        .nth(exec.counts().sm as usize)
+        .expect("phantom receive present");
+    let prefix = exec.prefix(phantom_index);
+    assert!(
+        Validity::classify(&prefix).is_semi_valid(),
+        "prefix: {}",
+        Validity::classify(&prefix)
+    );
+}
+
+#[test]
+fn survivors_and_victims_partition_correctly() {
+    let mf = mf();
+    assert!(mf.run(&AlternatingBit::new()).is_violation());
+    assert!(!mf.run(&SequenceNumber::new()).is_violation());
+    assert!(!mf.run(&AfekFlush::new()).is_violation());
+
+    let greedy = GreedyReplayAdversary::default();
+    assert!(greedy.run(&AlternatingBit::new()).is_violation());
+    assert!(!greedy.run(&SequenceNumber::new()).is_violation());
+}
+
+#[test]
+fn pf_curve_shapes_match_theorem_4_1() {
+    let pf = PfFalsifier::new(PfConfig {
+        messages: 50,
+        ..PfConfig::default()
+    });
+    // Afek: linear, bound respected, in-transit grows one per message.
+    let (outcome, costs) = pf.run(&AfekFlush::new());
+    assert!(matches!(outcome, FalsifyOutcome::Survived(_)));
+    for c in &costs {
+        assert!(c.extension_sends >= c.in_transit_before / 3);
+        assert!(c.extension_sends <= c.in_transit_before + 2);
+    }
+    // Sequence numbers: constant extensions regardless of the pool.
+    let (outcome, costs) = pf.run(&SequenceNumber::new());
+    assert!(matches!(outcome, FalsifyOutcome::Survived(_)));
+    assert!(costs.iter().all(|c| c.extension_sends <= 2));
+}
+
+#[test]
+fn mf_growth_trace_matches_induction_bookkeeping() {
+    // Against the 3-header reconstruction the growth round parks one new
+    // copy per message: pool size equals message count + 1 at every stage.
+    let (outcome, stages) = mf().run_with_trace(&AfekFlush::new());
+    assert!(matches!(outcome, FalsifyOutcome::Survived(_)));
+    for s in &stages {
+        assert_eq!(
+            s.pool_size,
+            s.message + 1,
+            "stage {}: pool {}",
+            s.message,
+            s.pool_size
+        );
+        // Copies spread across the 3 labels (the pigeonhole of T4.1).
+        assert!(s.pool_histogram.len() <= 3);
+    }
+}
+
+#[test]
+fn phantom_replay_is_receiver_indistinguishable_from_beta() {
+    // Verify the simulation argument itself, not just its conclusion:
+    // the replayed extension β′ (delayed copies substituted for fresh
+    // sends, no send_msg) must be indistinguishable to the receiver from
+    // the oracle's extension β.
+    use nonfifo::adversary::{BoundnessOracle, System};
+    use nonfifo::channel::Channel as _;
+    use nonfifo::ioa::view::{receiver_indistinguishable, receiver_view};
+    use nonfifo::ioa::Execution;
+
+    let k = 3;
+    let mut sys = System::new(&NaiveCycle::new(k));
+    // Build the pool: one captured retransmission per message, k messages.
+    for _ in 0..k {
+        sys.send_msg();
+        let mut captured = false;
+        while sys.counts().rm < sys.counts().sm {
+            sys.step(|_, _, _| {
+                if captured {
+                    nonfifo::adversary::Disposition::Deliver
+                } else {
+                    captured = true;
+                    nonfifo::adversary::Disposition::Park
+                }
+            });
+        }
+    }
+    // The pool now holds one copy per label; the next message's extension
+    // is fully coverable.
+    let oracle = BoundnessOracle::default();
+    let beta = oracle.extension_with_new_message(&sys).expect("live");
+    assert!(!beta.receipts.is_empty());
+    for (&p, &n) in beta.histogram().iter() {
+        assert!(
+            sys.fwd.packet_copies(p) as u64 >= n,
+            "pool does not cover {p}"
+        );
+    }
+
+    // Replay β without any send_msg.
+    let mut fork = sys.clone();
+    let start = fork.execution().len();
+    fork.replay_receipts(&beta.receipts);
+    let beta_prime: Execution = fork.execution().events()[start..].iter().copied().collect();
+
+    assert!(
+        receiver_indistinguishable(&beta.events, &beta_prime),
+        "views differ:\n  β : {:?}\n  β′: {:?}",
+        receiver_view(&beta.events),
+        receiver_view(&beta_prime)
+    );
+    // And the conclusion: the phantom delivery happened.
+    assert_eq!(fork.counts().rm, fork.counts().sm + 1);
+}

@@ -1,0 +1,338 @@
+//! Property-based tests: channel and checker invariants under arbitrary
+//! operation sequences, and protocol safety under randomized schedules.
+
+use nonfifo::channel::{
+    AdversarialChannel, BoundedReorderChannel, Channel, FifoChannel, LossyFifoChannel,
+    PacketMultiset, ProbabilisticChannel,
+};
+use nonfifo::ioa::spec::{check_dl1_dl2, check_pl1};
+use nonfifo::ioa::{CopyId, Dir, Event, Execution, Header, Message, Packet, SpecMonitor};
+use proptest::prelude::*;
+
+/// Operations a test driver can apply to any channel.
+#[derive(Debug, Clone)]
+enum ChanOp {
+    Send(u32),
+    Poll,
+    Tick,
+}
+
+fn chan_ops() -> impl Strategy<Value = Vec<ChanOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..6).prop_map(ChanOp::Send),
+            Just(ChanOp::Poll),
+            Just(ChanOp::Tick),
+        ],
+        0..200,
+    )
+}
+
+/// Drives a channel with arbitrary ops, records the trace, and checks PL1
+/// plus conservation (sent = delivered + dropped + in transit + queued).
+fn drive(channel: &mut dyn Channel, ops: &[ChanOp]) {
+    let dir = channel.dir();
+    let mut exec = Execution::new();
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    for op in ops {
+        match op {
+            ChanOp::Send(h) => {
+                let pkt = Packet::header_only(Header::new(*h));
+                let copy = channel.send(pkt);
+                exec.push(Event::SendPkt {
+                    dir,
+                    packet: pkt,
+                    copy,
+                });
+            }
+            ChanOp::Poll => {
+                if let Some((pkt, copy)) = channel.poll_deliver() {
+                    exec.push(Event::ReceivePkt {
+                        dir,
+                        packet: pkt,
+                        copy,
+                    });
+                    delivered += 1;
+                }
+            }
+            ChanOp::Tick => channel.tick(),
+        }
+        for (pkt, copy) in channel.drain_drops() {
+            exec.push(Event::DropPkt {
+                dir,
+                packet: pkt,
+                copy,
+            });
+            dropped += 1;
+        }
+    }
+    check_pl1(&exec, dir).expect("PL1 must hold for every channel");
+    assert_eq!(channel.total_delivered(), delivered);
+    // Conservation: every sent copy is delivered, dropped, in transit, or
+    // queued awaiting a poll.
+    let accounted = delivered + dropped + channel.in_transit_len() as u64;
+    assert!(
+        channel.total_sent() >= accounted,
+        "over-accounted: sent {} < accounted {}",
+        channel.total_sent(),
+        accounted
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pl1_holds_for_fifo(ops in chan_ops()) {
+        drive(&mut FifoChannel::new(Dir::Forward), &ops);
+    }
+
+    #[test]
+    fn pl1_holds_for_lossy_fifo(ops in chan_ops(), seed in 0u64..1000) {
+        drive(&mut LossyFifoChannel::new(Dir::Forward, 0.4, seed), &ops);
+    }
+
+    #[test]
+    fn pl1_holds_for_probabilistic(ops in chan_ops(), seed in 0u64..1000) {
+        drive(&mut ProbabilisticChannel::new(Dir::Backward, 0.35, seed), &ops);
+    }
+
+    #[test]
+    fn pl1_holds_for_bounded_reorder(ops in chan_ops(), seed in 0u64..1000, bound in 1u64..20) {
+        drive(&mut BoundedReorderChannel::new(Dir::Forward, bound, seed), &ops);
+    }
+
+    #[test]
+    fn pl1_holds_for_virtual_link(ops in chan_ops(), seed in 0u64..1000, spread in 0u64..12) {
+        use nonfifo::transport::{RoutePolicy, VirtualLinkBuilder};
+        let mut link = VirtualLinkBuilder::new(Dir::Forward)
+            .route(0)
+            .route(spread)
+            .route(spread / 2)
+            .policy(RoutePolicy::Random)
+            .seed(seed)
+            .build();
+        drive(&mut link, &ops);
+    }
+
+    #[test]
+    fn sliding_window_correct_under_in_window_reorder(
+        seed in 0u64..500,
+        w in 4u32..10,
+    ) {
+        // The E9 diagonal as a property: reorder bound B < w never breaks
+        // the window-w protocol.
+        use nonfifo::core::{SimConfig, Simulation};
+        use nonfifo::protocols::SlidingWindow;
+        let bound = u64::from(w) / 2; // strictly inside the window
+        let mut sim = Simulation::bounded_reorder(SlidingWindow::new(w), bound.max(1), seed);
+        let cfg = SimConfig { payloads: true, max_steps_per_message: 50_000 };
+        let stats = sim.deliver(60, &cfg).expect("within tolerance");
+        prop_assert_eq!(stats.delivered_payloads, (0..60).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pl1_holds_for_adversarial_with_releases(ops in chan_ops(), seed in 0u64..1000) {
+        // Interleave adversary releases between ordinary ops.
+        let mut ch = AdversarialChannel::parked(Dir::Forward);
+        let dir = ch.dir();
+        let mut exec = Execution::new();
+        let mut rng = seed;
+        for op in &ops {
+            match op {
+                ChanOp::Send(h) => {
+                    let pkt = Packet::header_only(Header::new(*h));
+                    let copy = ch.send(pkt);
+                    exec.push(Event::SendPkt { dir, packet: pkt, copy });
+                }
+                ChanOp::Poll => {
+                    // Pseudo-random adversary action.
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    match rng % 3 {
+                        0 => { ch.release_all(); }
+                        1 => { ch.release_oldest_of_header(Header::new((rng >> 8) as u32 % 6)); }
+                        _ => { ch.drop_oldest_of_packet(Packet::header_only(Header::new((rng >> 8) as u32 % 6))); }
+                    }
+                    while let Some((pkt, copy)) = ch.poll_deliver() {
+                        exec.push(Event::ReceivePkt { dir, packet: pkt, copy });
+                    }
+                }
+                ChanOp::Tick => ch.tick(),
+            }
+            for (pkt, copy) in ch.drain_drops() {
+                exec.push(Event::DropPkt { dir, packet: pkt, copy });
+            }
+        }
+        check_pl1(&exec, dir).expect("PL1 must hold under adversary control");
+    }
+
+    #[test]
+    fn multiset_conserves_copies(inserts in prop::collection::vec((0u32..5, 0u64..10_000), 0..100)) {
+        let mut ms = PacketMultiset::new();
+        let mut expected = 0usize;
+        let mut used = std::collections::HashSet::new();
+        for (h, c) in inserts {
+            if used.insert(c) {
+                ms.insert(Packet::header_only(Header::new(h)), CopyId::from_raw(c));
+                expected += 1;
+            }
+        }
+        assert_eq!(ms.len(), expected);
+        let per_packet: usize = ms.packets().map(|p| ms.packet_copies(p)).sum();
+        assert_eq!(per_packet, expected);
+        let drained = ms.drain_all();
+        assert_eq!(drained.len(), expected);
+        // Mint order.
+        for w in drained.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn monitor_agrees_with_offline_checker_on_message_streams(
+        script in prop::collection::vec(prop_oneof![Just(true), Just(false)], 0..60)
+    ) {
+        // true = send_msg, false = receive_msg (identical messages).
+        let mut exec = Execution::new();
+        let mut monitor = SpecMonitor::new();
+        let mut monitor_flagged = false;
+        let mut sends = 0u64;
+        let mut recvs = 0u64;
+        for is_send in script {
+            let e = if is_send {
+                sends += 1;
+                Event::SendMsg(Message::identical(sends - 1))
+            } else {
+                recvs += 1;
+                Event::ReceiveMsg(Message::identical(recvs - 1))
+            };
+            if monitor.observe(&e).is_err() {
+                monitor_flagged = true;
+            }
+            exec.push(e);
+        }
+        // With identical messages the online prefix check is exact: it
+        // flags iff the offline DL1 matcher rejects.
+        let offline = check_dl1_dl2(&exec).is_err();
+        prop_assert_eq!(monitor_flagged, offline);
+    }
+}
+
+mod text_format {
+    use super::*;
+    use nonfifo::ioa::text::{parse_text, write_text};
+    use nonfifo::ioa::Payload;
+    
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        let msg = (any::<u64>(), prop::option::of(any::<u64>())).prop_map(|(id, p)| match p {
+            Some(w) => Message::with_payload(id, Payload::new(w)),
+            None => Message::identical(id),
+        });
+        let pkt = (any::<u32>(), prop::option::of(any::<u64>())).prop_map(|(h, p)| match p {
+            Some(w) => Packet::new(Header::new(h), Payload::new(w)),
+            None => Packet::header_only(Header::new(h)),
+        });
+        let dir = prop_oneof![Just(Dir::Forward), Just(Dir::Backward)];
+        prop_oneof![
+            msg.clone().prop_map(Event::SendMsg),
+            msg.prop_map(Event::ReceiveMsg),
+            (dir.clone(), pkt.clone(), any::<u64>()).prop_map(|(dir, packet, c)| {
+                Event::SendPkt { dir, packet, copy: CopyId::from_raw(c) }
+            }),
+            (dir.clone(), pkt.clone(), any::<u64>()).prop_map(|(dir, packet, c)| {
+                Event::ReceivePkt { dir, packet, copy: CopyId::from_raw(c) }
+            }),
+            (dir, pkt, any::<u64>()).prop_map(|(dir, packet, c)| {
+                Event::DropPkt { dir, packet, copy: CopyId::from_raw(c) }
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Arbitrary executions survive the text round trip unchanged.
+        #[test]
+        fn text_round_trip(events in prop::collection::vec(arb_event(), 0..60)) {
+            let exec: Execution = events.into_iter().collect();
+            let text = write_text(&exec);
+            let back = parse_text(&text).expect("own output parses");
+            prop_assert_eq!(back, exec);
+        }
+    }
+}
+
+mod protocol_safety {
+    use super::*;
+    use nonfifo::adversary::{Disposition, System};
+    use nonfifo::protocols::SequenceNumber;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The naive protocol never violates the spec, whatever the channel
+        /// does: park/deliver decisions drawn from proptest, plus random
+        /// stale replays.
+        #[test]
+        fn sequence_number_is_unbreakable(
+            decisions in prop::collection::vec(any::<u8>(), 20..200)
+        ) {
+            let mut sys = System::new(&SequenceNumber::new());
+            let iter = decisions.into_iter();
+            let mut outstanding = false;
+            for d in iter {
+                if !outstanding && sys.ready() {
+                    sys.send_msg();
+                    outstanding = true;
+                }
+                match d % 4 {
+                    0 => { sys.step_park_all(); }
+                    1 => { sys.step_deliver_all(); }
+                    2 => {
+                        // Replay a random stale copy if one exists.
+                        let target = sys
+                            .fwd
+                            .parked_multiset()
+                            .iter()
+                            .nth(usize::from(d) % sys.fwd.in_transit_len().max(1))
+                            .map(|(p, _)| p);
+                        if let Some(p) = target {
+                            sys.fwd.release_oldest_of_packet(p);
+                            sys.drain_released();
+                        }
+                    }
+                    _ => {
+                        sys.step(|_, _, _| if d > 128 { Disposition::Deliver } else { Disposition::Park });
+                    }
+                }
+                prop_assert!(sys.violation().is_none(), "violated: {:?}", sys.violation());
+                if sys.counts().rm >= sys.counts().sm {
+                    outstanding = false;
+                }
+            }
+        }
+    }
+}
+
+mod parser_robustness {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The trace parser never panics on arbitrary input — it returns a
+        /// structured error instead.
+        #[test]
+        fn trace_parser_total(input in ".{0,200}") {
+            let _ = nonfifo::ioa::text::parse_text(&input);
+        }
+
+        /// Same for the attack-schedule parser.
+        #[test]
+        fn schedule_parser_total(input in ".{0,200}") {
+            let _ = nonfifo::adversary::Schedule::parse(&input);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration: every protocol on every channel it claims to support,
+//! end to end through the public API.
+
+use nonfifo::core::{SimConfig, Simulation};
+use nonfifo::protocols::{
+    AfekFlush, AlternatingBit, DataLink, GoBackN, NaiveCycle, Outnumber, SelectiveReject,
+    SequenceNumber, SlidingWindow,
+};
+
+fn all_protocols() -> Vec<Box<dyn DataLink>> {
+    vec![
+        Box::new(AlternatingBit::new()),
+        Box::new(NaiveCycle::new(3)),
+        Box::new(NaiveCycle::new(5)),
+        Box::new(SequenceNumber::new()),
+        Box::new(SlidingWindow::new(4)),
+        Box::new(GoBackN::new(4)),
+        Box::new(SelectiveReject::new(4)),
+        Box::new(AfekFlush::new()),
+        Box::new(Outnumber::new(3)),
+    ]
+}
+
+#[derive(Clone, Copy)]
+enum Substrate {
+    Fifo,
+    LossyFifo(f64),
+    Probabilistic(f64),
+}
+
+fn build(proto: &dyn DataLink, substrate: Substrate, seed: u64) -> Simulation {
+    // `DataLink` factories are cheap; rebuild a concrete one by name to keep
+    // this test at the public-API level.
+    macro_rules! with {
+        ($p:expr) => {
+            match substrate {
+                Substrate::Fifo => Simulation::fifo($p),
+                Substrate::LossyFifo(l) => Simulation::lossy_fifo($p, l, seed),
+                Substrate::Probabilistic(q) => Simulation::probabilistic($p, q, seed),
+            }
+        };
+    }
+    match proto.name().as_str() {
+        "alternating-bit" => with!(AlternatingBit::new()),
+        "naive-cycle(k=3)" => with!(NaiveCycle::new(3)),
+        "naive-cycle(k=5)" => with!(NaiveCycle::new(5)),
+        "sequence-number" => with!(SequenceNumber::new()),
+        "sliding-window(w=4)" => with!(SlidingWindow::new(4)),
+        "go-back-n(w=4)" => with!(GoBackN::new(4)),
+        "selective-reject(w=4)" => with!(SelectiveReject::new(4)),
+        "afek-flush(3)" => with!(AfekFlush::new()),
+        "outnumber(L=3)" => with!(Outnumber::new(3)),
+        other => panic!("unknown protocol {other}"),
+    }
+}
+
+#[test]
+fn every_protocol_is_correct_over_perfect_fifo() {
+    for proto in all_protocols() {
+        // Outnumber's cost doubles per message even on a perfect channel
+        // (that is the point of the paper); keep its run short.
+        let n = if proto.name().starts_with("outnumber") { 12 } else { 30 };
+        let mut sim = build(proto.as_ref(), Substrate::Fifo, 0);
+        let stats = sim
+            .deliver(n, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{} over fifo: {e}", proto.name()));
+        assert_eq!(stats.messages_delivered, n, "{}", proto.name());
+        assert!(stats.violation.is_none(), "{}", proto.name());
+    }
+}
+
+#[test]
+fn fifo_safe_protocols_survive_loss() {
+    // Loss (without reordering) is survivable by every retransmitting
+    // protocol here.
+    for proto in all_protocols() {
+        let n = if proto.name().starts_with("outnumber") { 10 } else { 60 };
+        let mut sim = build(proto.as_ref(), Substrate::LossyFifo(0.3), 11);
+        let stats = sim
+            .deliver(n, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{} over lossy fifo: {e}", proto.name()));
+        assert_eq!(stats.messages_delivered, n, "{}", proto.name());
+        assert!(stats.violation.is_none(), "{}", proto.name());
+    }
+}
+
+#[test]
+fn unbounded_and_reconstructed_protocols_survive_probabilistic() {
+    for proto in all_protocols() {
+        // The probabilistic channel never delivers its delayed copies, so
+        // even naive protocols stay safe here; what differs is cost.
+        let n = if proto.name().starts_with("outnumber") { 9 } else { 50 };
+        let mut sim = build(proto.as_ref(), Substrate::Probabilistic(0.25), 3);
+        let stats = sim
+            .deliver(n, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{} over probabilistic: {e}", proto.name()));
+        assert_eq!(stats.messages_delivered, n, "{}", proto.name());
+    }
+}
+
+#[test]
+fn bounded_header_protocols_keep_their_promise() {
+    use nonfifo::protocols::HeaderBound;
+    for proto in all_protocols() {
+        let mut sim = build(proto.as_ref(), Substrate::LossyFifo(0.2), 5);
+        let n = if proto.name().starts_with("outnumber") { 9 } else { 40 };
+        let stats = sim.deliver(n, &SimConfig::default()).unwrap();
+        match proto.forward_headers() {
+            HeaderBound::Fixed(k) => assert!(
+                stats.distinct_forward_packets <= u64::from(k),
+                "{} promised {k} headers, used {}",
+                proto.name(),
+                stats.distinct_forward_packets
+            ),
+            HeaderBound::PerMessage => assert_eq!(
+                stats.distinct_forward_packets,
+                n,
+                "{} should use one header per message",
+                proto.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn cost_separation_over_probabilistic_channel() {
+    // The paper's bottom line, through the public API: at equal n the
+    // bounded-header witness pays orders of magnitude more than the naive
+    // protocol.
+    let n = 10;
+    let mut naive = Simulation::probabilistic(SequenceNumber::new(), 0.3, 9);
+    let naive_stats = naive.deliver(n, &SimConfig::default()).unwrap();
+    let mut bounded = Simulation::probabilistic(Outnumber::factory(), 0.3, 9);
+    let bounded_stats = bounded.deliver(n, &SimConfig::default()).unwrap();
+    assert!(
+        bounded_stats.packets_sent_forward > 20 * naive_stats.packets_sent_forward,
+        "bounded {} vs naive {}",
+        bounded_stats.packets_sent_forward,
+        naive_stats.packets_sent_forward
+    );
+}
