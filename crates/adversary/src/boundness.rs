@@ -16,8 +16,7 @@ use crate::oracle::BoundnessOracle;
 use crate::system::{Disposition, System};
 use nonfifo_ioa::SpecViolation;
 use nonfifo_protocols::DataLink;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nonfifo_rng::StdRng;
 use std::collections::BTreeSet;
 
 /// Configuration of a boundness probe.

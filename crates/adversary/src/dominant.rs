@@ -280,9 +280,7 @@ impl DominantTracker {
 
             let dominant: Vec<Header> = sends_by_header
                 .iter()
-                .filter(|(h, &sends)| {
-                    sends > in_transit_by_header.get(h).copied().unwrap_or(0)
-                })
+                .filter(|(h, &sends)| sends > in_transit_by_header.get(h).copied().unwrap_or(0))
                 .map(|(&h, _)| h)
                 .collect();
             per_message.push(MessageObservation {

@@ -213,7 +213,10 @@ mod tests {
         // The counterexample is a genuine invalid execution over a legal
         // channel.
         assert!(check_dl1(&execution).is_err());
-        assert!(matches!(Validity::classify(&execution), Validity::Invalid(_)));
+        assert!(matches!(
+            Validity::classify(&execution),
+            Validity::Invalid(_)
+        ));
         check_pl1(&execution, Dir::Forward).unwrap();
         check_pl1(&execution, Dir::Backward).unwrap();
         // The emitted schedule is replayable: running it reproduces the

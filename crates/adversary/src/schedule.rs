@@ -25,6 +25,20 @@
 //! drop h<index>             delete the oldest delayed copy of a header
 //! quiesce                   deliver fresh copies until rm = sm (≤ 10k steps)
 //! ```
+//!
+//! The chaos fault verbs mirror the fault kinds of
+//! `nonfifo_channel::ChaosChannel`; they are *lenient* — when the fault is
+//! not applicable (no delayed copy of the header, already partitioned) the
+//! verb is a no-op, so machine-generated repro schedules always replay:
+//!
+//! ```text
+//! dup h<index>              mint a parked twin of the oldest delayed copy
+//! corrupt h<index>          replace the oldest delayed copy, bit-corrupted
+//! partition                 sever the forward channel: fresh sends are lost
+//! heal                      end the partition
+//! crash tx                  transmitter amnesia crash (channels untouched)
+//! crash rx                  receiver amnesia crash
+//! ```
 
 use crate::system::System;
 use nonfifo_ioa::{Header, Packet};
@@ -49,6 +63,20 @@ pub enum ScheduleStep {
     /// Run `step_deliver_all` until the outstanding message count reaches
     /// zero (budgeted).
     Quiesce,
+    /// Mint a parked duplicate of the oldest delayed copy of the header
+    /// (lenient: no-op when none is delayed).
+    Dup(Header),
+    /// Replace the oldest delayed copy of the header with a bit-corrupted
+    /// rewrite (lenient: no-op when none is delayed).
+    Corrupt(Header),
+    /// Sever the forward channel: fresh sends are dropped until `heal`.
+    Partition,
+    /// End a partition.
+    Heal,
+    /// Transmitter amnesia crash (in-transit copies survive).
+    CrashTx,
+    /// Receiver amnesia crash (in-transit copies survive).
+    CrashRx,
 }
 
 impl fmt::Display for ScheduleStep {
@@ -60,6 +88,12 @@ impl fmt::Display for ScheduleStep {
             ScheduleStep::Deliver(h) => write!(f, "deliver {h}"),
             ScheduleStep::Drop(h) => write!(f, "drop {h}"),
             ScheduleStep::Quiesce => write!(f, "quiesce"),
+            ScheduleStep::Dup(h) => write!(f, "dup {h}"),
+            ScheduleStep::Corrupt(h) => write!(f, "corrupt {h}"),
+            ScheduleStep::Partition => write!(f, "partition"),
+            ScheduleStep::Heal => write!(f, "heal"),
+            ScheduleStep::CrashTx => write!(f, "crash tx"),
+            ScheduleStep::CrashRx => write!(f, "crash rx"),
         }
     }
 }
@@ -133,6 +167,20 @@ impl Schedule {
                 "quiesce" => ScheduleStep::Quiesce,
                 "deliver" => ScheduleStep::Deliver(header_arg(&mut tokens)?),
                 "drop" => ScheduleStep::Drop(header_arg(&mut tokens)?),
+                "dup" => ScheduleStep::Dup(header_arg(&mut tokens)?),
+                "corrupt" => ScheduleStep::Corrupt(header_arg(&mut tokens)?),
+                "partition" => ScheduleStep::Partition,
+                "heal" => ScheduleStep::Heal,
+                "crash" => match tokens.next() {
+                    Some("tx") => ScheduleStep::CrashTx,
+                    Some("rx") => ScheduleStep::CrashRx,
+                    other => {
+                        return Err(ScheduleError {
+                            at: i + 1,
+                            message: format!("crash needs a station (tx|rx), got {other:?}"),
+                        })
+                    }
+                },
                 other => {
                     return Err(ScheduleError {
                         at: i + 1,
@@ -206,6 +254,19 @@ impl Schedule {
                         return Err(fail("quiesce did not converge".into()));
                     }
                 }
+                // The chaos fault verbs are lenient by contract: a fault
+                // that finds nothing to bite is a no-op, so generated repro
+                // schedules replay against any protocol.
+                ScheduleStep::Dup(h) => {
+                    let _ = sys.duplicate_oldest(h);
+                }
+                ScheduleStep::Corrupt(h) => {
+                    let _ = sys.corrupt_oldest(h);
+                }
+                ScheduleStep::Partition => sys.set_partitioned(true),
+                ScheduleStep::Heal => sys.set_partitioned(false),
+                ScheduleStep::CrashTx => sys.crash_tx(),
+                ScheduleStep::CrashRx => sys.crash_rx(),
             }
         }
         Ok(sys)
@@ -299,5 +360,86 @@ deliver h0  // replay the stale copy: phantom delivery
     fn comments_and_blanks() {
         let s = Schedule::parse("\n// nothing\n  send // trailing\n").unwrap();
         assert_eq!(s.steps(), &[ScheduleStep::Send]);
+    }
+
+    #[test]
+    fn chaos_verbs_parse_and_round_trip() {
+        let text = "dup h0\ncorrupt h3\npartition\nheal\ncrash tx\ncrash rx\n";
+        let s = Schedule::parse(text).unwrap();
+        assert_eq!(s.to_text(), text);
+        assert!(Schedule::parse("crash\n").is_err());
+        assert!(Schedule::parse("crash both\n").is_err());
+        assert!(Schedule::parse("dup\n").is_err());
+    }
+
+    #[test]
+    fn dup_declares_its_twin_to_the_monitor() {
+        // Park a copy of h0, duplicate it, deliver both: the replay of the
+        // twin is a declared send, so PL1 holds; the phantom *message*
+        // delivery against the alternating bit is still caught.
+        let s = Schedule::parse("send\ndup h0\ndeliver h0\nquiesce\n").unwrap();
+        let sys = s.run(&AlternatingBit::new()).unwrap();
+        assert!(sys.violation().is_none());
+        assert_eq!(sys.counts().rm, 1);
+    }
+
+    #[test]
+    fn corrupt_is_a_monitored_rewrite() {
+        // Corrupting the only copy of h0: the original is a monitored drop
+        // and the rewrite a fresh declared send, so PL1 stays sound. The
+        // alternating bit reads its bit as `header % 2` — the high-bit
+        // corruption is invisible to it, so it happily delivers from the
+        // mangled copy. Exactly one extra distinct forward value exists:
+        // the corrupted twin.
+        let s = Schedule::parse("send\ncorrupt h0\ndeliver-all\nquiesce\n").unwrap();
+        let sys = s.run(&AlternatingBit::new()).unwrap();
+        assert!(sys.violation().is_none());
+        assert_eq!(sys.counts().rm, 1);
+        assert_eq!(sys.distinct_forward_packets(), 2);
+    }
+
+    #[test]
+    fn chaos_verbs_are_lenient_no_ops() {
+        // Nothing is in transit: every fault verb silently no-ops.
+        let s = Schedule::parse("dup h5\ncorrupt h5\npartition\nheal\nsend\nquiesce\n").unwrap();
+        let sys = s.run(&SequenceNumber::new()).unwrap();
+        assert!(sys.violation().is_none());
+        assert_eq!(sys.counts().rm, 1);
+    }
+
+    #[test]
+    fn partition_loses_fresh_sends_until_heal() {
+        // Under a partition nothing converges; after heal it does.
+        let s = Schedule::parse("partition\nsend\npark\npark\nheal\nquiesce\n").unwrap();
+        let sys = s.run(&SequenceNumber::new()).unwrap();
+        assert!(sys.violation().is_none());
+        assert_eq!(sys.counts().rm, 1, "retransmissions after heal get through");
+
+        let stalled = Schedule::parse("partition\nsend\nquiesce\n").unwrap();
+        let err = stalled.run(&SequenceNumber::new()).unwrap_err();
+        assert!(err.message.contains("did not converge"), "{err}");
+    }
+
+    #[test]
+    fn crash_rx_amnesia_enables_a_phantom_for_alternating_bit() {
+        // Deliver message 0 (bit 0), then crash the receiver: it forgets it
+        // already consumed bit 0, so a parked stale copy replays as a
+        // phantom delivery. This is the crash-recovery analogue of the
+        // paper's non-FIFO replay attack.
+        let s = Schedule::parse("send\npark\ndeliver h0\ncrash rx\ndeliver h0\n").unwrap();
+        let sys = s.run(&AlternatingBit::new()).unwrap();
+        assert!(
+            sys.violation().is_some(),
+            "an amnesiac receiver re-delivers the stale bit"
+        );
+    }
+
+    #[test]
+    fn crash_tx_amnesia_loses_the_in_flight_message() {
+        // The transmitter forgets its pending message: quiesce cannot
+        // converge because nothing retransmits.
+        let s = Schedule::parse("send\ncrash tx\nquiesce\n").unwrap();
+        let err = s.run(&SequenceNumber::new()).unwrap_err();
+        assert!(err.message.contains("did not converge"), "{err}");
     }
 }

@@ -1,6 +1,6 @@
 //! The composed closed system under adversary control.
 
-use nonfifo_channel::{AdversarialChannel, Channel};
+use nonfifo_channel::{corrupt_packet, AdversarialChannel, Channel};
 use nonfifo_ioa::{CopyId, Dir, Event, Execution, Header, Message, Packet, SpecViolation};
 use nonfifo_ioa::{Counts, SpecMonitor};
 use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};
@@ -49,6 +49,7 @@ pub struct System {
     pub burst: usize,
     peak_space: usize,
     sent_values: std::collections::BTreeSet<Packet>,
+    partitioned: bool,
 }
 
 impl System {
@@ -67,6 +68,7 @@ impl System {
             burst: 64,
             peak_space: 0,
             sent_values: std::collections::BTreeSet::new(),
+            partitioned: false,
         }
     }
 
@@ -172,7 +174,9 @@ impl System {
 
         // Transmitter output.
         for _ in 0..self.burst {
-            let Some(pkt) = self.tx.poll_send() else { break };
+            let Some(pkt) = self.tx.poll_send() else {
+                break;
+            };
             self.sent_values.insert(pkt);
             let copy = self.fwd.send(pkt);
             self.record(Event::SendPkt {
@@ -180,13 +184,94 @@ impl System {
                 packet: pkt,
                 copy,
             });
-            if dispose(pkt, copy, &mut self.fwd) == Disposition::Deliver {
+            if self.partitioned {
+                // A partitioned forward channel loses every fresh copy;
+                // the drop is drained (and monitored) in drain_released.
+                let _ = self.fwd.drop_copy(copy);
+            } else if dispose(pkt, copy, &mut self.fwd) == Disposition::Deliver {
                 // Release may be a no-op if the policy already released it.
                 let _ = self.fwd.release_copy(copy);
             }
         }
 
         self.drain_released()
+    }
+
+    /// Whether the forward channel is currently partitioned.
+    pub fn partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Partitions or heals the forward channel. While partitioned, every
+    /// fresh forward copy is dropped at the moment it is sent (each drop is
+    /// a monitored `DropPkt`, so the accounting stays PL1-sound). Copies
+    /// already parked are unaffected — a partition severs the link, it does
+    /// not flush the buffer.
+    pub fn set_partitioned(&mut self, on: bool) {
+        self.partitioned = on;
+    }
+
+    /// The oldest delayed forward copy with header `h`, if any.
+    pub fn oldest_forward_of_header(&self, h: Header) -> Option<Packet> {
+        self.fwd
+            .parked_multiset()
+            .iter()
+            .filter(|(p, _)| p.header() == h)
+            .min_by_key(|&(_, c)| c)
+            .map(|(p, _)| p)
+    }
+
+    /// Duplicates the oldest delayed forward copy of header `h`: a second
+    /// copy of the same packet value is minted onto the channel (parked) as
+    /// a monitored `SendPkt`, exactly how the chaos layer declares its
+    /// duplicate twins. Returns false (no-op) if no copy of `h` is delayed.
+    pub fn duplicate_oldest(&mut self, h: Header) -> bool {
+        let Some(pkt) = self.oldest_forward_of_header(h) else {
+            return false;
+        };
+        self.sent_values.insert(pkt);
+        let copy = self.fwd.send(pkt);
+        self.record(Event::SendPkt {
+            dir: Dir::Forward,
+            packet: pkt,
+            copy,
+        });
+        true
+    }
+
+    /// Replaces the oldest delayed forward copy of header `h` with a
+    /// bit-corrupted rewrite: the original copy is dropped (monitored
+    /// `DropPkt`) and the corrupted value is minted as a fresh parked copy
+    /// (monitored `SendPkt`). Returns false (no-op) if no copy of `h` is
+    /// delayed.
+    pub fn corrupt_oldest(&mut self, h: Header) -> bool {
+        let Some(pkt) = self.oldest_forward_of_header(h) else {
+            return false;
+        };
+        let dropped = self.fwd.drop_oldest_of_packet(pkt).is_some();
+        debug_assert!(dropped, "oldest copy just observed must be droppable");
+        let twisted = corrupt_packet(pkt);
+        self.sent_values.insert(twisted);
+        let copy = self.fwd.send(twisted);
+        self.record(Event::SendPkt {
+            dir: Dir::Forward,
+            packet: twisted,
+            copy,
+        });
+        self.drain_released();
+        true
+    }
+
+    /// Crashes the transmitting station with total loss of volatile state
+    /// (see [`nonfifo_protocols::Recoverable`]). The channels are
+    /// untouched: every in-transit copy survives the crash.
+    pub fn crash_tx(&mut self) {
+        self.tx.crash_amnesia();
+    }
+
+    /// Crashes the receiving station with total loss of volatile state.
+    pub fn crash_rx(&mut self) {
+        self.rx.crash_amnesia();
     }
 
     /// Delivers everything currently queued on both channels and drains the
@@ -322,10 +407,7 @@ mod tests {
         let c = sys.counts();
         assert_eq!(c.rm, 0);
         assert!(c.in_transit(Dir::Forward) >= 10);
-        assert_eq!(
-            sys.fwd.in_transit_len() as u64,
-            c.in_transit(Dir::Forward)
-        );
+        assert_eq!(sys.fwd.in_transit_len() as u64, c.in_transit(Dir::Forward));
     }
 
     #[test]

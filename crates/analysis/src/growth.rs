@@ -57,7 +57,11 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> GrowthFit {
     assert!(sxx > 0.0, "x values must not all be equal");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     GrowthFit {
         slope,
         intercept,

@@ -1,40 +1,35 @@
 //! Bench E9: sliding-window delivery throughput versus channel reorder
 //! bound — the practical ablation of the paper's assumptions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonfifo_bench::harness::Group;
 use nonfifo_core::{SimConfig, Simulation};
 use nonfifo_protocols::SlidingWindow;
-use std::hint::black_box;
 
-fn bench_window_vs_bound(c: &mut Criterion) {
-    let mut group = c.benchmark_group("window8_over_reorder");
+fn bench_window_vs_bound() {
+    let group = Group::new("window8_over_reorder");
     for bound in [1u64, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
-            b.iter(|| {
-                let mut sim = Simulation::bounded_reorder(SlidingWindow::new(8), bound, 3);
-                let stats = sim
-                    .deliver(200, &SimConfig::default())
-                    .expect("within the window's tolerance");
-                black_box(stats.packets_sent_forward)
-            })
+        group.bench(&bound.to_string(), || {
+            let mut sim = Simulation::bounded_reorder(SlidingWindow::new(8), bound, 3);
+            let stats = sim
+                .deliver(200, &SimConfig::default())
+                .expect("within the window's tolerance");
+            stats.packets_sent_forward
         });
     }
-    group.finish();
 }
 
-fn bench_window_sizes_on_fifo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("window_size_fifo_pipeline");
+fn bench_window_sizes_on_fifo() {
+    let group = Group::new("window_size_fifo_pipeline");
     for w in [1u32, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
-            b.iter(|| {
-                let mut sim = Simulation::fifo(SlidingWindow::new(w));
-                let stats = sim.deliver(500, &SimConfig::default()).expect("fifo");
-                black_box(stats.steps)
-            })
+        group.bench(&w.to_string(), || {
+            let mut sim = Simulation::fifo(SlidingWindow::new(w));
+            let stats = sim.deliver(500, &SimConfig::default()).expect("fifo");
+            stats.steps
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_window_vs_bound, bench_window_sizes_on_fifo);
-criterion_main!(benches);
+fn main() {
+    bench_window_vs_bound();
+    bench_window_sizes_on_fifo();
+}

@@ -1,33 +1,25 @@
 //! Bench E1: boundness probing (Theorem 2.1) — forward-simulation oracle
 //! cost and randomized schedule exploration per protocol.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonfifo_adversary::boundness::{probe, BoundnessProbeConfig};
 use nonfifo_adversary::{explore, BoundnessOracle, ExploreConfig, System};
+use nonfifo_bench::harness::Group;
 use nonfifo_protocols::{AlternatingBit, DataLink, NaiveCycle, SequenceNumber};
-use std::hint::black_box;
 
-fn bench_probe(c: &mut Criterion) {
+fn bench_probe() {
     let protocols: Vec<Box<dyn DataLink>> = vec![
         Box::new(AlternatingBit::new()),
         Box::new(NaiveCycle::new(5)),
         Box::new(SequenceNumber::new()),
     ];
-    let mut group = c.benchmark_group("boundness_probe");
+    let group = Group::new("boundness_probe");
     for proto in &protocols {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(proto.name()),
-            proto,
-            |b, proto| {
-                let cfg = BoundnessProbeConfig::default();
-                b.iter(|| black_box(probe(proto.as_ref(), &cfg)))
-            },
-        );
+        let cfg = BoundnessProbeConfig::default();
+        group.bench(&proto.name(), || probe(proto.as_ref(), &cfg));
     }
-    group.finish();
 }
 
-fn bench_oracle_fork(c: &mut Criterion) {
+fn bench_oracle_fork() {
     // The oracle (clone + forward simulate) is the inner loop of every
     // falsifier; measure it in isolation on a loaded system.
     let mut sys = System::new(&SequenceNumber::new());
@@ -39,32 +31,32 @@ fn bench_oracle_fork(c: &mut Criterion) {
         assert!(sys.run_to_quiescence(64));
     }
     let oracle = BoundnessOracle::default();
-    c.bench_function("oracle_extension_on_loaded_system", |b| {
-        b.iter(|| black_box(oracle.extension_with_new_message(&sys)))
+    let group = Group::new("oracle");
+    group.bench("extension_on_loaded_system", || {
+        oracle.extension_with_new_message(&sys)
     });
 }
 
-fn bench_exhaustive_explore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exhaustive_explore");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("abp_counterexample"), |b| {
-        b.iter(|| {
-            let outcome = explore(&AlternatingBit::new(), &ExploreConfig::default());
-            assert!(outcome.is_counterexample());
-            black_box(outcome)
-        })
+fn bench_exhaustive_explore() {
+    let group = Group::new("exhaustive_explore").samples(3);
+    group.bench("abp_counterexample", || {
+        let outcome = explore(&AlternatingBit::new(), &ExploreConfig::default());
+        assert!(outcome.is_counterexample());
+        outcome
     });
-    group.bench_function(BenchmarkId::from_parameter("seqnum_certificate"), |b| {
-        let cfg = ExploreConfig {
-            max_messages: 3,
-            max_depth: 12,
-            max_pool: 5,
-            max_states: 500_000,
-        };
-        b.iter(|| black_box(explore(&SequenceNumber::new(), &cfg)))
+    let cfg = ExploreConfig {
+        max_messages: 3,
+        max_depth: 12,
+        max_pool: 5,
+        max_states: 500_000,
+    };
+    group.bench("seqnum_certificate", || {
+        explore(&SequenceNumber::new(), &cfg)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_probe, bench_oracle_fork, bench_exhaustive_explore);
-criterion_main!(benches);
+fn main() {
+    bench_probe();
+    bench_oracle_fork();
+    bench_exhaustive_explore();
+}

@@ -1,7 +1,7 @@
 //! Bench: raw channel-substrate throughput — send/deliver cycles per
 //! channel implementation, and the adversarial replay primitive.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonfifo_bench::harness::Group;
 use nonfifo_channel::{
     AdversarialChannel, BoundedReorderChannel, Channel, FifoChannel, LossyFifoChannel,
     ProbabilisticChannel,
@@ -25,57 +25,47 @@ fn pump(ch: &mut dyn Channel) -> u64 {
     delivered
 }
 
-fn bench_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("channel_send_deliver_1k");
-    group.bench_function(BenchmarkId::from_parameter("fifo"), |b| {
-        b.iter(|| pump(&mut FifoChannel::new(Dir::Forward)))
+fn bench_throughput() {
+    let group = Group::new("channel_send_deliver_1k");
+    group.bench("fifo", || pump(&mut FifoChannel::new(Dir::Forward)));
+    group.bench("lossy_fifo", || {
+        pump(&mut LossyFifoChannel::new(Dir::Forward, 0.3, 1))
     });
-    group.bench_function(BenchmarkId::from_parameter("lossy_fifo"), |b| {
-        b.iter(|| pump(&mut LossyFifoChannel::new(Dir::Forward, 0.3, 1)))
+    group.bench("probabilistic", || {
+        pump(&mut ProbabilisticChannel::new(Dir::Forward, 0.3, 1))
     });
-    group.bench_function(BenchmarkId::from_parameter("probabilistic"), |b| {
-        b.iter(|| pump(&mut ProbabilisticChannel::new(Dir::Forward, 0.3, 1)))
+    group.bench("bounded_reorder", || {
+        pump(&mut BoundedReorderChannel::new(Dir::Forward, 8, 1))
     });
-    group.bench_function(BenchmarkId::from_parameter("bounded_reorder"), |b| {
-        b.iter(|| pump(&mut BoundedReorderChannel::new(Dir::Forward, 8, 1)))
+    group.bench("adversarial_immediate", || {
+        pump(&mut AdversarialChannel::immediate(Dir::Forward))
     });
-    group.bench_function(BenchmarkId::from_parameter("adversarial_immediate"), |b| {
-        b.iter(|| pump(&mut AdversarialChannel::immediate(Dir::Forward)))
-    });
-    group.bench_function(BenchmarkId::from_parameter("virtual_link_3routes"), |b| {
-        b.iter(|| {
-            let mut link = VirtualLinkBuilder::new(Dir::Forward)
-                .route(0)
-                .route(2)
-                .route(5)
-                .build();
-            pump(&mut link)
-        })
-    });
-    group.finish();
-}
-
-fn bench_replay_primitive(c: &mut Criterion) {
-    c.bench_function("adversarial_replay_oldest_of_packet", |b| {
-        b.iter_batched(
-            || {
-                let mut ch = AdversarialChannel::parked(Dir::Forward);
-                for i in 0..BATCH {
-                    ch.send(Packet::header_only(Header::new(i % 8)));
-                }
-                ch
-            },
-            |mut ch| {
-                for i in 0..BATCH {
-                    let p = Packet::header_only(Header::new(i % 8));
-                    ch.release_oldest_of_packet(p);
-                    black_box(ch.poll_deliver());
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    group.bench("virtual_link_3routes", || {
+        let mut link = VirtualLinkBuilder::new(Dir::Forward)
+            .route(0)
+            .route(2)
+            .route(5)
+            .build();
+        pump(&mut link)
     });
 }
 
-criterion_group!(benches, bench_throughput, bench_replay_primitive);
-criterion_main!(benches);
+fn bench_replay_primitive() {
+    let group = Group::new("adversarial_replay");
+    group.bench("release_oldest_of_packet", || {
+        let mut ch = AdversarialChannel::parked(Dir::Forward);
+        for i in 0..BATCH {
+            ch.send(Packet::header_only(Header::new(i % 8)));
+        }
+        for i in 0..BATCH {
+            let p = Packet::header_only(Header::new(i % 8));
+            ch.release_oldest_of_packet(p);
+            black_box(ch.poll_deliver());
+        }
+    });
+}
+
+fn main() {
+    bench_throughput();
+    bench_replay_primitive();
+}

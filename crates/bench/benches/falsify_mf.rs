@@ -2,10 +2,9 @@
 //! execution for naive bounded-header protocols (per k), and per-message
 //! growth cost against the surviving reconstruction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonfifo_adversary::{MfConfig, MfFalsifier};
+use nonfifo_bench::harness::Group;
 use nonfifo_protocols::{AfekFlush, AlternatingBit, NaiveCycle};
-use std::hint::black_box;
 
 fn quick(max_messages: u64) -> MfFalsifier {
     MfFalsifier::new(MfConfig {
@@ -15,52 +14,39 @@ fn quick(max_messages: u64) -> MfFalsifier {
     })
 }
 
-fn bench_break_cycles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mf_break_naive_cycle");
+fn bench_break_cycles() {
+    let group = Group::new("mf_break_naive_cycle");
     for k in [2u32, 3, 5, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                let outcome = quick(4 * u64::from(k)).run(&NaiveCycle::new(k));
-                assert!(outcome.is_violation());
-                black_box(outcome)
-            })
+        group.bench(&k.to_string(), || {
+            let outcome = quick(4 * u64::from(k)).run(&NaiveCycle::new(k));
+            assert!(outcome.is_violation());
+            outcome
         });
     }
-    group.finish();
 }
 
-fn bench_break_alternating_bit(c: &mut Criterion) {
-    c.bench_function("mf_break_alternating_bit", |b| {
-        b.iter(|| {
-            let outcome = quick(8).run(&AlternatingBit::new());
-            assert!(outcome.is_violation());
-            black_box(outcome)
-        })
+fn bench_break_alternating_bit() {
+    let group = Group::new("mf");
+    group.bench("break_alternating_bit", || {
+        let outcome = quick(8).run(&AlternatingBit::new());
+        assert!(outcome.is_violation());
+        outcome
     });
 }
 
-fn bench_growth_against_survivor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mf_growth_afek");
+fn bench_growth_against_survivor() {
+    let group = Group::new("mf_growth_afek");
     for messages in [10u64, 20, 40] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(messages),
-            &messages,
-            |b, &messages| {
-                b.iter(|| {
-                    let (outcome, stages) = quick(messages).run_with_trace(&AfekFlush::new());
-                    assert!(!outcome.is_violation());
-                    black_box(stages)
-                })
-            },
-        );
+        group.bench(&messages.to_string(), || {
+            let (outcome, stages) = quick(messages).run_with_trace(&AfekFlush::new());
+            assert!(!outcome.is_violation());
+            stages
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_break_cycles,
-    bench_break_alternating_bit,
-    bench_growth_against_survivor
-);
-criterion_main!(benches);
+fn main() {
+    bench_break_cycles();
+    bench_break_alternating_bit();
+    bench_growth_against_survivor();
+}

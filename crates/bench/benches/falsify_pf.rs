@@ -1,10 +1,9 @@
 //! Bench E4: the Theorem 4.1 falsifier — scaling of the per-message cost
 //! probe with the in-transit pool, for the tight 3-header reconstruction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonfifo_adversary::{FalsifyOutcome, PfConfig, PfFalsifier};
+use nonfifo_bench::harness::Group;
 use nonfifo_protocols::{AfekFlush, SequenceNumber};
-use std::hint::black_box;
 
 fn prober(messages: u64) -> PfFalsifier {
     PfFalsifier::new(PfConfig {
@@ -14,39 +13,32 @@ fn prober(messages: u64) -> PfFalsifier {
     })
 }
 
-fn bench_afek_cost_curve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pf_afek_cost_curve");
-    group.sample_size(10);
+fn bench_afek_cost_curve() {
+    let group = Group::new("pf_afek_cost_curve").samples(3);
     for messages in [30u64, 60, 120] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(messages),
-            &messages,
-            |b, &messages| {
-                b.iter(|| {
-                    let (outcome, costs) = prober(messages).run(&AfekFlush::new());
-                    assert!(matches!(outcome, FalsifyOutcome::Survived(_)));
-                    // The curve is the point: assert T4.1's bound inline so
-                    // a regression fails the bench.
-                    for c in &costs {
-                        assert!(c.extension_sends >= c.in_transit_before / 3);
-                    }
-                    black_box(costs)
-                })
-            },
-        );
+        group.bench(&messages.to_string(), || {
+            let (outcome, costs) = prober(messages).run(&AfekFlush::new());
+            assert!(matches!(outcome, FalsifyOutcome::Survived(_)));
+            // The curve is the point: assert T4.1's bound inline so a
+            // regression fails the bench.
+            for c in &costs {
+                assert!(c.extension_sends >= c.in_transit_before / 3);
+            }
+            costs
+        });
     }
-    group.finish();
 }
 
-fn bench_seqnum_flat_curve(c: &mut Criterion) {
-    c.bench_function("pf_seqnum_flat_curve", |b| {
-        b.iter(|| {
-            let (outcome, costs) = prober(60).run(&SequenceNumber::new());
-            assert!(matches!(outcome, FalsifyOutcome::Survived(_)));
-            black_box(costs)
-        })
+fn bench_seqnum_flat_curve() {
+    let group = Group::new("pf");
+    group.bench("seqnum_flat_curve", || {
+        let (outcome, costs) = prober(60).run(&SequenceNumber::new());
+        assert!(matches!(outcome, FalsifyOutcome::Survived(_)));
+        costs
     });
 }
 
-criterion_group!(benches, bench_afek_cost_curve, bench_seqnum_flat_curve);
-criterion_main!(benches);
+fn main() {
+    bench_afek_cost_curve();
+    bench_seqnum_flat_curve();
+}

@@ -1,46 +1,40 @@
 //! Bench E5: probabilistic-channel runs — the exponential bounded-header
 //! witness versus the linear naive protocol, across `q` and `n`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonfifo_adversary::{DominantTracker, ProbRunConfig};
+use nonfifo_bench::harness::Group;
 use nonfifo_core::{SimConfig, Simulation};
 use nonfifo_protocols::{Outnumber, SequenceNumber};
-use std::hint::black_box;
 
-fn bench_outnumber_growth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prob_outnumber_n");
-    group.sample_size(10);
+fn bench_outnumber_growth() {
+    let group = Group::new("prob_outnumber_n").samples(3);
     for n in [6u64, 9, 12] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let report = DominantTracker::new(ProbRunConfig {
-                    messages: n,
-                    q: 0.3,
-                    seed: 1,
-                    max_steps_per_message: 5_000_000,
-                })
-                .run(&Outnumber::factory());
-                assert!(report.completed && report.violation.is_none());
-                black_box(report.total_forward_sent)
+        group.bench(&n.to_string(), || {
+            let report = DominantTracker::new(ProbRunConfig {
+                messages: n,
+                q: 0.3,
+                seed: 1,
+                max_steps_per_message: 5_000_000,
             })
+            .run(&Outnumber::factory());
+            assert!(report.completed && report.violation.is_none());
+            report.total_forward_sent
         });
     }
-    group.finish();
 }
 
-fn bench_seqnum_linear(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prob_seqnum_q");
+fn bench_seqnum_linear() {
+    let group = Group::new("prob_seqnum_q");
     for q in [0.1f64, 0.3, 0.5] {
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            b.iter(|| {
-                let mut sim = Simulation::probabilistic(SequenceNumber::new(), q, 2);
-                let stats = sim.deliver(200, &SimConfig::default()).expect("live");
-                black_box(stats.packets_sent_forward)
-            })
+        group.bench(&q.to_string(), || {
+            let mut sim = Simulation::probabilistic(SequenceNumber::new(), q, 2);
+            let stats = sim.deliver(200, &SimConfig::default()).expect("live");
+            stats.packets_sent_forward
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_outnumber_growth, bench_seqnum_linear);
-criterion_main!(benches);
+fn main() {
+    bench_outnumber_growth();
+    bench_seqnum_linear();
+}

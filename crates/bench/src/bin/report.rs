@@ -7,8 +7,7 @@
 
 use nonfifo_core::experiments::{
     e10_transport, e11_exhaustive, e1_boundness, e2_mf_falsifier, e3_naive_protocol, e4_pf_cost,
-    e5_probabilistic_growth, e6_seeding_lemma, e7_hoeffding, e8_classic_break,
-    e9_window_ablation,
+    e5_probabilistic_growth, e6_seeding_lemma, e7_hoeffding, e8_classic_break, e9_window_ablation,
 };
 use std::process::ExitCode;
 

@@ -1,6 +1,6 @@
 //! The fully adversarial non-FIFO channel of the lower-bound proofs.
 
-use crate::channel::{BoxedChannel, Channel};
+use crate::channel::{census_from_iter, BoxedChannel, Channel};
 use crate::multiset::PacketMultiset;
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use std::collections::VecDeque;
@@ -255,6 +255,15 @@ impl Channel for AdversarialChannel {
 
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         std::mem::take(&mut self.drops)
+    }
+
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        census_from_iter(
+            self.parked
+                .iter()
+                .map(|(p, _)| p)
+                .chain(self.queue.iter().map(|&(p, _)| p)),
+        )
     }
 
     fn total_sent(&self) -> u64 {

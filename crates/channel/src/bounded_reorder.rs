@@ -7,10 +7,9 @@
 //! the reorder bound is small enough relative to their header space —
 //! experiment E9 maps that crossover.
 
-use crate::channel::{BoxedChannel, Channel};
+use crate::channel::{census_from_iter, BoxedChannel, Channel};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
 
 /// Fraction of packets the channel holds back.
@@ -111,8 +110,12 @@ impl Channel for BoundedReorderChannel {
         // bound = 1 means a release threshold equal to the very next send:
         // indistinguishable from FIFO, so skip the hold entirely.
         if self.bound > 1 && self.rng.gen_bool(HOLD_PROBABILITY) {
-            self.held
-                .push((self.sends + self.bound, self.ticks + self.bound, packet, copy));
+            self.held.push((
+                self.sends + self.bound,
+                self.ticks + self.bound,
+                packet,
+                copy,
+            ));
         } else {
             self.queue.push_back((packet, copy));
         }
@@ -138,7 +141,11 @@ impl Channel for BoundedReorderChannel {
 
     fn header_copies(&self, h: Header) -> usize {
         self.queue.iter().filter(|(p, _)| p.header() == h).count()
-            + self.held.iter().filter(|(_, _, p, _)| p.header() == h).count()
+            + self
+                .held
+                .iter()
+                .filter(|(_, _, p, _)| p.header() == h)
+                .count()
     }
 
     fn packet_copies(&self, p: Packet) -> usize {
@@ -160,6 +167,15 @@ impl Channel for BoundedReorderChannel {
 
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         Vec::new()
+    }
+
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        census_from_iter(
+            self.queue
+                .iter()
+                .map(|&(p, _)| p)
+                .chain(self.held.iter().map(|&(_, _, p, _)| p)),
+        )
     }
 
     fn total_sent(&self) -> u64 {

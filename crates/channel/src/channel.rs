@@ -1,5 +1,6 @@
 //! The physical-layer channel abstraction.
 
+use crate::chaos::FaultRecord;
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use std::fmt;
 
@@ -49,6 +50,35 @@ pub trait Channel: fmt::Debug {
     /// harness logs these as `DropPkt` events.
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)>;
 
+    /// Copies a fault layer has *injected* (duplicates, corrupted
+    /// replacements) since the last call. The harness observes each as a
+    /// `SendPkt` before the copy can be delivered, which keeps the PL1
+    /// monitor sound under chaos: an injected fault is a declared send,
+    /// distinguishable from a protocol bug. Default: none.
+    fn drain_injected_sends(&mut self) -> Vec<(Packet, CopyId)> {
+        Vec::new()
+    }
+
+    /// Per-packet-value counts of copies currently inside the channel
+    /// (delayed *or* queued for delivery), for stall diagnostics. Unlike
+    /// [`in_transit_len`](Channel::in_transit_len) this sweeps every
+    /// internal buffer. Default: empty (opaque channel).
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        Vec::new()
+    }
+
+    /// Human-readable descriptions of fault conditions active right now
+    /// (partition windows, loss bursts, reorder storms). Default: none.
+    fn active_faults(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The record of faults injected so far, in injection order.
+    /// Default: empty (fault-free channel).
+    fn fault_log(&self) -> Vec<FaultRecord> {
+        Vec::new()
+    }
+
     /// Total `send_pkt` actions so far.
     fn total_sent(&self) -> u64;
 
@@ -59,6 +89,16 @@ pub trait Channel: fmt::Debug {
     /// by the simulation engine and must be forkable for the boundness
     /// oracle).
     fn clone_box(&self) -> BoxedChannel;
+}
+
+/// Folds an iterator of in-transit packet values into the deterministic
+/// per-value histogram that [`Channel::transit_census`] returns.
+pub(crate) fn census_from_iter(packets: impl Iterator<Item = Packet>) -> Vec<(Packet, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for p in packets {
+        *counts.entry(p).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
 }
 
 /// A boxed channel trait object.

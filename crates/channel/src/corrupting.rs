@@ -6,11 +6,22 @@
 //! that the [`SpecMonitor`](nonfifo_ioa::SpecMonitor) and the offline PL1
 //! checker actually catch corruption rather than assuming it away.
 
-use crate::channel::{BoxedChannel, Channel};
+use crate::channel::{census_from_iter, BoxedChannel, Channel};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
+
+/// The canonical in-flight bit-flip: the header gains a bit no protocol in
+/// the workspace ever sets, so a corrupted value is never mistaken for a
+/// legitimate one. Payloads survive — corruption hits the header. Shared by
+/// [`CorruptingChannel`] and the chaos fault layer.
+pub fn corrupt_packet(p: Packet) -> Packet {
+    let flipped = Header::new(p.header().index() ^ 0x8000_0000);
+    match p.payload() {
+        Some(w) => Packet::new(flipped, w),
+        None => Packet::header_only(flipped),
+    }
+}
 
 /// A FIFO channel that, with probability `corrupt`, rewrites a packet's
 /// header before delivering it. Deliberately **not** PL1-compliant.
@@ -78,8 +89,7 @@ impl Channel for CorruptingChannel {
         let (packet, copy) = self.queue.pop_front()?;
         self.delivered += 1;
         let delivered = if self.rng.gen_bool(self.corrupt) {
-            // Flip the header to a value the sender never used.
-            Packet::header_only(Header::new(packet.header().index() ^ 0x8000_0000))
+            corrupt_packet(packet)
         } else {
             packet
         };
@@ -107,6 +117,10 @@ impl Channel for CorruptingChannel {
 
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         Vec::new()
+    }
+
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        census_from_iter(self.queue.iter().map(|&(p, _)| p))
     }
 
     fn total_sent(&self) -> u64 {

@@ -1,7 +1,7 @@
 //! A reliable FIFO channel — the service the data-link layer provides,
 //! used here as a reference substrate and for latency modelling.
 
-use crate::channel::{BoxedChannel, Channel};
+use crate::channel::{census_from_iter, BoxedChannel, Channel};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use std::collections::VecDeque;
 
@@ -64,7 +64,8 @@ impl Channel for FifoChannel {
         let copy = CopyId::from_raw(self.next_copy);
         self.next_copy += 1;
         self.sent += 1;
-        self.queue.push_back((packet, copy, self.now + self.latency));
+        self.queue
+            .push_back((packet, copy, self.now + self.latency));
         copy
     }
 
@@ -88,7 +89,10 @@ impl Channel for FifoChannel {
     }
 
     fn header_copies(&self, h: Header) -> usize {
-        self.queue.iter().filter(|(p, _, _)| p.header() == h).count()
+        self.queue
+            .iter()
+            .filter(|(p, _, _)| p.header() == h)
+            .count()
     }
 
     fn packet_copies(&self, p: Packet) -> usize {
@@ -104,6 +108,10 @@ impl Channel for FifoChannel {
 
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         Vec::new()
+    }
+
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        census_from_iter(self.queue.iter().map(|&(p, _, _)| p))
     }
 
     fn total_sent(&self) -> u64 {

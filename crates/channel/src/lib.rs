@@ -23,6 +23,10 @@
 //!   headers become correct again (experiment E9).
 //! - [`CorruptingChannel`] — deliberately PL1-violating fault injection,
 //!   proving the checkers catch corruption rather than assuming it away.
+//! - [`ChaosChannel`] — a deterministic fault-injecting *decorator* over any
+//!   of the above: seeded duplication, loss, corruption, burst loss,
+//!   partition windows, and reorder storms, every fault logged and declared
+//!   to the harness so PL1 checking stays sound under chaos.
 //!
 //! All channels except the deliberately faulty [`CorruptingChannel`]
 //! satisfy PL1 by construction: every copy is minted exactly once and
@@ -53,6 +57,7 @@
 mod adversarial;
 mod bounded_reorder;
 mod channel;
+mod chaos;
 mod corrupting;
 mod fifo;
 mod lossy_fifo;
@@ -62,7 +67,8 @@ mod probabilistic;
 pub use adversarial::{AdversarialChannel, DeliveryMode};
 pub use bounded_reorder::BoundedReorderChannel;
 pub use channel::{BoxedChannel, Channel};
-pub use corrupting::CorruptingChannel;
+pub use chaos::{ChaosChannel, FaultKind, FaultPlan, FaultRecord, PlanError, CHAOS_COPY_BASE};
+pub use corrupting::{corrupt_packet, CorruptingChannel};
 pub use fifo::FifoChannel;
 pub use lossy_fifo::LossyFifoChannel;
 pub use multiset::PacketMultiset;

@@ -1,10 +1,9 @@
 //! A FIFO channel with i.i.d. packet loss — the classic domain of the
 //! alternating-bit protocol [BSW69].
 
-use crate::channel::{BoxedChannel, Channel};
+use crate::channel::{census_from_iter, BoxedChannel, Channel};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
 
 /// An order-preserving channel that loses each packet with probability
@@ -115,6 +114,10 @@ impl Channel for LossyFifoChannel {
 
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         std::mem::take(&mut self.drops)
+    }
+
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        census_from_iter(self.queue.iter().map(|&(p, _)| p))
     }
 
     fn total_sent(&self) -> u64 {

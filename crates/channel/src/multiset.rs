@@ -155,10 +155,7 @@ impl PacketMultiset {
 
     /// Per-packet-value copy counts, in packet order (deterministic).
     pub fn histogram(&self) -> Vec<(Packet, usize)> {
-        self.by_packet
-            .iter()
-            .map(|(&p, v)| (p, v.len()))
-            .collect()
+        self.by_packet.iter().map(|(&p, v)| (p, v.len())).collect()
     }
 
     /// Removes every copy, returning them in mint order.
@@ -210,7 +207,10 @@ mod tests {
         ms.insert(Packet::new(Header::new(0), Payload::new(1)), c(1));
         ms.insert(Packet::new(Header::new(0), Payload::new(2)), c(2));
         assert_eq!(ms.header_copies(Header::new(0)), 2);
-        assert_eq!(ms.packet_copies(Packet::new(Header::new(0), Payload::new(1))), 1);
+        assert_eq!(
+            ms.packet_copies(Packet::new(Header::new(0), Payload::new(1))),
+            1
+        );
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! The probabilistic physical layer of §5 (property PL2p).
 
-use crate::channel::{BoxedChannel, Channel};
+use crate::channel::{census_from_iter, BoxedChannel, Channel};
 use crate::multiset::PacketMultiset;
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
 
 /// What eventually happens to delayed copies.
@@ -164,6 +163,15 @@ impl Channel for ProbabilisticChannel {
         Vec::new()
     }
 
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        census_from_iter(
+            self.delayed
+                .iter()
+                .map(|(p, _)| p)
+                .chain(self.queue.iter().map(|&(p, _)| p)),
+        )
+    }
+
     fn total_sent(&self) -> u64 {
         self.sent
     }
@@ -213,7 +221,9 @@ mod tests {
     fn same_seed_same_outcome() {
         let run = |seed| {
             let mut ch = ProbabilisticChannel::new(Dir::Forward, 0.3, seed);
-            (0..200).filter(|_| ch.send(p(0)).raw().is_multiple_of(2)).count();
+            (0..200)
+                .filter(|_| ch.send(p(0)).raw().is_multiple_of(2))
+                .count();
             ch.in_transit_len()
         };
         assert_eq!(run(9), run(9));

@@ -3,6 +3,8 @@
 //! ```text
 //! nonfifo simulate <protocol> <channel> [--messages N] [--seed S] [--q Q]
 //!                  [--loss L] [--bound B] [--spread D] [--payloads]
+//! nonfifo chaos    <protocol> --plan FILE [--seed S] [--messages N]
+//!                  [--crash-tx S] [--crash-rx S] [--retry] [--dump FILE]
 //! nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
 //! nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
 //! nonfifo schedule <protocol> <attack-file> [--diagram]
@@ -19,7 +21,7 @@ use nonfifo_adversary::{
     explore, ExploreConfig, ExploreOutcome, FalsifyOutcome, GreedyReplayAdversary, MfConfig,
     MfFalsifier, PfConfig, PfFalsifier,
 };
-use nonfifo_core::SimConfig;
+use nonfifo_core::{CrashEvent, CrashMode, SimConfig, SimError, Station};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -28,6 +30,9 @@ nonfifo — executable reproduction of Mansour & Schieber (PODC 1989)
 usage:
   nonfifo simulate <protocol> <channel> [--messages N] [--seed S] [--q Q]
                    [--loss L] [--bound B] [--spread D] [--payloads]
+  nonfifo chaos    <protocol> --plan FILE [--seed S] [--messages N]
+                   [--crash-tx S] [--crash-rx S] [--restore] [--retry]
+                   [--backoff B] [--budget B] [--faults] [--dump FILE]
   nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
   nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
   nonfifo schedule <protocol> <attack-file> [--diagram]
@@ -49,9 +54,10 @@ fn main() -> ExitCode {
 }
 
 fn dispatch(raw: Vec<String>) -> Result<(), ArgsError> {
-    let args = Args::parse(raw, &["payloads", "diagram"])?;
+    let args = Args::parse(raw, &["payloads", "diagram", "restore", "retry", "faults"])?;
     match args.positional(0) {
         Some("simulate") => cmd_simulate(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some("attack") => cmd_attack(&args),
         Some("explore") => cmd_explore(&args),
         Some("schedule") => cmd_schedule(&args),
@@ -106,12 +112,104 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgsError> {
                 let expect: Vec<u64> = (0..messages).collect();
                 println!(
                     "  payload order      : {}",
-                    if stats.delivered_payloads == expect { "intact" } else { "CORRUPT" }
+                    if stats.delivered_payloads == expect {
+                        "intact"
+                    } else {
+                        "CORRUPT"
+                    }
                 );
             }
             Ok(())
         }
         Err(e) => Err(ArgsError(format!("run failed: {e}"))),
+    }
+}
+
+fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
+    use nonfifo_channel::FaultPlan;
+    let proto_name = args
+        .positional(1)
+        .ok_or_else(|| ArgsError("chaos needs a protocol".into()))?;
+    let plan_path = args
+        .option("plan")
+        .ok_or_else(|| ArgsError("chaos needs --plan FILE".into()))?;
+    let seed: u64 = args.option_or("seed", 0)?;
+    let messages: u64 = args.option_or("messages", 100)?;
+    let text = std::fs::read_to_string(plan_path)
+        .map_err(|e| ArgsError(format!("cannot read {plan_path}: {e}")))?;
+    let plan = FaultPlan::parse(&text).map_err(|e| ArgsError(format!("plan: {e}")))?;
+
+    let mode = if args.flag("restore") {
+        CrashMode::Restore
+    } else {
+        CrashMode::Amnesia
+    };
+    let mut crash_plan = Vec::new();
+    if let Some(s) = args.option("crash-tx") {
+        let at_step = s
+            .parse::<u64>()
+            .map_err(|e| ArgsError(format!("bad --crash-tx {s:?}: {e}")))?;
+        crash_plan.push(CrashEvent {
+            at_step,
+            station: Station::Tx,
+            mode,
+        });
+    }
+    if let Some(s) = args.option("crash-rx") {
+        let at_step = s
+            .parse::<u64>()
+            .map_err(|e| ArgsError(format!("bad --crash-rx {s:?}: {e}")))?;
+        crash_plan.push(CrashEvent {
+            at_step,
+            station: Station::Rx,
+            mode,
+        });
+    }
+    let cfg = SimConfig {
+        payloads: args.flag("payloads"),
+        max_steps_per_message: args.option_or("budget", 100_000)?,
+        crash_plan,
+        restart_backoff: args.option_or("backoff", 0)?,
+        retry_lost_messages: args.flag("retry"),
+        ..SimConfig::default()
+    };
+
+    let mut sim = registry::chaos_simulation(proto_name, &plan, seed)?;
+    println!("chaos run: {proto_name}, seed {seed}, plan {plan_path}");
+    if plan.is_quiet() && cfg.crash_plan.is_empty() {
+        println!("  (the plan injects no faults and schedules no crashes)");
+    }
+    match sim.deliver(messages, &cfg) {
+        Ok(stats) => {
+            println!("  messages delivered : {}", stats.messages_delivered);
+            println!("  forward packets    : {}", stats.packets_sent_forward);
+            println!("  backward packets   : {}", stats.packets_sent_backward);
+            println!("  faults injected    : {}", stats.faults_injected);
+            println!("  crashes applied    : {}", stats.crashes_applied);
+            println!("  steps              : {}", stats.steps);
+            println!("  fingerprint        : {:016x}", stats.fingerprint);
+            if args.flag("faults") {
+                for line in sim.fault_log() {
+                    println!("  fault: {line}");
+                }
+            }
+            Ok(())
+        }
+        Err(SimError::Stalled { diagnostic, .. }) => {
+            println!("outcome: STALLED");
+            println!("{diagnostic}");
+            let path = args.option("dump").unwrap_or("stall-repro.attack");
+            std::fs::write(path, &diagnostic.repro_schedule)
+                .map_err(|e| ArgsError(format!("cannot write {path}: {e}")))?;
+            println!(
+                "repro schedule written to {path} (replay with `nonfifo schedule {proto_name} {path}`)"
+            );
+            Ok(())
+        }
+        Err(SimError::Violation(v)) => {
+            println!("outcome: INVALID EXECUTION — {v}");
+            Ok(())
+        }
     }
 }
 
@@ -241,9 +339,16 @@ fn cmd_schedule(args: &Args) -> Result<(), ArgsError> {
         schedule.steps().len(),
         proto.name()
     );
-    let sys = schedule
-        .run(proto.as_ref())
-        .map_err(|e| ArgsError(format!("run: {e}")))?;
+    // A schedule that aborts mid-run (a quiesce that never converges, a
+    // send against a wedged transmitter) is an experimental outcome, not a
+    // CLI usage error — machine-generated stall repros end exactly this way.
+    let sys = match schedule.run(proto.as_ref()) {
+        Ok(sys) => sys,
+        Err(e) => {
+            println!("outcome: ABORTED — {e}");
+            return Ok(());
+        }
+    };
     let c = sys.counts();
     println!("counters: {c}");
     match sys.violation() {

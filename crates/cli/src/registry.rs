@@ -1,7 +1,7 @@
 //! Name-based registries for protocols and channel substrates.
 
 use crate::args::{Args, ArgsError};
-use nonfifo_channel::BoxedChannel;
+use nonfifo_channel::{BoxedChannel, FaultPlan};
 use nonfifo_core::Simulation;
 use nonfifo_ioa::Dir;
 use nonfifo_protocols::{
@@ -15,24 +15,49 @@ pub const PROTOCOLS: &[(&str, &str)] = &[
     ("abp", "alternating bit [BSW69]: 2 headers, lossy-FIFO only"),
     ("cycle<k>", "naive k-label cycle (e.g. cycle3): FIFO only"),
     ("seqnum", "sequence numbers: n headers, safe everywhere"),
-    ("window<w>", "selective-repeat sliding window (e.g. window4): 2w headers"),
-    ("gbn<w>", "go-back-n (e.g. gbn4): w+1 headers, cumulative acks"),
+    (
+        "window<w>",
+        "selective-repeat sliding window (e.g. window4): 2w headers",
+    ),
+    (
+        "gbn<w>",
+        "go-back-n (e.g. gbn4): w+1 headers, cumulative acks",
+    ),
     ("srej<w>", "selective reject (e.g. srej4): NAK-driven ARQ"),
-    ("outnumber<L>", "AFWZ'88 reconstruction (e.g. outnumber5): exponential"),
-    ("afek<k>", "Afek'88 reconstruction (e.g. afek3): oracle-assisted, linear in transit"),
+    (
+        "outnumber<L>",
+        "AFWZ'88 reconstruction (e.g. outnumber5): exponential",
+    ),
+    (
+        "afek<k>",
+        "Afek'88 reconstruction (e.g. afek3): oracle-assisted, linear in transit",
+    ),
 ];
 
 /// Channel substrate names accepted by the CLI.
 pub const CHANNELS: &[(&str, &str)] = &[
     ("fifo", "reliable FIFO (control substrate)"),
     ("lossy", "FIFO with loss (--loss, default 0.3)"),
-    ("probabilistic", "PL2p: delayed with probability --q (default 0.3)"),
+    (
+        "probabilistic",
+        "PL2p: delayed with probability --q (default 0.3)",
+    ),
     ("reorder", "bounded reorder distance (--bound, default 4)"),
     ("multipath", "two-route virtual link (--spread, default 8)"),
 ];
 
 fn parse_suffix(name: &str, prefix: &str) -> Option<u32> {
     name.strip_prefix(prefix).and_then(|s| s.parse().ok())
+}
+
+/// Rejects out-of-range probabilities before they reach a channel
+/// constructor, which would panic on them.
+fn probability(option: &str, p: f64) -> Result<f64, ArgsError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(ArgsError(format!("--{option} must be in [0, 1], got {p}")))
+    }
 }
 
 /// Builds a protocol factory from its CLI name.
@@ -93,24 +118,39 @@ fn channel_pair(name: &str, args: &Args) -> Result<(BoxedChannel, BoxedChannel),
             Box::new(FifoChannel::new(Dir::Backward)),
         ),
         "lossy" => {
-            let loss: f64 = args.option_or("loss", 0.3)?;
+            let loss = probability("loss", args.option_or("loss", 0.3)?)?;
             (
                 Box::new(LossyFifoChannel::new(Dir::Forward, loss, seed)),
-                Box::new(LossyFifoChannel::new(Dir::Backward, loss, seed.wrapping_add(1))),
+                Box::new(LossyFifoChannel::new(
+                    Dir::Backward,
+                    loss,
+                    seed.wrapping_add(1),
+                )),
             )
         }
         "probabilistic" => {
-            let q: f64 = args.option_or("q", 0.3)?;
+            let q = probability("q", args.option_or("q", 0.3)?)?;
             (
                 Box::new(ProbabilisticChannel::new(Dir::Forward, q, seed)),
-                Box::new(ProbabilisticChannel::new(Dir::Backward, q, seed.wrapping_add(1))),
+                Box::new(ProbabilisticChannel::new(
+                    Dir::Backward,
+                    q,
+                    seed.wrapping_add(1),
+                )),
             )
         }
         "reorder" => {
             let bound: u64 = args.option_or("bound", 4)?;
+            if bound < 1 {
+                return Err(ArgsError("--bound must be at least 1".into()));
+            }
             (
                 Box::new(BoundedReorderChannel::new(Dir::Forward, bound, seed)),
-                Box::new(BoundedReorderChannel::new(Dir::Backward, bound, seed.wrapping_add(1))),
+                Box::new(BoundedReorderChannel::new(
+                    Dir::Backward,
+                    bound,
+                    seed.wrapping_add(1),
+                )),
             )
         }
         "multipath" => {
@@ -141,35 +181,63 @@ fn channel_pair(name: &str, args: &Args) -> Result<(BoxedChannel, BoxedChannel),
     Ok(pair)
 }
 
+/// Adapter: a boxed factory usable where `impl DataLink` is required.
+struct Boxed(Box<dyn DataLink>);
+
+impl std::fmt::Debug for Boxed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl DataLink for Boxed {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn forward_headers(&self) -> nonfifo_protocols::HeaderBound {
+        self.0.forward_headers()
+    }
+    fn make(
+        &self,
+    ) -> (
+        nonfifo_protocols::BoxedTransmitter,
+        nonfifo_protocols::BoxedReceiver,
+    ) {
+        self.0.make()
+    }
+    fn uses_ghosts(&self) -> bool {
+        self.0.uses_ghosts()
+    }
+}
+
 /// Builds a [`Simulation`] from CLI names and options.
 ///
 /// # Errors
 ///
 /// Fails on unknown names or bad option values.
-pub fn simulation(proto_name: &str, channel_name: &str, args: &Args) -> Result<Simulation, ArgsError> {
+pub fn simulation(
+    proto_name: &str,
+    channel_name: &str,
+    args: &Args,
+) -> Result<Simulation, ArgsError> {
     let proto = protocol(proto_name)?;
     let (fwd, bwd) = channel_pair(channel_name, args)?;
-    struct Boxed(Box<dyn DataLink>);
-    impl std::fmt::Debug for Boxed {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            self.0.fmt(f)
-        }
-    }
-    impl DataLink for Boxed {
-        fn name(&self) -> String {
-            self.0.name()
-        }
-        fn forward_headers(&self) -> nonfifo_protocols::HeaderBound {
-            self.0.forward_headers()
-        }
-        fn make(&self) -> (nonfifo_protocols::BoxedTransmitter, nonfifo_protocols::BoxedReceiver) {
-            self.0.make()
-        }
-        fn uses_ghosts(&self) -> bool {
-            self.0.uses_ghosts()
-        }
-    }
     Ok(Simulation::with_channels(Boxed(proto), fwd, bwd))
+}
+
+/// Builds a chaos [`Simulation`]: FIFO channels wrapped in the seeded
+/// fault-injection decorator in both directions.
+///
+/// # Errors
+///
+/// Fails on unknown protocol names.
+pub fn chaos_simulation(
+    proto_name: &str,
+    plan: &FaultPlan,
+    seed: u64,
+) -> Result<Simulation, ArgsError> {
+    let proto = protocol(proto_name)?;
+    Ok(Simulation::chaos(Boxed(proto), plan, seed))
 }
 
 #[cfg(test)]
@@ -178,7 +246,16 @@ mod tests {
 
     #[test]
     fn protocol_names_resolve() {
-        for name in ["abp", "cycle3", "seqnum", "window4", "gbn2", "srej4", "outnumber5", "afek3"] {
+        for name in [
+            "abp",
+            "cycle3",
+            "seqnum",
+            "window4",
+            "gbn2",
+            "srej4",
+            "outnumber5",
+            "afek3",
+        ] {
             assert!(protocol(name).is_ok(), "{name}");
         }
         assert!(protocol("cycle1").is_err());
@@ -193,6 +270,27 @@ mod tests {
             assert!(channel_pair(name, &args).is_ok(), "{name}");
         }
         assert!(channel_pair("carrier-pigeon", &args).is_err());
+    }
+
+    #[test]
+    fn bad_channel_options_error_instead_of_panicking() {
+        let cases: &[&[&str]] = &[
+            &["--q", "1.5"],
+            &["--q", "-0.1"],
+            &["--loss", "2.0"],
+            &["--bound", "0"],
+        ];
+        for raw in cases {
+            let args = Args::parse(raw.iter().map(|s| s.to_string()), &[]).unwrap();
+            let name = if raw[0] == "--bound" {
+                "reorder"
+            } else {
+                "probabilistic"
+            };
+            let name = if raw[0] == "--loss" { "lossy" } else { name };
+            let err = channel_pair(name, &args).unwrap_err();
+            assert!(err.0.contains(&raw[0][2..]), "{err:?}");
+        }
     }
 
     #[test]

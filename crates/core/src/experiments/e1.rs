@@ -50,7 +50,11 @@ impl fmt::Display for E1Report {
                     r.rx_states.to_string(),
                     r.product_states.to_string(),
                     r.max_extension.to_string(),
-                    if r.consistent { "yes".into() } else { "NO".into() },
+                    if r.consistent {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
                 ]
             })
             .collect();

@@ -53,18 +53,15 @@ impl fmt::Display for E10Report {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|r| {
-                vec![
-                    r.protocol.clone(),
-                    r.spread.to_string(),
-                    r.outcome.clone(),
-                ]
-            })
+            .map(|r| vec![r.protocol.clone(), r.spread.to_string(), r.outcome.clone()])
             .collect();
         write!(
             f,
             "{}",
-            markdown(&["transport protocol", "route latency spread", "outcome"], &rows)
+            markdown(
+                &["transport protocol", "route latency spread", "outcome"],
+                &rows
+            )
         )
     }
 }
@@ -87,6 +84,7 @@ fn run_cell(proto: impl DataLink, spread: u64, messages: u64) -> (String, bool) 
     let cfg = SimConfig {
         payloads: true,
         max_steps_per_message: 50_000,
+        ..SimConfig::default()
     };
     match sim.deliver(messages, &cfg) {
         Ok(stats) => {
@@ -168,6 +166,9 @@ mod tests {
             .iter()
             .filter(|r| !r.ok && !r.protocol.starts_with("sequence-number"))
             .count();
-        assert!(failures > 0, "no bounded-header transport failure:\n{report}");
+        assert!(
+            failures > 0,
+            "no bounded-header transport failure:\n{report}"
+        );
     }
 }

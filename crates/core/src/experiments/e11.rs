@@ -53,17 +53,17 @@ impl fmt::Display for E11Report {
         write!(
             f,
             "{}",
-            markdown(&["protocol", "scope (msgs/depth/pool)", "verdict", "states"], &rows)
+            markdown(
+                &["protocol", "scope (msgs/depth/pool)", "verdict", "states"],
+                &rows
+            )
         )
     }
 }
 
 fn probe(proto: &dyn DataLink, cfg: ExploreConfig) -> E11Row {
     let outcome = explore(proto, &cfg);
-    let scope = format!(
-        "{}/{}/{}",
-        cfg.max_messages, cfg.max_depth, cfg.max_pool
-    );
+    let scope = format!("{}/{}/{}", cfg.max_messages, cfg.max_depth, cfg.max_pool);
     match outcome {
         ExploreOutcome::Counterexample {
             depth, execution, ..

@@ -58,7 +58,14 @@ impl fmt::Display for E2Report {
             f,
             "{}",
             markdown(
-                &["protocol", "fwd headers", "outcome", "messages", "fwd packets", "final pool"],
+                &[
+                    "protocol",
+                    "fwd headers",
+                    "outcome",
+                    "messages",
+                    "fwd packets",
+                    "final pool"
+                ],
                 &rows
             )
         )?;
@@ -89,7 +96,11 @@ pub fn e2_mf_falsifier() -> E2Report {
     for p in &protocols {
         // Outnumber's per-message cost doubles; cap its run so the table
         // regenerates quickly.
-        let max_messages = if p.name().starts_with("outnumber") { 10 } else { 40 };
+        let max_messages = if p.name().starts_with("outnumber") {
+            10
+        } else {
+            40
+        };
         let falsifier = MfFalsifier::new(MfConfig {
             max_messages,
             ..MfConfig::default()
@@ -169,8 +180,7 @@ mod tests {
         // The surviving reconstruction's pool grows monotonically.
         assert!(report.afek_pool_growth.len() > 10);
         assert!(
-            report.afek_pool_growth.last().unwrap().1
-                > report.afek_pool_growth.first().unwrap().1
+            report.afek_pool_growth.last().unwrap().1 > report.afek_pool_growth.first().unwrap().1
         );
         let text = report.to_string();
         assert!(text.contains("INVALID EXECUTION"));

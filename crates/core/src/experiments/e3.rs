@@ -36,7 +36,11 @@ impl fmt::Display for E3Report {
             .map(|r| {
                 vec![
                     r.n.to_string(),
-                    if r.survived { "survived".into() } else { "FELL".into() },
+                    if r.survived {
+                        "survived".into()
+                    } else {
+                        "FELL".into()
+                    },
                     r.headers_used.to_string(),
                     r.peak_space_bytes.to_string(),
                     r.packets.to_string(),
@@ -47,7 +51,13 @@ impl fmt::Display for E3Report {
             f,
             "{}",
             markdown(
-                &["n", "outcome", "headers used", "peak space (B)", "fwd packets"],
+                &[
+                    "n",
+                    "outcome",
+                    "headers used",
+                    "peak space (B)",
+                    "fwd packets"
+                ],
                 &rows
             )
         )
@@ -103,9 +113,6 @@ mod tests {
         // Space grows sub-linearly: ~log-scale between n=8 and n=128.
         let s8 = report.rows[0].peak_space_bytes;
         let s128 = report.rows[2].peak_space_bytes;
-        assert!(
-            s128 <= s8 + 16,
-            "space should be O(log n): {s8} → {s128}"
-        );
+        assert!(s128 <= s8 + 16, "space should be O(log n): {s8} → {s128}");
     }
 }

@@ -72,14 +72,21 @@ impl fmt::Display for E4Report {
                     s.k.to_string(),
                     f3(s.slope),
                     f3(s.one_over_k),
-                    if s.bound_respected { "yes".into() } else { "NO".into() },
+                    if s.bound_respected {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
                 ]
             })
             .collect();
         writeln!(
             f,
             "\n{}",
-            markdown(&["k", "measured slope", "1/k", "bound held everywhere"], &slopes)
+            markdown(
+                &["k", "measured slope", "1/k", "bound held everywhere"],
+                &slopes
+            )
         )
     }
 }

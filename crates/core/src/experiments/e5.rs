@@ -76,7 +76,16 @@ impl fmt::Display for E5Report {
             f,
             "{}",
             markdown(
-                &["protocol", "q", "n", "total packets", "fitted base", "fitted degree", "1+q", "regime"],
+                &[
+                    "protocol",
+                    "q",
+                    "n",
+                    "total packets",
+                    "fitted base",
+                    "fitted degree",
+                    "1+q",
+                    "regime"
+                ],
                 &rows
             )
         )
@@ -91,7 +100,11 @@ fn measure(proto: &dyn DataLink, n: u64, q: f64, seed: u64) -> (u64, f64, f64) {
         max_steps_per_message: 5_000_000,
     })
     .run(proto);
-    assert!(report.completed, "{} did not complete at q={q}", proto.name());
+    assert!(
+        report.completed,
+        "{} did not complete at q={q}",
+        proto.name()
+    );
     assert!(
         report.violation.is_none(),
         "{} violated safety at q={q}: {:?}",
@@ -194,7 +207,11 @@ mod tests {
                 );
             } else {
                 assert!(!row.exponential, "seqnum at q={} looks exponential", row.q);
-                assert!(row.fitted_degree < 1.5, "seqnum degree {}", row.fitted_degree);
+                assert!(
+                    row.fitted_degree < 1.5,
+                    "seqnum degree {}",
+                    row.fitted_degree
+                );
             }
         }
     }

@@ -175,13 +175,13 @@ mod tests {
         );
         // The end-of-run population is substantial even at tiny n (the
         // growth Lemma 5.3 compounds on).
-        let mean_final: f64 = report.rows.iter().map(|r| r.m_final as f64).sum::<f64>()
-            / report.rows.len() as f64;
+        let mean_final: f64 =
+            report.rows.iter().map(|r| r.m_final as f64).sum::<f64>() / report.rows.len() as f64;
         assert!(mean_final > report.threshold, "mean final {mean_final}");
         // Lemma 5.3's growth events dominate: the outnumber witness grows
         // by far more than (1+q−ε) at nearly every dominant step.
-        let mean_growth: f64 = report.rows.iter().map(|r| r.growth_fraction).sum::<f64>()
-            / report.rows.len() as f64;
+        let mean_growth: f64 =
+            report.rows.iter().map(|r| r.growth_fraction).sum::<f64>() / report.rows.len() as f64;
         assert!(mean_growth > 0.5, "mean growth fraction {mean_growth}");
         assert!(report.to_string().contains("threshold"));
     }

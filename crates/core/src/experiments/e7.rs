@@ -3,8 +3,7 @@
 
 use super::table::markdown;
 use nonfifo_analysis::{binomial_lower_tail, hoeffding_lower_tail};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nonfifo_rng::StdRng;
 use std::fmt;
 
 /// One (n, q, α) comparison.
@@ -52,7 +51,17 @@ impl fmt::Display for E7Report {
         writeln!(
             f,
             "{}",
-            markdown(&["n", "q", "α", "sampled tail", "exact tail", "Hoeffding bound"], &rows)
+            markdown(
+                &[
+                    "n",
+                    "q",
+                    "α",
+                    "sampled tail",
+                    "exact tail",
+                    "Hoeffding bound"
+                ],
+                &rows
+            )
         )?;
         writeln!(
             f,

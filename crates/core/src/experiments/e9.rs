@@ -60,7 +60,10 @@ impl fmt::Display for E9Report {
         write!(
             f,
             "{}",
-            markdown(&["window w", "headers 2w", "reorder bound B", "outcome"], &rows)
+            markdown(
+                &["window w", "headers 2w", "reorder bound B", "outcome"],
+                &rows
+            )
         )
     }
 }
@@ -74,6 +77,7 @@ pub fn e9_window_ablation(messages: u64, seed: u64) -> E9Report {
             let cfg = SimConfig {
                 payloads: true,
                 max_steps_per_message: 50_000,
+                ..SimConfig::default()
             };
             let (outcome, ok) = match sim.deliver(messages, &cfg) {
                 Ok(stats) => {

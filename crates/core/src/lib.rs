@@ -29,4 +29,6 @@
 pub mod experiments;
 mod simulation;
 
-pub use simulation::{RunStats, SimConfig, SimError, Simulation};
+pub use simulation::{
+    CrashEvent, CrashMode, RunStats, SimConfig, SimError, Simulation, StallDiagnostic, Station,
+};

@@ -1,16 +1,76 @@
 //! The user-facing simulation engine.
 
 use nonfifo_channel::{
-    BoundedReorderChannel, BoxedChannel, FifoChannel, LossyFifoChannel, ProbabilisticChannel,
+    BoundedReorderChannel, BoxedChannel, ChaosChannel, FaultPlan, FifoChannel, LossyFifoChannel,
+    ProbabilisticChannel,
 };
-use nonfifo_ioa::{CopyId, Dir, Event, Header, Message, Payload, SpecMonitor, SpecViolation};
+use nonfifo_ioa::fingerprint::Fnv64;
+use nonfifo_ioa::{
+    CopyId, Dir, Event, Header, Message, Packet, Payload, SpecMonitor, SpecViolation,
+};
 use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The station a [`CrashEvent`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Station {
+    /// The transmitting station `Aᵗ`.
+    Tx,
+    /// The receiving station `Aʳ`.
+    Rx,
+}
+
+impl fmt::Display for Station {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Station::Tx => write!(f, "tx"),
+            Station::Rx => write!(f, "rx"),
+        }
+    }
+}
+
+/// What state a crashed station reboots into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashMode {
+    /// Total loss of volatile state: the station reboots into its initial
+    /// state (constructor configuration survives as ROM). Amnesia can
+    /// genuinely lose an in-flight message — pair it with
+    /// [`SimConfig::retry_lost_messages`] for runs that must complete.
+    Amnesia,
+    /// Stable storage: the station reboots into its last checkpoint. The
+    /// harness checkpoints both stations at every `send_msg` and message
+    /// delivery boundary (only while crashes are pending), so a restore is
+    /// always consistent with the monitor's message counts.
+    Restore,
+}
+
+impl fmt::Display for CrashMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashMode::Amnesia => write!(f, "amnesia"),
+            CrashMode::Restore => write!(f, "restore"),
+        }
+    }
+}
+
+/// A scheduled station crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Scheduler step at which the crash fires (compared against the
+    /// simulation's global step counter, so plans compose across repeated
+    /// [`Simulation::deliver`] calls).
+    pub at_step: u64,
+    /// Which station goes down.
+    pub station: Station,
+    /// What the station reboots into.
+    pub mode: CrashMode,
+}
 
 /// Knobs for a simulation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Scheduler steps allowed per message before the run is declared
     /// stalled.
@@ -19,6 +79,20 @@ pub struct SimConfig {
     /// caller verify content and order end to end). Protocols implementing
     /// only the identical-message service ignore payloads.
     pub payloads: bool,
+    /// Station crashes to apply, keyed by global scheduler step. Events
+    /// whose step has already passed when [`Simulation::deliver`] is called
+    /// are ignored.
+    pub crash_plan: Vec<CrashEvent>,
+    /// Scheduler steps a crashed station stays offline before rebooting.
+    /// While down the station takes no ticks, receives no packets (copies
+    /// stay in transit), and emits nothing.
+    pub restart_backoff: u64,
+    /// Re-submit a message whose in-flight copy died with the transmitter's
+    /// volatile state (a transmitter amnesia crash). Each retry is a fresh
+    /// monitored `SendMsg`, so prefix-DL1 accounting stays honest.
+    pub retry_lost_messages: bool,
+    /// Minimum scheduler steps between retry submissions.
+    pub retry_backoff: u64,
 }
 
 impl Default for SimConfig {
@@ -26,8 +100,102 @@ impl Default for SimConfig {
         SimConfig {
             max_steps_per_message: 1_000_000,
             payloads: false,
+            crash_plan: Vec::new(),
+            restart_backoff: 0,
+            retry_lost_messages: false,
+            retry_backoff: 32,
         }
     }
+}
+
+/// Structured post-mortem attached to [`SimError::Stalled`].
+///
+/// Captures everything needed to understand — and replay — a stall: the
+/// in-transit census of both channels, the last point of progress, the
+/// monitor's message accounting, the faults the chaos layer was injecting,
+/// and a ready-to-run attack schedule reproducing the stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnostic {
+    /// Index of the stalled message.
+    pub message: u64,
+    /// Global scheduler step at which the run gave up.
+    pub at_step: u64,
+    /// Step and description of the last delivery progress, if any.
+    pub last_progress: Option<(u64, String)>,
+    /// Distinct packet values still in transit on the forward channel,
+    /// with copy counts.
+    pub fwd_census: Vec<(Packet, usize)>,
+    /// Distinct packet values still in transit on the backward channel,
+    /// with copy counts.
+    pub bwd_census: Vec<(Packet, usize)>,
+    /// Monitor `sm`: messages accepted from the higher layer.
+    pub messages_sent: u64,
+    /// Monitor `rm`: messages delivered to the higher layer.
+    pub messages_delivered: u64,
+    /// Events the online monitor has observed.
+    pub events_seen: u64,
+    /// Faults active at the moment of the stall, prefixed by direction.
+    pub active_faults: Vec<String>,
+    /// Total faults injected across both channels so far.
+    pub faults_injected: u64,
+    /// Station crashes applied so far.
+    pub crashes_applied: u64,
+    /// Whether the transmitter would accept another message.
+    pub tx_ready: bool,
+    /// An attack-DSL schedule reproducing the stall; feed it to
+    /// `nonfifo schedule` (its final `quiesce` fails to converge, which is
+    /// the stall, reproduced deterministically).
+    pub repro_schedule: String,
+}
+
+impl fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stall diagnostic: message {} undelivered at step {}",
+            self.message, self.at_step
+        )?;
+        match &self.last_progress {
+            Some((step, what)) => writeln!(f, "  last progress : step {step}: {what}")?,
+            None => writeln!(f, "  last progress : none (no delivery ever happened)")?,
+        }
+        writeln!(
+            f,
+            "  monitor       : sm={} rm={} events={}",
+            self.messages_sent, self.messages_delivered, self.events_seen
+        )?;
+        writeln!(
+            f,
+            "  faults        : {} injected, {} crash(es) applied, tx_ready={}",
+            self.faults_injected, self.crashes_applied, self.tx_ready
+        )?;
+        for fault in &self.active_faults {
+            writeln!(f, "  active fault  : {fault}")?;
+        }
+        writeln!(
+            f,
+            "  fwd in transit: {} distinct value(s)",
+            self.fwd_census.len()
+        )?;
+        for (pkt, n) in &self.fwd_census {
+            writeln!(f, "    {pkt} ×{n}")?;
+        }
+        writeln!(
+            f,
+            "  bwd in transit: {} distinct value(s)",
+            self.bwd_census.len()
+        )?;
+        for (pkt, n) in &self.bwd_census {
+            writeln!(f, "    {pkt} ×{n}")?;
+        }
+        write!(f, "  repro schedule:\n{}", indent(&self.repro_schedule))
+    }
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("    {l}\n"))
+        .collect::<String>()
 }
 
 /// Why a simulation run stopped early.
@@ -39,6 +207,8 @@ pub enum SimError {
         message: u64,
         /// Steps spent on it.
         steps: u64,
+        /// Structured post-mortem (census, faults, repro schedule).
+        diagnostic: Box<StallDiagnostic>,
     },
     /// The online monitor flagged a specification violation.
     Violation(SpecViolation),
@@ -47,7 +217,7 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Stalled { message, steps } => {
+            SimError::Stalled { message, steps, .. } => {
                 write!(f, "message {message} undelivered after {steps} steps")
             }
             SimError::Violation(v) => write!(f, "specification violated: {v}"),
@@ -79,6 +249,14 @@ pub struct RunStats {
     /// Payloads of delivered messages, in delivery order (only recorded
     /// when [`SimConfig::payloads`] is set).
     pub delivered_payloads: Vec<u64>,
+    /// Order-sensitive 64-bit digest of every event the engine observed.
+    /// Two runs with the same protocol, channels, plan and seed produce the
+    /// same fingerprint — the replayability contract of the chaos layer.
+    pub fingerprint: u64,
+    /// Station crashes applied so far.
+    pub crashes_applied: u64,
+    /// Faults injected by the chaos layer across both channels.
+    pub faults_injected: u64,
 }
 
 /// A protocol composed with a forward and a backward channel.
@@ -102,6 +280,18 @@ pub struct Simulation {
     round_watermark: CopyId,
     pending_deliveries: u64,
     uses_ghosts: bool,
+    proto_name: String,
+    fingerprint: Fnv64,
+    last_progress: Option<(u64, String)>,
+    checkpoint_tx: BoxedTransmitter,
+    checkpoint_rx: BoxedReceiver,
+    pending_crashes: Vec<CrashEvent>,
+    crash_history: Vec<CrashEvent>,
+    tx_down_until: u64,
+    rx_down_until: u64,
+    tx_crashed_since_send: bool,
+    restart_backoff: u64,
+    round_start_step: u64,
 }
 
 impl Simulation {
@@ -115,7 +305,10 @@ impl Simulation {
         assert_eq!(fwd.dir(), Dir::Forward, "fwd channel must be t→r");
         assert_eq!(bwd.dir(), Dir::Backward, "bwd channel must be r→t");
         let uses_ghosts = proto.uses_ghosts();
+        let proto_name = proto.name();
         let (tx, rx) = proto.make();
+        let checkpoint_tx = tx.clone_box();
+        let checkpoint_rx = rx.clone_box();
         Simulation {
             tx,
             rx,
@@ -130,6 +323,18 @@ impl Simulation {
             round_watermark: CopyId::from_raw(0),
             pending_deliveries: 0,
             uses_ghosts,
+            proto_name,
+            fingerprint: Fnv64::new(),
+            last_progress: None,
+            checkpoint_tx,
+            checkpoint_rx,
+            pending_crashes: Vec::new(),
+            crash_history: Vec::new(),
+            tx_down_until: 0,
+            rx_down_until: 0,
+            tx_crashed_since_send: false,
+            restart_backoff: 0,
+            round_start_step: 0,
         }
     }
 
@@ -139,7 +344,11 @@ impl Simulation {
         Simulation::with_channels(
             proto,
             Box::new(ProbabilisticChannel::new(Dir::Forward, q, seed)),
-            Box::new(ProbabilisticChannel::new(Dir::Backward, q, seed.wrapping_add(1))),
+            Box::new(ProbabilisticChannel::new(
+                Dir::Backward,
+                q,
+                seed.wrapping_add(1),
+            )),
         )
     }
 
@@ -157,7 +366,11 @@ impl Simulation {
         Simulation::with_channels(
             proto,
             Box::new(LossyFifoChannel::new(Dir::Forward, loss, seed)),
-            Box::new(LossyFifoChannel::new(Dir::Backward, loss, seed.wrapping_add(1))),
+            Box::new(LossyFifoChannel::new(
+                Dir::Backward,
+                loss,
+                seed.wrapping_add(1),
+            )),
         )
     }
 
@@ -167,8 +380,50 @@ impl Simulation {
         Simulation::with_channels(
             proto,
             Box::new(BoundedReorderChannel::new(Dir::Forward, bound, seed)),
-            Box::new(BoundedReorderChannel::new(Dir::Backward, bound, seed.wrapping_add(1))),
+            Box::new(BoundedReorderChannel::new(
+                Dir::Backward,
+                bound,
+                seed.wrapping_add(1),
+            )),
         )
+    }
+
+    /// FIFO channels wrapped in the chaos fault-injection decorator in both
+    /// directions: the forward channel is driven by `seed`, the backward by
+    /// `seed + 1`. Runs are bit-replayable from `(plan, seed)`.
+    pub fn chaos(proto: impl DataLink, plan: &FaultPlan, seed: u64) -> Self {
+        Simulation::with_channels(
+            proto,
+            Box::new(ChaosChannel::new(
+                Box::new(FifoChannel::new(Dir::Forward)),
+                plan.clone(),
+                seed,
+            )),
+            Box::new(ChaosChannel::new(
+                Box::new(FifoChannel::new(Dir::Backward)),
+                plan.clone(),
+                seed.wrapping_add(1),
+            )),
+        )
+    }
+
+    /// Order-sensitive digest of every event observed so far (see
+    /// [`RunStats::fingerprint`]).
+    pub fn execution_fingerprint(&self) -> u64 {
+        self.fingerprint.clone().finish()
+    }
+
+    /// Fault records logged by both channels, rendered with a direction
+    /// prefix (empty unless a chaos channel is installed).
+    pub fn fault_log(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for f in self.fwd.fault_log() {
+            out.push(format!("fwd: {f}"));
+        }
+        for f in self.bwd.fault_log() {
+            out.push(format!("bwd: {f}"));
+        }
+        out
     }
 
     /// Delivers `n` messages, returning the run statistics.
@@ -176,10 +431,22 @@ impl Simulation {
     /// # Errors
     ///
     /// [`SimError::Stalled`] if a message exceeds the per-message step
-    /// budget; [`SimError::Violation`] if the online monitor flags a
-    /// specification violation (the statistics up to that point are lost —
-    /// use lower-level crates to post-mortem violations).
+    /// budget (the error carries a [`StallDiagnostic`] post-mortem);
+    /// [`SimError::Violation`] if the online monitor flags a specification
+    /// violation (the statistics up to that point are lost — use
+    /// lower-level crates to post-mortem violations).
     pub fn deliver(&mut self, n: u64, cfg: &SimConfig) -> Result<RunStats, SimError> {
+        // Install the crash plan: future events only, soonest popped first.
+        let mut plan: Vec<CrashEvent> = cfg
+            .crash_plan
+            .iter()
+            .copied()
+            .filter(|c| c.at_step >= self.steps)
+            .collect();
+        plan.sort_by_key(|c| std::cmp::Reverse(c.at_step));
+        self.pending_crashes = plan;
+        self.restart_backoff = cfg.restart_backoff;
+
         let base = self.pending_deliveries;
         let mut delivered = 0u64;
         for _ in 0..n {
@@ -187,10 +454,7 @@ impl Simulation {
             let mut waited = 0;
             while !self.tx.ready() {
                 if waited >= cfg.max_steps_per_message {
-                    return Err(SimError::Stalled {
-                        message: self.next_msg,
-                        steps: waited,
-                    });
+                    return Err(self.stalled(self.next_msg, waited));
                 }
                 self.pump();
                 self.check()?;
@@ -203,22 +467,46 @@ impl Simulation {
                 Message::identical(self.next_msg)
             };
             self.round_watermark = CopyId::from_raw(self.fwd.total_sent());
-            let _ = self.monitor.observe(&Event::SendMsg(m));
+            self.round_start_step = self.steps;
+            self.record(&Event::SendMsg(m));
             self.next_msg += 1;
             self.tx.on_send_msg(m);
+            self.tx_crashed_since_send = false;
+            if !self.pending_crashes.is_empty() {
+                // Stable-storage snapshot at the send_msg boundary.
+                self.checkpoint();
+            }
 
             let target = base + delivered + 1;
             let mut steps = 0;
+            let mut last_retry = 0u64;
             while self.pending_deliveries < target {
                 if steps >= cfg.max_steps_per_message {
-                    return Err(SimError::Stalled {
-                        message: self.next_msg - 1,
-                        steps,
-                    });
+                    return Err(self.stalled(self.next_msg - 1, steps));
                 }
                 self.pump();
                 self.check()?;
                 steps += 1;
+                if cfg.retry_lost_messages
+                    && self.tx_crashed_since_send
+                    && self.pending_deliveries < target
+                    && self.steps >= self.tx_down_until
+                    && self.tx.ready()
+                    && self.steps.saturating_sub(last_retry) >= cfg.retry_backoff.max(1)
+                {
+                    // The in-flight message died with the transmitter's
+                    // volatile state; re-submit it as a fresh monitored
+                    // send (`sm` grows, so prefix-DL1 stays honest).
+                    last_retry = self.steps;
+                    self.tx_crashed_since_send = false;
+                    let retry = if cfg.payloads {
+                        Message::with_payload(self.next_msg - 1, Payload::new(self.next_msg - 1))
+                    } else {
+                        Message::identical(self.next_msg - 1)
+                    };
+                    self.record(&Event::SendMsg(retry));
+                    self.tx.on_send_msg(retry);
+                }
             }
             delivered += 1;
         }
@@ -233,6 +521,9 @@ impl Simulation {
             final_in_transit: self.fwd.in_transit_len() as u64,
             violation: self.monitor.first_violation(),
             delivered_payloads: self.delivered_payloads.clone(),
+            fingerprint: self.execution_fingerprint(),
+            crashes_applied: self.crash_history.len() as u64,
+            faults_injected: (self.fwd.fault_log().len() + self.bwd.fault_log().len()) as u64,
         })
     }
 
@@ -243,6 +534,119 @@ impl Simulation {
         }
     }
 
+    /// Feeds one event to both the monitor and the execution fingerprint.
+    fn record(&mut self, event: &Event) {
+        event.hash(&mut self.fingerprint);
+        let _ = self.monitor.observe(event);
+    }
+
+    fn checkpoint(&mut self) {
+        self.checkpoint_tx = self.tx.clone_box();
+        self.checkpoint_rx = self.rx.clone_box();
+    }
+
+    fn apply_crash(&mut self, c: CrashEvent) {
+        match (c.station, c.mode) {
+            (Station::Tx, CrashMode::Amnesia) => {
+                self.tx.crash_amnesia();
+                self.tx_crashed_since_send = true;
+            }
+            (Station::Tx, CrashMode::Restore) => {
+                self.tx = self.checkpoint_tx.clone_box();
+            }
+            (Station::Rx, CrashMode::Amnesia) => self.rx.crash_amnesia(),
+            (Station::Rx, CrashMode::Restore) => {
+                self.rx = self.checkpoint_rx.clone_box();
+            }
+        }
+        let until = self.steps + self.restart_backoff;
+        match c.station {
+            Station::Tx => self.tx_down_until = self.tx_down_until.max(until),
+            Station::Rx => self.rx_down_until = self.rx_down_until.max(until),
+        }
+        self.crash_history.push(c);
+    }
+
+    fn stalled(&self, message: u64, steps: u64) -> SimError {
+        SimError::Stalled {
+            message,
+            steps,
+            diagnostic: Box::new(self.diagnose(message)),
+        }
+    }
+
+    fn diagnose(&self, message: u64) -> StallDiagnostic {
+        StallDiagnostic {
+            message,
+            at_step: self.steps,
+            last_progress: self.last_progress.clone(),
+            fwd_census: self.fwd.transit_census(),
+            bwd_census: self.bwd.transit_census(),
+            messages_sent: self.monitor.messages_sent(),
+            messages_delivered: self.monitor.messages_delivered(),
+            events_seen: self.monitor.events_seen(),
+            active_faults: {
+                let mut active: Vec<String> = self
+                    .fwd
+                    .active_faults()
+                    .into_iter()
+                    .map(|f| format!("fwd: {f}"))
+                    .collect();
+                active.extend(
+                    self.bwd
+                        .active_faults()
+                        .into_iter()
+                        .map(|f| format!("bwd: {f}")),
+                );
+                active
+            },
+            faults_injected: (self.fwd.fault_log().len() + self.bwd.fault_log().len()) as u64,
+            crashes_applied: self.crash_history.len() as u64,
+            tx_ready: self.tx.ready(),
+            repro_schedule: self.repro_schedule(message),
+        }
+    }
+
+    /// Compiles the run so far into an attack-DSL schedule whose replay
+    /// stalls on the same message: each already-delivered message becomes a
+    /// clean `send`/`quiesce` round, the faults that hit the stalled round
+    /// are summarised as comments, and the stalled message is sent under a
+    /// `partition` (the DSL abstraction of "the channel ate every copy") so
+    /// the final `quiesce` fails to converge — which *is* the stall.
+    fn repro_schedule(&self, message: u64) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "// chaos stall reproduction: {} — message {message} undelivered\n",
+            self.proto_name
+        ));
+        s.push_str("// replay with: nonfifo schedule <protocol> <this file>\n");
+        const SHOWN: usize = 8;
+        for (label, log) in [("fwd", self.fwd.fault_log()), ("bwd", self.bwd.fault_log())] {
+            for f in log.iter().take(SHOWN) {
+                s.push_str(&format!("// {label} fault: {f}\n"));
+            }
+            if log.len() > SHOWN {
+                s.push_str(&format!(
+                    "// {label} fault: … and {} more\n",
+                    log.len() - SHOWN
+                ));
+            }
+        }
+        for _ in 0..self.monitor.messages_delivered() {
+            s.push_str("send\nquiesce\n");
+        }
+        s.push_str("partition\nsend\n");
+        for c in self
+            .crash_history
+            .iter()
+            .filter(|c| c.at_step >= self.round_start_step)
+        {
+            s.push_str(&format!("crash {}\n", c.station));
+        }
+        s.push_str("quiesce\n");
+        s
+    }
+
     fn ghost(&self) -> GhostInfo {
         let mut stale: BTreeMap<Header, u64> = BTreeMap::new();
         // Conservative sweep over a small header space: ghost info is only
@@ -250,7 +654,9 @@ impl Simulation {
         // tiny. Headers beyond 64 are not swept (no consumer needs them).
         for h in 0..64u32 {
             let header = Header::new(h);
-            let n = self.fwd.header_copies_older_than(header, self.round_watermark);
+            let n = self
+                .fwd
+                .header_copies_older_than(header, self.round_watermark);
             if n > 0 {
                 stale.insert(header, n as u64);
             }
@@ -262,71 +668,124 @@ impl Simulation {
         }
     }
 
-    /// One scheduler step: ghosts, ticks, transmitter pump, channel
-    /// deliveries, receiver pump.
+    /// One scheduler step: crashes, ghosts, ticks, transmitter pump,
+    /// channel deliveries, receiver pump. A station that is down (crash
+    /// backoff) takes no actions and receives nothing — copies addressed
+    /// to it stay in transit.
     fn pump(&mut self) {
         self.steps += 1;
+        while let Some(&c) = self.pending_crashes.last() {
+            if c.at_step > self.steps {
+                break;
+            }
+            self.pending_crashes.pop();
+            self.apply_crash(c);
+        }
+        let tx_up = self.steps >= self.tx_down_until;
+        let rx_up = self.steps >= self.rx_down_until;
+
         if self.uses_ghosts {
             let ghost = self.ghost();
-            self.tx.on_ghost(&ghost);
-            self.rx.on_ghost(&ghost);
+            if tx_up {
+                self.tx.on_ghost(&ghost);
+            }
+            if rx_up {
+                self.rx.on_ghost(&ghost);
+            }
         }
-        self.tx.on_tick();
-        self.rx.on_tick();
+        if tx_up {
+            self.tx.on_tick();
+        }
+        if rx_up {
+            self.rx.on_tick();
+        }
 
-        while let Some(pkt) = self.tx.poll_send() {
+        if tx_up {
+            while let Some(pkt) = self.tx.poll_send() {
+                self.sent_values.insert(pkt);
+                let copy = self.fwd.send(pkt);
+                self.record(&Event::SendPkt {
+                    dir: Dir::Forward,
+                    packet: pkt,
+                    copy,
+                });
+            }
+        }
+        // Declare chaos-injected copies (duplicate twins, corrupted
+        // rewrites) before any drop or delivery can reference them — this
+        // is what keeps the monitor PL1-sound under fault injection.
+        for (pkt, copy) in self.fwd.drain_injected_sends() {
             self.sent_values.insert(pkt);
-            let copy = self.fwd.send(pkt);
-            let _ = self.monitor.observe(&Event::SendPkt {
+            self.record(&Event::SendPkt {
                 dir: Dir::Forward,
                 packet: pkt,
                 copy,
             });
         }
         for (pkt, copy) in self.fwd.drain_drops() {
-            let _ = self.monitor.observe(&Event::DropPkt {
+            self.record(&Event::DropPkt {
                 dir: Dir::Forward,
                 packet: pkt,
                 copy,
             });
         }
-        while let Some((pkt, copy)) = self.fwd.poll_deliver() {
-            let _ = self.monitor.observe(&Event::ReceivePkt {
-                dir: Dir::Forward,
-                packet: pkt,
-                copy,
-            });
-            self.rx.on_receive_pkt(pkt);
-        }
-        while let Some(m) = self.rx.poll_deliver() {
-            let _ = self.monitor.observe(&Event::ReceiveMsg(m));
-            self.pending_deliveries += 1;
-            if let Some(p) = m.payload() {
-                self.delivered_payloads.push(p.word());
+        if rx_up {
+            while let Some((pkt, copy)) = self.fwd.poll_deliver() {
+                self.record(&Event::ReceivePkt {
+                    dir: Dir::Forward,
+                    packet: pkt,
+                    copy,
+                });
+                self.rx.on_receive_pkt(pkt);
+            }
+            let mut delivered_now = false;
+            while let Some(m) = self.rx.poll_deliver() {
+                self.record(&Event::ReceiveMsg(m));
+                self.pending_deliveries += 1;
+                delivered_now = true;
+                self.last_progress = Some((self.steps, format!("delivered message {}", m.id())));
+                if let Some(p) = m.payload() {
+                    self.delivered_payloads.push(p.word());
+                }
+            }
+            if delivered_now && !self.pending_crashes.is_empty() {
+                // Stable-storage snapshot at the delivery boundary, so a
+                // later restore never rolls the receiver back behind a
+                // delivery the monitor has already counted.
+                self.checkpoint();
+            }
+            while let Some(ack) = self.rx.poll_send() {
+                let copy = self.bwd.send(ack);
+                self.record(&Event::SendPkt {
+                    dir: Dir::Backward,
+                    packet: ack,
+                    copy,
+                });
             }
         }
-        while let Some(ack) = self.rx.poll_send() {
-            let copy = self.bwd.send(ack);
-            let _ = self.monitor.observe(&Event::SendPkt {
+        for (pkt, copy) in self.bwd.drain_injected_sends() {
+            self.record(&Event::SendPkt {
                 dir: Dir::Backward,
-                packet: ack,
+                packet: pkt,
                 copy,
             });
         }
         for (pkt, copy) in self.bwd.drain_drops() {
-            let _ = self.monitor.observe(&Event::DropPkt {
+            self.record(&Event::DropPkt {
                 dir: Dir::Backward,
                 packet: pkt,
                 copy,
             });
         }
-        while let Some((ack, copy)) = self.bwd.poll_deliver() {
-            let _ = self.monitor.observe(&Event::ReceivePkt {
-                dir: Dir::Backward,
-                packet: ack,
-                copy,
-            });
-            self.tx.on_receive_pkt(ack);
+        if tx_up {
+            while let Some((ack, copy)) = self.bwd.poll_deliver() {
+                self.record(&Event::ReceivePkt {
+                    dir: Dir::Backward,
+                    packet: ack,
+                    copy,
+                });
+                self.tx.on_receive_pkt(ack);
+            }
         }
         self.fwd.tick();
         self.bwd.tick();
@@ -410,9 +869,139 @@ mod tests {
         let mut sim = Simulation::probabilistic(SequenceNumber::new(), 1.0, 0);
         let cfg = SimConfig {
             max_steps_per_message: 50,
-            payloads: false,
+            ..SimConfig::default()
         };
         let err = sim.deliver(1, &cfg).unwrap_err();
         assert!(matches!(err, SimError::Stalled { message: 0, .. }));
+    }
+
+    #[test]
+    fn stall_diagnostic_is_structured() {
+        let mut sim = Simulation::probabilistic(SequenceNumber::new(), 1.0, 0);
+        let cfg = SimConfig {
+            max_steps_per_message: 50,
+            ..SimConfig::default()
+        };
+        let err = sim.deliver(1, &cfg).unwrap_err();
+        let SimError::Stalled { diagnostic, .. } = err else {
+            panic!("expected a stall");
+        };
+        assert_eq!(diagnostic.message, 0);
+        assert_eq!(diagnostic.messages_sent, 1);
+        assert_eq!(diagnostic.messages_delivered, 0);
+        assert!(diagnostic.last_progress.is_none());
+        // q = 1 delays every copy forever: the census shows them in transit.
+        assert!(!diagnostic.fwd_census.is_empty());
+        // The repro schedule sends the stalled message under a partition
+        // and ends with a quiesce that cannot converge.
+        assert!(diagnostic.repro_schedule.contains("partition\nsend\n"));
+        assert!(diagnostic.repro_schedule.ends_with("quiesce\n"));
+        // The Display rendering mentions the schedule and the census.
+        let text = diagnostic.to_string();
+        assert!(text.contains("fwd in transit"));
+        assert!(text.contains("repro schedule"));
+    }
+
+    #[test]
+    fn restore_crashes_are_transparent_to_delivery() {
+        let mut sim = Simulation::lossy_fifo(AlternatingBit::new(), 0.2, 9);
+        let cfg = SimConfig {
+            crash_plan: vec![
+                CrashEvent {
+                    at_step: 10,
+                    station: Station::Tx,
+                    mode: CrashMode::Restore,
+                },
+                CrashEvent {
+                    at_step: 25,
+                    station: Station::Rx,
+                    mode: CrashMode::Restore,
+                },
+            ],
+            restart_backoff: 3,
+            ..SimConfig::default()
+        };
+        let stats = sim.deliver(20, &cfg).unwrap();
+        assert_eq!(stats.messages_delivered, 20);
+        assert_eq!(stats.crashes_applied, 2);
+        assert!(stats.violation.is_none());
+    }
+
+    #[test]
+    fn full_reboot_with_retry_still_delivers() {
+        // Both stations lose all volatile state mid-run; the retry knob
+        // re-submits the message the transmitter forgot.
+        let mut sim = Simulation::fifo(SequenceNumber::new());
+        let cfg = SimConfig {
+            crash_plan: vec![
+                CrashEvent {
+                    at_step: 3,
+                    station: Station::Tx,
+                    mode: CrashMode::Amnesia,
+                },
+                CrashEvent {
+                    at_step: 3,
+                    station: Station::Rx,
+                    mode: CrashMode::Amnesia,
+                },
+            ],
+            retry_lost_messages: true,
+            retry_backoff: 2,
+            max_steps_per_message: 10_000,
+            ..SimConfig::default()
+        };
+        let stats = sim.deliver(5, &cfg).unwrap();
+        assert_eq!(stats.messages_delivered, 5);
+        assert_eq!(stats.crashes_applied, 2);
+        assert!(stats.violation.is_none());
+    }
+
+    #[test]
+    fn downed_station_keeps_copies_in_transit() {
+        // A long backoff with no retry: the run stalls while the receiver
+        // is down, and the diagnostic records the crash.
+        let mut sim = Simulation::fifo(SequenceNumber::new());
+        let cfg = SimConfig {
+            crash_plan: vec![CrashEvent {
+                at_step: 1,
+                station: Station::Rx,
+                mode: CrashMode::Amnesia,
+            }],
+            restart_backoff: 1_000,
+            max_steps_per_message: 40,
+            ..SimConfig::default()
+        };
+        let err = sim.deliver(1, &cfg).unwrap_err();
+        let SimError::Stalled { diagnostic, .. } = err else {
+            panic!("expected a stall");
+        };
+        assert_eq!(diagnostic.crashes_applied, 1);
+        assert!(!diagnostic.fwd_census.is_empty(), "copies wait for the rx");
+    }
+
+    #[test]
+    fn same_seed_and_plan_reproduce_the_fingerprint() {
+        let plan = FaultPlan::parse("dup 0.1\ndrop 0.15").unwrap();
+        let run = |seed: u64| {
+            let mut sim = Simulation::chaos(SequenceNumber::new(), &plan, seed);
+            sim.deliver(40, &SimConfig::default()).unwrap()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.packets_sent_forward, b.packets_sent_forward);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        let c = run(8);
+        assert_ne!(a.fingerprint, c.fingerprint, "a different seed diverges");
+    }
+
+    #[test]
+    fn chaos_faults_stay_pl1_sound() {
+        let plan = FaultPlan::parse("dup 0.2\ndrop 0.1\ncorrupt 0.05").unwrap();
+        let mut sim = Simulation::chaos(SequenceNumber::new(), &plan, 3);
+        let stats = sim.deliver(30, &SimConfig::default()).unwrap();
+        assert_eq!(stats.messages_delivered, 30);
+        assert!(stats.violation.is_none(), "got {:?}", stats.violation);
+        assert!(stats.faults_injected > 0, "the plan actually fired");
     }
 }

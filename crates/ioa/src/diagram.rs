@@ -65,16 +65,8 @@ pub fn render(exec: &Execution) -> String {
                 ),
             },
             Event::ReceivePkt { dir, packet, copy } => match dir {
-                Dir::Forward => (
-                    String::new(),
-                    "-->".into(),
-                    format!("-> {packet}{copy} -|"),
-                ),
-                Dir::Backward => (
-                    format!("|- {packet}{copy} <-"),
-                    "<--".into(),
-                    String::new(),
-                ),
+                Dir::Forward => (String::new(), "-->".into(), format!("-> {packet}{copy} -|")),
+                Dir::Backward => (format!("|- {packet}{copy} <-"), "<--".into(), String::new()),
             },
             Event::DropPkt { dir, packet, copy } => (
                 String::new(),
@@ -88,7 +80,13 @@ pub fn render(exec: &Execution) -> String {
                 String::new(),
             ),
         };
-        let _ = writeln!(out, "{}{}{}", pad(&tx_lane, LANE), pad(&ch_lane, LANE), rx_lane);
+        let _ = writeln!(
+            out,
+            "{}{}{}",
+            pad(&tx_lane, LANE),
+            pad(&ch_lane, LANE),
+            rx_lane
+        );
     }
     out
 }

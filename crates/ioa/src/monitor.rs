@@ -63,6 +63,16 @@ impl SpecMonitor {
         self.sm - self.rm.min(self.sm)
     }
 
+    /// `sm`: messages accepted from the higher layer so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.sm
+    }
+
+    /// `rm`: messages delivered to the higher layer so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.rm
+    }
+
     /// Feeds one event to the monitor.
     ///
     /// # Errors

@@ -80,16 +80,25 @@ impl fmt::Display for SpecViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             SpecViolation::UnsentDelivery { dir, copy } => {
-                write!(f, "PL1 violated on {dir}: copy {copy} delivered but never sent")
+                write!(
+                    f,
+                    "PL1 violated on {dir}: copy {copy} delivered but never sent"
+                )
             }
             SpecViolation::DuplicateDelivery { dir, copy } => {
                 write!(f, "PL1 violated on {dir}: copy {copy} delivered twice")
             }
             SpecViolation::DeliveredAfterDrop { dir, copy } => {
-                write!(f, "PL1 violated on {dir}: copy {copy} delivered after being dropped")
+                write!(
+                    f,
+                    "PL1 violated on {dir}: copy {copy} delivered after being dropped"
+                )
             }
             SpecViolation::CorruptedDelivery { dir, copy } => {
-                write!(f, "PL1 violated on {dir}: copy {copy} delivered with a corrupted value")
+                write!(
+                    f,
+                    "PL1 violated on {dir}: copy {copy} delivered with a corrupted value"
+                )
             }
             SpecViolation::MessageInvented { event_index } => write!(
                 f,

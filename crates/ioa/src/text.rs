@@ -149,11 +149,7 @@ impl<'a> LineParser<'a> {
         }
     }
 
-    fn numeric<T: std::str::FromStr>(
-        &self,
-        token: &str,
-        what: &str,
-    ) -> Result<T, ParseTextError> {
+    fn numeric<T: std::str::FromStr>(&self, token: &str, what: &str) -> Result<T, ParseTextError> {
         token
             .parse()
             .map_err(|_| self.err(format!("bad {what} in {token:?}")))

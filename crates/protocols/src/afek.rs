@@ -37,7 +37,8 @@
 //! identical-message service and ignores payloads.
 
 use crate::api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo, HeaderBound, Receiver, Recoverable,
+    Transmitter,
 };
 use crate::sequence::varint_bytes;
 use nonfifo_ioa::fingerprint::StateHash;
@@ -81,7 +82,10 @@ impl AfekFlush {
     /// Panics if `labels < 3` (two labels cannot separate three
     /// consecutive rounds).
     pub fn with_labels(labels: u32) -> Self {
-        assert!(labels >= 3, "flush protocol needs at least 3 labels, got {labels}");
+        assert!(
+            labels >= 3,
+            "flush protocol needs at least 3 labels, got {labels}"
+        );
         AfekFlush { labels }
     }
 
@@ -149,6 +153,15 @@ impl AfekFlushTx {
         let pkt = Packet::header_only(Header::new((self.idx % self.labels) as u32));
         self.outbox.push_back(pkt);
         self.total_sent += 1;
+    }
+}
+
+impl Recoverable for AfekFlushTx {
+    fn crash_amnesia(&mut self) {
+        self.idx = 0;
+        self.pending = false;
+        self.total_sent = 0;
+        self.outbox.clear();
     }
 }
 
@@ -237,6 +250,16 @@ impl AfekFlushRx {
     fn ack(&mut self, index: u64) {
         self.outbox
             .push_back(Packet::header_only(Header::new(index as u32)));
+    }
+}
+
+impl Recoverable for AfekFlushRx {
+    fn crash_amnesia(&mut self) {
+        self.next = 0;
+        self.counted = 0;
+        self.stale_snapshot = None;
+        self.outbox.clear();
+        self.deliveries.clear();
     }
 }
 

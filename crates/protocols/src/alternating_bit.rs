@@ -7,7 +7,7 @@
 //! experiment E8 and the falsifier tests construct exactly that execution.
 
 use crate::api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Recoverable, Transmitter,
 };
 use nonfifo_ioa::fingerprint::StateHash;
 use nonfifo_ioa::{Header, Message, Packet};
@@ -93,6 +93,12 @@ impl Default for AlternatingBitTx {
     }
 }
 
+impl Recoverable for AlternatingBitTx {
+    fn crash_amnesia(&mut self) {
+        *self = AlternatingBitTx::new();
+    }
+}
+
 impl Transmitter for AlternatingBitTx {
     fn on_send_msg(&mut self, m: Message) {
         debug_assert!(self.pending.is_none(), "send_msg while not ready");
@@ -171,6 +177,12 @@ impl AlternatingBitRx {
 impl Default for AlternatingBitRx {
     fn default() -> Self {
         AlternatingBitRx::new()
+    }
+}
+
+impl Recoverable for AlternatingBitRx {
+    fn crash_amnesia(&mut self) {
+        *self = AlternatingBitRx::new();
     }
 }
 

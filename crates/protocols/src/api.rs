@@ -38,6 +38,33 @@ impl GhostInfo {
     }
 }
 
+/// Crash-recovery semantics for a station automaton.
+///
+/// The chaos experiments crash and restart stations mid-execution; this
+/// trait fixes what "restart" means:
+///
+/// - **Amnesia** ([`crash_amnesia`](Recoverable::crash_amnesia)): all
+///   volatile state — counters, windows, outboxes, undelivered buffers —
+///   resets to the automaton's initial state. Configuration fixed at
+///   construction (window size `w`, label cycle `k`) survives as ROM: a
+///   rebooted station still knows what protocol it runs.
+/// - **Restore**: the harness snapshots via `clone_box` at a checkpoint
+///   (the simulation checkpoints at `send_msg` boundaries) and swaps the
+///   snapshot back in, modelling a station with stable storage.
+///
+/// A crash never touches the channels: copies already in transit stay in
+/// transit, which is exactly what makes recovery interesting over a
+/// non-FIFO physical layer — the rebooted automaton faces its own stale
+/// copies with fresh (reset) state.
+pub trait Recoverable {
+    /// Crashes the automaton with total loss of volatile state.
+    ///
+    /// After the call the automaton is observably identical to a freshly
+    /// constructed one with the same configuration: `state_fingerprint`
+    /// returns the initial fingerprint and no queued output survives.
+    fn crash_amnesia(&mut self);
+}
+
 /// The transmitting-station automaton `Aᵗ`.
 ///
 /// Input actions are the `on_*` methods (`send_msg`,
@@ -48,7 +75,7 @@ impl GhostInfo {
 /// Implementations must be deterministic: the adversaries compute boundness
 /// extensions by cloning the automaton and simulating forward, which is only
 /// sound if a clone behaves identically on identical inputs.
-pub trait Transmitter: fmt::Debug {
+pub trait Transmitter: Recoverable + fmt::Debug {
     /// `send_msg(m)`: the higher layer hands over the next message.
     ///
     /// The harness only calls this when [`ready`](Transmitter::ready)
@@ -88,7 +115,7 @@ pub trait Transmitter: fmt::Debug {
 /// Input actions: `receive_pkt`ᵗ→ʳ, tick, ghost. Output actions:
 /// `send_pkt`ʳ→ᵗ via [`poll_send`](Receiver::poll_send) and
 /// `receive_msg(m)` via [`poll_deliver`](Receiver::poll_deliver).
-pub trait Receiver: fmt::Debug {
+pub trait Receiver: Recoverable + fmt::Debug {
     /// `receive_pkt`ᵗ→ʳ`(p)`: a data packet arrives.
     fn on_receive_pkt(&mut self, p: Packet);
 

@@ -9,7 +9,7 @@
 //! falsifier breaks it like any bounded-header protocol.
 
 use crate::api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Recoverable, Transmitter,
 };
 use crate::sequence::varint_bytes;
 use nonfifo_ioa::fingerprint::StateHash;
@@ -109,6 +109,15 @@ impl GoBackNTx {
     }
 }
 
+impl Recoverable for GoBackNTx {
+    fn crash_amnesia(&mut self) {
+        self.base = 0;
+        self.next = 0;
+        self.unacked.clear();
+        self.outbox.clear();
+    }
+}
+
 impl Transmitter for GoBackNTx {
     fn on_send_msg(&mut self, m: Message) {
         debug_assert!(self.ready(), "send_msg while window full");
@@ -195,6 +204,14 @@ impl GoBackNRx {
     /// Next full sequence number the receiver will deliver.
     pub fn next_expected(&self) -> u64 {
         self.next_expected
+    }
+}
+
+impl Recoverable for GoBackNRx {
+    fn crash_amnesia(&mut self) {
+        self.next_expected = 0;
+        self.outbox.clear();
+        self.deliveries.clear();
     }
 }
 
@@ -317,10 +334,7 @@ mod tests {
     #[test]
     fn modulus_is_w_plus_one() {
         assert_eq!(GoBackN::new(7).modulus(), 8);
-        assert_eq!(
-            GoBackN::new(7).forward_headers(),
-            HeaderBound::Fixed(8)
-        );
+        assert_eq!(GoBackN::new(7).forward_headers(), HeaderBound::Fixed(8));
     }
 
     #[test]

@@ -51,7 +51,8 @@ mod sliding_window;
 pub use afek::{AfekFlush, AfekFlushRx, AfekFlushTx};
 pub use alternating_bit::{AlternatingBit, AlternatingBitRx, AlternatingBitTx};
 pub use api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo, HeaderBound, Receiver, Recoverable,
+    Transmitter,
 };
 pub use go_back_n::{GoBackN, GoBackNRx, GoBackNTx};
 pub use naive_cycle::{NaiveCycle, NaiveCycleRx, NaiveCycleTx};

@@ -9,7 +9,7 @@
 //! mechanically for every `k`.
 
 use crate::api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Recoverable, Transmitter,
 };
 use nonfifo_ioa::fingerprint::StateHash;
 use nonfifo_ioa::{Header, Message, Packet};
@@ -97,6 +97,12 @@ impl NaiveCycleTx {
     }
 }
 
+impl Recoverable for NaiveCycleTx {
+    fn crash_amnesia(&mut self) {
+        *self = NaiveCycleTx::new(self.k);
+    }
+}
+
 impl Transmitter for NaiveCycleTx {
     fn on_send_msg(&mut self, m: Message) {
         debug_assert!(self.pending.is_none(), "send_msg while not ready");
@@ -167,6 +173,12 @@ impl NaiveCycleRx {
 
     fn expected(&self) -> Header {
         Header::new((self.delivered % u64::from(self.k)) as u32)
+    }
+}
+
+impl Recoverable for NaiveCycleRx {
+    fn crash_amnesia(&mut self) {
+        *self = NaiveCycleRx::new(self.k);
     }
 }
 

@@ -36,7 +36,7 @@
 //! fresh one, so payloads could not be trusted anyway).
 
 use crate::api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Recoverable, Transmitter,
 };
 use crate::sequence::varint_bytes;
 use nonfifo_ioa::fingerprint::StateHash;
@@ -66,7 +66,10 @@ impl Outnumber {
     /// Panics if `labels < 3` (two labels cannot separate three consecutive
     /// rounds).
     pub fn new(labels: u32) -> Self {
-        assert!(labels >= 3, "outnumber needs at least 3 labels, got {labels}");
+        assert!(
+            labels >= 3,
+            "outnumber needs at least 3 labels, got {labels}"
+        );
         Outnumber { labels }
     }
 
@@ -134,6 +137,15 @@ impl OutnumberTx {
         let pkt = Packet::header_only(self.label());
         self.outbox.push_back(pkt);
         self.total_sent += 1;
+    }
+}
+
+impl Recoverable for OutnumberTx {
+    fn crash_amnesia(&mut self) {
+        self.idx = 0;
+        self.pending = false;
+        self.total_sent = 0;
+        self.outbox.clear();
     }
 }
 
@@ -236,6 +248,17 @@ impl OutnumberRx {
     }
 }
 
+impl Recoverable for OutnumberRx {
+    fn crash_amnesia(&mut self) {
+        self.next = 0;
+        self.since_delivery.fill(0);
+        self.total_received = 0;
+        self.threshold = 0;
+        self.outbox.clear();
+        self.deliveries.clear();
+    }
+}
+
 impl Receiver for OutnumberRx {
     fn on_receive_pkt(&mut self, p: Packet) {
         let l = u64::from(p.header().index()) % self.labels;
@@ -293,12 +316,7 @@ mod tests {
 
     /// Pump one message end-to-end over a perfect channel, returning how
     /// many data copies it took.
-    fn deliver_one(
-        tx: &mut BoxedTransmitter,
-        rx: &mut BoxedReceiver,
-        i: u64,
-        budget: u64,
-    ) -> u64 {
+    fn deliver_one(tx: &mut BoxedTransmitter, rx: &mut BoxedReceiver, i: u64, budget: u64) -> u64 {
         tx.on_send_msg(Message::identical(i));
         let mut copies = 0;
         for _ in 0..budget {
@@ -321,7 +339,9 @@ mod tests {
     #[test]
     fn best_case_cost_is_exponential() {
         let (mut tx, mut rx) = Outnumber::new(5).make();
-        let costs: Vec<u64> = (0..8).map(|i| deliver_one(&mut tx, &mut rx, i, 1 << 12)).collect();
+        let costs: Vec<u64> = (0..8)
+            .map(|i| deliver_one(&mut tx, &mut rx, i, 1 << 12))
+            .collect();
         // First message is cheap; after that each message must outnumber
         // the entire history: cost at least doubles.
         assert_eq!(costs[0], 1);

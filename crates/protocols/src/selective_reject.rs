@@ -14,7 +14,7 @@
 //! a fixed alphabet of `2M`.
 
 use crate::api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Recoverable, Transmitter,
 };
 use crate::sequence::varint_bytes;
 use nonfifo_ioa::fingerprint::StateHash;
@@ -124,6 +124,17 @@ impl SelectiveRejectTx {
         let delta = (modular + self.modulus - self.base % self.modulus) % self.modulus;
         let full = self.base + delta;
         (full < self.next).then_some(full)
+    }
+}
+
+impl Recoverable for SelectiveRejectTx {
+    fn crash_amnesia(&mut self) {
+        self.base = 0;
+        self.next = 0;
+        self.unacked.clear();
+        self.nak_queue.clear();
+        self.outbox.clear();
+        self.stall_ticks = 0;
     }
 }
 
@@ -250,7 +261,18 @@ impl SelectiveRejectRx {
 
     fn nak(&mut self, full: u64) {
         let h = self.modulus + full % self.modulus;
-        self.outbox.push_back(Packet::header_only(Header::new(h as u32)));
+        self.outbox
+            .push_back(Packet::header_only(Header::new(h as u32)));
+    }
+}
+
+impl Recoverable for SelectiveRejectRx {
+    fn crash_amnesia(&mut self) {
+        self.next_expected = 0;
+        self.buffered.clear();
+        self.naked.clear();
+        self.outbox.clear();
+        self.deliveries.clear();
     }
 }
 
@@ -355,7 +377,7 @@ mod tests {
         let d2 = tx.poll_send().unwrap();
         rx.on_receive_pkt(d0);
         rx.on_receive_pkt(d2); // reveals the gap at 1
-        // Outbox: ack, NAK(1), ack.
+                               // Outbox: ack, NAK(1), ack.
         let naks: Vec<Packet> = std::iter::from_fn(|| rx.poll_send()).collect();
         let nak_count = naks
             .iter()
@@ -370,7 +392,8 @@ mod tests {
         let re = tx.poll_send().expect("retransmission");
         assert_eq!(re.header().index(), 1);
         rx.on_receive_pkt(re);
-        let ids: Vec<u64> = std::iter::from_fn(|| rx.poll_deliver().map(|m| m.id().raw())).collect();
+        let ids: Vec<u64> =
+            std::iter::from_fn(|| rx.poll_deliver().map(|m| m.id().raw())).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 

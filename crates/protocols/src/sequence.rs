@@ -10,7 +10,7 @@
 //! control).
 
 use crate::api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Recoverable, Transmitter,
 };
 use nonfifo_ioa::fingerprint::StateHash;
 use nonfifo_ioa::{Header, Message, Packet};
@@ -102,6 +102,12 @@ impl Default for SequenceNumberTx {
     }
 }
 
+impl Recoverable for SequenceNumberTx {
+    fn crash_amnesia(&mut self) {
+        *self = SequenceNumberTx::new();
+    }
+}
+
 impl Transmitter for SequenceNumberTx {
     fn on_send_msg(&mut self, m: Message) {
         debug_assert!(self.pending.is_none(), "send_msg while not ready");
@@ -180,6 +186,12 @@ impl Default for SequenceNumberRx {
     }
 }
 
+impl Recoverable for SequenceNumberRx {
+    fn crash_amnesia(&mut self) {
+        *self = SequenceNumberRx::new();
+    }
+}
+
 impl Receiver for SequenceNumberRx {
     fn on_receive_pkt(&mut self, p: Packet) {
         // Acknowledge the sequence number we saw (idempotent for stale
@@ -209,7 +221,9 @@ impl Receiver for SequenceNumberRx {
     }
 
     fn state_fingerprint(&self) -> u64 {
-        StateHash::new("seqnum-rx").field(self.next_expected).finish()
+        StateHash::new("seqnum-rx")
+            .field(self.next_expected)
+            .finish()
     }
 
     fn clone_box(&self) -> BoxedReceiver {

@@ -10,7 +10,7 @@
 //! falsifier produces phantom deliveries. Experiment E9 maps the crossover.
 
 use crate::api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Transmitter,
+    BoxedReceiver, BoxedTransmitter, DataLink, HeaderBound, Receiver, Recoverable, Transmitter,
 };
 use crate::sequence::varint_bytes;
 use nonfifo_ioa::fingerprint::StateHash;
@@ -113,6 +113,15 @@ impl SlidingWindowTx {
     }
 }
 
+impl Recoverable for SlidingWindowTx {
+    fn crash_amnesia(&mut self) {
+        self.base = 0;
+        self.next = 0;
+        self.unacked.clear();
+        self.outbox.clear();
+    }
+}
+
 impl Transmitter for SlidingWindowTx {
     fn on_send_msg(&mut self, m: Message) {
         debug_assert!(self.ready(), "send_msg while window full");
@@ -202,6 +211,15 @@ impl SlidingWindowRx {
     /// Next full sequence number the receiver will deliver.
     pub fn next_expected(&self) -> u64 {
         self.next_expected
+    }
+}
+
+impl Recoverable for SlidingWindowRx {
+    fn crash_amnesia(&mut self) {
+        self.next_expected = 0;
+        self.buffered.clear();
+        self.outbox.clear();
+        self.deliveries.clear();
     }
 }
 
@@ -297,7 +315,8 @@ mod tests {
         assert!(rx.poll_deliver().is_none());
         rx.on_receive_pkt(d0);
         rx.on_receive_pkt(d1);
-        let ids: Vec<u64> = std::iter::from_fn(|| rx.poll_deliver().map(|m| m.id().raw())).collect();
+        let ids: Vec<u64> =
+            std::iter::from_fn(|| rx.poll_deliver().map(|m| m.id().raw())).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 

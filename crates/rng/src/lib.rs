@@ -1,0 +1,200 @@
+//! Self-contained deterministic randomness for the `nonfifo` workspace.
+//!
+//! Every stochastic component of the reproduction — probabilistic channels,
+//! randomized adversary schedules, Monte-Carlo experiments, and the chaos
+//! fault-injection layer — must be **bit-reproducible from a seed alone**,
+//! on any machine, forever. An external PRNG crate can change its stream
+//! between versions (and `rand`'s `StdRng` explicitly reserves the right
+//! to); this crate pins the generator in-tree instead:
+//!
+//! - seed expansion: SplitMix64 (Steele, Lea & Flood 2014),
+//! - stream: xoshiro256++ 1.0 (Blackman & Vigna 2019), public domain
+//!   reference constants,
+//! - `f64` doubles take the conventional 53 high bits.
+//!
+//! The API mirrors the small slice of `rand` the workspace used
+//! (`seed_from_u64`, `gen_bool`, `gen_range`), so call sites read the same.
+//!
+//! # Example
+//!
+//! ```
+//! use nonfifo_rng::StdRng;
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The workspace's standard deterministic generator: xoshiro256++ seeded
+/// through SplitMix64.
+///
+/// `Clone` forks the full state: a clone replays the identical stream, which
+/// the boundness oracle and the chaos replay machinery rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    /// Expands a 64-bit seed into the full 256-bit state via SplitMix64
+    /// (the seeding procedure the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+
+    /// The next 64 uniformly distributed bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform double in `[0, 1)` (53 high bits of one output).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: true with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` (NaN included).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        // Consume one draw even at the endpoints so stream positions never
+        // depend on the probability value.
+        let draw = self.next_f64();
+        draw < p
+    }
+
+    /// A uniform index in `[range.start, range.end)`, via Lemire-style
+    /// rejection so the distribution is exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_below(span) as usize)
+    }
+
+    /// A uniform draw in `[0, bound)` for `bound ≥ 1`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        // Rejection sampling over the top bits: unbiased and cheap for the
+        // small bounds the workspace uses.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // xoshiro256++ with SplitMix64(0) seeding: the stream must never
+        // change — chaos replays and experiment tables depend on it.
+        let mut rng = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        let mut again = StdRng::seed_from_u64(0);
+        let second: Vec<u64> = (0..3).map(|_| again.next_u64()).collect();
+        assert_eq!(first, second);
+        // Distinct seeds give distinct streams.
+        assert_ne!(first[0], StdRng::seed_from_u64(1).next_u64());
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // Golden values: if these move, every seeded experiment in the
+        // repository silently changes. Do not update without a changelog
+        // entry.
+        let mut rng = StdRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 15021278609987233951);
+        assert_eq!(rng.next_u64(), 5881210131331364753);
+    }
+
+    #[test]
+    fn doubles_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequencies() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac = {frac}");
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn ranges_cover_uniformly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 5];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..5)] += 1;
+        }
+        for c in counts {
+            assert!((1600..2400).contains(&c), "counts = {counts:?}");
+        }
+        assert_eq!(rng.gen_range(3..4), 3);
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = StdRng::seed_from_u64(5);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        StdRng::seed_from_u64(0).gen_bool(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn rejects_empty_range() {
+        StdRng::seed_from_u64(0).gen_range(3..3);
+    }
+}

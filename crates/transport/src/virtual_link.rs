@@ -2,8 +2,7 @@
 
 use nonfifo_channel::{BoxedChannel, Channel};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
 
 /// How packets are sprayed across routes.
@@ -109,7 +108,10 @@ impl VirtualLinkBuilder {
     ///
     /// Panics if no routes were added.
     pub fn build(self) -> VirtualLink {
-        assert!(!self.latencies.is_empty(), "a link needs at least one route");
+        assert!(
+            !self.latencies.is_empty(),
+            "a link needs at least one route"
+        );
         VirtualLink {
             dir: self.dir,
             routes: self

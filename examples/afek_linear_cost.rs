@@ -22,7 +22,10 @@ fn main() {
     );
 
     println!("Theorem 4.1 probe of afek-flush(3): one dominant copy parked per message");
-    println!("{:>6} {:>12} {:>12} {:>10}", "msg", "in transit", "ext sends", "⌊l/3⌋");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "msg", "in transit", "ext sends", "⌊l/3⌋"
+    );
     for c in costs.iter().step_by(12) {
         println!(
             "{:>6} {:>12} {:>12} {:>10}",
@@ -40,6 +43,8 @@ fn main() {
         "\nleast-squares: sends ≈ {:.3}·l + {:.2}   (lower bound slope 1/k = 0.333, R² = {:.4})",
         fit.slope, fit.intercept, fit.r_squared
     );
-    let respected = costs.iter().all(|c| c.extension_sends >= c.in_transit_before / 3);
+    let respected = costs
+        .iter()
+        .all(|c| c.extension_sends >= c.in_transit_before / 3);
     println!("T4.1 bound ext ≥ ⌊l/k⌋ respected on every message: {respected}");
 }

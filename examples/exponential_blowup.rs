@@ -52,5 +52,8 @@ fn main() {
         b_bounded.base(),
         1.0 + q
     );
-    println!("  seqnum    : {:.3}  (linear — no exponential growth)", b_naive.base());
+    println!(
+        "  seqnum    : {:.3}  (linear — no exponential growth)",
+        b_naive.base()
+    );
 }

@@ -36,7 +36,10 @@ fn describe(outcome: &FalsifyOutcome, dump: Option<&str>) {
             let c = report.execution.counts();
             println!("⚠ INVALID EXECUTION FOUND: {}", report.violation);
             println!("  sm = {}, rm = {} (rm = sm + 1)", c.sm, c.rm);
-            println!("  after {} legitimate messages", report.messages_before_violation);
+            println!(
+                "  after {} legitimate messages",
+                report.messages_before_violation
+            );
             println!("\nfinal events:");
             print!("{}", report.execution.render_tail(10));
             if let Some(path) = dump {
@@ -69,13 +72,10 @@ fn describe(outcome: &FalsifyOutcome, dump: Option<&str>) {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let dump = args
-        .iter()
-        .position(|a| a == "--dump")
-        .map(|i| {
-            let pair: Vec<String> = args.drain(i..i + 2).collect();
-            pair[1].clone()
-        });
+    let dump = args.iter().position(|a| a == "--dump").map(|i| {
+        let pair: Vec<String> = args.drain(i..i + 2).collect();
+        pair[1].clone()
+    });
     let dump = dump.as_deref();
     let Some(proto_name) = args.first() else {
         eprintln!("usage: falsify <abp|cycle3|cycle5|window2|window8|seqnum|afek|outnumber> [mf|pf|greedy] [--dump <file>]");
@@ -99,7 +99,10 @@ fn main() -> ExitCode {
             if !costs.is_empty() {
                 println!("\nper-message cost samples (in-transit, extension sends):");
                 for c in costs.iter().step_by(costs.len().div_ceil(8).max(1)) {
-                    println!("  l = {:>4}  ext = {:>4}", c.in_transit_before, c.extension_sends);
+                    println!(
+                        "  l = {:>4}  ext = {:>4}",
+                        c.in_transit_before, c.extension_sends
+                    );
                 }
             }
         }

@@ -26,12 +26,12 @@ fn run(proto: impl DataLink, name: &str, spread: u64) {
     let cfg = SimConfig {
         payloads: true,
         max_steps_per_message: 50_000,
+        ..SimConfig::default()
     };
     let verdict = match sim.deliver(300, &cfg) {
-        Ok(stats) if stats.delivered_payloads == (0..300).collect::<Vec<u64>>() => format!(
-            "ok ({} fwd packets)",
-            stats.packets_sent_forward
-        ),
+        Ok(stats) if stats.delivered_payloads == (0..300).collect::<Vec<u64>>() => {
+            format!("ok ({} fwd packets)", stats.packets_sent_forward)
+        }
         Ok(_) => "CORRUPT: payloads out of order".into(),
         Err(SimError::Violation(v)) => format!("VIOLATION: {v}"),
         Err(SimError::Stalled { message, .. }) => format!("stalled at message {message}"),
@@ -56,7 +56,9 @@ fn main() {
         .route(6)
         .build();
     for i in 0..6 {
-        link.send(nonfifo::ioa::Packet::header_only(nonfifo::ioa::Header::new(i)));
+        link.send(nonfifo::ioa::Packet::header_only(
+            nonfifo::ioa::Header::new(i),
+        ));
     }
     link.fail_route(1);
     let dropped = link.drain_drops().len();

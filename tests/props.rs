@@ -1,5 +1,10 @@
 //! Property-based tests: channel and checker invariants under arbitrary
 //! operation sequences, and protocol safety under randomized schedules.
+//!
+//! The generators run on the workspace's own deterministic PRNG
+//! (`nonfifo-rng`), so every case is addressable by its seed: a failure
+//! message names the seed, and rerunning the test replays the identical
+//! input without a persisted regression corpus.
 
 use nonfifo::channel::{
     AdversarialChannel, BoundedReorderChannel, Channel, FifoChannel, LossyFifoChannel,
@@ -7,7 +12,7 @@ use nonfifo::channel::{
 };
 use nonfifo::ioa::spec::{check_dl1_dl2, check_pl1};
 use nonfifo::ioa::{CopyId, Dir, Event, Execution, Header, Message, Packet, SpecMonitor};
-use proptest::prelude::*;
+use nonfifo_rng::StdRng;
 
 /// Operations a test driver can apply to any channel.
 #[derive(Debug, Clone)]
@@ -17,15 +22,15 @@ enum ChanOp {
     Tick,
 }
 
-fn chan_ops() -> impl Strategy<Value = Vec<ChanOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u32..6).prop_map(ChanOp::Send),
-            Just(ChanOp::Poll),
-            Just(ChanOp::Tick),
-        ],
-        0..200,
-    )
+fn chan_ops(rng: &mut StdRng) -> Vec<ChanOp> {
+    let len = rng.gen_range(0..200);
+    (0..len)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => ChanOp::Send(rng.gen_range(0..6) as u32),
+            1 => ChanOp::Poll,
+            _ => ChanOp::Tick,
+        })
+        .collect()
 }
 
 /// Drives a channel with arbitrary ops, records the trace, and checks PL1
@@ -80,32 +85,66 @@ fn drive(channel: &mut dyn Channel, ops: &[ChanOp]) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Runs `case` once per seed in `0..cases`; a panic names the seed so the
+/// failing input replays exactly.
+fn for_seeds(cases: u64, case: impl Fn(u64, &mut StdRng)) {
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(seed, &mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!("property failed at seed {seed}; rerun replays it exactly");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
 
-    #[test]
-    fn pl1_holds_for_fifo(ops in chan_ops()) {
+#[test]
+fn pl1_holds_for_fifo() {
+    for_seeds(64, |_, rng| {
+        let ops = chan_ops(rng);
         drive(&mut FifoChannel::new(Dir::Forward), &ops);
-    }
+    });
+}
 
-    #[test]
-    fn pl1_holds_for_lossy_fifo(ops in chan_ops(), seed in 0u64..1000) {
+#[test]
+fn pl1_holds_for_lossy_fifo() {
+    for_seeds(64, |seed, rng| {
+        let ops = chan_ops(rng);
         drive(&mut LossyFifoChannel::new(Dir::Forward, 0.4, seed), &ops);
-    }
+    });
+}
 
-    #[test]
-    fn pl1_holds_for_probabilistic(ops in chan_ops(), seed in 0u64..1000) {
-        drive(&mut ProbabilisticChannel::new(Dir::Backward, 0.35, seed), &ops);
-    }
+#[test]
+fn pl1_holds_for_probabilistic() {
+    for_seeds(64, |seed, rng| {
+        let ops = chan_ops(rng);
+        drive(
+            &mut ProbabilisticChannel::new(Dir::Backward, 0.35, seed),
+            &ops,
+        );
+    });
+}
 
-    #[test]
-    fn pl1_holds_for_bounded_reorder(ops in chan_ops(), seed in 0u64..1000, bound in 1u64..20) {
-        drive(&mut BoundedReorderChannel::new(Dir::Forward, bound, seed), &ops);
-    }
+#[test]
+fn pl1_holds_for_bounded_reorder() {
+    for_seeds(64, |seed, rng| {
+        let ops = chan_ops(rng);
+        let bound = rng.gen_range(1..20) as u64;
+        drive(
+            &mut BoundedReorderChannel::new(Dir::Forward, bound, seed),
+            &ops,
+        );
+    });
+}
 
-    #[test]
-    fn pl1_holds_for_virtual_link(ops in chan_ops(), seed in 0u64..1000, spread in 0u64..12) {
-        use nonfifo::transport::{RoutePolicy, VirtualLinkBuilder};
+#[test]
+fn pl1_holds_for_virtual_link() {
+    use nonfifo::transport::{RoutePolicy, VirtualLinkBuilder};
+    for_seeds(64, |seed, rng| {
+        let ops = chan_ops(rng);
+        let spread = rng.gen_range(0..12) as u64;
         let mut link = VirtualLinkBuilder::new(Dir::Forward)
             .route(0)
             .route(spread)
@@ -114,27 +153,34 @@ proptest! {
             .seed(seed)
             .build();
         drive(&mut link, &ops);
-    }
+    });
+}
 
-    #[test]
-    fn sliding_window_correct_under_in_window_reorder(
-        seed in 0u64..500,
-        w in 4u32..10,
-    ) {
-        // The E9 diagonal as a property: reorder bound B < w never breaks
-        // the window-w protocol.
-        use nonfifo::core::{SimConfig, Simulation};
-        use nonfifo::protocols::SlidingWindow;
+#[test]
+fn sliding_window_correct_under_in_window_reorder() {
+    // The E9 diagonal as a property: reorder bound B < w never breaks
+    // the window-w protocol.
+    use nonfifo::core::{SimConfig, Simulation};
+    use nonfifo::protocols::SlidingWindow;
+    for_seeds(48, |seed, rng| {
+        let w = rng.gen_range(4..10) as u32;
         let bound = u64::from(w) / 2; // strictly inside the window
         let mut sim = Simulation::bounded_reorder(SlidingWindow::new(w), bound.max(1), seed);
-        let cfg = SimConfig { payloads: true, max_steps_per_message: 50_000 };
+        let cfg = SimConfig {
+            payloads: true,
+            max_steps_per_message: 50_000,
+            ..SimConfig::default()
+        };
         let stats = sim.deliver(60, &cfg).expect("within tolerance");
-        prop_assert_eq!(stats.delivered_payloads, (0..60).collect::<Vec<u64>>());
-    }
+        assert_eq!(stats.delivered_payloads, (0..60).collect::<Vec<u64>>());
+    });
+}
 
-    #[test]
-    fn pl1_holds_for_adversarial_with_releases(ops in chan_ops(), seed in 0u64..1000) {
+#[test]
+fn pl1_holds_for_adversarial_with_releases() {
+    for_seeds(64, |seed, outer| {
         // Interleave adversary releases between ordinary ops.
+        let ops = chan_ops(outer);
         let mut ch = AdversarialChannel::parked(Dir::Forward);
         let dir = ch.dir();
         let mut exec = Execution::new();
@@ -144,35 +190,60 @@ proptest! {
                 ChanOp::Send(h) => {
                     let pkt = Packet::header_only(Header::new(*h));
                     let copy = ch.send(pkt);
-                    exec.push(Event::SendPkt { dir, packet: pkt, copy });
+                    exec.push(Event::SendPkt {
+                        dir,
+                        packet: pkt,
+                        copy,
+                    });
                 }
                 ChanOp::Poll => {
                     // Pseudo-random adversary action.
                     rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
                     match rng % 3 {
-                        0 => { ch.release_all(); }
-                        1 => { ch.release_oldest_of_header(Header::new((rng >> 8) as u32 % 6)); }
-                        _ => { ch.drop_oldest_of_packet(Packet::header_only(Header::new((rng >> 8) as u32 % 6))); }
+                        0 => {
+                            ch.release_all();
+                        }
+                        1 => {
+                            ch.release_oldest_of_header(Header::new((rng >> 8) as u32 % 6));
+                        }
+                        _ => {
+                            ch.drop_oldest_of_packet(Packet::header_only(Header::new(
+                                (rng >> 8) as u32 % 6,
+                            )));
+                        }
                     }
                     while let Some((pkt, copy)) = ch.poll_deliver() {
-                        exec.push(Event::ReceivePkt { dir, packet: pkt, copy });
+                        exec.push(Event::ReceivePkt {
+                            dir,
+                            packet: pkt,
+                            copy,
+                        });
                     }
                 }
                 ChanOp::Tick => ch.tick(),
             }
             for (pkt, copy) in ch.drain_drops() {
-                exec.push(Event::DropPkt { dir, packet: pkt, copy });
+                exec.push(Event::DropPkt {
+                    dir,
+                    packet: pkt,
+                    copy,
+                });
             }
         }
         check_pl1(&exec, dir).expect("PL1 must hold under adversary control");
-    }
+    });
+}
 
-    #[test]
-    fn multiset_conserves_copies(inserts in prop::collection::vec((0u32..5, 0u64..10_000), 0..100)) {
+#[test]
+fn multiset_conserves_copies() {
+    for_seeds(64, |_, rng| {
+        let n = rng.gen_range(0..100);
         let mut ms = PacketMultiset::new();
         let mut expected = 0usize;
         let mut used = std::collections::HashSet::new();
-        for (h, c) in inserts {
+        for _ in 0..n {
+            let h = rng.gen_range(0..5) as u32;
+            let c = rng.gen_range(0..10_000) as u64;
             if used.insert(c) {
                 ms.insert(Packet::header_only(Header::new(h)), CopyId::from_raw(c));
                 expected += 1;
@@ -187,20 +258,21 @@ proptest! {
         for w in drained.windows(2) {
             assert!(w[0].1 < w[1].1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn monitor_agrees_with_offline_checker_on_message_streams(
-        script in prop::collection::vec(prop_oneof![Just(true), Just(false)], 0..60)
-    ) {
+#[test]
+fn monitor_agrees_with_offline_checker_on_message_streams() {
+    for_seeds(64, |_, rng| {
         // true = send_msg, false = receive_msg (identical messages).
+        let len = rng.gen_range(0..60);
         let mut exec = Execution::new();
         let mut monitor = SpecMonitor::new();
         let mut monitor_flagged = false;
         let mut sends = 0u64;
         let mut recvs = 0u64;
-        for is_send in script {
-            let e = if is_send {
+        for _ in 0..len {
+            let e = if rng.gen_bool(0.5) {
                 sends += 1;
                 Event::SendMsg(Message::identical(sends - 1))
             } else {
@@ -215,52 +287,70 @@ proptest! {
         // With identical messages the online prefix check is exact: it
         // flags iff the offline DL1 matcher rejects.
         let offline = check_dl1_dl2(&exec).is_err();
-        prop_assert_eq!(monitor_flagged, offline);
-    }
+        assert_eq!(monitor_flagged, offline);
+    });
 }
 
 mod text_format {
     use super::*;
     use nonfifo::ioa::text::{parse_text, write_text};
     use nonfifo::ioa::Payload;
-    
 
-    fn arb_event() -> impl Strategy<Value = Event> {
-        let msg = (any::<u64>(), prop::option::of(any::<u64>())).prop_map(|(id, p)| match p {
-            Some(w) => Message::with_payload(id, Payload::new(w)),
-            None => Message::identical(id),
-        });
-        let pkt = (any::<u32>(), prop::option::of(any::<u64>())).prop_map(|(h, p)| match p {
-            Some(w) => Packet::new(Header::new(h), Payload::new(w)),
-            None => Packet::header_only(Header::new(h)),
-        });
-        let dir = prop_oneof![Just(Dir::Forward), Just(Dir::Backward)];
-        prop_oneof![
-            msg.clone().prop_map(Event::SendMsg),
-            msg.prop_map(Event::ReceiveMsg),
-            (dir.clone(), pkt.clone(), any::<u64>()).prop_map(|(dir, packet, c)| {
-                Event::SendPkt { dir, packet, copy: CopyId::from_raw(c) }
-            }),
-            (dir.clone(), pkt.clone(), any::<u64>()).prop_map(|(dir, packet, c)| {
-                Event::ReceivePkt { dir, packet, copy: CopyId::from_raw(c) }
-            }),
-            (dir, pkt, any::<u64>()).prop_map(|(dir, packet, c)| {
-                Event::DropPkt { dir, packet, copy: CopyId::from_raw(c) }
-            }),
-        ]
+    fn arb_event(rng: &mut StdRng) -> Event {
+        let msg = |rng: &mut StdRng| {
+            let id = rng.next_u64();
+            if rng.gen_bool(0.5) {
+                Message::with_payload(id, Payload::new(rng.next_u64()))
+            } else {
+                Message::identical(id)
+            }
+        };
+        let pkt = |rng: &mut StdRng| {
+            let h = Header::new(rng.next_u64() as u32);
+            if rng.gen_bool(0.5) {
+                Packet::new(h, Payload::new(rng.next_u64()))
+            } else {
+                Packet::header_only(h)
+            }
+        };
+        let dir = |rng: &mut StdRng| {
+            if rng.gen_bool(0.5) {
+                Dir::Forward
+            } else {
+                Dir::Backward
+            }
+        };
+        match rng.gen_range(0..5) {
+            0 => Event::SendMsg(msg(rng)),
+            1 => Event::ReceiveMsg(msg(rng)),
+            2 => Event::SendPkt {
+                dir: dir(rng),
+                packet: pkt(rng),
+                copy: CopyId::from_raw(rng.next_u64()),
+            },
+            3 => Event::ReceivePkt {
+                dir: dir(rng),
+                packet: pkt(rng),
+                copy: CopyId::from_raw(rng.next_u64()),
+            },
+            _ => Event::DropPkt {
+                dir: dir(rng),
+                packet: pkt(rng),
+                copy: CopyId::from_raw(rng.next_u64()),
+            },
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// Arbitrary executions survive the text round trip unchanged.
-        #[test]
-        fn text_round_trip(events in prop::collection::vec(arb_event(), 0..60)) {
-            let exec: Execution = events.into_iter().collect();
+    /// Arbitrary executions survive the text round trip unchanged.
+    #[test]
+    fn text_round_trip() {
+        for_seeds(128, |_, rng| {
+            let len = rng.gen_range(0..60);
+            let exec: Execution = (0..len).map(|_| arb_event(rng)).collect();
             let text = write_text(&exec);
             let back = parse_text(&text).expect("own output parses");
-            prop_assert_eq!(back, exec);
-        }
+            assert_eq!(back, exec);
+        });
     }
 }
 
@@ -269,27 +359,27 @@ mod protocol_safety {
     use nonfifo::adversary::{Disposition, System};
     use nonfifo::protocols::SequenceNumber;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// The naive protocol never violates the spec, whatever the channel
-        /// does: park/deliver decisions drawn from proptest, plus random
-        /// stale replays.
-        #[test]
-        fn sequence_number_is_unbreakable(
-            decisions in prop::collection::vec(any::<u8>(), 20..200)
-        ) {
+    /// The naive protocol never violates the spec, whatever the channel
+    /// does: random park/deliver decisions plus random stale replays.
+    #[test]
+    fn sequence_number_is_unbreakable() {
+        for_seeds(32, |_, rng| {
+            let len = rng.gen_range(20..200);
+            let decisions: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let mut sys = System::new(&SequenceNumber::new());
-            let iter = decisions.into_iter();
             let mut outstanding = false;
-            for d in iter {
+            for d in decisions {
                 if !outstanding && sys.ready() {
                     sys.send_msg();
                     outstanding = true;
                 }
                 match d % 4 {
-                    0 => { sys.step_park_all(); }
-                    1 => { sys.step_deliver_all(); }
+                    0 => {
+                        sys.step_park_all();
+                    }
+                    1 => {
+                        sys.step_deliver_all();
+                    }
                     2 => {
                         // Replay a random stale copy if one exists.
                         let target = sys
@@ -304,35 +394,220 @@ mod protocol_safety {
                         }
                     }
                     _ => {
-                        sys.step(|_, _, _| if d > 128 { Disposition::Deliver } else { Disposition::Park });
+                        sys.step(|_, _, _| {
+                            if d > 128 {
+                                Disposition::Deliver
+                            } else {
+                                Disposition::Park
+                            }
+                        });
                     }
                 }
-                prop_assert!(sys.violation().is_none(), "violated: {:?}", sys.violation());
+                assert!(sys.violation().is_none(), "violated: {:?}", sys.violation());
                 if sys.counts().rm >= sys.counts().sm {
                     outstanding = false;
                 }
             }
+        });
+    }
+}
+
+mod chaos {
+    use super::*;
+    use nonfifo::channel::{ChaosChannel, FaultPlan};
+    use nonfifo::core::{SimConfig, SimError, Simulation};
+    use nonfifo::protocols::{AlternatingBit, DataLink, GoBackN, SequenceNumber, SlidingWindow};
+
+    /// A random but well-formed fault plan, produced through the parser so
+    /// the text grammar is exercised on every case.
+    fn arb_plan(rng: &mut StdRng) -> FaultPlan {
+        let mut text = format!(
+            "dup {:.3}\ndrop {:.3}\ncorrupt {:.3}\n",
+            rng.gen_range(0..300) as f64 / 1000.0,
+            rng.gen_range(0..300) as f64 / 1000.0,
+            rng.gen_range(0..100) as f64 / 1000.0,
+        );
+        if rng.gen_bool(0.3) {
+            let p = rng.gen_range(0..20) as f64 / 1000.0;
+            let len = rng.gen_range(2..9);
+            text.push_str(&format!("burst {p:.3} {len}\n"));
         }
+        if rng.gen_bool(0.3) {
+            let p = rng.gen_range(0..50) as f64 / 1000.0;
+            let len = rng.gen_range(2..7);
+            text.push_str(&format!("storm {p:.3} {len}\n"));
+        }
+        if rng.gen_bool(0.3) {
+            let start = rng.gen_range(0..50) as u64;
+            let end = start + rng.gen_range(1..20) as u64;
+            text.push_str(&format!("partition {start} {end}\n"));
+        }
+        FaultPlan::parse(&text).expect("generated plan parses")
+    }
+
+    /// PL1 holds for the chaos decorator as long as its injected copies
+    /// are declared — exactly what `drain_injected_sends` is for.
+    #[test]
+    fn pl1_holds_for_chaos_channel() {
+        for_seeds(64, |seed, rng| {
+            let plan = arb_plan(rng);
+            let ops = chan_ops(rng);
+            let mut ch = ChaosChannel::new(Box::new(FifoChannel::new(Dir::Forward)), plan, seed);
+            let dir = ch.dir();
+            let mut exec = Execution::new();
+            let declare = |ch: &mut ChaosChannel, exec: &mut Execution| {
+                for (packet, copy) in ch.drain_injected_sends() {
+                    exec.push(Event::SendPkt { dir, packet, copy });
+                }
+                for (packet, copy) in ch.drain_drops() {
+                    exec.push(Event::DropPkt { dir, packet, copy });
+                }
+            };
+            for op in &ops {
+                match op {
+                    ChanOp::Send(h) => {
+                        let packet = Packet::header_only(Header::new(*h));
+                        let copy = ch.send(packet);
+                        exec.push(Event::SendPkt { dir, packet, copy });
+                        declare(&mut ch, &mut exec);
+                    }
+                    ChanOp::Poll => {
+                        declare(&mut ch, &mut exec);
+                        if let Some((packet, copy)) = ch.poll_deliver() {
+                            exec.push(Event::ReceivePkt { dir, packet, copy });
+                        }
+                    }
+                    ChanOp::Tick => {
+                        ch.tick();
+                        declare(&mut ch, &mut exec);
+                    }
+                }
+            }
+            check_pl1(&exec, dir).expect("PL1 must hold under declared chaos");
+        });
+    }
+
+    /// Runs `proto` through a full chaos simulation and returns the outcome
+    /// plus the execution fingerprint.
+    fn run_chaos(
+        proto: impl DataLink,
+        plan: &FaultPlan,
+        seed: u64,
+    ) -> (Result<u64, SimError>, u64) {
+        let mut sim = Simulation::chaos(proto, plan, seed);
+        let cfg = SimConfig {
+            max_steps_per_message: 10_000,
+            ..SimConfig::default()
+        };
+        let outcome = sim.deliver(15, &cfg).map(|s| s.messages_delivered);
+        (outcome, sim.execution_fingerprint())
+    }
+
+    /// The same (protocol, plan, seed) triple always replays the identical
+    /// execution: equal outcomes and equal fingerprints.
+    #[test]
+    fn same_plan_and_seed_reproduce_the_run() {
+        for_seeds(32, |seed, rng| {
+            let plan = arb_plan(rng);
+            let (out_a, fp_a) = run_chaos(SequenceNumber::new(), &plan, seed);
+            let (out_b, fp_b) = run_chaos(SequenceNumber::new(), &plan, seed);
+            assert_eq!(fp_a, fp_b, "fingerprint must be deterministic");
+            assert_eq!(out_a.is_ok(), out_b.is_ok());
+            if let (Ok(a), Ok(b)) = (out_a, out_b) {
+                assert_eq!(a, b);
+            }
+        });
+    }
+
+    /// Chaos may legitimately break a weak protocol at the *message* layer
+    /// (DL1 phantoms for the alternating bit), but because every injected
+    /// copy is declared, it can never manufacture a *packet*-layer (PL1)
+    /// violation — that would mean the monitor itself is unsound.
+    #[test]
+    fn chaos_never_fakes_a_packet_layer_violation() {
+        use nonfifo::ioa::SpecViolation as V;
+        for_seeds(16, |seed, rng| {
+            let plan = arb_plan(rng);
+            for proto in 0..4 {
+                let (outcome, _) = match proto {
+                    0 => run_chaos(AlternatingBit::new(), &plan, seed),
+                    1 => run_chaos(SequenceNumber::new(), &plan, seed),
+                    2 => run_chaos(SlidingWindow::new(4), &plan, seed),
+                    _ => run_chaos(GoBackN::new(4), &plan, seed),
+                };
+                if let Err(SimError::Violation(v)) = outcome {
+                    assert!(
+                        matches!(v, V::MessageInvented { .. } | V::MessageReordered { .. }),
+                        "chaos produced a packet-layer violation: {v:?}"
+                    );
+                    assert_ne!(proto, 1, "sequence numbers are safe everywhere: {v:?}");
+                }
+            }
+        });
     }
 }
 
 mod parser_robustness {
-    use proptest::prelude::*;
+    use super::for_seeds;
+    use nonfifo_rng::StdRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
+    /// An adversarial ~`.{0,200}`: mostly printable ASCII with format-ish
+    /// tokens mixed in so parsers reach their deeper branches, plus raw
+    /// unicode.
+    fn arb_line(rng: &mut StdRng) -> String {
+        const TOKENS: &[&str] = &[
+            "send",
+            "recv",
+            "drop",
+            "pkt",
+            "msg",
+            "fwd",
+            "bwd",
+            "copy",
+            "park",
+            "deliver-all",
+            "deliver",
+            "quiesce",
+            "#",
+            ":",
+            " ",
+            "\t",
+            "-",
+            "0",
+            "7",
+            "18446744073709551615",
+        ];
+        let len = rng.gen_range(0..201);
+        let mut s = String::new();
+        while s.chars().count() < len {
+            match rng.gen_range(0..4) {
+                0 => s.push_str(TOKENS[rng.gen_range(0..TOKENS.len())]),
+                1 => s.push((b' ' + rng.gen_range(0..95) as u8) as char),
+                2 => {
+                    s.push(char::from_u32(rng.next_u64() as u32 % 0x11_0000).unwrap_or('\u{fffd}'))
+                }
+                _ => s.push('\n'),
+            }
+        }
+        s
+    }
 
-        /// The trace parser never panics on arbitrary input — it returns a
-        /// structured error instead.
-        #[test]
-        fn trace_parser_total(input in ".{0,200}") {
+    /// The trace parser never panics on arbitrary input — it returns a
+    /// structured error instead.
+    #[test]
+    fn trace_parser_total() {
+        for_seeds(256, |_, rng| {
+            let input = arb_line(rng);
             let _ = nonfifo::ioa::text::parse_text(&input);
-        }
+        });
+    }
 
-        /// Same for the attack-schedule parser.
-        #[test]
-        fn schedule_parser_total(input in ".{0,200}") {
+    /// Same for the attack-schedule parser.
+    #[test]
+    fn schedule_parser_total() {
+        for_seeds(256, |_, rng| {
+            let input = arb_line(rng);
             let _ = nonfifo::adversary::Schedule::parse(&input);
-        }
+        });
     }
 }

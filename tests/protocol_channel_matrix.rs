@@ -59,7 +59,11 @@ fn every_protocol_is_correct_over_perfect_fifo() {
     for proto in all_protocols() {
         // Outnumber's cost doubles per message even on a perfect channel
         // (that is the point of the paper); keep its run short.
-        let n = if proto.name().starts_with("outnumber") { 12 } else { 30 };
+        let n = if proto.name().starts_with("outnumber") {
+            12
+        } else {
+            30
+        };
         let mut sim = build(proto.as_ref(), Substrate::Fifo, 0);
         let stats = sim
             .deliver(n, &SimConfig::default())
@@ -74,7 +78,11 @@ fn fifo_safe_protocols_survive_loss() {
     // Loss (without reordering) is survivable by every retransmitting
     // protocol here.
     for proto in all_protocols() {
-        let n = if proto.name().starts_with("outnumber") { 10 } else { 60 };
+        let n = if proto.name().starts_with("outnumber") {
+            10
+        } else {
+            60
+        };
         let mut sim = build(proto.as_ref(), Substrate::LossyFifo(0.3), 11);
         let stats = sim
             .deliver(n, &SimConfig::default())
@@ -89,7 +97,11 @@ fn unbounded_and_reconstructed_protocols_survive_probabilistic() {
     for proto in all_protocols() {
         // The probabilistic channel never delivers its delayed copies, so
         // even naive protocols stay safe here; what differs is cost.
-        let n = if proto.name().starts_with("outnumber") { 9 } else { 50 };
+        let n = if proto.name().starts_with("outnumber") {
+            9
+        } else {
+            50
+        };
         let mut sim = build(proto.as_ref(), Substrate::Probabilistic(0.25), 3);
         let stats = sim
             .deliver(n, &SimConfig::default())
@@ -103,7 +115,11 @@ fn bounded_header_protocols_keep_their_promise() {
     use nonfifo::protocols::HeaderBound;
     for proto in all_protocols() {
         let mut sim = build(proto.as_ref(), Substrate::LossyFifo(0.2), 5);
-        let n = if proto.name().starts_with("outnumber") { 9 } else { 40 };
+        let n = if proto.name().starts_with("outnumber") {
+            9
+        } else {
+            40
+        };
         let stats = sim.deliver(n, &SimConfig::default()).unwrap();
         match proto.forward_headers() {
             HeaderBound::Fixed(k) => assert!(
