@@ -9,19 +9,77 @@
 //! the naive sequence-number protocol is *exhaustively* safe in scope,
 //! while the bounded-header victims fall with minimal counterexamples.
 //!
+//! The adversary's power is a [`Discipline`]: the default non-FIFO channel
+//! may replay any delayed copy, a bounded-reorder channel may only deliver
+//! copies that overtake at most `b` older ones, and a lossy-FIFO channel
+//! delivers in order but may lose queued copies. Exploring the same
+//! protocol under different disciplines reproduces the paper's dichotomy
+//! as a protocol × channel matrix (the alternating bit is exhaustively
+//! safe under lossy FIFO and falls under non-FIFO, in the same scope).
+//!
 //! Soundness of deduplication: every action ends with the transmitter's
 //! outbox drained onto the (parked) forward channel and the backward
 //! channel empty, so the state key — control fingerprints of both automata,
 //! the forward pool histogram, and the message counters — determines all
 //! future behaviour of the deterministic system.
+//!
+//! This sequential explorer is the **oracle**: the level-synchronized
+//! parallel engine in [`explore_par`](crate::explore_par) shares the
+//! expansion core below (`enabled_actions` / `apply` / `state_key`) and is
+//! differentially tested against this one.
 
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
 use nonfifo_channel::Channel as _;
 use nonfifo_ioa::fingerprint::StateHash;
-use nonfifo_ioa::{Execution, Packet};
+use nonfifo_ioa::{CopyId, Execution, Packet};
 use nonfifo_protocols::DataLink;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+
+/// What the forward channel is allowed to do with delayed copies — the
+/// channel axis of the exploration matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Full non-FIFO power (the paper's PL1 channel): any delayed copy may
+    /// be delivered at any time.
+    NonFifo,
+    /// A copy may be delivered only if at most `b` older copies are still
+    /// delayed — the bounded-reorder-distance channel of experiment E9.
+    /// `BoundedReorder(0)` is reliable FIFO.
+    BoundedReorder(u64),
+    /// FIFO delivery (only the globally oldest delayed copy), but any
+    /// delayed copy may be lost. The alternating bit is exhaustively safe
+    /// here — loss alone cannot reorder.
+    LossyFifo,
+}
+
+impl fmt::Display for Discipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Discipline::NonFifo => write!(f, "nonfifo"),
+            Discipline::BoundedReorder(b) => write!(f, "reorder{b}"),
+            Discipline::LossyFifo => write!(f, "lossy"),
+        }
+    }
+}
+
+impl std::str::FromStr for Discipline {
+    type Err = String;
+
+    /// Parses `nonfifo`, `lossy`, or `reorder<b>` (e.g. `reorder2`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "nonfifo" => Ok(Discipline::NonFifo),
+            "lossy" => Ok(Discipline::LossyFifo),
+            _ => s
+                .strip_prefix("reorder")
+                .and_then(|b| b.parse().ok())
+                .map(Discipline::BoundedReorder)
+                .ok_or_else(|| format!("unknown discipline {s:?} (nonfifo, reorder<b>, lossy)")),
+        }
+    }
+}
 
 /// Scope bounds for the exploration.
 #[derive(Debug, Clone, Copy)]
@@ -33,8 +91,12 @@ pub struct ExploreConfig {
     /// Maximum copies in the forward pool (branches beyond are pruned —
     /// the certificate is relative to this bound).
     pub max_pool: usize,
-    /// Safety valve on visited states.
+    /// Safety valve on visited states. Reaching it makes the outcome
+    /// [`ExploreOutcome::Truncated`] — **not** a certificate; callers must
+    /// treat it as inconclusive.
     pub max_states: usize,
+    /// The channel discipline the adversary plays under.
+    pub discipline: Discipline,
 }
 
 impl Default for ExploreConfig {
@@ -44,6 +106,7 @@ impl Default for ExploreConfig {
             max_depth: 14,
             max_pool: 6,
             max_states: 200_000,
+            discipline: Discipline::NonFifo,
         }
     }
 }
@@ -80,20 +143,59 @@ impl ExploreOutcome {
     pub fn is_counterexample(&self) -> bool {
         matches!(self, ExploreOutcome::Counterexample { .. })
     }
+
+    /// True if the scope was fully covered with no counterexample — the
+    /// only outcome that is a safety certificate.
+    pub fn is_certificate(&self) -> bool {
+        matches!(self, ExploreOutcome::Exhausted { .. })
+    }
+
+    /// True if the state budget ran out — an inconclusive outcome that
+    /// callers must never report as safety.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, ExploreOutcome::Truncated { .. })
+    }
+
+    /// A canonical one-report rendering: identical inputs produce
+    /// byte-identical reports, whatever engine or thread count produced the
+    /// outcome. The differential tests compare these strings.
+    pub fn report(&self) -> String {
+        match self {
+            ExploreOutcome::Counterexample {
+                execution,
+                depth,
+                schedule,
+            } => format!(
+                "counterexample: {depth} adversary actions, {} events\n{}",
+                execution.len(),
+                schedule.to_text()
+            ),
+            ExploreOutcome::Exhausted { states } => {
+                format!(
+                    "certificate: no invalid execution in scope (exhaustive, {states} states)\n"
+                )
+            }
+            ExploreOutcome::Truncated { states } => {
+                format!("inconclusive: state budget exhausted after {states} states\n")
+            }
+        }
+    }
 }
 
 /// One adversary action in the exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Action {
+pub(crate) enum Action {
     /// Hand the next message to the transmitter (sends parked).
     SendMsg,
     /// One scheduler step with everything parked (drives retransmission).
     StepPark,
     /// Release the oldest delayed copy of a packet value to the receiver.
     Deliver(Packet),
+    /// Lose the oldest delayed copy of a packet value (lossy disciplines).
+    DropOldest(Packet),
 }
 
-fn state_key(sys: &System) -> u64 {
+pub(crate) fn state_key(sys: &System) -> u64 {
     let mut h = StateHash::new("explore-state")
         .field(sys.tx.state_fingerprint())
         .field(sys.rx.state_fingerprint())
@@ -105,7 +207,20 @@ fn state_key(sys: &System) -> u64 {
     h.finish()
 }
 
-fn enabled_actions(sys: &System, cfg: &ExploreConfig) -> Vec<Action> {
+/// Per distinct parked packet value, its oldest delayed copy, in packet
+/// order (deterministic).
+fn oldest_copies(sys: &System) -> BTreeMap<Packet, CopyId> {
+    let mut oldest: BTreeMap<Packet, CopyId> = BTreeMap::new();
+    for (packet, copy) in sys.fwd.parked_multiset().iter() {
+        oldest
+            .entry(packet)
+            .and_modify(|c| *c = (*c).min(copy))
+            .or_insert(copy);
+    }
+    oldest
+}
+
+pub(crate) fn enabled_actions(sys: &System, cfg: &ExploreConfig) -> Vec<Action> {
     let mut actions = Vec::new();
     if sys.ready() && sys.messages_sent() < cfg.max_messages {
         actions.push(Action::SendMsg);
@@ -113,13 +228,44 @@ fn enabled_actions(sys: &System, cfg: &ExploreConfig) -> Vec<Action> {
     if sys.fwd.in_transit_len() < cfg.max_pool {
         actions.push(Action::StepPark);
     }
-    for packet in sys.fwd.parked_multiset().packets() {
-        actions.push(Action::Deliver(packet));
+    let oldest = oldest_copies(sys);
+    // A delivery overtakes the delayed copies older than the one released;
+    // each discipline bounds how many it may overtake.
+    let overtaken = |copy: CopyId| {
+        sys.fwd
+            .parked_multiset()
+            .iter()
+            .filter(|&(_, c)| c < copy)
+            .count() as u64
+    };
+    match cfg.discipline {
+        Discipline::NonFifo => {
+            for &packet in oldest.keys() {
+                actions.push(Action::Deliver(packet));
+            }
+        }
+        Discipline::BoundedReorder(bound) => {
+            for (&packet, &copy) in &oldest {
+                if overtaken(copy) <= bound {
+                    actions.push(Action::Deliver(packet));
+                }
+            }
+        }
+        Discipline::LossyFifo => {
+            for (&packet, &copy) in &oldest {
+                if overtaken(copy) == 0 {
+                    actions.push(Action::Deliver(packet));
+                }
+            }
+            for &packet in oldest.keys() {
+                actions.push(Action::DropOldest(packet));
+            }
+        }
     }
     actions
 }
 
-fn apply(sys: &mut System, action: Action) {
+pub(crate) fn apply(sys: &mut System, action: Action) {
     match action {
         Action::SendMsg => {
             sys.send_msg();
@@ -136,14 +282,21 @@ fn apply(sys: &mut System, action: Action) {
             // The receiver's acks may wake the transmitter; park its output.
             sys.step_park_all();
         }
+        Action::DropOldest(packet) => {
+            // Mirrors `ScheduleStep::Drop` replay exactly: the loss is a
+            // monitored drop, no scheduler step elapses.
+            sys.fwd.drop_oldest_of_packet(packet);
+            sys.drain_released();
+        }
     }
 }
 
-fn to_step(action: Action) -> ScheduleStep {
+pub(crate) fn to_step(action: Action) -> ScheduleStep {
     match action {
         Action::SendMsg => ScheduleStep::Send,
         Action::StepPark => ScheduleStep::Park,
         Action::Deliver(packet) => ScheduleStep::Deliver(packet.header()),
+        Action::DropOldest(packet) => ScheduleStep::Drop(packet.header()),
     }
 }
 
@@ -237,6 +390,7 @@ mod tests {
             max_depth: 16,
             max_pool: 6,
             max_states: 500_000,
+            ..ExploreConfig::default()
         };
         let outcome = explore(&NaiveCycle::new(3), &cfg);
         assert!(outcome.is_counterexample(), "got {outcome:?}");
@@ -249,6 +403,7 @@ mod tests {
             max_depth: 12,
             max_pool: 5,
             max_states: 500_000,
+            ..ExploreConfig::default()
         };
         let outcome = explore(&SequenceNumber::new(), &cfg);
         let ExploreOutcome::Exhausted { states } = outcome else {
@@ -265,8 +420,64 @@ mod tests {
             max_depth: 6,
             max_pool: 3,
             max_states: 1000,
+            ..ExploreConfig::default()
         };
         let outcome = explore(&AlternatingBit::new(), &cfg);
         assert!(matches!(outcome, ExploreOutcome::Exhausted { .. }));
+    }
+
+    #[test]
+    fn alternating_bit_is_exhaustively_safe_under_lossy_fifo() {
+        // Loss alone cannot reorder: the protocol that falls to the
+        // non-FIFO adversary in 6 actions carries a certificate here.
+        let cfg = ExploreConfig {
+            discipline: Discipline::LossyFifo,
+            ..ExploreConfig::default()
+        };
+        let outcome = explore(&AlternatingBit::new(), &cfg);
+        assert!(outcome.is_certificate(), "got {outcome:?}");
+    }
+
+    #[test]
+    fn alternating_bit_is_exhaustively_safe_under_fifo() {
+        let cfg = ExploreConfig {
+            discipline: Discipline::BoundedReorder(0),
+            ..ExploreConfig::default()
+        };
+        let outcome = explore(&AlternatingBit::new(), &cfg);
+        assert!(outcome.is_certificate(), "got {outcome:?}");
+    }
+
+    #[test]
+    fn bounded_reorder_restores_the_attack() {
+        // Enough reorder distance re-enables the stale replay.
+        let cfg = ExploreConfig {
+            discipline: Discipline::BoundedReorder(8),
+            ..ExploreConfig::default()
+        };
+        let outcome = explore(&AlternatingBit::new(), &cfg);
+        assert!(outcome.is_counterexample(), "got {outcome:?}");
+    }
+
+    #[test]
+    fn truncation_is_not_a_certificate() {
+        let cfg = ExploreConfig {
+            max_states: 10,
+            ..ExploreConfig::default()
+        };
+        let outcome = explore(&SequenceNumber::new(), &cfg);
+        assert!(outcome.is_truncated(), "got {outcome:?}");
+        assert!(!outcome.is_certificate());
+        assert!(outcome.report().contains("inconclusive"));
+    }
+
+    #[test]
+    fn discipline_parses_and_displays() {
+        for text in ["nonfifo", "lossy", "reorder0", "reorder7"] {
+            let d: Discipline = text.parse().unwrap();
+            assert_eq!(d.to_string(), text);
+        }
+        assert!("reorder".parse::<Discipline>().is_err());
+        assert!("fifoish".parse::<Discipline>().is_err());
     }
 }

@@ -1,0 +1,370 @@
+//! Parallel state-space exploration: the engine of [`explore`] scaled to
+//! every core, with the sequential explorer kept as its oracle.
+//!
+//! [`ParallelExplorer`] runs a **level-synchronized** breadth-first search
+//! over the composed system: all states at adversary-action depth `d` are
+//! expanded (in parallel) before any state at depth `d+1`, so the
+//! "shortest counterexample" guarantee of the sequential explorer is
+//! preserved exactly. Within a level, worker threads claim chunks of the
+//! frontier from a shared atomic cursor — dynamic load balancing with no
+//! external work-stealing runtime, in keeping with the workspace's
+//! zero-dependency policy.
+//!
+//! **Determinism.** The outcome is a pure function of (protocol, config):
+//! thread count and OS scheduling cannot change it.
+//!
+//! - Workers only *read* the visited set (it is frozen during a level);
+//!   newly discovered states are merged after the level in sorted
+//!   `(state key, path)` order, so when two paths reach the same state in
+//!   the same level, the lexicographically smallest path deterministically
+//!   claims it.
+//! - Violations found within a level are collected, and the
+//!   lexicographically smallest schedule wins — not the first one a thread
+//!   happened to stumble on. (The sequential oracle instead returns the
+//!   first violation in discovery order; both are shortest, so outcome
+//!   kind and depth always agree, while the schedule bytes may differ
+//!   between the two engines — never between thread counts.)
+//! - The state budget is enforced during the sorted merge, so `Truncated`
+//!   outcomes report a thread-count-independent state count. When a level
+//!   contains both a violation and the budget edge, the violation wins
+//!   (the conclusive answer beats the resource excuse); the sequential
+//!   oracle may report `Truncated` on such knife-edge scopes.
+//!
+//! Frontier states are held with counters-only executions
+//! ([`System::disable_event_log`]) so cloning a node is O(protocol state),
+//! not O(history); the winning counterexample is re-materialised by
+//! replaying its schedule through the strict scheduler — which doubles as
+//! an end-to-end validation of every reported attack.
+
+use crate::explore::{apply, enabled_actions, state_key, to_step, ExploreConfig, ExploreOutcome};
+use crate::schedule::{Schedule, ScheduleStep};
+use crate::system::System;
+use nonfifo_protocols::DataLink;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Visited-set shards: the key's low bits pick the shard. Sharding keeps
+/// the per-level merge cache-friendly and lets `reserve` stay incremental;
+/// lookups during expansion are lock-free because the set is frozen.
+const SHARDS: usize = 64;
+
+/// Frontier nodes a worker claims per cursor fetch. Small enough to
+/// balance skewed levels, large enough to keep the cursor cold.
+const CHUNK: usize = 16;
+
+/// A frontier node: a deduplicated system state and the lexicographically
+/// smallest action path known to reach it.
+struct Node {
+    sys: System,
+    path: Vec<ScheduleStep>,
+}
+
+/// A successor discovered during a level, pending the deterministic merge.
+struct Candidate {
+    key: u64,
+    path: Vec<ScheduleStep>,
+    sys: System,
+}
+
+/// The work-stealing breadth-first exploration engine.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_adversary::{ExploreConfig, ParallelExplorer};
+/// use nonfifo_protocols::AlternatingBit;
+///
+/// let outcome = ParallelExplorer::new(2).explore(&AlternatingBit::new(), &ExploreConfig::default());
+/// assert!(outcome.is_counterexample());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExplorer {
+    threads: usize,
+}
+
+impl ParallelExplorer {
+    /// Creates an explorer with `threads` workers; `0` means one per
+    /// available core.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        ParallelExplorer { threads }
+    }
+
+    /// The worker count this explorer will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Explores `proto` within `cfg`'s scope. Same contract as
+    /// [`explore`](crate::explore()): shortest counterexample, certificate,
+    /// or truncation — and the result is identical for every thread count.
+    pub fn explore(&self, proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
+        let mut root = System::new(proto);
+        root.disable_event_log();
+        let root_key = state_key(&root);
+        let mut shards: Vec<HashSet<u64>> = (0..SHARDS).map(|_| HashSet::new()).collect();
+        shards[shard_of(root_key)].insert(root_key);
+        let mut states = 1usize;
+        let mut frontier = vec![Node {
+            sys: root,
+            path: Vec::new(),
+        }];
+
+        for _depth in 0..cfg.max_depth {
+            if frontier.is_empty() {
+                break;
+            }
+            let (mut violations, mut candidates) = self.expand_level(&frontier, &shards, cfg);
+
+            if !violations.is_empty() {
+                violations.sort_unstable();
+                return materialize(proto, violations.swap_remove(0));
+            }
+
+            // Deterministic merge: sorted by (key, path), so the smallest
+            // path claims each state whatever order threads found them in.
+            candidates.sort_unstable_by(|a, b| (a.key, &a.path).cmp(&(b.key, &b.path)));
+            let mut next = Vec::with_capacity(candidates.len());
+            for c in candidates {
+                if shards[shard_of(c.key)].insert(c.key) {
+                    states += 1;
+                    if states >= cfg.max_states {
+                        return ExploreOutcome::Truncated { states };
+                    }
+                    next.push(Node {
+                        sys: c.sys,
+                        path: c.path,
+                    });
+                }
+            }
+            frontier = next;
+        }
+        ExploreOutcome::Exhausted { states }
+    }
+
+    /// Expands every frontier node, returning the violating paths and the
+    /// not-yet-visited successors discovered at this level. Work is claimed
+    /// in [`CHUNK`]-sized slices from an atomic cursor.
+    fn expand_level(
+        &self,
+        frontier: &[Node],
+        shards: &[HashSet<u64>],
+        cfg: &ExploreConfig,
+    ) -> (Vec<Vec<ScheduleStep>>, Vec<Candidate>) {
+        let workers = self.threads.min(frontier.len().div_ceil(CHUNK)).max(1);
+        if workers == 1 {
+            let mut violations = Vec::new();
+            let mut candidates = Vec::new();
+            for node in frontier {
+                expand_node(node, shards, cfg, &mut violations, &mut candidates);
+            }
+            return (violations, candidates);
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut violations = Vec::new();
+                        let mut candidates = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                            if start >= frontier.len() {
+                                break;
+                            }
+                            let end = (start + CHUNK).min(frontier.len());
+                            for node in &frontier[start..end] {
+                                expand_node(node, shards, cfg, &mut violations, &mut candidates);
+                            }
+                        }
+                        (violations, candidates)
+                    })
+                })
+                .collect();
+            let mut violations = Vec::new();
+            let mut candidates = Vec::new();
+            for handle in handles {
+                let (v, c) = handle.join().expect("explorer worker panicked");
+                violations.extend(v);
+                candidates.extend(c);
+            }
+            (violations, candidates)
+        })
+    }
+}
+
+fn shard_of(key: u64) -> usize {
+    (key % SHARDS as u64) as usize
+}
+
+fn expand_node(
+    node: &Node,
+    shards: &[HashSet<u64>],
+    cfg: &ExploreConfig,
+    violations: &mut Vec<Vec<ScheduleStep>>,
+    candidates: &mut Vec<Candidate>,
+) {
+    for action in enabled_actions(&node.sys, cfg) {
+        let mut next = node.sys.clone();
+        apply(&mut next, action);
+        let mut path = node.path.clone();
+        path.push(to_step(action));
+        if next.violation().is_some() {
+            violations.push(path);
+            continue;
+        }
+        let key = state_key(&next);
+        // Frozen prior-level membership check; same-level duplicates are
+        // resolved in the sorted merge.
+        if !shards[shard_of(key)].contains(&key) {
+            candidates.push(Candidate {
+                key,
+                path,
+                sys: next,
+            });
+        }
+    }
+}
+
+/// Re-runs the winning path through the strict scheduler to recover the
+/// full invalid execution (frontier systems carry counters-only logs).
+fn materialize(proto: &dyn DataLink, steps: Vec<ScheduleStep>) -> ExploreOutcome {
+    let schedule = Schedule::new(steps);
+    let sys = schedule
+        .run(proto)
+        .expect("explorer-found schedule must replay");
+    assert!(
+        sys.violation().is_some(),
+        "explorer-found schedule must reproduce its violation"
+    );
+    ExploreOutcome::Counterexample {
+        execution: sys.execution().clone(),
+        depth: schedule.steps().len(),
+        schedule,
+    }
+}
+
+/// Convenience wrapper: [`ParallelExplorer::new(threads)`] then
+/// [`explore`](ParallelExplorer::explore).
+pub fn explore_parallel(
+    proto: &dyn DataLink,
+    cfg: &ExploreConfig,
+    threads: usize,
+) -> ExploreOutcome {
+    ParallelExplorer::new(threads).explore(proto, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Discipline};
+    use nonfifo_protocols::{AlternatingBit, GoBackN, NaiveCycle, SequenceNumber};
+
+    fn outcome_kind(o: &ExploreOutcome) -> &'static str {
+        match o {
+            ExploreOutcome::Counterexample { .. } => "counterexample",
+            ExploreOutcome::Exhausted { .. } => "exhausted",
+            ExploreOutcome::Truncated { .. } => "truncated",
+        }
+    }
+
+    #[test]
+    fn byte_identical_reports_across_thread_counts() {
+        let cfg = ExploreConfig::default();
+        let protos: Vec<Box<dyn DataLink>> = vec![
+            Box::new(AlternatingBit::new()),
+            Box::new(NaiveCycle::new(3)),
+            Box::new(SequenceNumber::new()),
+            Box::new(GoBackN::new(1)),
+        ];
+        for proto in &protos {
+            let reports: Vec<String> = [1, 2, 8]
+                .iter()
+                .map(|&t| explore_parallel(proto.as_ref(), &cfg, t).report())
+                .collect();
+            assert_eq!(reports[0], reports[1], "{}: 1 vs 2 threads", proto.name());
+            assert_eq!(reports[0], reports[2], "{}: 1 vs 8 threads", proto.name());
+        }
+    }
+
+    #[test]
+    fn agrees_with_sequential_oracle_on_kind_depth_and_states() {
+        let cfg = ExploreConfig::default();
+        let protos: Vec<Box<dyn DataLink>> = vec![
+            Box::new(AlternatingBit::new()),
+            Box::new(NaiveCycle::new(3)),
+            Box::new(SequenceNumber::new()),
+        ];
+        for proto in &protos {
+            let seq = explore(proto.as_ref(), &cfg);
+            let par = explore_parallel(proto.as_ref(), &cfg, 4);
+            assert_eq!(
+                outcome_kind(&seq),
+                outcome_kind(&par),
+                "{}: outcome kinds diverge",
+                proto.name()
+            );
+            match (&seq, &par) {
+                (
+                    ExploreOutcome::Counterexample { depth: a, .. },
+                    ExploreOutcome::Counterexample { depth: b, .. },
+                ) => assert_eq!(a, b, "{}: counterexample depths diverge", proto.name()),
+                (
+                    ExploreOutcome::Exhausted { states: a },
+                    ExploreOutcome::Exhausted { states: b },
+                ) => assert_eq!(a, b, "{}: certificate state counts diverge", proto.name()),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counterexample_replays_and_is_shortest() {
+        let outcome = explore_parallel(&AlternatingBit::new(), &ExploreConfig::default(), 8);
+        let ExploreOutcome::Counterexample {
+            depth, schedule, ..
+        } = outcome
+        else {
+            panic!("expected counterexample");
+        };
+        assert!(depth <= 7, "depth {depth}");
+        let sys = schedule.run(&AlternatingBit::new()).expect("replay");
+        assert!(sys.violation().is_some());
+    }
+
+    #[test]
+    fn truncation_is_deterministic_and_explicit() {
+        let cfg = ExploreConfig {
+            max_states: 10,
+            ..ExploreConfig::default()
+        };
+        let a = explore_parallel(&SequenceNumber::new(), &cfg, 1);
+        let b = explore_parallel(&SequenceNumber::new(), &cfg, 8);
+        assert!(a.is_truncated(), "got {a:?}");
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn disciplines_flow_through_the_parallel_engine() {
+        let lossy = ExploreConfig {
+            discipline: Discipline::LossyFifo,
+            ..ExploreConfig::default()
+        };
+        assert!(explore_parallel(&AlternatingBit::new(), &lossy, 4).is_certificate());
+        let reorder = ExploreConfig {
+            discipline: Discipline::BoundedReorder(8),
+            ..ExploreConfig::default()
+        };
+        assert!(explore_parallel(&AlternatingBit::new(), &reorder, 4).is_counterexample());
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(ParallelExplorer::new(0).threads() >= 1);
+        assert_eq!(ParallelExplorer::new(3).threads(), 3);
+    }
+}

@@ -27,8 +27,16 @@
 //! - [`boundness`] — empirical boundness and product-state counting for the
 //!   Theorem 2.1 experiments.
 //! - [`explore()`] — exhaustive small-scope model checking: every adversary
-//!   behaviour within a bounded scope, yielding either a *shortest* invalid
+//!   behaviour within a bounded scope (under a non-FIFO, bounded-reorder,
+//!   or lossy-FIFO [`Discipline`]), yielding either a *shortest* invalid
 //!   execution or a certificate that none exists in scope.
+//! - [`ParallelExplorer`] — the same exploration, level-synchronized across
+//!   worker threads with a sharded visited set: deterministic outcomes
+//!   independent of thread count, with the sequential explorer kept as the
+//!   differential oracle.
+//! - [`shrink()`] — greedy counterexample shrinking: deletes runs of
+//!   adversary actions while the schedule still replays to a violation, so
+//!   machine-found attacks come back minimal and human-readable.
 //! - [`Schedule`] — adversary behaviours as data: parse an attack script,
 //!   replay it against any protocol, share it as an artifact.
 //!
@@ -57,20 +65,24 @@
 pub mod boundness;
 mod dominant;
 pub mod explore;
+pub mod explore_par;
 mod greedy;
 mod mf;
 mod oracle;
 mod pf;
 mod schedule;
+mod shrink;
 mod system;
 
 pub use dominant::{DominantReport, DominantTracker, ProbRunConfig};
-pub use explore::{explore, ExploreConfig, ExploreOutcome};
+pub use explore::{explore, Discipline, ExploreConfig, ExploreOutcome};
+pub use explore_par::{explore_parallel, ParallelExplorer};
 pub use greedy::GreedyReplayAdversary;
 pub use mf::{MfConfig, MfFalsifier, MfGrowthStage};
 pub use oracle::{BoundnessOracle, Extension};
 pub use pf::{PfConfig, PfFalsifier, PfMessageCost};
 pub use schedule::{Schedule, ScheduleError, ScheduleStep};
+pub use shrink::{shrink, ShrinkError, ShrinkOutcome};
 pub use system::{Disposition, System};
 
 use nonfifo_ioa::{Execution, SpecViolation};

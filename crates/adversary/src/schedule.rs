@@ -47,7 +47,12 @@ use std::error::Error;
 use std::fmt;
 
 /// One adversary action.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The derived `Ord` (declaration order, then argument order) is the
+/// lexicographic tie-break the parallel explorer uses to pick *one*
+/// canonical counterexample among equally short ones, so its result is
+/// independent of thread count and scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ScheduleStep {
     /// `send_msg` (panics at run time if the transmitter is busy — the
     /// runner reports it as a [`ScheduleError`] instead).

@@ -1,0 +1,214 @@
+//! Counterexample shrinking: machine-found attack schedules, minimised.
+//!
+//! The explorers already return *shortest* schedules, but other producers
+//! do not: chaos stall repros, hand-edited scripts, and falsifier-derived
+//! schedules carry dead weight — parks that drive nothing, deliveries of
+//! copies nobody confuses, whole send/quiesce rounds that the violation
+//! never needed. [`shrink`] greedily deletes contiguous runs of actions at
+//! halving granularity (delta-debugging style: whole chunks first, then
+//! single steps) and keeps a candidate only if it still **replays to a
+//! violation through the strict scheduler** — the same
+//! [`Schedule::run`](crate::Schedule::run) a human would use, so a shrunk
+//! script is a shareable, replayable artifact, not just a smaller one.
+//!
+//! The cascade repeats until a full pass deletes nothing, which makes
+//! shrinking **idempotent**: shrinking a shrunk schedule is a no-op. The
+//! result is 1-minimal at chunk granularity (no single deletable step
+//! remains), not globally minimal — finding the global minimum is what the
+//! exhaustive explorers are for.
+
+use crate::schedule::{Schedule, ScheduleStep};
+use nonfifo_protocols::DataLink;
+use std::error::Error;
+use std::fmt;
+
+/// Why a schedule could not be shrunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ShrinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ShrinkError {}
+
+/// The result of shrinking a violating schedule.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The shrunk schedule; replaying it against the same protocol still
+    /// produces a violation.
+    pub schedule: Schedule,
+    /// Steps in the schedule handed in.
+    pub original_steps: usize,
+    /// Candidate replays attempted (the shrinker's work measure).
+    pub attempts: usize,
+}
+
+impl ShrinkOutcome {
+    /// Steps deleted by the shrinker.
+    pub fn removed(&self) -> usize {
+        self.original_steps - self.schedule.steps().len()
+    }
+}
+
+fn still_violates(proto: &dyn DataLink, steps: &[ScheduleStep], attempts: &mut usize) -> bool {
+    *attempts += 1;
+    Schedule::new(steps.to_vec())
+        .run(proto)
+        .map(|sys| sys.violation().is_some())
+        .unwrap_or(false)
+}
+
+/// Greedily minimises a violating schedule against `proto`.
+///
+/// # Errors
+///
+/// Returns a [`ShrinkError`] if the input schedule does not replay to a
+/// violation in the first place (there is nothing to preserve).
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_adversary::{shrink, Schedule};
+/// use nonfifo_protocols::AlternatingBit;
+///
+/// // The minimal attack, padded with idle parks.
+/// let padded = Schedule::parse(
+///     "park\nsend\npark\ndeliver h0\npark\nsend\ndeliver h1\npark\ndeliver h0\n",
+/// )
+/// .unwrap();
+/// let outcome = shrink(&AlternatingBit::new(), &padded).unwrap();
+/// assert!(outcome.schedule.steps().len() <= 6);
+/// assert!(outcome.schedule.run(&AlternatingBit::new()).unwrap().violation().is_some());
+/// ```
+pub fn shrink(proto: &dyn DataLink, schedule: &Schedule) -> Result<ShrinkOutcome, ShrinkError> {
+    let mut attempts = 0;
+    let original = schedule.steps().to_vec();
+    if !still_violates(proto, &original, &mut attempts) {
+        return Err(ShrinkError {
+            message: "schedule does not replay to a violation; nothing to shrink".into(),
+        });
+    }
+    let mut steps = original.clone();
+    loop {
+        let before = steps.len();
+        // Chunk sizes walk the powers of two down to 1 so every deletable
+        // run up to half the schedule fits some window.
+        let mut chunk = (steps.len().next_power_of_two() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < steps.len() {
+                let end = (i + chunk).min(steps.len());
+                let mut candidate = steps.clone();
+                candidate.drain(i..end);
+                if still_violates(proto, &candidate, &mut attempts) {
+                    // Keep the deletion and retry the same window — the
+                    // steps that slid into it may be deletable too.
+                    steps = candidate;
+                } else {
+                    i += 1;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // A full halving cascade deleted nothing: fixpoint reached. Running
+        // the same deterministic cascade on this result again would also
+        // delete nothing, hence idempotence.
+        if steps.len() == before {
+            break;
+        }
+    }
+    Ok(ShrinkOutcome {
+        schedule: Schedule::new(steps),
+        original_steps: original.len(),
+        attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_protocols::{AlternatingBit, SequenceNumber};
+
+    const PADDED_ATTACK: &str = "\
+park
+send
+park
+park
+deliver h0
+park
+send
+park
+deliver h1
+park
+deliver h0
+";
+
+    #[test]
+    fn shrunk_schedule_still_replays_to_a_violation() {
+        let padded = Schedule::parse(PADDED_ATTACK).unwrap();
+        let outcome = shrink(&AlternatingBit::new(), &padded).unwrap();
+        assert!(outcome.removed() >= 4, "removed {}", outcome.removed());
+        let sys = outcome.schedule.run(&AlternatingBit::new()).unwrap();
+        assert!(sys.violation().is_some());
+        assert_eq!(sys.counts().rm, sys.counts().sm + 1);
+    }
+
+    #[test]
+    fn shrinking_is_idempotent() {
+        let padded = Schedule::parse(PADDED_ATTACK).unwrap();
+        let once = shrink(&AlternatingBit::new(), &padded).unwrap();
+        let twice = shrink(&AlternatingBit::new(), &once.schedule).unwrap();
+        assert_eq!(once.schedule, twice.schedule);
+        assert_eq!(twice.removed(), 0);
+    }
+
+    #[test]
+    fn already_minimal_schedules_are_untouched() {
+        // The 6-action textbook attack has no deletable step.
+        let minimal =
+            Schedule::parse("send\npark\ndeliver h0\nsend\ndeliver h1\ndeliver h0\n").unwrap();
+        let outcome = shrink(&AlternatingBit::new(), &minimal).unwrap();
+        assert_eq!(outcome.schedule, minimal);
+        assert_eq!(outcome.removed(), 0);
+    }
+
+    #[test]
+    fn non_violating_schedules_are_rejected() {
+        let harmless = Schedule::parse("send\nquiesce\n").unwrap();
+        let err = shrink(&SequenceNumber::new(), &harmless).unwrap_err();
+        assert!(err.to_string().contains("does not replay"));
+        // Same for a schedule that aborts mid-run.
+        let aborting = Schedule::parse("deliver h0\n").unwrap();
+        assert!(shrink(&AlternatingBit::new(), &aborting).is_err());
+    }
+
+    #[test]
+    fn chunk_deletion_removes_whole_dead_rounds() {
+        // A full extra send/deliver round pads the middle of the attack;
+        // single-step deletion alone cannot remove it (deleting only the
+        // send leaves an unreplayable deliver, and vice versa), so this
+        // exercises the chunk pass.
+        let padded = Schedule::parse(
+            "send\npark\ndeliver h0\nsend\ndeliver h1\nsend\ndeliver h0\nsend\ndeliver h1\ndeliver h0\n",
+        )
+        .unwrap();
+        let outcome = shrink(&AlternatingBit::new(), &padded).unwrap();
+        assert!(
+            outcome.schedule.steps().len() <= 6,
+            "left {} steps:\n{}",
+            outcome.schedule.steps().len(),
+            outcome.schedule.to_text()
+        );
+        let sys = outcome.schedule.run(&AlternatingBit::new()).unwrap();
+        assert!(sys.violation().is_some());
+    }
+}

@@ -77,6 +77,26 @@ impl System {
         &self.exec
     }
 
+    /// Replaces the event log with a counters-only recorder
+    /// ([`Execution::counts_only`]): the online monitor still observes every
+    /// event and [`counts`](System::counts) stays exact, but
+    /// [`execution`](System::execution) no longer accumulates history, so
+    /// cloning the system is O(state) instead of O(history). The parallel
+    /// explorer clones one system per expanded edge and re-materialises the
+    /// winning execution by replaying its schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has already been recorded — switching modes
+    /// mid-run would silently truncate the log.
+    pub fn disable_event_log(&mut self) {
+        assert!(
+            self.exec.is_empty() && self.exec.counts() == Counts::default(),
+            "disable_event_log after events were recorded"
+        );
+        self.exec = Execution::counts_only();
+    }
+
     /// The Definition 2 counters of the recorded execution.
     pub fn counts(&self) -> Counts {
         self.exec.counts()

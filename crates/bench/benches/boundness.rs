@@ -49,6 +49,7 @@ fn bench_exhaustive_explore() {
         max_depth: 12,
         max_pool: 5,
         max_states: 500_000,
+        ..ExploreConfig::default()
     };
     group.bench("seqnum_certificate", || {
         explore(&SequenceNumber::new(), &cfg)

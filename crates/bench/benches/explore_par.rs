@@ -1,0 +1,67 @@
+//! Bench: exploration throughput — the sequential oracle vs the
+//! level-synchronized parallel explorer at growing thread counts.
+//!
+//! The workload is the sequence-number certificate scope (no counterexample
+//! short-circuits the search, so every run covers the same state set and
+//! states/sec is a meaningful rate). The headline number is the 8-thread
+//! speedup over the sequential baseline.
+
+use nonfifo_adversary::{explore, ExploreConfig, ExploreOutcome, ParallelExplorer};
+use nonfifo_bench::harness::Group;
+use nonfifo_protocols::SequenceNumber;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn states(outcome: &ExploreOutcome) -> usize {
+    match outcome {
+        ExploreOutcome::Exhausted { states } | ExploreOutcome::Truncated { states } => *states,
+        ExploreOutcome::Counterexample { .. } => 0,
+    }
+}
+
+fn median_rate(mut f: impl FnMut() -> ExploreOutcome) -> f64 {
+    let mut rates: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            let outcome = f();
+            states(&outcome) as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    rates[1]
+}
+
+fn main() {
+    // Large enough that every BFS level carries a wide frontier (87k+
+    // states total), so the parallel engine has real work to distribute.
+    let cfg = ExploreConfig {
+        max_messages: 8,
+        max_depth: 26,
+        max_pool: 10,
+        max_states: 20_000_000,
+        ..ExploreConfig::default()
+    };
+    let proto = SequenceNumber::new();
+
+    let group = Group::new("explore_throughput").samples(3);
+    group.bench("sequential", || explore(&proto, &cfg));
+    for threads in THREADS {
+        let explorer = ParallelExplorer::new(threads);
+        group.bench(&format!("parallel_t{threads}"), || {
+            explorer.explore(&proto, &cfg)
+        });
+    }
+
+    println!("\n== states_per_sec (median of 3)");
+    let seq = median_rate(|| explore(&proto, &cfg));
+    println!("sequential    : {seq:>10.0} states/sec  (1.00x)");
+    for threads in THREADS {
+        let explorer = ParallelExplorer::new(threads);
+        let rate = median_rate(|| explorer.explore(&proto, &cfg));
+        println!(
+            "parallel t={threads:<2} : {rate:>10.0} states/sec  ({:.2}x)",
+            rate / seq
+        );
+    }
+}

@@ -8,8 +8,9 @@
 //! - `cargo bench -p nonfifo-bench` runs the micro-benchmarks: the
 //!   falsifier constructions (`falsify_mf`, `falsify_pf`), the
 //!   probabilistic growth runs (`probabilistic`), boundness probing
-//!   (`boundness`), raw channel throughput (`channels`), and the
-//!   window-vs-reorder ablation (`ablation_window`).
+//!   (`boundness`), raw channel throughput (`channels`), the
+//!   window-vs-reorder ablation (`ablation_window`), and exploration
+//!   throughput, sequential vs parallel (`explore_par`).
 //!
 //! The benches run on the self-contained [`harness`] (median-of-samples
 //! wall-clock timing) so the workspace needs no external benchmarking

@@ -7,19 +7,26 @@
 //!                  [--crash-tx S] [--crash-rx S] [--retry] [--dump FILE]
 //! nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
 //! nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
+//!                  [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
+//!                  [--parallel] [--threads N] [--differential] [--no-shrink]
 //! nonfifo schedule <protocol> <attack-file> [--diagram]
 //! nonfifo recheck  <trace-file> [--diagram]
 //! nonfifo report   [--exp eN]
 //! nonfifo list
 //! ```
+//!
+//! `explore` distinguishes its outcomes in the exit code so scripts cannot
+//! mistake a truncated search for a certificate: 0 = exhaustive certificate,
+//! 2 = counterexample found, 3 = state budget exhausted (inconclusive),
+//! 4 = differential mismatch between the sequential and parallel engines.
 
 mod args;
 mod registry;
 
 use args::{Args, ArgsError};
 use nonfifo_adversary::{
-    explore, ExploreConfig, ExploreOutcome, FalsifyOutcome, GreedyReplayAdversary, MfConfig,
-    MfFalsifier, PfConfig, PfFalsifier,
+    explore, shrink, Discipline, ExploreConfig, ExploreOutcome, FalsifyOutcome,
+    GreedyReplayAdversary, MfConfig, MfFalsifier, ParallelExplorer, PfConfig, PfFalsifier,
 };
 use nonfifo_core::{CrashEvent, CrashMode, SimConfig, SimError, Station};
 use std::process::ExitCode;
@@ -35,16 +42,21 @@ usage:
                    [--backoff B] [--budget B] [--faults] [--dump FILE]
   nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
   nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
+                   [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
+                   [--parallel] [--threads N] [--differential] [--no-shrink]
   nonfifo schedule <protocol> <attack-file> [--diagram]
   nonfifo recheck  <trace-file> [--diagram]
-  nonfifo report   [--exp e1..e11]
+  nonfifo report   [--exp e1..e11,e13]
   nonfifo list
+
+explore exit codes: 0 certificate, 2 counterexample, 3 inconclusive
+(state budget), 4 differential mismatch.
 ";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(raw) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("\n{USAGE}");
@@ -53,23 +65,47 @@ fn main() -> ExitCode {
     }
 }
 
-fn dispatch(raw: Vec<String>) -> Result<(), ArgsError> {
-    let args = Args::parse(raw, &["payloads", "diagram", "restore", "retry", "faults"])?;
+fn dispatch(raw: Vec<String>) -> Result<ExitCode, ArgsError> {
+    let args = Args::parse(
+        raw,
+        &[
+            "payloads",
+            "diagram",
+            "restore",
+            "retry",
+            "faults",
+            "parallel",
+            "differential",
+            "no-shrink",
+        ],
+    )?;
     match args.positional(0) {
-        Some("simulate") => cmd_simulate(&args),
-        Some("chaos") => cmd_chaos(&args),
-        Some("attack") => cmd_attack(&args),
+        Some("simulate") => cmd_simulate(&args).map(|()| ExitCode::SUCCESS),
+        Some("chaos") => cmd_chaos(&args).map(|()| ExitCode::SUCCESS),
+        Some("attack") => cmd_attack(&args).map(|()| ExitCode::SUCCESS),
         Some("explore") => cmd_explore(&args),
-        Some("schedule") => cmd_schedule(&args),
-        Some("recheck") => cmd_recheck(&args),
-        Some("report") => cmd_report(&args),
+        Some("schedule") => cmd_schedule(&args).map(|()| ExitCode::SUCCESS),
+        Some("recheck") => cmd_recheck(&args).map(|()| ExitCode::SUCCESS),
+        Some("report") => cmd_report(&args).map(|()| ExitCode::SUCCESS),
         Some("list") => {
             cmd_list();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         _ => Err(ArgsError("missing or unknown subcommand".into())),
     }
 }
+
+/// The `explore` exit code contract: scripts branch on this, so truncation
+/// must be distinguishable from a certificate.
+fn explore_exit_code(outcome: &ExploreOutcome) -> u8 {
+    match outcome {
+        ExploreOutcome::Exhausted { .. } => 0,
+        ExploreOutcome::Counterexample { .. } => 2,
+        ExploreOutcome::Truncated { .. } => 3,
+    }
+}
+
+const EXIT_DIFFERENTIAL_MISMATCH: u8 = 4;
 
 fn cmd_list() {
     println!("protocols:");
@@ -283,43 +319,93 @@ fn cmd_attack(args: &Args) -> Result<(), ArgsError> {
     Ok(())
 }
 
-fn cmd_explore(args: &Args) -> Result<(), ArgsError> {
+fn cmd_explore(args: &Args) -> Result<ExitCode, ArgsError> {
     let proto_name = args
         .positional(1)
         .ok_or_else(|| ArgsError("explore needs a protocol".into()))?;
     let proto = registry::protocol(proto_name)?;
+    let discipline: Discipline = match args.option("discipline") {
+        None => Discipline::NonFifo,
+        Some(s) => s.parse().map_err(ArgsError)?,
+    };
+    // `--states` is the historical spelling of `--max-states`.
+    let default_states: usize = args.option_or("states", 500_000)?;
     let cfg = ExploreConfig {
         max_messages: args.option_or("messages", 3)?,
         max_depth: args.option_or("depth", 12)?,
         max_pool: args.option_or("pool", 5)?,
-        max_states: args.option_or("states", 500_000)?,
+        max_states: args.option_or("max-states", default_states)?,
+        discipline,
+    };
+    let parallel = args.flag("parallel") || args.option("threads").is_some();
+    let engine = if parallel {
+        let explorer = ParallelExplorer::new(args.option_or("threads", 0)?);
+        let label = format!("parallel, {} threads", explorer.threads());
+        (label, explorer)
+    } else {
+        ("sequential".to_string(), ParallelExplorer::new(1))
     };
     println!(
-        "exhaustively exploring {} in scope msgs={} depth={} pool={}…",
+        "exploring {} in scope msgs={} depth={} pool={} discipline={} ({})…",
         proto.name(),
         cfg.max_messages,
         cfg.max_depth,
-        cfg.max_pool
+        cfg.max_pool,
+        cfg.discipline,
+        engine.0,
     );
-    match explore(proto.as_ref(), &cfg) {
+    let outcome = if parallel {
+        engine.1.explore(proto.as_ref(), &cfg)
+    } else {
+        explore(proto.as_ref(), &cfg)
+    };
+    if args.flag("differential") {
+        let other = if parallel {
+            explore(proto.as_ref(), &cfg)
+        } else {
+            ParallelExplorer::new(0).explore(proto.as_ref(), &cfg)
+        };
+        if outcome.report() != other.report() {
+            println!("DIFFERENTIAL MISMATCH between sequential and parallel engines:");
+            println!("--- this engine ---\n{}", outcome.report());
+            println!("--- other engine ---\n{}", other.report());
+            return Ok(ExitCode::from(EXIT_DIFFERENTIAL_MISMATCH));
+        }
+        println!("differential: sequential and parallel reports are byte-identical");
+    }
+    match &outcome {
         ExploreOutcome::Counterexample {
             execution,
             depth,
             schedule,
         } => {
             println!("shortest invalid execution: {depth} adversary actions");
+            let script = if args.flag("no-shrink") {
+                schedule.clone()
+            } else {
+                let shrunk = shrink(proto.as_ref(), schedule)
+                    .map_err(|e| ArgsError(format!("shrinker: {e}")))?;
+                println!(
+                    "shrinker: removed {} of {} steps ({} replays)",
+                    shrunk.removed(),
+                    shrunk.original_steps,
+                    shrunk.attempts
+                );
+                shrunk.schedule
+            };
             println!("\nattack script (replay with `nonfifo schedule {proto_name} <file>`):");
-            print!("{}", schedule.to_text());
-            println!("\n{}", nonfifo_ioa::diagram::render(&execution));
+            print!("{}", script.to_text());
+            println!("\n{}", nonfifo_ioa::diagram::render(execution));
         }
         ExploreOutcome::Exhausted { states } => {
-            println!("no invalid execution in scope (exhaustive, {states} states)");
+            println!("certificate: no invalid execution in scope (exhaustive, {states} states)");
         }
         ExploreOutcome::Truncated { states } => {
             println!("inconclusive: state budget exhausted after {states} states");
+            println!("(NOT a certificate — raise --max-states to cover the scope)");
         }
     }
-    Ok(())
+    Ok(ExitCode::from(explore_exit_code(&outcome)))
 }
 
 fn cmd_schedule(args: &Args) -> Result<(), ArgsError> {
@@ -394,7 +480,10 @@ fn cmd_report(args: &Args) -> Result<(), ArgsError> {
     let seed = 20260705u64;
     let selected: Vec<String> = match args.option("exp") {
         Some(e) => vec![e.to_string()],
-        None => (1..=11).map(|i| format!("e{i}")).collect(),
+        None => (1..=11)
+            .map(|i| format!("e{i}"))
+            .chain(std::iter::once("e13".to_string()))
+            .collect(),
     };
     for exp in selected {
         match exp.as_str() {
@@ -409,8 +498,66 @@ fn cmd_report(args: &Args) -> Result<(), ArgsError> {
             "e9" => println!("## E9\n\n{}", ex::e9_window_ablation(150, seed)),
             "e10" => println!("## E10\n\n{}", ex::e10_transport(100)),
             "e11" => println!("## E11\n\n{}", ex::e11_exhaustive()),
+            "e13" => println!("## E13\n\n{}", ex::e13_parallel_certification()),
             other => return Err(ArgsError(format!("unknown experiment {other:?}"))),
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_adversary::Schedule;
+
+    #[test]
+    fn explore_exit_codes_distinguish_all_outcomes() {
+        assert_eq!(
+            explore_exit_code(&ExploreOutcome::Exhausted { states: 42 }),
+            0
+        );
+        assert_eq!(
+            explore_exit_code(&ExploreOutcome::Counterexample {
+                execution: nonfifo_ioa::Execution::default(),
+                depth: 6,
+                schedule: Schedule::new(Vec::new()),
+            }),
+            2
+        );
+        assert_eq!(
+            explore_exit_code(&ExploreOutcome::Truncated { states: 42 }),
+            3
+        );
+        // The differential-mismatch code collides with none of the above.
+        assert_eq!(EXIT_DIFFERENTIAL_MISMATCH, 4);
+    }
+
+    #[test]
+    fn explore_flags_parse() {
+        let args = Args::parse(
+            [
+                "explore",
+                "abp",
+                "--parallel",
+                "--threads",
+                "8",
+                "--max-states",
+                "1000",
+                "--differential",
+                "--discipline",
+                "reorder2",
+            ],
+            &["parallel", "differential", "no-shrink"],
+        )
+        .unwrap();
+        assert!(args.flag("parallel"));
+        assert!(args.flag("differential"));
+        assert!(!args.flag("no-shrink"));
+        assert_eq!(args.option_or("threads", 0usize).unwrap(), 8);
+        assert_eq!(args.option_or("max-states", 0usize).unwrap(), 1000);
+        assert_eq!(
+            args.option("discipline").unwrap().parse::<Discipline>(),
+            Ok(Discipline::BoundedReorder(2))
+        );
+    }
 }

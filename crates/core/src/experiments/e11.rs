@@ -104,12 +104,14 @@ pub fn e11_exhaustive() -> E11Report {
         max_depth: 12,
         max_pool: 5,
         max_states: 300_000,
+        ..ExploreConfig::default()
     };
     let cycle = ExploreConfig {
         max_messages: 4,
         max_depth: 16,
         max_pool: 6,
         max_states: 500_000,
+        ..ExploreConfig::default()
     };
     let rows = vec![
         probe(&AlternatingBit::new(), small),

@@ -1,0 +1,131 @@
+//! E13 — parallel certification of growing scopes.
+//!
+//! E11 certifies the naive sequence-number protocol safe in one small
+//! scope; this experiment grows the scope along every axis (messages,
+//! depth, pool) and certifies each with the level-synchronized parallel
+//! explorer, cross-checked against the sequential oracle. The state count
+//! per scope is the certified coverage; the deterministic-merge design
+//! makes the parallel report byte-identical to the sequential one, so the
+//! `agrees` column is a differential test run as an experiment.
+//!
+//! Throughput (states/sec vs. threads) is measured by the
+//! `explore_par` bench, not here — experiment output must be
+//! deterministic.
+
+use super::table::markdown;
+use nonfifo_adversary::{explore, ExploreConfig, ExploreOutcome, ParallelExplorer};
+use nonfifo_protocols::SequenceNumber;
+use std::fmt;
+
+/// One certified scope.
+#[derive(Debug, Clone)]
+pub struct E13Row {
+    /// Scope description (messages / depth / pool).
+    pub scope: String,
+    /// Distinct states covered by the certificate.
+    pub states: usize,
+    /// Verdict rendering.
+    pub verdict: String,
+    /// True if the parallel and sequential reports were byte-identical.
+    pub agrees: bool,
+}
+
+/// The E13 report.
+#[derive(Debug, Clone)]
+pub struct E13Report {
+    /// One row per scope, smallest first.
+    pub rows: Vec<E13Row>,
+}
+
+impl fmt::Display for E13Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scope.clone(),
+                    r.states.to_string(),
+                    r.verdict.clone(),
+                    if r.agrees { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            markdown(
+                &["scope (msgs/depth/pool)", "states", "verdict", "seq = par"],
+                &rows
+            )
+        )
+    }
+}
+
+fn certify(cfg: ExploreConfig) -> E13Row {
+    let proto = SequenceNumber::new();
+    let par = ParallelExplorer::new(0).explore(&proto, &cfg);
+    let seq = explore(&proto, &cfg);
+    let verdict = match &par {
+        ExploreOutcome::Exhausted { .. } => "certified safe (exhaustive)".to_string(),
+        ExploreOutcome::Counterexample { depth, .. } => {
+            format!("counterexample at depth {depth}")
+        }
+        ExploreOutcome::Truncated { .. } => "inconclusive (state budget)".to_string(),
+    };
+    let states = match par {
+        ExploreOutcome::Exhausted { states } | ExploreOutcome::Truncated { states } => states,
+        ExploreOutcome::Counterexample { .. } => 0,
+    };
+    E13Row {
+        scope: format!("{}/{}/{}", cfg.max_messages, cfg.max_depth, cfg.max_pool),
+        states,
+        verdict,
+        agrees: par.report() == seq.report(),
+    }
+}
+
+/// Runs E13.
+pub fn e13_parallel_certification() -> E13Report {
+    let scopes = [(3, 12, 5), (4, 16, 6), (5, 18, 7), (6, 20, 8)];
+    let rows = scopes
+        .into_iter()
+        .map(|(max_messages, max_depth, max_pool)| {
+            certify(ExploreConfig {
+                max_messages,
+                max_depth,
+                max_pool,
+                max_states: 2_000_000,
+                ..ExploreConfig::default()
+            })
+        })
+        .collect();
+    E13Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scope_is_certified_and_engines_agree() {
+        let report = e13_parallel_certification();
+        assert_eq!(report.rows.len(), 4);
+        let mut prev = 0;
+        for row in &report.rows {
+            assert!(row.agrees, "engines disagreed on scope {}", row.scope);
+            assert!(
+                row.verdict.contains("certified"),
+                "scope {} verdict: {}",
+                row.scope,
+                row.verdict
+            );
+            assert!(
+                row.states > prev,
+                "coverage should grow with the scope: {} after {prev}",
+                row.states
+            );
+            prev = row.states;
+        }
+    }
+}

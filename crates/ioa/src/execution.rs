@@ -98,6 +98,13 @@ impl fmt::Display for Counts {
 /// mode, but the adversary constructions record full executions because their
 /// *output* is an execution (the invalid execution the theorems promise).
 ///
+/// For workloads that clone executions by the million — the parallel
+/// state-space explorer clones the whole composed system once per expanded
+/// edge — [`counts_only`](Execution::counts_only) builds an execution that
+/// maintains the counters but discards the events, making `clone` O(1)
+/// instead of O(events). Violating paths are then re-materialised by
+/// replaying the adversary schedule from scratch.
+///
 /// # Example
 ///
 /// ```
@@ -112,6 +119,7 @@ impl fmt::Display for Counts {
 pub struct Execution {
     events: Vec<Event>,
     counts: Counts,
+    counts_only: bool,
 }
 
 impl Execution {
@@ -125,13 +133,33 @@ impl Execution {
         Execution {
             events: Vec::with_capacity(cap),
             counts: Counts::default(),
+            counts_only: false,
         }
+    }
+
+    /// Creates an execution that maintains [`Counts`] but stores no events:
+    /// `push` updates the counters and drops the event, so `clone` stays
+    /// O(1) however long the run. `len`/`iter`/`events` see an empty event
+    /// list.
+    pub fn counts_only() -> Self {
+        Execution {
+            events: Vec::new(),
+            counts: Counts::default(),
+            counts_only: true,
+        }
+    }
+
+    /// True if this execution discards events and keeps only counters.
+    pub fn is_counts_only(&self) -> bool {
+        self.counts_only
     }
 
     /// Appends an event.
     pub fn push(&mut self, event: Event) {
         self.counts.apply(&event);
-        self.events.push(event);
+        if !self.counts_only {
+            self.events.push(event);
+        }
     }
 
     /// The Definition 2 counters for the whole execution.

@@ -75,7 +75,13 @@ pub trait Recoverable {
 /// Implementations must be deterministic: the adversaries compute boundness
 /// extensions by cloning the automaton and simulating forward, which is only
 /// sound if a clone behaves identically on identical inputs.
-pub trait Transmitter: Recoverable + fmt::Debug {
+///
+/// Automata are `Send + Sync`: the parallel state-space explorer shares
+/// frontier nodes across worker threads by reference and clones them on
+/// expansion, so a protocol state may not contain thread-bound interior
+/// mutability. Every automaton here is a plain deterministic data structure,
+/// which satisfies the bounds for free.
+pub trait Transmitter: Recoverable + fmt::Debug + Send + Sync {
     /// `send_msg(m)`: the higher layer hands over the next message.
     ///
     /// The harness only calls this when [`ready`](Transmitter::ready)
@@ -115,7 +121,7 @@ pub trait Transmitter: Recoverable + fmt::Debug {
 /// Input actions: `receive_pkt`ᵗ→ʳ, tick, ghost. Output actions:
 /// `send_pkt`ʳ→ᵗ via [`poll_send`](Receiver::poll_send) and
 /// `receive_msg(m)` via [`poll_deliver`](Receiver::poll_deliver).
-pub trait Receiver: Recoverable + fmt::Debug {
+pub trait Receiver: Recoverable + fmt::Debug + Send + Sync {
     /// `receive_pkt`ᵗ→ʳ`(p)`: a data packet arrives.
     fn on_receive_pkt(&mut self, p: Packet);
 
@@ -185,8 +191,10 @@ impl fmt::Display for HeaderBound {
 /// A data-link protocol: a named factory for fresh `(Aᵗ, Aʳ)` pairs.
 ///
 /// Experiment tables iterate over `Vec<Box<dyn DataLink>>`, instantiating a
-/// fresh automaton pair per run.
-pub trait DataLink: fmt::Debug {
+/// fresh automaton pair per run. Factories are `Send + Sync` so parallel
+/// harnesses (the differential explorer, the property matrix) can share one
+/// factory across threads.
+pub trait DataLink: fmt::Debug + Send + Sync {
     /// Human-readable protocol name (appears in experiment tables).
     fn name(&self) -> String;
 

@@ -1,0 +1,120 @@
+//! Regression pins for the exploration engines.
+//!
+//! The shortest-counterexample depths below are ground truth for the known
+//! victims (they match the E11 table in `EXPERIMENTS.md`); a change in any
+//! of them means the search order, the action semantics, or a protocol
+//! changed behaviour. Both engines are pinned so a regression in either is
+//! attributed directly.
+
+use nonfifo::adversary::{explore, Discipline, ExploreConfig, ExploreOutcome, ParallelExplorer};
+use nonfifo::protocols::{AlternatingBit, DataLink, GoBackN, NaiveCycle, SequenceNumber};
+
+fn small() -> ExploreConfig {
+    ExploreConfig {
+        max_messages: 3,
+        max_depth: 12,
+        max_pool: 5,
+        max_states: 500_000,
+        ..ExploreConfig::default()
+    }
+}
+
+fn cycle_scope() -> ExploreConfig {
+    ExploreConfig {
+        max_messages: 4,
+        max_depth: 16,
+        max_pool: 6,
+        max_states: 500_000,
+        ..ExploreConfig::default()
+    }
+}
+
+fn pinned_depth(proto: &dyn DataLink, cfg: &ExploreConfig, expected: usize) {
+    for (engine, outcome) in [
+        ("sequential", explore(proto, cfg)),
+        ("parallel", ParallelExplorer::new(0).explore(proto, cfg)),
+    ] {
+        let ExploreOutcome::Counterexample { depth, .. } = outcome else {
+            panic!("{engine}: expected counterexample for {}", proto.name());
+        };
+        assert_eq!(
+            depth,
+            expected,
+            "{engine}: minimal counterexample depth moved for {}",
+            proto.name()
+        );
+    }
+}
+
+#[test]
+fn alternating_bit_falls_in_exactly_six_actions() {
+    pinned_depth(&AlternatingBit::new(), &small(), 6);
+}
+
+#[test]
+fn go_back_n_w1_falls_in_exactly_six_actions() {
+    pinned_depth(&GoBackN::new(1), &cycle_scope(), 6);
+}
+
+#[test]
+fn naive_cycle3_falls_in_exactly_eight_actions() {
+    pinned_depth(&NaiveCycle::new(3), &cycle_scope(), 8);
+}
+
+#[test]
+fn sequence_number_certificate_pins_its_state_count() {
+    // The certificate's coverage is part of the regression surface: fewer
+    // states means the search got weaker, more means the state key or the
+    // action set changed.
+    for outcome in [
+        explore(&SequenceNumber::new(), &small()),
+        ParallelExplorer::new(0).explore(&SequenceNumber::new(), &small()),
+    ] {
+        let ExploreOutcome::Exhausted { states } = outcome else {
+            panic!("expected certificate, got {outcome:?}");
+        };
+        assert_eq!(states, 111, "certified state count moved");
+    }
+}
+
+#[test]
+fn alternating_bit_survives_fifo_and_lossy_but_not_reorder() {
+    for discipline in [Discipline::BoundedReorder(0), Discipline::LossyFifo] {
+        let cfg = ExploreConfig {
+            discipline,
+            ..small()
+        };
+        let outcome = ParallelExplorer::new(0).explore(&AlternatingBit::new(), &cfg);
+        assert!(
+            outcome.is_certificate(),
+            "expected certificate under {discipline}, got {outcome:?}"
+        );
+    }
+    let cfg = ExploreConfig {
+        discipline: Discipline::BoundedReorder(8),
+        ..small()
+    };
+    let outcome = ParallelExplorer::new(0).explore(&AlternatingBit::new(), &cfg);
+    assert!(outcome.is_counterexample(), "got {outcome:?}");
+}
+
+/// Large-scope certification: slow, run by the large-scope CI job via
+/// `cargo test --release -- --ignored` (half a minute in release, minutes
+/// in debug).
+#[test]
+#[ignore = "large scope; run with --release -- --ignored"]
+fn sequence_number_certified_at_large_scope() {
+    let cfg = ExploreConfig {
+        max_messages: 10,
+        max_depth: 30,
+        max_pool: 12,
+        max_states: 20_000_000,
+        ..ExploreConfig::default()
+    };
+    let outcome = ParallelExplorer::new(0).explore(&SequenceNumber::new(), &cfg);
+    let ExploreOutcome::Exhausted { states } = outcome else {
+        panic!("expected exhaustive certificate, got {outcome:?}");
+    };
+    // The exact coverage doubles as a determinism pin at scale.
+    assert_eq!(states, 1_125_331);
+}
