@@ -16,7 +16,7 @@
 //! `send_msg`, the per-extension send histograms, and the dominant set —
 //! the raw data behind experiments E5 and E6 (Lemmas 5.2 and 5.3).
 
-use nonfifo_channel::{Channel, ProbabilisticChannel};
+use nonfifo_channel::{Channel, ChannelIntrospect, ProbabilisticChannel};
 use nonfifo_ioa::{Dir, Event, Header, Message, SpecMonitor, SpecViolation};
 use nonfifo_protocols::{DataLink, GhostInfo};
 use std::collections::BTreeMap;

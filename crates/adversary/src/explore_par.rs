@@ -40,8 +40,11 @@ use crate::explore::{apply, enabled_actions, state_key, to_step, ExploreConfig, 
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
 use nonfifo_protocols::DataLink;
+use nonfifo_telemetry::{Counter, Histogram, Registry, TraceSink};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Visited-set shards: the key's low bits pick the shard. Sharding keeps
 /// the per-level merge cache-friendly and lets `reserve` stay incremental;
@@ -77,9 +80,59 @@ struct Candidate {
 /// let outcome = ParallelExplorer::new(2).explore(&AlternatingBit::new(), &ExploreConfig::default());
 /// assert!(outcome.is_counterexample());
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelExplorer {
     threads: usize,
+    telemetry: Option<ExploreTelemetry>,
+}
+
+/// Pre-bound metric handles for the explorer. Recording is relaxed atomics
+/// on shared cells, so worker threads update them lock-free; nothing here
+/// is ever read back into the search, keeping reports byte-identical with
+/// telemetry on or off.
+#[derive(Debug, Clone)]
+struct ExploreTelemetry {
+    registry: Arc<Registry>,
+    trace: Option<Arc<TraceSink>>,
+    /// Frontier nodes expanded (worker-side).
+    expansions: Counter,
+    /// Successors generated across all levels (worker-side).
+    candidates: Counter,
+    /// Successors rejected as already-visited: frozen prior-level hits in
+    /// workers plus same-level duplicates caught by the sorted merge.
+    dedup_hits: Counter,
+    /// Unique states admitted to the visited set.
+    states: Counter,
+    /// Frontier width, one observation per depth level.
+    frontier_width: Histogram,
+}
+
+impl ExploreTelemetry {
+    fn new(registry: Arc<Registry>, trace: Option<Arc<TraceSink>>) -> Self {
+        ExploreTelemetry {
+            expansions: registry.counter("explore.expansions"),
+            candidates: registry.counter("explore.candidates"),
+            dedup_hits: registry.counter("explore.dedup_hits"),
+            states: registry.counter("explore.states"),
+            frontier_width: registry.histogram("explore.frontier_width"),
+            registry,
+            trace,
+        }
+    }
+
+    /// End-of-run derived metrics: visited-set shard occupancy (balance of
+    /// the `key % SHARDS` split) and overall throughput.
+    fn finalize(&self, shards: &[HashSet<u64>], elapsed_secs: f64) {
+        let occupancy = self.registry.histogram("explore.shard_occupancy");
+        for shard in shards {
+            occupancy.record(shard.len() as u64);
+        }
+        let states: usize = shards.iter().map(HashSet::len).sum();
+        if elapsed_secs > 0.0 {
+            self.registry
+                .set_value("explore.states_per_sec", states as f64 / elapsed_secs);
+        }
+    }
 }
 
 impl ParallelExplorer {
@@ -91,7 +144,24 @@ impl ParallelExplorer {
         } else {
             threads
         };
-        ParallelExplorer { threads }
+        ParallelExplorer {
+            threads,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a metrics registry (and optionally a trace sink) that every
+    /// subsequent [`explore`](ParallelExplorer::explore) call records into:
+    /// states/candidates/dedup counters, per-depth frontier widths, shard
+    /// occupancy, throughput, and per-level spans. Telemetry never feeds
+    /// back into the search — outcomes stay byte-identical.
+    pub fn with_telemetry(
+        mut self,
+        registry: Arc<Registry>,
+        trace: Option<Arc<TraceSink>>,
+    ) -> Self {
+        self.telemetry = Some(ExploreTelemetry::new(registry, trace));
+        self
     }
 
     /// The worker count this explorer will use.
@@ -103,22 +173,56 @@ impl ParallelExplorer {
     /// [`explore`](crate::explore()): shortest counterexample, certificate,
     /// or truncation — and the result is identical for every thread count.
     pub fn explore(&self, proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
+        let started = Instant::now();
+        let mut shards: Vec<HashSet<u64>> = (0..SHARDS).map(|_| HashSet::new()).collect();
+        let outcome = self.run(proto, cfg, &mut shards);
+        if let Some(tel) = &self.telemetry {
+            tel.finalize(&shards, started.elapsed().as_secs_f64());
+            tel.registry
+                .gauge("explore.threads")
+                .set(self.threads as u64);
+        }
+        outcome
+    }
+
+    fn run(
+        &self,
+        proto: &dyn DataLink,
+        cfg: &ExploreConfig,
+        shards: &mut [HashSet<u64>],
+    ) -> ExploreOutcome {
         let mut root = System::new(proto);
         root.disable_event_log();
         let root_key = state_key(&root);
-        let mut shards: Vec<HashSet<u64>> = (0..SHARDS).map(|_| HashSet::new()).collect();
         shards[shard_of(root_key)].insert(root_key);
         let mut states = 1usize;
+        let tel = self.telemetry.as_ref();
+        if let Some(t) = tel {
+            t.states.inc();
+        }
         let mut frontier = vec![Node {
             sys: root,
             path: Vec::new(),
         }];
 
-        for _depth in 0..cfg.max_depth {
+        for depth in 0..cfg.max_depth {
             if frontier.is_empty() {
                 break;
             }
-            let (mut violations, mut candidates) = self.expand_level(&frontier, &shards, cfg);
+            let _level_span = tel.and_then(|t| t.trace.as_deref()).map(|trace| {
+                trace.span_with_args(
+                    "explore",
+                    &format!("level {depth}"),
+                    vec![
+                        ("depth".to_string(), depth as u64),
+                        ("frontier".to_string(), frontier.len() as u64),
+                    ],
+                )
+            });
+            if let Some(t) = tel {
+                t.frontier_width.record(frontier.len() as u64);
+            }
+            let (mut violations, mut candidates) = self.expand_level(&frontier, shards, cfg);
 
             if !violations.is_empty() {
                 violations.sort_unstable();
@@ -132,6 +236,9 @@ impl ParallelExplorer {
             for c in candidates {
                 if shards[shard_of(c.key)].insert(c.key) {
                     states += 1;
+                    if let Some(t) = tel {
+                        t.states.inc();
+                    }
                     if states >= cfg.max_states {
                         return ExploreOutcome::Truncated { states };
                     }
@@ -139,6 +246,8 @@ impl ParallelExplorer {
                         sys: c.sys,
                         path: c.path,
                     });
+                } else if let Some(t) = tel {
+                    t.dedup_hits.inc();
                 }
             }
             frontier = next;
@@ -156,11 +265,12 @@ impl ParallelExplorer {
         cfg: &ExploreConfig,
     ) -> (Vec<Vec<ScheduleStep>>, Vec<Candidate>) {
         let workers = self.threads.min(frontier.len().div_ceil(CHUNK)).max(1);
+        let tel = self.telemetry.as_ref();
         if workers == 1 {
             let mut violations = Vec::new();
             let mut candidates = Vec::new();
             for node in frontier {
-                expand_node(node, shards, cfg, &mut violations, &mut candidates);
+                expand_node(node, shards, cfg, tel, &mut violations, &mut candidates);
             }
             return (violations, candidates);
         }
@@ -178,7 +288,14 @@ impl ParallelExplorer {
                             }
                             let end = (start + CHUNK).min(frontier.len());
                             for node in &frontier[start..end] {
-                                expand_node(node, shards, cfg, &mut violations, &mut candidates);
+                                expand_node(
+                                    node,
+                                    shards,
+                                    cfg,
+                                    tel,
+                                    &mut violations,
+                                    &mut candidates,
+                                );
                             }
                         }
                         (violations, candidates)
@@ -205,9 +322,13 @@ fn expand_node(
     node: &Node,
     shards: &[HashSet<u64>],
     cfg: &ExploreConfig,
+    tel: Option<&ExploreTelemetry>,
     violations: &mut Vec<Vec<ScheduleStep>>,
     candidates: &mut Vec<Candidate>,
 ) {
+    if let Some(t) = tel {
+        t.expansions.inc();
+    }
     for action in enabled_actions(&node.sys, cfg) {
         let mut next = node.sys.clone();
         apply(&mut next, action);
@@ -221,11 +342,16 @@ fn expand_node(
         // Frozen prior-level membership check; same-level duplicates are
         // resolved in the sorted merge.
         if !shards[shard_of(key)].contains(&key) {
+            if let Some(t) = tel {
+                t.candidates.inc();
+            }
             candidates.push(Candidate {
                 key,
                 path,
                 sys: next,
             });
+        } else if let Some(t) = tel {
+            t.dedup_hits.inc();
         }
     }
 }
@@ -366,5 +492,44 @@ mod tests {
     fn zero_threads_means_available_parallelism() {
         assert!(ParallelExplorer::new(0).threads() >= 1);
         assert_eq!(ParallelExplorer::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn telemetry_observes_without_perturbing() {
+        let cfg = ExploreConfig::default();
+        let plain = ParallelExplorer::new(4)
+            .explore(&SequenceNumber::new(), &cfg)
+            .report();
+
+        let registry = Arc::new(Registry::new());
+        let trace = Arc::new(TraceSink::new());
+        let instrumented = ParallelExplorer::new(4)
+            .with_telemetry(Arc::clone(&registry), Some(Arc::clone(&trace)))
+            .explore(&SequenceNumber::new(), &cfg)
+            .report();
+        assert_eq!(plain, instrumented, "telemetry must not change the outcome");
+
+        let snap = registry.snapshot();
+        let states = snap.counters["explore.states"];
+        let candidates = snap.counters["explore.candidates"];
+        assert!(states > 1, "visited more than the root");
+        assert!(
+            candidates >= states - 1,
+            "every non-root state was a candidate"
+        );
+        assert_eq!(
+            snap.histograms["explore.shard_occupancy"].count, SHARDS as u64,
+            "one occupancy sample per shard"
+        );
+        assert_eq!(
+            snap.histograms["explore.shard_occupancy"].sum, states,
+            "shard occupancy sums to the unique-state count"
+        );
+        assert!(
+            snap.histograms["explore.frontier_width"].count >= 1,
+            "at least one level was recorded"
+        );
+        assert!(snap.values.contains_key("explore.states_per_sec"));
+        assert!(!trace.is_empty(), "per-level spans were recorded");
     }
 }

@@ -28,7 +28,7 @@
 use crate::oracle::BoundnessOracle;
 use crate::system::{Disposition, System};
 use crate::{FalsifyOutcome, SurvivalReport, ViolationReport};
-use nonfifo_channel::Channel;
+use nonfifo_channel::{Channel, ChannelIntrospect};
 use nonfifo_ioa::{Dir, Packet};
 use nonfifo_protocols::DataLink;
 use std::collections::BTreeMap;

@@ -131,7 +131,7 @@ impl BoundnessOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nonfifo_channel::Channel;
+    use nonfifo_channel::ChannelIntrospect;
     use nonfifo_ioa::Header;
     use nonfifo_protocols::{AfekFlush, AlternatingBit, SequenceNumber};
 

@@ -1,6 +1,8 @@
 //! The composed closed system under adversary control.
 
-use nonfifo_channel::{corrupt_packet, AdversarialChannel, Channel};
+use nonfifo_channel::{
+    corrupt_packet, AdversarialChannel, Channel, ChannelIntrospect, FaultObserver,
+};
 use nonfifo_ioa::{CopyId, Dir, Event, Execution, Header, Message, Packet, SpecViolation};
 use nonfifo_ioa::{Counts, SpecMonitor};
 use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};

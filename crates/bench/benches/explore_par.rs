@@ -9,6 +9,8 @@
 use nonfifo_adversary::{explore, ExploreConfig, ExploreOutcome, ParallelExplorer};
 use nonfifo_bench::harness::Group;
 use nonfifo_protocols::SequenceNumber;
+use nonfifo_telemetry::Registry;
+use std::sync::Arc;
 use std::time::Instant;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -64,4 +66,22 @@ fn main() {
             rate / seq
         );
     }
+
+    // Telemetry overhead: the same workload with every counter, histogram,
+    // and span hook live. The recording path is relaxed atomics, so the
+    // target is <= 5% throughput loss (the PR's acceptance criterion).
+    println!("\n== telemetry overhead (parallel t=8, median of 3)");
+    let plain = median_rate(|| ParallelExplorer::new(8).explore(&proto, &cfg));
+    let watched = median_rate(|| {
+        ParallelExplorer::new(8)
+            .with_telemetry(Arc::new(Registry::new()), None)
+            .explore(&proto, &cfg)
+    });
+    let overhead = (plain - watched) / plain * 100.0;
+    println!("telemetry off : {plain:>10.0} states/sec");
+    println!("telemetry on  : {watched:>10.0} states/sec");
+    println!(
+        "overhead      : {overhead:>9.1}%  (target <= 5%) {}",
+        if overhead <= 5.0 { "ok" } else { "EXCEEDED" }
+    );
 }

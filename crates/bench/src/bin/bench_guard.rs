@@ -1,0 +1,88 @@
+//! `bench_guard` — the CI throughput-regression tripwire.
+//!
+//! Compares `explore.states_per_sec` between a freshly exported metrics
+//! snapshot (`nonfifo explore … --metrics-out current.json`) and the
+//! checked-in `BENCH_baseline.json`. Exits nonzero when the current rate
+//! has regressed more than the allowed fraction (default 30% — generous,
+//! because CI machines are noisy; the guard catches order-of-magnitude
+//! mistakes like an accidentally quadratic merge, not percent-level
+//! drift).
+//!
+//! ```text
+//! bench_guard <current.json> <baseline.json> [--max-regression 0.30]
+//! ```
+//!
+//! Exit codes: 0 within budget, 1 regression, 2 usage or unreadable input.
+
+use nonfifo_telemetry::MetricsSnapshot;
+use std::process::ExitCode;
+
+const RATE_METRIC: &str = "explore.states_per_sec";
+const DEFAULT_MAX_REGRESSION: f64 = 0.30;
+
+fn load_rate(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snapshot = MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    snapshot
+        .values
+        .get(RATE_METRIC)
+        .copied()
+        .filter(|rate| *rate > 0.0)
+        .ok_or_else(|| format!("{path}: no positive {RATE_METRIC} value"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--max-regression" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--max-regression needs a value".to_string())?;
+            max_regression = value
+                .parse()
+                .map_err(|_| format!("bad --max-regression {value:?}"))?;
+            if !(0.0..1.0).contains(&max_regression) {
+                return Err(format!(
+                    "--max-regression must be in [0, 1), got {max_regression}"
+                ));
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [current_path, baseline_path] = paths.as_slice() else {
+        return Err("usage: bench_guard <current.json> <baseline.json> \
+                    [--max-regression 0.30]"
+            .to_string());
+    };
+
+    let current = load_rate(current_path)?;
+    let baseline = load_rate(baseline_path)?;
+    let ratio = current / baseline;
+    let floor = 1.0 - max_regression;
+    println!("{RATE_METRIC}:");
+    println!("  baseline : {baseline:>12.0}  ({baseline_path})");
+    println!("  current  : {current:>12.0}  ({current_path})");
+    println!("  ratio    : {ratio:>12.2}  (must stay >= {floor:.2})");
+    Ok(ratio >= floor)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => {
+            println!("ok: within the regression budget");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("REGRESSION: throughput fell below the allowed floor");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

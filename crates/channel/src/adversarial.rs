@@ -1,6 +1,6 @@
 //! The fully adversarial non-FIFO channel of the lower-bound proofs.
 
-use crate::channel::{census_from_iter, BoxedChannel, Channel};
+use crate::channel::{Channel, ChannelIntrospect, FaultObserver};
 use crate::multiset::PacketMultiset;
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use std::collections::VecDeque;
@@ -241,6 +241,16 @@ impl Channel for AdversarialChannel {
         self.parked.len()
     }
 
+    fn total_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl ChannelIntrospect for AdversarialChannel {
     fn header_copies(&self, h: Header) -> usize {
         self.parked.header_copies(h)
     }
@@ -253,29 +263,14 @@ impl Channel for AdversarialChannel {
         self.parked.header_copies_older_than(h, watermark)
     }
 
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        self.parked.census_with(self.queue.iter().map(|&(p, _)| p))
+    }
+}
+
+impl FaultObserver for AdversarialChannel {
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         std::mem::take(&mut self.drops)
-    }
-
-    fn transit_census(&self) -> Vec<(Packet, usize)> {
-        census_from_iter(
-            self.parked
-                .iter()
-                .map(|(p, _)| p)
-                .chain(self.queue.iter().map(|&(p, _)| p)),
-        )
-    }
-
-    fn total_sent(&self) -> u64 {
-        self.sent
-    }
-
-    fn total_delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    fn clone_box(&self) -> BoxedChannel {
-        Box::new(self.clone())
     }
 }
 

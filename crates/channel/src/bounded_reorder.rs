@@ -7,7 +7,7 @@
 //! the reorder bound is small enough relative to their header space —
 //! experiment E9 maps that crossover.
 
-use crate::channel::{census_from_iter, BoxedChannel, Channel};
+use crate::channel::{census_from_iter, Channel, ChannelIntrospect, FaultObserver};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
@@ -139,6 +139,16 @@ impl Channel for BoundedReorderChannel {
         self.queue.len() + self.held.len()
     }
 
+    fn total_sent(&self) -> u64 {
+        self.sends
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl ChannelIntrospect for BoundedReorderChannel {
     fn header_copies(&self, h: Header) -> usize {
         self.queue.iter().filter(|(p, _)| p.header() == h).count()
             + self
@@ -165,10 +175,6 @@ impl Channel for BoundedReorderChannel {
                 .count()
     }
 
-    fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
-        Vec::new()
-    }
-
     fn transit_census(&self) -> Vec<(Packet, usize)> {
         census_from_iter(
             self.queue
@@ -177,17 +183,11 @@ impl Channel for BoundedReorderChannel {
                 .chain(self.held.iter().map(|&(_, _, p, _)| p)),
         )
     }
+}
 
-    fn total_sent(&self) -> u64 {
-        self.sends
-    }
-
-    fn total_delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    fn clone_box(&self) -> BoxedChannel {
-        Box::new(self.clone())
+impl FaultObserver for BoundedReorderChannel {
+    fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
+        Vec::new()
     }
 }
 

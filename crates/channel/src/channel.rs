@@ -1,4 +1,21 @@
 //! The physical-layer channel abstraction.
+//!
+//! The channel API is split into three traits along the lines a caller
+//! actually needs:
+//!
+//! * [`Channel`] — the minimal core: the paper's two actions plus the
+//!   simulation clock. Everything a protocol harness needs to *run*.
+//! * [`ChannelIntrospect`] — read-only views of the in-transit multiset
+//!   (per-header counts, stale populations, the census). Everything an
+//!   adversary or a telemetry layer needs to *measure*.
+//! * [`FaultObserver`] — the fault-side ledger (drops, injected sends,
+//!   active fault windows, the fault log). Everything a monitor needs to
+//!   stay *sound* under chaos.
+//!
+//! Concrete channels implement all three; [`InstrumentedChannel`] bundles
+//! them back together behind one object-safe trait (with a blanket impl) so
+//! downstream code that holds a [`BoxedChannel`] keeps the full surface
+//! without naming three traits.
 
 use crate::chaos::FaultRecord;
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
@@ -8,9 +25,8 @@ use std::fmt;
 ///
 /// The interface mirrors the paper's two actions — `send_pkt` is
 /// [`send`](Channel::send), `receive_pkt` is one successful
-/// [`poll_deliver`](Channel::poll_deliver) — plus simulation plumbing:
-/// a [`tick`](Channel::tick) clock, introspection of the in-transit
-/// multiset, and drop draining so the harness can log `DropPkt` events.
+/// [`poll_deliver`](Channel::poll_deliver) — plus a
+/// [`tick`](Channel::tick) clock and the aggregate counters.
 ///
 /// Implementations guarantee PL1 by construction: every copy id is minted by
 /// exactly one `send` and yielded by at most one `poll_deliver` (or one
@@ -34,6 +50,19 @@ pub trait Channel: fmt::Debug {
     /// dropped, and not yet queued for delivery).
     fn in_transit_len(&self) -> usize;
 
+    /// Total `send_pkt` actions so far.
+    fn total_sent(&self) -> u64;
+
+    /// Total `receive_pkt` actions so far.
+    fn total_delivered(&self) -> u64;
+}
+
+/// Read-only introspection of the in-transit multiset.
+///
+/// The adversaries steer by these counts (stale populations, dominant
+/// packets) and the telemetry layer reads them as the single source of
+/// truth for its gauges — they are views, never mutations.
+pub trait ChannelIntrospect: Channel {
     /// Copies in transit with header `h`.
     fn header_copies(&self, h: Header) -> usize;
 
@@ -46,6 +75,22 @@ pub trait Channel: fmt::Debug {
     /// oracle-assisted protocol reconstructions.
     fn header_copies_older_than(&self, h: Header, watermark: CopyId) -> usize;
 
+    /// Per-packet-value counts of copies currently inside the channel
+    /// (delayed *or* queued for delivery), for stall diagnostics. Unlike
+    /// [`in_transit_len`](Channel::in_transit_len) this sweeps every
+    /// internal buffer. Default: empty (opaque channel).
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        Vec::new()
+    }
+}
+
+/// The fault-side ledger of a channel.
+///
+/// Lossy and chaotic channels decide to drop or inject copies on their own;
+/// the harness drains those decisions each step so every fault becomes a
+/// logged event (`DropPkt` / declared `SendPkt`) and the PL1 monitor stays
+/// sound. Fault-free channels take every default.
+pub trait FaultObserver: Channel {
     /// Copies the channel has decided to drop since the last call; the
     /// harness logs these as `DropPkt` events.
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)>;
@@ -56,14 +101,6 @@ pub trait Channel: fmt::Debug {
     /// monitor sound under chaos: an injected fault is a declared send,
     /// distinguishable from a protocol bug. Default: none.
     fn drain_injected_sends(&mut self) -> Vec<(Packet, CopyId)> {
-        Vec::new()
-    }
-
-    /// Per-packet-value counts of copies currently inside the channel
-    /// (delayed *or* queued for delivery), for stall diagnostics. Unlike
-    /// [`in_transit_len`](Channel::in_transit_len) this sweeps every
-    /// internal buffer. Default: empty (opaque channel).
-    fn transit_census(&self) -> Vec<(Packet, usize)> {
         Vec::new()
     }
 
@@ -78,21 +115,32 @@ pub trait Channel: fmt::Debug {
     fn fault_log(&self) -> Vec<FaultRecord> {
         Vec::new()
     }
+}
 
-    /// Total `send_pkt` actions so far.
-    fn total_sent(&self) -> u64;
-
-    /// Total `receive_pkt` actions so far.
-    fn total_delivered(&self) -> u64;
-
-    /// Clones the channel behind a box (channels are held as trait objects
-    /// by the simulation engine and must be forkable for the boundness
-    /// oracle).
+/// The full channel surface behind one object-safe trait.
+///
+/// The simulation engine holds channels as trait objects and forks them for
+/// the boundness oracle, so the bundle adds [`clone_box`] on top of the
+/// three capability traits. The blanket impl covers every `Clone` channel —
+/// concrete implementations never write `clone_box` by hand.
+///
+/// [`clone_box`]: InstrumentedChannel::clone_box
+pub trait InstrumentedChannel: ChannelIntrospect + FaultObserver {
+    /// Clones the channel behind a box.
     fn clone_box(&self) -> BoxedChannel;
 }
 
+impl<T> InstrumentedChannel for T
+where
+    T: ChannelIntrospect + FaultObserver + Clone + 'static,
+{
+    fn clone_box(&self) -> BoxedChannel {
+        Box::new(self.clone())
+    }
+}
+
 /// Folds an iterator of in-transit packet values into the deterministic
-/// per-value histogram that [`Channel::transit_census`] returns.
+/// per-value histogram that [`ChannelIntrospect::transit_census`] returns.
 pub(crate) fn census_from_iter(packets: impl Iterator<Item = Packet>) -> Vec<(Packet, usize)> {
     let mut counts = std::collections::BTreeMap::new();
     for p in packets {
@@ -101,8 +149,9 @@ pub(crate) fn census_from_iter(packets: impl Iterator<Item = Packet>) -> Vec<(Pa
     counts.into_iter().collect()
 }
 
-/// A boxed channel trait object.
-pub type BoxedChannel = Box<dyn Channel>;
+/// A boxed channel trait object carrying the full (core + introspect +
+/// fault) surface.
+pub type BoxedChannel = Box<dyn InstrumentedChannel>;
 
 impl Clone for BoxedChannel {
     fn clone(&self) -> Self {

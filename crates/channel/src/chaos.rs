@@ -33,8 +33,9 @@
 //! | partition | `partition S E` | every send in tick window `[S, E)` is dropped; healing is implicit at `E` |
 //! | reorder storm | `storm P N` | with probability `P` per tick, deliveries buffer for `N` ticks and release in reverse |
 
-use crate::channel::{census_from_iter, BoxedChannel, Channel};
+use crate::channel::{BoxedChannel, Channel, ChannelIntrospect, FaultObserver};
 use crate::corrupting::corrupt_packet;
+use crate::multiset::PacketMultiset;
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
@@ -345,7 +346,7 @@ impl fmt::Display for FaultRecord {
 /// # Example
 ///
 /// ```
-/// use nonfifo_channel::{ChaosChannel, Channel, FaultPlan, FifoChannel};
+/// use nonfifo_channel::{ChaosChannel, Channel, FaultObserver, FaultPlan, FifoChannel};
 /// use nonfifo_ioa::{Dir, Header, Packet};
 ///
 /// let plan = FaultPlan::parse("dup 1.0").unwrap();
@@ -471,6 +472,18 @@ impl ChaosChannel {
         }
         copy
     }
+
+    /// The copies held by the chaos layer itself (injected twins awaiting
+    /// delivery plus storm captures), as a multiset — the single source all
+    /// introspection counts read from. Chaos copy ids never collide with the
+    /// inner channel's, so the two buffers always merge cleanly.
+    fn overlay(&self) -> PacketMultiset {
+        let mut ms = PacketMultiset::new();
+        for &(p, c) in self.ready.iter().chain(self.storm_buffer.iter()) {
+            ms.insert(p, c);
+        }
+        ms
+    }
 }
 
 impl Channel for ChaosChannel {
@@ -570,24 +583,22 @@ impl Channel for ChaosChannel {
         self.inner.in_transit_len() + self.ready.len() + self.storm_buffer.len()
     }
 
+    fn total_sent(&self) -> u64 {
+        self.sent + self.injected
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl ChannelIntrospect for ChaosChannel {
     fn header_copies(&self, h: Header) -> usize {
-        self.inner.header_copies(h)
-            + self
-                .ready
-                .iter()
-                .chain(self.storm_buffer.iter())
-                .filter(|(p, _)| p.header() == h)
-                .count()
+        self.inner.header_copies(h) + self.overlay().header_copies(h)
     }
 
     fn packet_copies(&self, p: Packet) -> usize {
-        self.inner.packet_copies(p)
-            + self
-                .ready
-                .iter()
-                .chain(self.storm_buffer.iter())
-                .filter(|(q, _)| *q == p)
-                .count()
+        self.inner.packet_copies(p) + self.overlay().packet_copies(p)
     }
 
     fn header_copies_older_than(&self, h: Header, watermark: CopyId) -> usize {
@@ -596,14 +607,20 @@ impl Channel for ChaosChannel {
         // estimate can only overcount via the inner channel, which is the
         // safe direction for ghost consumers (they flush more, not less).
         self.inner.header_copies_older_than(h, watermark)
-            + self
-                .ready
-                .iter()
-                .chain(self.storm_buffer.iter())
-                .filter(|(p, c)| p.header() == h && *c < watermark)
-                .count()
+            + self.overlay().header_copies_older_than(h, watermark)
     }
 
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        self.overlay().census_with(
+            self.inner
+                .transit_census()
+                .into_iter()
+                .flat_map(|(p, n)| std::iter::repeat_n(p, n)),
+        )
+    }
+}
+
+impl FaultObserver for ChaosChannel {
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         let mut drops = self.inner.drain_drops();
         drops.append(&mut self.pending_drops);
@@ -612,21 +629,6 @@ impl Channel for ChaosChannel {
 
     fn drain_injected_sends(&mut self) -> Vec<(Packet, CopyId)> {
         std::mem::take(&mut self.injected_sends)
-    }
-
-    fn transit_census(&self) -> Vec<(Packet, usize)> {
-        census_from_iter(
-            self.inner
-                .transit_census()
-                .into_iter()
-                .flat_map(|(p, n)| std::iter::repeat_n(p, n))
-                .chain(
-                    self.ready
-                        .iter()
-                        .chain(self.storm_buffer.iter())
-                        .map(|&(p, _)| p),
-                ),
-        )
     }
 
     fn active_faults(&self) -> Vec<String> {
@@ -658,18 +660,6 @@ impl Channel for ChaosChannel {
 
     fn fault_log(&self) -> Vec<FaultRecord> {
         self.log.clone()
-    }
-
-    fn total_sent(&self) -> u64 {
-        self.sent + self.injected
-    }
-
-    fn total_delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    fn clone_box(&self) -> BoxedChannel {
-        Box::new(self.clone())
     }
 }
 

@@ -6,7 +6,7 @@
 //! that the [`SpecMonitor`](nonfifo_ioa::SpecMonitor) and the offline PL1
 //! checker actually catch corruption rather than assuming it away.
 
-use crate::channel::{census_from_iter, BoxedChannel, Channel};
+use crate::channel::{census_from_iter, Channel, ChannelIntrospect, FaultObserver};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
@@ -100,6 +100,16 @@ impl Channel for CorruptingChannel {
         self.queue.len()
     }
 
+    fn total_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl ChannelIntrospect for CorruptingChannel {
     fn header_copies(&self, h: Header) -> usize {
         self.queue.iter().filter(|(p, _)| p.header() == h).count()
     }
@@ -115,24 +125,14 @@ impl Channel for CorruptingChannel {
             .count()
     }
 
-    fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
-        Vec::new()
-    }
-
     fn transit_census(&self) -> Vec<(Packet, usize)> {
         census_from_iter(self.queue.iter().map(|&(p, _)| p))
     }
+}
 
-    fn total_sent(&self) -> u64 {
-        self.sent
-    }
-
-    fn total_delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    fn clone_box(&self) -> BoxedChannel {
-        Box::new(self.clone())
+impl FaultObserver for CorruptingChannel {
+    fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
+        Vec::new()
     }
 }
 

@@ -1,7 +1,7 @@
 //! A reliable FIFO channel — the service the data-link layer provides,
 //! used here as a reference substrate and for latency modelling.
 
-use crate::channel::{census_from_iter, BoxedChannel, Channel};
+use crate::channel::{census_from_iter, Channel, ChannelIntrospect, FaultObserver};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use std::collections::VecDeque;
 
@@ -88,6 +88,16 @@ impl Channel for FifoChannel {
         self.queue.len()
     }
 
+    fn total_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl ChannelIntrospect for FifoChannel {
     fn header_copies(&self, h: Header) -> usize {
         self.queue
             .iter()
@@ -106,24 +116,14 @@ impl Channel for FifoChannel {
             .count()
     }
 
-    fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
-        Vec::new()
-    }
-
     fn transit_census(&self) -> Vec<(Packet, usize)> {
         census_from_iter(self.queue.iter().map(|&(p, _, _)| p))
     }
+}
 
-    fn total_sent(&self) -> u64 {
-        self.sent
-    }
-
-    fn total_delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    fn clone_box(&self) -> BoxedChannel {
-        Box::new(self.clone())
+impl FaultObserver for FifoChannel {
+    fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
+        Vec::new()
     }
 }
 

@@ -1,7 +1,7 @@
 //! A FIFO channel with i.i.d. packet loss — the classic domain of the
 //! alternating-bit protocol [BSW69].
 
-use crate::channel::{census_from_iter, BoxedChannel, Channel};
+use crate::channel::{census_from_iter, Channel, ChannelIntrospect, FaultObserver};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
@@ -97,6 +97,16 @@ impl Channel for LossyFifoChannel {
         self.queue.len()
     }
 
+    fn total_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl ChannelIntrospect for LossyFifoChannel {
     fn header_copies(&self, h: Header) -> usize {
         self.queue.iter().filter(|(p, _)| p.header() == h).count()
     }
@@ -112,24 +122,14 @@ impl Channel for LossyFifoChannel {
             .count()
     }
 
-    fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
-        std::mem::take(&mut self.drops)
-    }
-
     fn transit_census(&self) -> Vec<(Packet, usize)> {
         census_from_iter(self.queue.iter().map(|&(p, _)| p))
     }
+}
 
-    fn total_sent(&self) -> u64 {
-        self.sent
-    }
-
-    fn total_delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    fn clone_box(&self) -> BoxedChannel {
-        Box::new(self.clone())
+impl FaultObserver for LossyFifoChannel {
+    fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
+        std::mem::take(&mut self.drops)
     }
 }
 

@@ -158,6 +158,20 @@ impl PacketMultiset {
         self.by_packet.iter().map(|(&p, v)| (p, v.len())).collect()
     }
 
+    /// The [`histogram`](PacketMultiset::histogram) extended with copies
+    /// living outside the multiset (delivery queues, storm buffers), in
+    /// packet order. This is the single census path for every channel that
+    /// keeps its delayed pool in a `PacketMultiset` — the telemetry layer
+    /// reads the same counts the stall diagnostics print.
+    pub fn census_with(&self, extra: impl Iterator<Item = Packet>) -> Vec<(Packet, usize)> {
+        let mut counts: BTreeMap<Packet, usize> =
+            self.by_packet.iter().map(|(&p, v)| (p, v.len())).collect();
+        for p in extra {
+            *counts.entry(p).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// Removes every copy, returning them in mint order.
     pub fn drain_all(&mut self) -> Vec<(Packet, CopyId)> {
         let all: Vec<_> = self.iter().collect();

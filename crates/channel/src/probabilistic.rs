@@ -1,6 +1,6 @@
 //! The probabilistic physical layer of §5 (property PL2p).
 
-use crate::channel::{census_from_iter, BoxedChannel, Channel};
+use crate::channel::{Channel, ChannelIntrospect, FaultObserver};
 use crate::multiset::PacketMultiset;
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use nonfifo_rng::StdRng;
@@ -147,6 +147,16 @@ impl Channel for ProbabilisticChannel {
         self.delayed.len()
     }
 
+    fn total_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl ChannelIntrospect for ProbabilisticChannel {
     fn header_copies(&self, h: Header) -> usize {
         self.delayed.header_copies(h)
     }
@@ -159,29 +169,14 @@ impl Channel for ProbabilisticChannel {
         self.delayed.header_copies_older_than(h, watermark)
     }
 
+    fn transit_census(&self) -> Vec<(Packet, usize)> {
+        self.delayed.census_with(self.queue.iter().map(|&(p, _)| p))
+    }
+}
+
+impl FaultObserver for ProbabilisticChannel {
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         Vec::new()
-    }
-
-    fn transit_census(&self) -> Vec<(Packet, usize)> {
-        census_from_iter(
-            self.delayed
-                .iter()
-                .map(|(p, _)| p)
-                .chain(self.queue.iter().map(|&(p, _)| p)),
-        )
-    }
-
-    fn total_sent(&self) -> u64 {
-        self.sent
-    }
-
-    fn total_delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    fn clone_box(&self) -> BoxedChannel {
-        Box::new(self.clone())
     }
 }
 

@@ -90,6 +90,62 @@ impl Args {
     }
 }
 
+/// Options shared by every run-producing subcommand (`simulate`, `chaos`,
+/// `explore`): the determinism knobs and the telemetry export paths,
+/// parsed and range-checked in one place so no channel constructor or
+/// file writer ever sees an unvalidated value (and none of them panic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonOpts {
+    /// RNG seed for seeded substrates (`--seed`, default 0).
+    pub seed: u64,
+    /// Delay probability for PL2p channels (`--q`, default 0.3, in \[0, 1\]).
+    pub q: f64,
+    /// Reorder distance bound (`--bound`, default 4, at least 1).
+    pub bound: u64,
+    /// Where to write the metrics snapshot JSON (`--metrics-out FILE`).
+    pub metrics_out: Option<String>,
+    /// Where to write the Chrome trace JSON (`--trace-out FILE`).
+    pub trace_out: Option<String>,
+    /// Print the human-readable metrics summary after the run (`--metrics`).
+    pub metrics_summary: bool,
+}
+
+impl CommonOpts {
+    /// Extracts and validates the common options.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unparsable values, `--q` outside `[0, 1]`, or `--bound 0`.
+    pub fn from_args(args: &Args) -> Result<CommonOpts, ArgsError> {
+        let q: f64 = args.option_or("q", 0.3)?;
+        if !(0.0..=1.0).contains(&q) {
+            return Err(ArgsError(format!("--q must be in [0, 1], got {q}")));
+        }
+        let bound: u64 = args.option_or("bound", 4)?;
+        if bound < 1 {
+            return Err(ArgsError("--bound must be at least 1".into()));
+        }
+        Ok(CommonOpts {
+            seed: args.option_or("seed", 0)?,
+            q,
+            bound,
+            metrics_out: args.option("metrics-out").map(str::to_string),
+            trace_out: args.option("trace-out").map(str::to_string),
+            metrics_summary: args.flag("metrics"),
+        })
+    }
+
+    /// True if any metrics sink was requested (file export or summary).
+    pub fn wants_metrics(&self) -> bool {
+        self.metrics_out.is_some() || self.metrics_summary
+    }
+
+    /// True if a trace sink was requested.
+    pub fn wants_trace(&self) -> bool {
+        self.trace_out.is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +179,51 @@ mod tests {
     fn empty_input_is_fine() {
         let a = Args::parse(Vec::<String>::new(), &[]).unwrap();
         assert_eq!(a.positional(0), None);
+    }
+
+    #[test]
+    fn common_opts_defaults_and_overrides() {
+        let a = Args::parse(Vec::<String>::new(), &[]).unwrap();
+        let opts = CommonOpts::from_args(&a).unwrap();
+        assert_eq!(opts.seed, 0);
+        assert_eq!(opts.bound, 4);
+        assert!((opts.q - 0.3).abs() < 1e-12);
+        assert!(!opts.wants_metrics());
+        assert!(!opts.wants_trace());
+
+        let a = Args::parse(
+            [
+                "--seed",
+                "7",
+                "--q",
+                "0.5",
+                "--bound",
+                "2",
+                "--metrics-out",
+                "m.json",
+                "--trace-out",
+                "t.json",
+                "--metrics",
+            ],
+            &["metrics"],
+        )
+        .unwrap();
+        let opts = CommonOpts::from_args(&a).unwrap();
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.bound, 2);
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert!(opts.metrics_summary);
+        assert!(opts.wants_metrics());
+        assert!(opts.wants_trace());
+    }
+
+    #[test]
+    fn common_opts_reject_out_of_range_values() {
+        for raw in [&["--q", "1.5"][..], &["--q", "-0.1"], &["--bound", "0"]] {
+            let a = Args::parse(raw.iter().map(|s| s.to_string()), &[]).unwrap();
+            let err = CommonOpts::from_args(&a).unwrap_err();
+            assert!(err.0.contains(&raw[0][2..]), "{err:?}");
+        }
     }
 }

@@ -3,12 +3,15 @@
 //! ```text
 //! nonfifo simulate <protocol> <channel> [--messages N] [--seed S] [--q Q]
 //!                  [--loss L] [--bound B] [--spread D] [--payloads]
+//!                  [--metrics] [--metrics-out FILE] [--trace-out FILE]
 //! nonfifo chaos    <protocol> --plan FILE [--seed S] [--messages N]
 //!                  [--crash-tx S] [--crash-rx S] [--retry] [--dump FILE]
+//!                  [--metrics] [--metrics-out FILE] [--trace-out FILE]
 //! nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
 //! nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
 //!                  [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
 //!                  [--parallel] [--threads N] [--differential] [--no-shrink]
+//!                  [--metrics] [--metrics-out FILE] [--trace-out FILE]
 //! nonfifo schedule <protocol> <attack-file> [--diagram]
 //! nonfifo recheck  <trace-file> [--diagram]
 //! nonfifo report   [--exp eN]
@@ -19,17 +22,24 @@
 //! mistake a truncated search for a certificate: 0 = exhaustive certificate,
 //! 2 = counterexample found, 3 = state budget exhausted (inconclusive),
 //! 4 = differential mismatch between the sequential and parallel engines.
+//!
+//! Telemetry flags are shared by `simulate`, `chaos`, and `explore`:
+//! `--metrics` prints a human summary, `--metrics-out FILE` writes the
+//! schema-versioned metrics JSON, and `--trace-out FILE` writes a Chrome
+//! `trace_events` document. Telemetry never changes a run's outcome.
 
 mod args;
 mod registry;
 
-use args::{Args, ArgsError};
+use args::{Args, ArgsError, CommonOpts};
 use nonfifo_adversary::{
     explore, shrink, Discipline, ExploreConfig, ExploreOutcome, FalsifyOutcome,
     GreedyReplayAdversary, MfConfig, MfFalsifier, ParallelExplorer, PfConfig, PfFalsifier,
 };
 use nonfifo_core::{CrashEvent, CrashMode, SimConfig, SimError, Station};
+use nonfifo_telemetry::{Registry, TraceSink};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 nonfifo — executable reproduction of Mansour & Schieber (PODC 1989)
@@ -37,20 +47,27 @@ nonfifo — executable reproduction of Mansour & Schieber (PODC 1989)
 usage:
   nonfifo simulate <protocol> <channel> [--messages N] [--seed S] [--q Q]
                    [--loss L] [--bound B] [--spread D] [--payloads]
+                   [--metrics] [--metrics-out FILE] [--trace-out FILE]
   nonfifo chaos    <protocol> --plan FILE [--seed S] [--messages N]
                    [--crash-tx S] [--crash-rx S] [--restore] [--retry]
                    [--backoff B] [--budget B] [--faults] [--dump FILE]
+                   [--metrics] [--metrics-out FILE] [--trace-out FILE]
   nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
   nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
                    [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
                    [--parallel] [--threads N] [--differential] [--no-shrink]
+                   [--metrics] [--metrics-out FILE] [--trace-out FILE]
   nonfifo schedule <protocol> <attack-file> [--diagram]
   nonfifo recheck  <trace-file> [--diagram]
-  nonfifo report   [--exp e1..e11,e13]
+  nonfifo report   [--exp e1..e11,e13,e14]
   nonfifo list
 
 explore exit codes: 0 certificate, 2 counterexample, 3 inconclusive
 (state budget), 4 differential mismatch.
+
+telemetry: --metrics prints a summary table; --metrics-out writes the
+schema-versioned metrics JSON; --trace-out writes a Chrome trace_events
+JSON (load in chrome://tracing or Perfetto).
 ";
 
 fn main() -> ExitCode {
@@ -77,6 +94,7 @@ fn dispatch(raw: Vec<String>) -> Result<ExitCode, ArgsError> {
             "parallel",
             "differential",
             "no-shrink",
+            "metrics",
         ],
     )?;
     match args.positional(0) {
@@ -107,6 +125,41 @@ fn explore_exit_code(outcome: &ExploreOutcome) -> u8 {
 
 const EXIT_DIFFERENTIAL_MISMATCH: u8 = 4;
 
+/// Builds the telemetry sinks the common options asked for. A registry is
+/// created whenever any sink is requested (runs attach metrics and trace
+/// through one handle); the trace sink only when `--trace-out` was given.
+fn telemetry_sinks(opts: &CommonOpts) -> (Option<Arc<Registry>>, Option<Arc<TraceSink>>) {
+    let registry = (opts.wants_metrics() || opts.wants_trace()).then(|| Arc::new(Registry::new()));
+    let trace = opts.wants_trace().then(|| Arc::new(TraceSink::new()));
+    (registry, trace)
+}
+
+/// Prints and/or writes whatever telemetry the run collected, as requested
+/// by `--metrics`, `--metrics-out`, and `--trace-out`.
+fn export_telemetry(
+    opts: &CommonOpts,
+    registry: Option<&Arc<Registry>>,
+    trace: Option<&Arc<TraceSink>>,
+) -> Result<(), ArgsError> {
+    if let Some(registry) = registry {
+        let snapshot = registry.snapshot();
+        if opts.metrics_summary {
+            println!("\nmetrics:\n{}", snapshot.summary());
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, snapshot.to_json())
+                .map_err(|e| ArgsError(format!("cannot write {path}: {e}")))?;
+            println!("metrics written to {path}");
+        }
+    }
+    if let (Some(trace), Some(path)) = (trace, &opts.trace_out) {
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| ArgsError(format!("cannot write {path}: {e}")))?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_list() {
     println!("protocols:");
     for (name, desc) in registry::PROTOCOLS {
@@ -129,7 +182,12 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgsError> {
         .positional(2)
         .ok_or_else(|| ArgsError("simulate needs a channel".into()))?;
     let messages: u64 = args.option_or("messages", 100)?;
-    let mut sim = registry::simulation(proto, channel, args)?;
+    let opts = CommonOpts::from_args(args)?;
+    let mut sim = registry::simulation(proto, channel, args, &opts)?;
+    let (metrics, trace) = telemetry_sinks(&opts);
+    if let Some(registry) = &metrics {
+        sim.attach_telemetry(Arc::clone(registry), trace.clone());
+    }
     let cfg = SimConfig {
         payloads: args.flag("payloads"),
         ..SimConfig::default()
@@ -155,7 +213,7 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgsError> {
                     }
                 );
             }
-            Ok(())
+            export_telemetry(&opts, metrics.as_ref(), trace.as_ref())
         }
         Err(e) => Err(ArgsError(format!("run failed: {e}"))),
     }
@@ -169,7 +227,8 @@ fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
     let plan_path = args
         .option("plan")
         .ok_or_else(|| ArgsError("chaos needs --plan FILE".into()))?;
-    let seed: u64 = args.option_or("seed", 0)?;
+    let opts = CommonOpts::from_args(args)?;
+    let seed = opts.seed;
     let messages: u64 = args.option_or("messages", 100)?;
     let text = std::fs::read_to_string(plan_path)
         .map_err(|e| ArgsError(format!("cannot read {plan_path}: {e}")))?;
@@ -211,6 +270,10 @@ fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
     };
 
     let mut sim = registry::chaos_simulation(proto_name, &plan, seed)?;
+    let (metrics, trace) = telemetry_sinks(&opts);
+    if let Some(registry) = &metrics {
+        sim.attach_telemetry(Arc::clone(registry), trace.clone());
+    }
     println!("chaos run: {proto_name}, seed {seed}, plan {plan_path}");
     if plan.is_quiet() && cfg.crash_plan.is_empty() {
         println!("  (the plan injects no faults and schedules no crashes)");
@@ -229,7 +292,6 @@ fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
                     println!("  fault: {line}");
                 }
             }
-            Ok(())
         }
         Err(SimError::Stalled { diagnostic, .. }) => {
             println!("outcome: STALLED");
@@ -240,13 +302,14 @@ fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
             println!(
                 "repro schedule written to {path} (replay with `nonfifo schedule {proto_name} {path}`)"
             );
-            Ok(())
         }
         Err(SimError::Violation(v)) => {
             println!("outcome: INVALID EXECUTION — {v}");
-            Ok(())
         }
     }
+    // Faulted runs still export telemetry: the counters are exactly what a
+    // post-mortem wants.
+    export_telemetry(&opts, metrics.as_ref(), trace.as_ref())
 }
 
 fn cmd_attack(args: &Args) -> Result<(), ArgsError> {
@@ -337,9 +400,14 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, ArgsError> {
         max_states: args.option_or("max-states", default_states)?,
         discipline,
     };
+    let opts = CommonOpts::from_args(args)?;
+    let (metrics, trace) = telemetry_sinks(&opts);
     let parallel = args.flag("parallel") || args.option("threads").is_some();
     let engine = if parallel {
-        let explorer = ParallelExplorer::new(args.option_or("threads", 0)?);
+        let mut explorer = ParallelExplorer::new(args.option_or("threads", 0)?);
+        if let Some(registry) = &metrics {
+            explorer = explorer.with_telemetry(Arc::clone(registry), trace.clone());
+        }
         let label = format!("parallel, {} threads", explorer.threads());
         (label, explorer)
     } else {
@@ -354,11 +422,31 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, ArgsError> {
         cfg.discipline,
         engine.0,
     );
+    let started = std::time::Instant::now();
     let outcome = if parallel {
         engine.1.explore(proto.as_ref(), &cfg)
     } else {
         explore(proto.as_ref(), &cfg)
     };
+    // The sequential oracle is uninstrumented (it is the reference
+    // implementation); record the coarse counters after the fact so
+    // `--metrics-out` is meaningful on both engines.
+    if let Some(registry) = &metrics {
+        if let ExploreOutcome::Counterexample { depth, .. } = &outcome {
+            registry.set_value("explore.counterexample_depth", *depth as f64);
+        }
+        if !parallel {
+            if let ExploreOutcome::Exhausted { states } | ExploreOutcome::Truncated { states } =
+                &outcome
+            {
+                registry.counter("explore.states").add(*states as u64);
+                let secs = started.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    registry.set_value("explore.states_per_sec", *states as f64 / secs);
+                }
+            }
+        }
+    }
     if args.flag("differential") {
         let other = if parallel {
             explore(proto.as_ref(), &cfg)
@@ -369,6 +457,7 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, ArgsError> {
             println!("DIFFERENTIAL MISMATCH between sequential and parallel engines:");
             println!("--- this engine ---\n{}", outcome.report());
             println!("--- other engine ---\n{}", other.report());
+            export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
             return Ok(ExitCode::from(EXIT_DIFFERENTIAL_MISMATCH));
         }
         println!("differential: sequential and parallel reports are byte-identical");
@@ -405,6 +494,7 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, ArgsError> {
             println!("(NOT a certificate — raise --max-states to cover the scope)");
         }
     }
+    export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
     Ok(ExitCode::from(explore_exit_code(&outcome)))
 }
 
@@ -482,7 +572,7 @@ fn cmd_report(args: &Args) -> Result<(), ArgsError> {
         Some(e) => vec![e.to_string()],
         None => (1..=11)
             .map(|i| format!("e{i}"))
-            .chain(std::iter::once("e13".to_string()))
+            .chain(["e13".to_string(), "e14".to_string()])
             .collect(),
     };
     for exp in selected {
@@ -499,6 +589,7 @@ fn cmd_report(args: &Args) -> Result<(), ArgsError> {
             "e10" => println!("## E10\n\n{}", ex::e10_transport(100)),
             "e11" => println!("## E11\n\n{}", ex::e11_exhaustive()),
             "e13" => println!("## E13\n\n{}", ex::e13_parallel_certification()),
+            "e14" => println!("## E14\n\n{}", ex::e14_cost_vs_in_transit()),
             other => return Err(ArgsError(format!("unknown experiment {other:?}"))),
         }
     }

@@ -1,6 +1,6 @@
 //! Name-based registries for protocols and channel substrates.
 
-use crate::args::{Args, ArgsError};
+use crate::args::{Args, ArgsError, CommonOpts};
 use nonfifo_channel::{BoxedChannel, FaultPlan};
 use nonfifo_core::Simulation;
 use nonfifo_ioa::Dir;
@@ -107,11 +107,15 @@ pub fn protocol(name: &str) -> Result<Box<dyn DataLink>, ArgsError> {
     )))
 }
 
-fn channel_pair(name: &str, args: &Args) -> Result<(BoxedChannel, BoxedChannel), ArgsError> {
+fn channel_pair(
+    name: &str,
+    args: &Args,
+    opts: &CommonOpts,
+) -> Result<(BoxedChannel, BoxedChannel), ArgsError> {
     use nonfifo_channel::{
         BoundedReorderChannel, FifoChannel, LossyFifoChannel, ProbabilisticChannel,
     };
-    let seed: u64 = args.option_or("seed", 0)?;
+    let seed = opts.seed;
     let pair: (BoxedChannel, BoxedChannel) = match name {
         "fifo" => (
             Box::new(FifoChannel::new(Dir::Forward)),
@@ -128,31 +132,22 @@ fn channel_pair(name: &str, args: &Args) -> Result<(BoxedChannel, BoxedChannel),
                 )),
             )
         }
-        "probabilistic" => {
-            let q = probability("q", args.option_or("q", 0.3)?)?;
-            (
-                Box::new(ProbabilisticChannel::new(Dir::Forward, q, seed)),
-                Box::new(ProbabilisticChannel::new(
-                    Dir::Backward,
-                    q,
-                    seed.wrapping_add(1),
-                )),
-            )
-        }
-        "reorder" => {
-            let bound: u64 = args.option_or("bound", 4)?;
-            if bound < 1 {
-                return Err(ArgsError("--bound must be at least 1".into()));
-            }
-            (
-                Box::new(BoundedReorderChannel::new(Dir::Forward, bound, seed)),
-                Box::new(BoundedReorderChannel::new(
-                    Dir::Backward,
-                    bound,
-                    seed.wrapping_add(1),
-                )),
-            )
-        }
+        "probabilistic" => (
+            Box::new(ProbabilisticChannel::new(Dir::Forward, opts.q, seed)),
+            Box::new(ProbabilisticChannel::new(
+                Dir::Backward,
+                opts.q,
+                seed.wrapping_add(1),
+            )),
+        ),
+        "reorder" => (
+            Box::new(BoundedReorderChannel::new(Dir::Forward, opts.bound, seed)),
+            Box::new(BoundedReorderChannel::new(
+                Dir::Backward,
+                opts.bound,
+                seed.wrapping_add(1),
+            )),
+        ),
         "multipath" => {
             let spread: u64 = args.option_or("spread", 8)?;
             (
@@ -219,9 +214,10 @@ pub fn simulation(
     proto_name: &str,
     channel_name: &str,
     args: &Args,
+    opts: &CommonOpts,
 ) -> Result<Simulation, ArgsError> {
     let proto = protocol(proto_name)?;
-    let (fwd, bwd) = channel_pair(channel_name, args)?;
+    let (fwd, bwd) = channel_pair(channel_name, args, opts)?;
     Ok(Simulation::with_channels(Boxed(proto), fwd, bwd))
 }
 
@@ -266,37 +262,28 @@ mod tests {
     #[test]
     fn channel_names_resolve() {
         let args = Args::parse(Vec::<String>::new(), &[]).unwrap();
+        let opts = CommonOpts::from_args(&args).unwrap();
         for name in ["fifo", "lossy", "probabilistic", "reorder", "multipath"] {
-            assert!(channel_pair(name, &args).is_ok(), "{name}");
+            assert!(channel_pair(name, &args, &opts).is_ok(), "{name}");
         }
-        assert!(channel_pair("carrier-pigeon", &args).is_err());
+        assert!(channel_pair("carrier-pigeon", &args, &opts).is_err());
     }
 
     #[test]
     fn bad_channel_options_error_instead_of_panicking() {
-        let cases: &[&[&str]] = &[
-            &["--q", "1.5"],
-            &["--q", "-0.1"],
-            &["--loss", "2.0"],
-            &["--bound", "0"],
-        ];
-        for raw in cases {
-            let args = Args::parse(raw.iter().map(|s| s.to_string()), &[]).unwrap();
-            let name = if raw[0] == "--bound" {
-                "reorder"
-            } else {
-                "probabilistic"
-            };
-            let name = if raw[0] == "--loss" { "lossy" } else { name };
-            let err = channel_pair(name, &args).unwrap_err();
-            assert!(err.0.contains(&raw[0][2..]), "{err:?}");
-        }
+        // `--q` and `--bound` are range-checked by `CommonOpts`; `--loss`
+        // stays channel-specific and is checked here.
+        let args = Args::parse(["--loss", "2.0"], &[]).unwrap();
+        let opts = CommonOpts::from_args(&args).unwrap();
+        let err = channel_pair("lossy", &args, &opts).unwrap_err();
+        assert!(err.0.contains("loss"), "{err:?}");
     }
 
     #[test]
     fn simulation_builds_and_runs() {
         let args = Args::parse(["--q", "0.2", "--seed", "5"], &[]).unwrap();
-        let mut sim = simulation("seqnum", "probabilistic", &args).unwrap();
+        let opts = CommonOpts::from_args(&args).unwrap();
+        let mut sim = simulation("seqnum", "probabilistic", &args, &opts).unwrap();
         let stats = sim
             .deliver(20, &nonfifo_core::SimConfig::default())
             .unwrap();

@@ -9,10 +9,128 @@ use nonfifo_ioa::{
     CopyId, Dir, Event, Header, Message, Packet, Payload, SpecMonitor, SpecViolation,
 };
 use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};
+use nonfifo_telemetry::{Counter, Gauge, Histogram, Registry, TraceSink};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Telemetry plumbing for a [`Simulation`]: pre-bound metric handles plus an
+/// optional trace sink. Recording is observation-only — nothing here feeds
+/// back into protocol, channel, or monitor state, so runs are bit-identical
+/// with telemetry attached or not (property-tested in `tests/telemetry.rs`).
+#[derive(Debug, Clone)]
+struct SimTelemetry {
+    registry: Arc<Registry>,
+    trace: Option<Arc<TraceSink>>,
+    msgs_sent: Counter,
+    msgs_received: Counter,
+    fwd: DirTelemetry,
+    bwd: DirTelemetry,
+    packets_per_message: Histogram,
+    header_usage: Histogram,
+    /// `chan.fwd.sends` reading at the most recent `send_msg`, for the
+    /// packets-per-message histogram.
+    round_sends_base: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DirTelemetry {
+    name: &'static str,
+    sends: Counter,
+    delivered: Counter,
+    drops: Counter,
+    injected: Counter,
+    in_transit: Gauge,
+}
+
+impl DirTelemetry {
+    fn new(registry: &Registry, name: &'static str) -> Self {
+        DirTelemetry {
+            name,
+            sends: registry.counter(&format!("chan.{name}.sends")),
+            delivered: registry.counter(&format!("chan.{name}.delivered")),
+            drops: registry.counter(&format!("chan.{name}.drops")),
+            injected: registry.counter(&format!("chan.{name}.injected")),
+            in_transit: registry.gauge(&format!("sim.{name}.in_transit")),
+        }
+    }
+}
+
+impl SimTelemetry {
+    fn new(registry: Arc<Registry>, trace: Option<Arc<TraceSink>>) -> Self {
+        SimTelemetry {
+            msgs_sent: registry.counter("sim.messages.sent"),
+            msgs_received: registry.counter("sim.messages.received"),
+            fwd: DirTelemetry::new(&registry, "fwd"),
+            bwd: DirTelemetry::new(&registry, "bwd"),
+            packets_per_message: registry.histogram("sim.packets_per_message"),
+            header_usage: registry.histogram("sim.header_usage"),
+            round_sends_base: 0,
+            registry,
+            trace,
+        }
+    }
+
+    fn lane(&self, dir: Dir) -> &DirTelemetry {
+        match dir {
+            Dir::Forward => &self.fwd,
+            Dir::Backward => &self.bwd,
+        }
+    }
+
+    /// Bumps a per-header counter, e.g. `chan.fwd.send.h3`.
+    fn per_header(&self, dir: Dir, verb: &str, h: Header) {
+        let name = self.lane(dir).name;
+        self.registry
+            .counter(&format!("chan.{name}.{verb}.h{}", h.index()))
+            .inc();
+    }
+
+    /// Observes one recorded event. Purely additive: counters only.
+    fn observe(&mut self, event: &Event) {
+        match event {
+            Event::SendMsg(_) => {
+                self.msgs_sent.inc();
+                self.round_sends_base = self.fwd.sends.get();
+            }
+            Event::ReceiveMsg(_) => {
+                self.msgs_received.inc();
+                self.packets_per_message
+                    .record(self.fwd.sends.get() - self.round_sends_base);
+                self.round_sends_base = self.fwd.sends.get();
+                if let Some(trace) = &self.trace {
+                    trace.instant("sim", "deliver_msg", Vec::new());
+                }
+            }
+            Event::SendPkt { dir, packet, .. } => {
+                self.lane(*dir).sends.inc();
+                self.per_header(*dir, "send", packet.header());
+                if *dir == Dir::Forward {
+                    self.header_usage.record(u64::from(packet.header().index()));
+                }
+            }
+            Event::ReceivePkt { dir, packet, .. } => {
+                self.lane(*dir).delivered.inc();
+                self.per_header(*dir, "recv", packet.header());
+            }
+            Event::DropPkt { dir, packet, .. } => {
+                self.lane(*dir).drops.inc();
+                self.per_header(*dir, "drop", packet.header());
+                if let Some(trace) = &self.trace {
+                    trace.instant("sim", "drop_pkt", Vec::new());
+                }
+            }
+        }
+    }
+
+    /// Counts chaos-injected copies (already observed as sends above).
+    fn observe_injected(&self, dir: Dir, packet: &Packet) {
+        self.lane(dir).injected.inc();
+        self.per_header(dir, "injected", packet.header());
+    }
+}
 
 /// The station a [`CrashEvent`] targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -292,6 +410,7 @@ pub struct Simulation {
     tx_crashed_since_send: bool,
     restart_backoff: u64,
     round_start_step: u64,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl Simulation {
@@ -335,7 +454,17 @@ impl Simulation {
             tx_crashed_since_send: false,
             restart_backoff: 0,
             round_start_step: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a metrics registry (and optionally a trace sink) to the
+    /// running simulation. Every subsequent event updates the registry's
+    /// counters/gauges/histograms; the trace sink receives round spans and
+    /// delivery/drop instants. Telemetry never influences the run itself:
+    /// fingerprints and statistics are identical with or without it.
+    pub fn attach_telemetry(&mut self, registry: Arc<Registry>, trace: Option<Arc<TraceSink>>) {
+        self.telemetry = Some(SimTelemetry::new(registry, trace));
     }
 
     /// Probabilistic physical layer with delay probability `q` in both
@@ -449,6 +578,7 @@ impl Simulation {
 
         let base = self.pending_deliveries;
         let mut delivered = 0u64;
+        let trace = self.telemetry.as_ref().and_then(|t| t.trace.clone());
         for _ in 0..n {
             // Wait until the transmitter accepts the next message.
             let mut waited = 0;
@@ -469,6 +599,9 @@ impl Simulation {
             self.round_watermark = CopyId::from_raw(self.fwd.total_sent());
             self.round_start_step = self.steps;
             self.record(&Event::SendMsg(m));
+            let _round_span = trace
+                .as_ref()
+                .map(|t| t.span_with_args("sim", "round", vec![("msg".to_string(), m.id().raw())]));
             self.next_msg += 1;
             self.tx.on_send_msg(m);
             self.tx_crashed_since_send = false;
@@ -534,10 +667,14 @@ impl Simulation {
         }
     }
 
-    /// Feeds one event to both the monitor and the execution fingerprint.
+    /// Feeds one event to the monitor, the execution fingerprint, and (when
+    /// attached) the telemetry layer.
     fn record(&mut self, event: &Event) {
         event.hash(&mut self.fingerprint);
         let _ = self.monitor.observe(event);
+        if let Some(tel) = &mut self.telemetry {
+            tel.observe(event);
+        }
     }
 
     fn checkpoint(&mut self) {
@@ -716,6 +853,9 @@ impl Simulation {
         // is what keeps the monitor PL1-sound under fault injection.
         for (pkt, copy) in self.fwd.drain_injected_sends() {
             self.sent_values.insert(pkt);
+            if let Some(tel) = &self.telemetry {
+                tel.observe_injected(Dir::Forward, &pkt);
+            }
             self.record(&Event::SendPkt {
                 dir: Dir::Forward,
                 packet: pkt,
@@ -764,6 +904,9 @@ impl Simulation {
             }
         }
         for (pkt, copy) in self.bwd.drain_injected_sends() {
+            if let Some(tel) = &self.telemetry {
+                tel.observe_injected(Dir::Backward, &pkt);
+            }
             self.record(&Event::SendPkt {
                 dir: Dir::Backward,
                 packet: pkt,
@@ -789,6 +932,10 @@ impl Simulation {
         }
         self.fwd.tick();
         self.bwd.tick();
+        if let Some(tel) = &self.telemetry {
+            tel.fwd.in_transit.set(self.fwd.in_transit_len() as u64);
+            tel.bwd.in_transit.set(self.bwd.in_transit_len() as u64);
+        }
         let s = self.tx.space_bytes() + self.rx.space_bytes();
         self.peak_space = self.peak_space.max(s);
     }

@@ -1,0 +1,354 @@
+//! Point-in-time metric snapshots with a stable JSON schema.
+//!
+//! The schema is versioned and pinned ([`SCHEMA_VERSION`]): CI artifacts
+//! and `BENCH_baseline.json` are compared across commits, so any change to
+//! the document shape must bump the version and keep
+//! [`MetricsSnapshot::from_json`] accepting what it wrote before.
+
+use crate::json::{Json, JsonError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The pinned schema version emitted in every snapshot document.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A gauge's exported state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// The value at snapshot time.
+    pub value: u64,
+    /// The largest value ever set.
+    pub high_water: u64,
+}
+
+/// A histogram's exported state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Non-empty power-of-two buckets as `(inclusive upper bound, count)`,
+    /// ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything a [`Registry`](crate::Registry) knows, frozen.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// The schema version of the document ([`SCHEMA_VERSION`] when written
+    /// by this crate).
+    pub schema_version: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge states by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Derived scalar values (rates, ratios) by name.
+    pub values: BTreeMap<String, f64>,
+}
+
+/// Why a snapshot document was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// The document is JSON but not a snapshot of a supported schema.
+    Schema(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Json(e) => write!(f, "{e}"),
+            SnapshotError::Schema(msg) => write!(f, "snapshot schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<JsonError> for SnapshotError {
+    fn from(e: JsonError) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError::Schema(msg.into()))
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a compact, key-sorted JSON document.
+    pub fn to_json(&self) -> String {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Uint(v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, g)| {
+                    (
+                        k.clone(),
+                        Json::Obj(vec![
+                            ("value".into(), Json::Uint(g.value)),
+                            ("high_water".into(), Json::Uint(g.high_water)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Uint(h.count)),
+                            ("sum".into(), Json::Uint(h.sum)),
+                            ("min".into(), Json::Uint(h.min)),
+                            ("max".into(), Json::Uint(h.max)),
+                            (
+                                "buckets".into(),
+                                Json::Arr(
+                                    h.buckets
+                                        .iter()
+                                        .map(|&(le, n)| {
+                                            Json::Arr(vec![Json::Uint(le), Json::Uint(n)])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let values = Json::Obj(
+            self.values
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Float(v)))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Uint(self.schema_version)),
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+            ("values".into(), values),
+        ])
+        .to_string()
+    }
+
+    /// Parses a snapshot document written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON, documents without a `schema_version`, and
+    /// versions newer than this crate understands.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, SnapshotError> {
+        let doc = Json::parse(text)?;
+        let version = match doc.get("schema_version").and_then(Json::as_u64) {
+            Some(v) => v,
+            None => return schema_err("missing schema_version"),
+        };
+        if version == 0 || version > SCHEMA_VERSION {
+            return schema_err(format!(
+                "unsupported schema_version {version} (this build reads ≤ {SCHEMA_VERSION})"
+            ));
+        }
+        let mut snap = MetricsSnapshot {
+            schema_version: version,
+            ..MetricsSnapshot::default()
+        };
+        if let Some(fields) = doc.get("counters").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                match v.as_u64() {
+                    Some(n) => snap.counters.insert(k.clone(), n),
+                    None => return schema_err(format!("counter '{k}' is not a u64")),
+                };
+            }
+        }
+        if let Some(fields) = doc.get("gauges").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                let (value, high_water) = match (
+                    v.get("value").and_then(Json::as_u64),
+                    v.get("high_water").and_then(Json::as_u64),
+                ) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return schema_err(format!("gauge '{k}' is malformed")),
+                };
+                snap.gauges
+                    .insert(k.clone(), GaugeSnapshot { value, high_water });
+            }
+        }
+        if let Some(fields) = doc.get("histograms").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                snap.histograms.insert(k.clone(), parse_histogram(k, v)?);
+            }
+        }
+        if let Some(fields) = doc.get("values").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                match v.as_f64() {
+                    Some(x) => snap.values.insert(k.clone(), x),
+                    None => return schema_err(format!("value '{k}' is not a number")),
+                };
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders the snapshot as a human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .chain(self.values.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        out.push_str(&format!("{:<width$}  value\n", "metric"));
+        out.push_str(&format!("{:-<width$}  {:-<24}\n", "", ""));
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        for (k, g) in &self.gauges {
+            out.push_str(&format!(
+                "{k:<width$}  {} (high water {})\n",
+                g.value, g.high_water
+            ));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k:<width$}  n={} mean={:.2} min={} max={}\n",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            ));
+        }
+        for (k, v) in &self.values {
+            out.push_str(&format!("{k:<width$}  {v:.2}\n"));
+        }
+        out
+    }
+}
+
+fn parse_histogram(name: &str, v: &Json) -> Result<HistogramSnapshot, SnapshotError> {
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SnapshotError::Schema(format!("histogram '{name}' missing {key}")))
+    };
+    let mut buckets = Vec::new();
+    if let Some(items) = v.get("buckets").and_then(Json::as_arr) {
+        for item in items {
+            match item.as_arr() {
+                Some([le, n]) => match (le.as_u64(), n.as_u64()) {
+                    (Some(le), Some(n)) => buckets.push((le, n)),
+                    _ => return schema_err(format!("histogram '{name}' has a bad bucket")),
+                },
+                _ => return schema_err(format!("histogram '{name}' has a bad bucket")),
+            }
+        }
+    }
+    Ok(HistogramSnapshot {
+        count: field("count")?,
+        sum: field("sum")?,
+        min: field("min")?,
+        max: field("max")?,
+        buckets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn populated() -> MetricsSnapshot {
+        let reg = Registry::new();
+        reg.counter("chan.fwd.sends").add(12);
+        reg.counter("chan.fwd.drops").add(3);
+        let g = reg.gauge("sim.fwd.in_transit");
+        g.set(9);
+        g.set(4);
+        let h = reg.histogram("sim.packets_per_message");
+        for v in [1, 2, 2, 5] {
+            h.record(v);
+        }
+        reg.set_value("explore.states_per_sec", 123456.75);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snap = populated();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        // And the re-serialization is byte-identical (stable schema).
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn schema_version_is_pinned_and_checked() {
+        let snap = populated();
+        assert_eq!(snap.schema_version, SCHEMA_VERSION);
+        assert!(snap.to_json().contains("\"schema_version\":1"));
+        let future = snap
+            .to_json()
+            .replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+        assert!(matches!(
+            MetricsSnapshot::from_json(&future),
+            Err(SnapshotError::Schema(_))
+        ));
+        assert!(matches!(
+            MetricsSnapshot::from_json("{}"),
+            Err(SnapshotError::Schema(_))
+        ));
+        assert!(matches!(
+            MetricsSnapshot::from_json("not json"),
+            Err(SnapshotError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn summary_mentions_every_metric() {
+        let snap = populated();
+        let table = snap.summary();
+        for name in [
+            "chan.fwd.sends",
+            "sim.fwd.in_transit",
+            "sim.packets_per_message",
+            "explore.states_per_sec",
+        ] {
+            assert!(table.contains(name), "summary missing {name}:\n{table}");
+        }
+        assert!(table.contains("high water 9"));
+    }
+}

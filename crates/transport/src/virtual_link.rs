@@ -1,6 +1,6 @@
 //! A multipath virtual link: per-route FIFO, globally non-FIFO.
 
-use nonfifo_channel::{BoxedChannel, Channel};
+use nonfifo_channel::{Channel, ChannelIntrospect, FaultObserver};
 use nonfifo_ioa::{CopyId, Dir, Header, Packet};
 use nonfifo_rng::StdRng;
 use std::collections::VecDeque;
@@ -228,6 +228,16 @@ impl Channel for VirtualLink {
         self.routes.iter().map(|r| r.queue.len()).sum()
     }
 
+    fn total_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl ChannelIntrospect for VirtualLink {
     fn header_copies(&self, h: Header) -> usize {
         self.routes
             .iter()
@@ -251,21 +261,11 @@ impl Channel for VirtualLink {
             .filter(|(p, c, _)| p.header() == h && *c < watermark)
             .count()
     }
+}
 
+impl FaultObserver for VirtualLink {
     fn drain_drops(&mut self) -> Vec<(Packet, CopyId)> {
         std::mem::take(&mut self.drops)
-    }
-
-    fn total_sent(&self) -> u64 {
-        self.sent
-    }
-
-    fn total_delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    fn clone_box(&self) -> BoxedChannel {
-        Box::new(self.clone())
     }
 }
 

@@ -7,7 +7,7 @@
 //! cargo run --example transport_multipath
 //! ```
 
-use nonfifo::channel::Channel;
+use nonfifo::channel::{Channel, FaultObserver};
 use nonfifo::core::{SimConfig, SimError, Simulation};
 use nonfifo::ioa::Dir;
 use nonfifo::protocols::{DataLink, GoBackN, SequenceNumber, SlidingWindow};

@@ -56,6 +56,7 @@ pub use nonfifo_channel as channel;
 pub use nonfifo_core as core;
 pub use nonfifo_ioa as ioa;
 pub use nonfifo_protocols as protocols;
+pub use nonfifo_telemetry as telemetry;
 pub use nonfifo_transport as transport;
 
 /// A convenience prelude bringing the most commonly used items into scope.
@@ -76,5 +77,6 @@ pub mod prelude {
         AfekFlush, AlternatingBit, DataLink, GoBackN, NaiveCycle, Receiver, SequenceNumber,
         SlidingWindow, Transmitter,
     };
+    pub use nonfifo_telemetry::{MetricsSnapshot, Registry, TraceSink};
     pub use nonfifo_transport::{VirtualLink, VirtualLinkBuilder};
 }

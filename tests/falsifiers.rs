@@ -124,7 +124,7 @@ fn phantom_replay_is_receiver_indistinguishable_from_beta() {
     // sends, no send_msg) must be indistinguishable to the receiver from
     // the oracle's extension β.
     use nonfifo::adversary::{BoundnessOracle, System};
-    use nonfifo::channel::Channel as _;
+    use nonfifo::channel::ChannelIntrospect as _;
     use nonfifo::ioa::view::{receiver_indistinguishable, receiver_view};
     use nonfifo::ioa::Execution;
 

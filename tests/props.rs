@@ -7,8 +7,8 @@
 //! input without a persisted regression corpus.
 
 use nonfifo::channel::{
-    AdversarialChannel, BoundedReorderChannel, Channel, FifoChannel, LossyFifoChannel,
-    PacketMultiset, ProbabilisticChannel,
+    AdversarialChannel, BoundedReorderChannel, Channel, FaultObserver, FifoChannel,
+    LossyFifoChannel, PacketMultiset, ProbabilisticChannel,
 };
 use nonfifo::ioa::spec::{check_dl1_dl2, check_pl1};
 use nonfifo::ioa::{CopyId, Dir, Event, Execution, Header, Message, Packet, SpecMonitor};
@@ -35,7 +35,7 @@ fn chan_ops(rng: &mut StdRng) -> Vec<ChanOp> {
 
 /// Drives a channel with arbitrary ops, records the trace, and checks PL1
 /// plus conservation (sent = delivered + dropped + in transit + queued).
-fn drive(channel: &mut dyn Channel, ops: &[ChanOp]) {
+fn drive(channel: &mut dyn FaultObserver, ops: &[ChanOp]) {
     let dir = channel.dir();
     let mut exec = Execution::new();
     let mut delivered = 0u64;
