@@ -39,10 +39,10 @@
 use crate::explore::{apply, enabled_actions, state_key, to_step, ExploreConfig, ExploreOutcome};
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
+use crate::workpool::ChunkCursor;
 use nonfifo_protocols::DataLink;
 use nonfifo_telemetry::{Counter, Histogram, Registry, TraceSink};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -274,20 +274,15 @@ impl ParallelExplorer {
             }
             return (violations, candidates);
         }
-        let cursor = AtomicUsize::new(0);
+        let cursor = ChunkCursor::new(frontier.len(), CHUNK);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut violations = Vec::new();
                         let mut candidates = Vec::new();
-                        loop {
-                            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
-                            if start >= frontier.len() {
-                                break;
-                            }
-                            let end = (start + CHUNK).min(frontier.len());
-                            for node in &frontier[start..end] {
+                        while let Some(range) = cursor.claim() {
+                            for node in &frontier[range] {
                                 expand_node(
                                     node,
                                     shards,

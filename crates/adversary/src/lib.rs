@@ -73,6 +73,7 @@ mod pf;
 mod schedule;
 mod shrink;
 mod system;
+mod workpool;
 
 pub use dominant::{DominantReport, DominantTracker, ProbRunConfig};
 pub use explore::{explore, Discipline, ExploreConfig, ExploreOutcome};
@@ -84,6 +85,7 @@ pub use pf::{PfConfig, PfFalsifier, PfMessageCost};
 pub use schedule::{Schedule, ScheduleError, ScheduleStep};
 pub use shrink::{shrink, ShrinkError, ShrinkOutcome};
 pub use system::{Disposition, System};
+pub use workpool::ChunkCursor;
 
 use nonfifo_ioa::{Execution, SpecViolation};
 

@@ -1,0 +1,125 @@
+//! Work distribution for thread pools: a chunked atomic claim cursor.
+//!
+//! [`ChunkCursor`] is the load-balancing primitive shared by the parallel
+//! explorer and the campaign runner: a fixed work list of `len` items is
+//! handed out to workers in `chunk`-sized slices via a single
+//! `fetch_add`. There are no locks, no per-item CAS loops, and no
+//! external work-stealing runtime — in keeping with the workspace's
+//! zero-dependency policy. Determinism is the caller's job (workers must
+//! tag results with item indices and merge in index order); the cursor
+//! only guarantees that every index in `0..len` is claimed exactly once.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A lock-free chunked work cursor over a fixed-size work list.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_adversary::ChunkCursor;
+///
+/// let cursor = ChunkCursor::new(10, 4);
+/// assert_eq!(cursor.claim(), Some(0..4));
+/// assert_eq!(cursor.claim(), Some(4..8));
+/// assert_eq!(cursor.claim(), Some(8..10)); // final partial chunk
+/// assert_eq!(cursor.claim(), None);
+/// ```
+#[derive(Debug)]
+pub struct ChunkCursor {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkCursor {
+    /// A cursor over `len` items handed out `chunk` at a time. A `chunk`
+    /// of 0 is treated as 1 (every claim must make progress).
+    pub fn new(len: usize, chunk: usize) -> Self {
+        ChunkCursor {
+            next: AtomicUsize::new(0),
+            len,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Claims the next unclaimed slice, or `None` when the work list is
+    /// exhausted. Each index in `0..len` is returned exactly once across
+    /// all claims, in ascending order of claim start.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Total number of items governed by this cursor.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the cursor governs no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let cursor = ChunkCursor::new(103, 16);
+        let mut seen = [false; 103];
+        while let Some(range) = cursor.claim() {
+            for i in range {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some index never claimed");
+    }
+
+    #[test]
+    fn empty_list_yields_nothing() {
+        let cursor = ChunkCursor::new(0, 16);
+        assert!(cursor.is_empty());
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn zero_chunk_still_progresses() {
+        let cursor = ChunkCursor::new(3, 0);
+        assert_eq!(cursor.claim(), Some(0..1));
+        assert_eq!(cursor.claim(), Some(1..2));
+        assert_eq!(cursor.claim(), Some(2..3));
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_range() {
+        let cursor = ChunkCursor::new(1000, 7);
+        let claimed: Vec<Range<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        while let Some(r) = cursor.claim() {
+                            mine.push(r);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut indices: Vec<usize> = claimed.into_iter().flatten().collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..1000).collect::<Vec<_>>());
+    }
+}

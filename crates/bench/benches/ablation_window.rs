@@ -2,6 +2,7 @@
 //! bound — the practical ablation of the paper's assumptions.
 
 use nonfifo_bench::harness::Group;
+use nonfifo_channel::Discipline;
 use nonfifo_core::{SimConfig, Simulation};
 use nonfifo_protocols::SlidingWindow;
 
@@ -9,7 +10,10 @@ fn bench_window_vs_bound() {
     let group = Group::new("window8_over_reorder");
     for bound in [1u64, 2, 4] {
         group.bench(&bound.to_string(), || {
-            let mut sim = Simulation::bounded_reorder(SlidingWindow::new(8), bound, 3);
+            let mut sim = Simulation::builder(SlidingWindow::new(8))
+                .channel(Discipline::BoundedReorder { bound })
+                .seed(3)
+                .build();
             let stats = sim
                 .deliver(200, &SimConfig::default())
                 .expect("within the window's tolerance");
@@ -22,7 +26,7 @@ fn bench_window_sizes_on_fifo() {
     let group = Group::new("window_size_fifo_pipeline");
     for w in [1u32, 4, 16] {
         group.bench(&w.to_string(), || {
-            let mut sim = Simulation::fifo(SlidingWindow::new(w));
+            let mut sim = Simulation::builder(SlidingWindow::new(w)).build();
             let stats = sim.deliver(500, &SimConfig::default()).expect("fifo");
             stats.steps
         });

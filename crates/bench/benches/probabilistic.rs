@@ -3,6 +3,7 @@
 
 use nonfifo_adversary::{DominantTracker, ProbRunConfig};
 use nonfifo_bench::harness::Group;
+use nonfifo_channel::Discipline;
 use nonfifo_core::{SimConfig, Simulation};
 use nonfifo_protocols::{Outnumber, SequenceNumber};
 
@@ -27,7 +28,10 @@ fn bench_seqnum_linear() {
     let group = Group::new("prob_seqnum_q");
     for q in [0.1f64, 0.3, 0.5] {
         group.bench(&q.to_string(), || {
-            let mut sim = Simulation::probabilistic(SequenceNumber::new(), q, 2);
+            let mut sim = Simulation::builder(SequenceNumber::new())
+                .channel(Discipline::Probabilistic { q })
+                .seed(2)
+                .build();
             let stats = sim.deliver(200, &SimConfig::default()).expect("live");
             stats.packets_sent_forward
         });

@@ -10,30 +10,36 @@
 //!
 //! ```text
 //! bench_guard <current.json> <baseline.json> [--max-regression 0.30]
+//!             [--metric explore.states_per_sec]
 //! ```
+//!
+//! `--metric` names any entry in the snapshots' `values` map, so one guard
+//! binary watches every throughput series the workspace exports
+//! (`explore.states_per_sec`, `campaign.runs_per_sec`, …).
 //!
 //! Exit codes: 0 within budget, 1 regression, 2 usage or unreadable input.
 
 use nonfifo_telemetry::MetricsSnapshot;
 use std::process::ExitCode;
 
-const RATE_METRIC: &str = "explore.states_per_sec";
+const DEFAULT_RATE_METRIC: &str = "explore.states_per_sec";
 const DEFAULT_MAX_REGRESSION: f64 = 0.30;
 
-fn load_rate(path: &str) -> Result<f64, String> {
+fn load_rate(path: &str, metric: &str) -> Result<f64, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let snapshot = MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     snapshot
         .values
-        .get(RATE_METRIC)
+        .get(metric)
         .copied()
         .filter(|rate| *rate > 0.0)
-        .ok_or_else(|| format!("{path}: no positive {RATE_METRIC} value"))
+        .ok_or_else(|| format!("{path}: no positive {metric} value"))
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
     let mut paths = Vec::new();
     let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut metric = DEFAULT_RATE_METRIC.to_string();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--max-regression" {
@@ -48,21 +54,26 @@ fn run(args: &[String]) -> Result<bool, String> {
                     "--max-regression must be in [0, 1), got {max_regression}"
                 ));
             }
+        } else if arg == "--metric" {
+            metric = iter
+                .next()
+                .ok_or_else(|| "--metric needs a value name".to_string())?
+                .clone();
         } else {
             paths.push(arg.clone());
         }
     }
     let [current_path, baseline_path] = paths.as_slice() else {
         return Err("usage: bench_guard <current.json> <baseline.json> \
-                    [--max-regression 0.30]"
+                    [--max-regression 0.30] [--metric explore.states_per_sec]"
             .to_string());
     };
 
-    let current = load_rate(current_path)?;
-    let baseline = load_rate(baseline_path)?;
+    let current = load_rate(current_path, &metric)?;
+    let baseline = load_rate(baseline_path, &metric)?;
     let ratio = current / baseline;
     let floor = 1.0 - max_regression;
-    println!("{RATE_METRIC}:");
+    println!("{metric}:");
     println!("  baseline : {baseline:>12.0}  ({baseline_path})");
     println!("  current  : {current:>12.0}  ({current_path})");
     println!("  ratio    : {ratio:>12.2}  (must stay >= {floor:.2})");

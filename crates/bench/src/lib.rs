@@ -9,8 +9,9 @@
 //!   falsifier constructions (`falsify_mf`, `falsify_pf`), the
 //!   probabilistic growth runs (`probabilistic`), boundness probing
 //!   (`boundness`), raw channel throughput (`channels`), the
-//!   window-vs-reorder ablation (`ablation_window`), and exploration
-//!   throughput, sequential vs parallel (`explore_par`).
+//!   window-vs-reorder ablation (`ablation_window`), exploration
+//!   throughput, sequential vs parallel (`explore_par`), and the campaign
+//!   matrix runner with its fingerprint cache (`campaign`).
 //!
 //! The benches run on the self-contained [`harness`] (median-of-samples
 //! wall-clock timing) so the workspace needs no external benchmarking

@@ -1,0 +1,273 @@
+//! Fingerprint-keyed campaign result cache.
+//!
+//! Every [`RunSpec`](crate::RunSpec) has a canonical spelling whose FNV-64
+//! hash keys its result. The cache stores everything a
+//! [`RunRecord`](crate::RunRecord) renders or aggregates — outcome,
+//! execution fingerprint, engine statistics, and the full per-run metrics
+//! snapshot — so a cache replay is indistinguishable from a fresh run in
+//! every campaign artifact. Runs are deterministic functions of their
+//! specs, which is what makes caching sound at all.
+//!
+//! The on-disk form is the workspace's hand-rolled JSON, with a schema
+//! version for forward compatibility; a missing cache file loads as an
+//! empty cache (the natural first-run experience for `--cache`).
+
+use crate::runner::{RunOutcome, RunRecord};
+use crate::spec::RunSpec;
+use nonfifo_core::NonFifoError;
+use nonfifo_telemetry::{Json, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Version stamp of the cache file schema.
+pub const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// The cached portion of a run record: everything except the spec (which
+/// the lookup key already proves) and the `cached` marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedRun {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Execution fingerprint at the end of the run.
+    pub fingerprint: u64,
+    /// Scheduler steps taken.
+    pub steps: u64,
+    /// Forward packets sent.
+    pub fwd_sends: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// The run's full metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Why a cache document was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheError(pub String);
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign cache: {}", self.0)
+    }
+}
+
+impl Error for CacheError {}
+
+impl From<CacheError> for NonFifoError {
+    fn from(e: CacheError) -> Self {
+        NonFifoError::Usage(e.to_string())
+    }
+}
+
+/// A fingerprint-keyed store of completed campaign runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignCache {
+    entries: BTreeMap<u64, CachedRun>,
+}
+
+impl CampaignCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CampaignCache::default()
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Replays the cached result for `spec`, if present, as a full record
+    /// marked `cached`.
+    pub fn lookup(&self, spec: &RunSpec) -> Option<RunRecord> {
+        let hit = self.entries.get(&spec.fingerprint())?;
+        Some(RunRecord {
+            spec: spec.clone(),
+            outcome: hit.outcome,
+            fingerprint: hit.fingerprint,
+            steps: hit.steps,
+            fwd_sends: hit.fwd_sends,
+            delivered: hit.delivered,
+            metrics: hit.metrics.clone(),
+            cached: true,
+        })
+    }
+
+    /// Stores `record` under `spec`'s key.
+    pub fn insert(&mut self, spec: &RunSpec, record: &RunRecord) {
+        self.entries.insert(spec.fingerprint(), record.into());
+    }
+
+    /// Serializes the cache as a compact JSON document.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|(&key, run)| {
+                Json::Obj(vec![
+                    ("key".to_string(), Json::Uint(key)),
+                    (
+                        "outcome".to_string(),
+                        Json::Str(run.outcome.as_str().to_string()),
+                    ),
+                    ("fingerprint".to_string(), Json::Uint(run.fingerprint)),
+                    ("steps".to_string(), Json::Uint(run.steps)),
+                    ("fwd_sends".to_string(), Json::Uint(run.fwd_sends)),
+                    ("delivered".to_string(), Json::Uint(run.delivered)),
+                    ("metrics".to_string(), run.metrics.to_json_value()),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Json::Uint(CACHE_SCHEMA_VERSION),
+            ),
+            ("entries".to_string(), Json::Arr(entries)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a document produced by [`to_json`](CampaignCache::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid JSON, unknown schema versions, and entries with
+    /// missing or mistyped fields.
+    pub fn from_json(text: &str) -> Result<CampaignCache, CacheError> {
+        let doc = Json::parse(text).map_err(|e| CacheError(e.to_string()))?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| CacheError("missing schema_version".to_string()))?;
+        if version != CACHE_SCHEMA_VERSION {
+            return Err(CacheError(format!(
+                "unsupported schema_version {version} (expected {CACHE_SCHEMA_VERSION})"
+            )));
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| CacheError("missing entries array".to_string()))?;
+        let mut cache = CampaignCache::new();
+        for entry in entries {
+            let field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| CacheError(format!("entry missing field {name:?}")))
+            };
+            let outcome = entry
+                .get("outcome")
+                .and_then(Json::as_str)
+                .and_then(RunOutcome::from_str_opt)
+                .ok_or_else(|| CacheError("entry has no valid outcome".to_string()))?;
+            let metrics = entry
+                .get("metrics")
+                .ok_or_else(|| CacheError("entry missing field \"metrics\"".to_string()))
+                .and_then(|m| {
+                    MetricsSnapshot::from_json_value(m).map_err(|e| CacheError(e.to_string()))
+                })?;
+            cache.entries.insert(
+                field("key")?,
+                CachedRun {
+                    outcome,
+                    fingerprint: field("fingerprint")?,
+                    steps: field("steps")?,
+                    fwd_sends: field("fwd_sends")?,
+                    delivered: field("delivered")?,
+                    metrics,
+                },
+            );
+        }
+        Ok(cache)
+    }
+
+    /// Loads a cache file; a missing file is an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable files and on files that exist but do not parse.
+    pub fn load(path: &str) -> Result<CampaignCache, NonFifoError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(CampaignCache::from_json(&text)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(CampaignCache::new()),
+            Err(e) => Err(NonFifoError::io(path, &e)),
+        }
+    }
+
+    /// Writes the cache file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be written.
+    pub fn save(&self, path: &str) -> Result<(), NonFifoError> {
+        std::fs::write(path, self.to_json()).map_err(|e| NonFifoError::io(path, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CampaignRunner;
+    use crate::spec::ScenarioSpec;
+    use nonfifo_channel::Discipline;
+
+    fn populated() -> (Vec<RunSpec>, CampaignCache) {
+        let runs = ScenarioSpec::new("t")
+            .protocol("abp")
+            .discipline(Discipline::Probabilistic { q: 0.3 })
+            .message_counts(&[5, 10])
+            .seeds(0..2)
+            .expand();
+        let mut cache = CampaignCache::new();
+        CampaignRunner::new(1)
+            .run_with_cache(&runs, &mut cache)
+            .unwrap();
+        (runs, cache)
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let (runs, cache) = populated();
+        let text = cache.to_json();
+        let reloaded = CampaignCache::from_json(&text).unwrap();
+        assert_eq!(cache, reloaded);
+        for spec in &runs {
+            let a = cache.lookup(spec).unwrap();
+            let b = reloaded.lookup(spec).unwrap();
+            assert_eq!(a, b);
+            assert!(a.cached);
+        }
+    }
+
+    #[test]
+    fn bad_documents_are_rejected_with_reasons() {
+        for (text, needle) in [
+            ("{", "json"),
+            ("{}", "schema_version"),
+            ("{\"schema_version\":99,\"entries\":[]}", "unsupported"),
+            ("{\"schema_version\":1}", "entries"),
+            (
+                "{\"schema_version\":1,\"entries\":[{\"key\":1}]}",
+                "outcome",
+            ),
+        ] {
+            let err = CampaignCache::from_json(text).unwrap_err();
+            assert!(
+                err.to_string().to_lowercase().contains(needle),
+                "{text}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let cache = CampaignCache::load("/nonexistent/campaign.cache.json").unwrap();
+        assert!(cache.is_empty());
+    }
+}

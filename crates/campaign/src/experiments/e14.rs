@@ -14,13 +14,17 @@
 //! in-transit population — and with it the per-message cost floor — grows
 //! with `n`). Watching the `cost/msg` column track `hw/k` as `n` grows is
 //! Theorem 4.1 as a time series.
+//!
+//! Historically this was a hand-rolled double loop in `nonfifo-core`; it
+//! is now a two-protocol campaign scenario, which is exactly the workload
+//! the campaign engine was built for: every row is one cached,
+//! fingerprinted run, and the whole table parallelizes for free.
 
-use super::table::{f3, markdown};
-use crate::{SimConfig, Simulation};
-use nonfifo_protocols::{AfekFlush, AlternatingBit, DataLink};
-use nonfifo_telemetry::Registry;
+use crate::runner::{CampaignRunner, RunRecord};
+use crate::spec::ScenarioSpec;
+use nonfifo_channel::Discipline;
+use nonfifo_core::experiments::table::{f3, markdown};
 use std::fmt;
-use std::sync::Arc;
 
 /// One protocol × message-count measurement, taken from exported metrics.
 #[derive(Debug, Clone)]
@@ -90,37 +94,60 @@ impl fmt::Display for E14Report {
     }
 }
 
-fn measure(proto: impl DataLink, headers: u64, n: u64, q: f64, seed: u64) -> E14Row {
-    let registry = Arc::new(Registry::new());
-    let name = proto.name();
-    let mut sim = Simulation::probabilistic(proto, q, seed);
-    sim.attach_telemetry(Arc::clone(&registry), None);
-    let stats = sim
-        .deliver(n, &SimConfig::default())
-        .expect("both protocols are safe in this scope");
-    let snapshot = registry.snapshot();
-    let fwd_sends = snapshot.counters["chan.fwd.sends"];
-    let in_transit_hw = snapshot.gauges["sim.fwd.in_transit"].high_water;
-    let agrees = fwd_sends == stats.packets_sent_forward
-        && snapshot.counters["sim.messages.received"] == stats.messages_delivered;
+/// The forward header bound of each protocol in the scenario.
+fn headers_of(protocol: &str) -> u64 {
+    match protocol {
+        "abp" => 2,
+        "afek4" => 4,
+        other => unreachable!("e14 scenario has no protocol {other:?}"),
+    }
+}
+
+fn row_from(record: &RunRecord) -> E14Row {
+    let headers = headers_of(&record.spec.protocol);
+    let fwd_sends = record.metrics.counters["chan.fwd.sends"];
+    let in_transit_hw = record.metrics.gauges["sim.fwd.in_transit"].high_water;
+    // Cross-validate the telemetry pipeline against the engine statistics
+    // carried on the record.
+    let agrees = fwd_sends == record.fwd_sends
+        && record.metrics.counters["sim.messages.received"] == record.delivered;
     E14Row {
-        protocol: name,
+        protocol: record.spec.protocol.clone(),
         headers,
-        n,
+        n: record.spec.messages,
         fwd_sends,
-        cost_per_msg: fwd_sends as f64 / n as f64,
+        cost_per_msg: fwd_sends as f64 / record.spec.messages as f64,
         in_transit_hw,
         floor: in_transit_hw as f64 / headers as f64,
         agrees,
     }
 }
 
-/// Runs E14 over the given message-count schedule: `q = 0.3`, fixed seed.
+/// Runs E14 over the given message-count schedule: `q = 0.3`, fixed seed,
+/// as a campaign scenario (`abp` × `afek4` × scopes).
 pub fn e14_cost_vs_in_transit_at(scopes: &[u64]) -> E14Report {
+    let runs = ScenarioSpec::new("e14")
+        .protocol("abp")
+        .protocol("afek4")
+        .discipline(Discipline::Probabilistic { q: 0.3 })
+        .message_counts(scopes)
+        .seeds(11..12)
+        .expand();
+    let report = CampaignRunner::new(0)
+        .run(&runs)
+        .expect("e14 scenario names only catalog protocols");
+    // Campaign expansion is protocol-major; the published table is
+    // scope-major with abp before afek at each n.
     let mut rows = Vec::new();
     for &n in scopes {
-        rows.push(measure(AlternatingBit::factory(), 2, n, 0.3, 11));
-        rows.push(measure(AfekFlush::with_labels(4), 4, n, 0.3, 11));
+        for proto in ["abp", "afek4"] {
+            let record = report
+                .records
+                .iter()
+                .find(|r| r.spec.protocol == proto && r.spec.messages == n)
+                .expect("every matrix point ran");
+            rows.push(row_from(record));
+        }
     }
     E14Report { rows }
 }

@@ -1,0 +1,60 @@
+//! Campaign engine: declarative scenario matrices over the `nonfifo`
+//! simulation stack, executed by a work-stealing thread pool with
+//! deterministic, cacheable results.
+//!
+//! The experiment suite kept re-growing the same shape by hand: a nest of
+//! loops over protocols × channels × message counts × seeds, each
+//! iteration building a simulation, running it, and accumulating a table.
+//! This crate makes that shape a value:
+//!
+//! - [`ScenarioSpec`] — one axis-product of runs, built fluently or parsed
+//!   from the campaign plan DSL ([`CampaignPlan`]), expanding into
+//!   individually fingerprinted [`RunSpec`]s.
+//! - [`CampaignRunner`] — executes a run list on scoped worker threads,
+//!   claiming work run-at-a-time from the shared
+//!   [`ChunkCursor`](nonfifo_adversary::ChunkCursor); results merge in
+//!   input order, so reports and aggregate metrics are **byte-identical at
+//!   any thread count**.
+//! - [`CampaignCache`] — runs are deterministic functions of their specs,
+//!   so results key by spec fingerprint and replay for free on repeated
+//!   campaigns; a cache replay is indistinguishable from a fresh run in
+//!   every artifact.
+//! - [`CampaignReport`] — the merged records, a markdown rendering, one
+//!   aggregate [`MetricsSnapshot`](nonfifo_telemetry::MetricsSnapshot)
+//!   (per-run registries merged in run order), and the campaign-level
+//!   error for the CLI exit-code contract.
+//! - [`experiments`] — E14 and E15, the paper experiments that are
+//!   campaigns, ported off their hand-rolled loops.
+//!
+//! # Example
+//!
+//! ```
+//! use nonfifo_campaign::{CampaignRunner, ScenarioSpec};
+//! use nonfifo_channel::Discipline;
+//!
+//! let runs = ScenarioSpec::new("quickstart")
+//!     .protocol("abp")
+//!     .protocol("seqnum")
+//!     .discipline(Discipline::Probabilistic { q: 0.3 })
+//!     .message_counts(&[10])
+//!     .seeds(0..2)
+//!     .expand();
+//! let report = CampaignRunner::new(0).run(&runs).expect("catalog names");
+//! assert_eq!(report.records.len(), 4);
+//! assert!(report.worst().is_none(), "both protocols survive PL2p");
+//! println!("{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod experiments;
+mod plan;
+mod runner;
+mod spec;
+
+pub use cache::{CacheError, CachedRun, CampaignCache, CACHE_SCHEMA_VERSION};
+pub use plan::{CampaignPlan, CampaignPlanError};
+pub use runner::{CampaignReport, CampaignRunner, RunOutcome, RunRecord};
+pub use spec::{RunSpec, ScenarioSpec};

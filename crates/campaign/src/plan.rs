@@ -1,0 +1,343 @@
+//! The campaign plan text format: scenarios as data, in the same lenient
+//! line-oriented style as the fault-plan DSL.
+//!
+//! One directive per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # T5.1 growth, as a campaign
+//! scenario growth
+//! protocols outnumber5 seqnum
+//! disciplines prob:0.1 prob:0.3 prob:0.5
+//! messages 10 20 40
+//! seeds 0..5
+//! budget 5000000
+//! fault dup 0.1          # optional; verbs are the fault-plan DSL's
+//! ```
+//!
+//! Every `scenario NAME` line opens a new scenario; the axis directives
+//! that follow belong to it. Protocol names are resolved against the
+//! catalog *at parse time*, so a typo is a line-numbered parse error, not
+//! a mid-campaign panic.
+
+use crate::spec::{RunSpec, ScenarioSpec};
+use nonfifo_channel::{Discipline, FaultPlan};
+use nonfifo_core::NonFifoError;
+use nonfifo_protocols::catalog;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed campaign plan: an ordered list of scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPlan {
+    /// Scenarios in declaration order.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+/// A campaign-plan parse failure: the line it happened on and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignPlanError {
+    /// 1-based line number in the plan text.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CampaignPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for CampaignPlanError {}
+
+impl From<CampaignPlanError> for NonFifoError {
+    fn from(e: CampaignPlanError) -> Self {
+        NonFifoError::Usage(e.to_string())
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> CampaignPlanError {
+    CampaignPlanError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A scenario being accumulated, with the bookkeeping needed for
+/// line-accurate errors on directives that are validated late.
+struct Draft {
+    opened_at: usize,
+    spec: ScenarioSpec,
+    /// Fault directives as `(plan line, directive text)`; joined and parsed
+    /// when the scenario closes so the fault-plan DSL stays authoritative.
+    fault_lines: Vec<(usize, String)>,
+}
+
+impl Draft {
+    fn finish(self) -> Result<ScenarioSpec, CampaignPlanError> {
+        let mut spec = self.spec;
+        for (axis, empty) in [
+            ("protocols", spec.protocols.is_empty()),
+            ("disciplines", spec.disciplines.is_empty()),
+            ("messages", spec.message_counts.is_empty()),
+        ] {
+            if empty {
+                return Err(err(
+                    self.opened_at,
+                    format!("scenario {:?} declares no {axis}", spec.name),
+                ));
+            }
+        }
+        if !self.fault_lines.is_empty() {
+            let text: Vec<&str> = self.fault_lines.iter().map(|(_, t)| t.as_str()).collect();
+            let plan = FaultPlan::parse(&text.join("\n")).map_err(|e| {
+                // Map the fault-plan DSL's line back to the campaign file's.
+                let line = self.fault_lines[e.line - 1].0;
+                err(line, e.message)
+            })?;
+            spec.fault_plan = Some(plan);
+        }
+        Ok(spec)
+    }
+}
+
+impl CampaignPlan {
+    /// Parses the plan text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CampaignPlanError`] naming the offending line: unknown
+    /// directives, directives before any `scenario` line, unknown protocol
+    /// or discipline spellings, malformed numbers or seed ranges, duplicate
+    /// scenario names, scenarios with an empty axis, and plans with no
+    /// scenario at all.
+    pub fn parse(text: &str) -> Result<CampaignPlan, CampaignPlanError> {
+        let mut scenarios: Vec<ScenarioSpec> = Vec::new();
+        let mut draft: Option<Draft> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut words = content.split_whitespace();
+            let verb = words.next().expect("non-empty line has a first word");
+            let args: Vec<&str> = words.collect();
+            if verb == "scenario" {
+                let [name] = args[..] else {
+                    return Err(err(line, "scenario takes exactly one name"));
+                };
+                let taken = scenarios.iter().map(|s| s.name.as_str());
+                if taken
+                    .chain(draft.iter().map(|d| d.spec.name.as_str()))
+                    .any(|n| n == name)
+                {
+                    return Err(err(line, format!("duplicate scenario name {name:?}")));
+                }
+                if let Some(done) = draft.take() {
+                    scenarios.push(done.finish()?);
+                }
+                draft = Some(Draft {
+                    opened_at: line,
+                    spec: ScenarioSpec::new(name),
+                    fault_lines: Vec::new(),
+                });
+                continue;
+            }
+            let Some(d) = draft.as_mut() else {
+                return Err(err(line, format!("`{verb}` before any `scenario` line")));
+            };
+            match verb {
+                "protocols" | "protocol" => {
+                    if args.is_empty() {
+                        return Err(err(line, "protocols needs at least one name"));
+                    }
+                    for name in &args {
+                        catalog::by_name(name).map_err(|e| err(line, e.to_string()))?;
+                        d.spec.protocols.push((*name).to_string());
+                    }
+                }
+                "disciplines" | "discipline" => {
+                    if args.is_empty() {
+                        return Err(err(line, "disciplines needs at least one spelling"));
+                    }
+                    for spelling in &args {
+                        let parsed: Discipline = spelling
+                            .parse()
+                            .map_err(|e: nonfifo_channel::DisciplineError| err(line, e.0))?;
+                        d.spec.disciplines.push(parsed);
+                    }
+                }
+                "messages" => {
+                    if args.is_empty() {
+                        return Err(err(line, "messages needs at least one count"));
+                    }
+                    for n in &args {
+                        let n: u64 = n
+                            .parse()
+                            .map_err(|_| err(line, format!("messages: cannot parse {n:?}")))?;
+                        if n == 0 {
+                            return Err(err(line, "messages must be at least 1"));
+                        }
+                        d.spec.message_counts.push(n);
+                    }
+                }
+                "seeds" => {
+                    let [range] = args[..] else {
+                        return Err(err(line, "seeds takes one value: `A..B` or a single seed"));
+                    };
+                    d.spec.seeds = parse_seeds(line, range)?;
+                }
+                "budget" => {
+                    let [n] = args[..] else {
+                        return Err(err(line, "budget takes one step count"));
+                    };
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| err(line, format!("budget: cannot parse {n:?}")))?;
+                    if n == 0 {
+                        return Err(err(line, "budget must be at least 1"));
+                    }
+                    d.spec.budget = Some(n);
+                }
+                "payloads" => {
+                    if !args.is_empty() {
+                        return Err(err(line, "payloads takes no arguments"));
+                    }
+                    d.spec.payloads = true;
+                }
+                "fault" => {
+                    if args.is_empty() {
+                        return Err(err(line, "fault needs a fault-plan directive"));
+                    }
+                    d.fault_lines.push((line, args.join(" ")));
+                }
+                other => {
+                    return Err(err(
+                        line,
+                        format!(
+                            "unknown directive `{other}` (expected scenario, protocols, \
+                             disciplines, messages, seeds, budget, payloads, or fault)"
+                        ),
+                    ))
+                }
+            }
+        }
+        if let Some(done) = draft.take() {
+            scenarios.push(done.finish()?);
+        }
+        if scenarios.is_empty() {
+            return Err(err(1, "plan declares no scenario"));
+        }
+        Ok(CampaignPlan { scenarios })
+    }
+
+    /// Expands every scenario, concatenated in declaration order.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        self.scenarios
+            .iter()
+            .flat_map(ScenarioSpec::expand)
+            .collect()
+    }
+}
+
+fn parse_seeds(line: usize, text: &str) -> Result<std::ops::Range<u64>, CampaignPlanError> {
+    if let Some((a, b)) = text.split_once("..") {
+        let start: u64 = a
+            .parse()
+            .map_err(|_| err(line, format!("seeds: cannot parse {a:?}")))?;
+        let end: u64 = b
+            .parse()
+            .map_err(|_| err(line, format!("seeds: cannot parse {b:?}")))?;
+        if start >= end {
+            return Err(err(line, format!("seeds: empty range {start}..{end}")));
+        }
+        Ok(start..end)
+    } else {
+        let seed: u64 = text
+            .parse()
+            .map_err(|_| err(line, format!("seeds: cannot parse {text:?}")))?;
+        Ok(seed..seed + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLAN: &str = "\
+# a smoke matrix
+scenario smoke
+protocols abp seqnum
+disciplines fifo prob:0.3
+messages 5 10
+seeds 0..2
+
+scenario chaos
+protocols window4
+disciplines fifo
+messages 8
+seeds 7
+fault dup 0.1
+fault drop 0.05
+";
+
+    #[test]
+    fn parses_scenarios_and_expands_in_order() {
+        let plan = CampaignPlan::parse(PLAN).unwrap();
+        assert_eq!(plan.scenarios.len(), 2);
+        let runs = plan.expand();
+        assert_eq!(runs.len(), 2 * 2 * 2 * 2 + 1);
+        assert_eq!(runs[0].scenario, "smoke");
+        let last = runs.last().unwrap();
+        assert_eq!(last.scenario, "chaos");
+        assert_eq!(last.seed, 7);
+        let faults = last.fault_plan.as_ref().unwrap();
+        assert!((faults.dup - 0.1).abs() < 1e-12);
+        assert!((faults.drop - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_carry_the_offending_line() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("protocols abp", 1, "before any `scenario`"),
+            ("scenario a\nprotocols warbler", 2, "unknown protocol"),
+            (
+                "scenario a\ndisciplines smoke-signal",
+                2,
+                "unknown discipline",
+            ),
+            ("scenario a\nmessages zero", 2, "cannot parse"),
+            ("scenario a\nseeds 5..5", 2, "empty range"),
+            ("scenario a\nteleport now", 2, "unknown directive"),
+            (
+                "scenario a\nprotocols abp\ndisciplines fifo\nmessages 5\nfault dup",
+                5,
+                "dup",
+            ),
+            ("scenario a\nscenario a", 2, "duplicate"),
+            ("", 1, "no scenario"),
+        ];
+        for (text, line, needle) in cases {
+            let e = CampaignPlan::parse(text).unwrap_err();
+            assert_eq!(e.line, *line, "{text:?}: {e}");
+            assert!(e.to_string().contains(needle), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn empty_axes_are_rejected_at_the_scenario_line() {
+        let e = CampaignPlan::parse("scenario lonely\nprotocols abp").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("no disciplines"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let plan = CampaignPlan::parse(
+            "# header\n\nscenario s # trailing\nprotocols abp\ndisciplines fifo\nmessages 3\n",
+        )
+        .unwrap();
+        assert_eq!(plan.expand().len(), 1);
+    }
+}

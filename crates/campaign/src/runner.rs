@@ -1,0 +1,479 @@
+//! The work-stealing campaign runner and its deterministic report.
+//!
+//! [`CampaignRunner`] executes an expanded run list on a pool of scoped
+//! worker threads. Work is claimed run-at-a-time from a
+//! [`ChunkCursor`](nonfifo_adversary::ChunkCursor) (runs vary wildly in
+//! cost — a chunk of 1 is the right granularity, unlike the explorer's
+//! uniform frontier nodes), and every worker tags its results with the
+//! run's index in the input list. Records are merged back in index order,
+//! so the rendered report and the aggregate metrics snapshot are
+//! **byte-identical at any thread count**: parallelism changes wall-clock
+//! time and nothing else.
+//!
+//! Each run gets a fresh simulation, a fresh telemetry
+//! [`Registry`](nonfifo_telemetry::Registry), and a deterministic seed from
+//! its spec, so runs are independent and a result can be cached: the
+//! [`CampaignCache`] is consulted before the pool spins up, and cached
+//! records are indistinguishable from fresh ones in every report artifact.
+
+use crate::cache::{CachedRun, CampaignCache};
+use crate::spec::RunSpec;
+use nonfifo_adversary::ChunkCursor;
+use nonfifo_core::experiments::table::{f3, markdown};
+use nonfifo_core::{NonFifoError, SimConfig, SimError, Simulation};
+use nonfifo_protocols::catalog;
+use nonfifo_telemetry::{MetricsSnapshot, Registry, SCHEMA_VERSION};
+use std::fmt;
+use std::sync::Arc;
+
+/// How one campaign run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every message was delivered within budget.
+    Delivered,
+    /// A message outran its step budget.
+    Stalled,
+    /// The online monitor flagged a specification violation.
+    Violation,
+}
+
+impl RunOutcome {
+    /// Stable text form, used by reports and the cache file.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunOutcome::Delivered => "delivered",
+            RunOutcome::Stalled => "stalled",
+            RunOutcome::Violation => "violation",
+        }
+    }
+
+    /// Parses [`as_str`](RunOutcome::as_str) spellings.
+    pub fn from_str_opt(s: &str) -> Option<RunOutcome> {
+        match s {
+            "delivered" => Some(RunOutcome::Delivered),
+            "stalled" => Some(RunOutcome::Stalled),
+            "violation" => Some(RunOutcome::Violation),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One executed (or cache-replayed) run of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The spec this record answers.
+    pub spec: RunSpec,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The execution fingerprint (event-stream hash) at the end of the run.
+    pub fingerprint: u64,
+    /// Scheduler steps taken (at the stall point for stalled runs).
+    pub steps: u64,
+    /// Forward packets sent, from the engine's own statistics for delivered
+    /// runs and the telemetry counter otherwise.
+    pub fwd_sends: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// The run's full metrics snapshot (fresh registry per run).
+    pub metrics: MetricsSnapshot,
+    /// True if this record was replayed from the cache rather than run.
+    pub cached: bool,
+}
+
+/// The work-stealing scenario-matrix runner.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_campaign::{CampaignRunner, ScenarioSpec};
+/// use nonfifo_channel::Discipline;
+///
+/// let runs = ScenarioSpec::new("doc")
+///     .protocol("abp")
+///     .discipline(Discipline::Fifo)
+///     .message_counts(&[5])
+///     .expand();
+/// let report = CampaignRunner::new(2).run(&runs).unwrap();
+/// assert_eq!(report.records.len(), 1);
+/// assert!(report.worst().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    threads: usize,
+}
+
+impl CampaignRunner {
+    /// A runner with `threads` workers; `0` means one per available core.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        CampaignRunner { threads }
+    }
+
+    /// The worker count this runner will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every spec with no cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast (before any simulation) on unknown protocol names or
+    /// invalid discipline parameters.
+    pub fn run(&self, runs: &[RunSpec]) -> Result<CampaignReport, NonFifoError> {
+        self.run_with_cache(runs, &mut CampaignCache::new())
+    }
+
+    /// Runs every spec, replaying cache hits and inserting fresh results.
+    ///
+    /// The cache is consulted in a pre-pass, so hits cost no thread and no
+    /// simulation; only misses are dispatched to the pool. Records are
+    /// merged in input order whatever the interleaving, so the report is
+    /// byte-identical to a cold, single-threaded run.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast (before any simulation) on unknown protocol names or
+    /// invalid discipline parameters.
+    pub fn run_with_cache(
+        &self,
+        runs: &[RunSpec],
+        cache: &mut CampaignCache,
+    ) -> Result<CampaignReport, NonFifoError> {
+        for spec in runs {
+            catalog::by_name(&spec.protocol).map_err(|e| NonFifoError::Usage(e.to_string()))?;
+            spec.discipline.validate()?;
+        }
+        let mut slots: Vec<Option<RunRecord>> = runs.iter().map(|_| None).collect();
+        let mut to_run: Vec<usize> = Vec::new();
+        let mut cache_hits = 0usize;
+        for (i, spec) in runs.iter().enumerate() {
+            match cache.lookup(spec) {
+                Some(hit) => {
+                    slots[i] = Some(hit);
+                    cache_hits += 1;
+                }
+                None => to_run.push(i),
+            }
+        }
+
+        let workers = self.threads.min(to_run.len()).max(1);
+        let fresh: Vec<(usize, RunRecord)> = if to_run.is_empty() {
+            Vec::new()
+        } else if workers == 1 {
+            to_run.iter().map(|&i| (i, execute(&runs[i]))).collect()
+        } else {
+            let cursor = ChunkCursor::new(to_run.len(), 1);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            while let Some(range) = cursor.claim() {
+                                for slot in range {
+                                    let i = to_run[slot];
+                                    mine.push((i, execute(&runs[i])));
+                                }
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            })
+        };
+        for (i, record) in fresh {
+            cache.insert(&runs[i], &record);
+            slots[i] = Some(record);
+        }
+        let records = slots
+            .into_iter()
+            .map(|r| r.expect("every run slot is filled by the cache pre-pass or the pool"))
+            .collect();
+        Ok(CampaignReport {
+            records,
+            cache_hits,
+        })
+    }
+}
+
+/// Executes one validated spec on the calling thread.
+fn execute(spec: &RunSpec) -> RunRecord {
+    let proto = catalog::by_name(&spec.protocol).expect("specs are validated before dispatch");
+    let registry = Arc::new(Registry::new());
+    let mut builder = Simulation::builder(proto)
+        .channel(spec.discipline.clone())
+        .seed(spec.seed);
+    if let Some(plan) = &spec.fault_plan {
+        builder = builder.fault_plan(plan.clone());
+    }
+    let mut sim = builder.build();
+    sim.attach_telemetry(Arc::clone(&registry), None);
+    let cfg = SimConfig {
+        max_steps_per_message: spec
+            .budget
+            .unwrap_or(SimConfig::default().max_steps_per_message),
+        payloads: spec.payloads,
+        ..SimConfig::default()
+    };
+    let result = sim.deliver(spec.messages, &cfg);
+    let fingerprint = sim.execution_fingerprint();
+    let metrics = registry.snapshot();
+    let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+    let (outcome, steps, fwd_sends, delivered) = match &result {
+        Ok(stats) => (
+            RunOutcome::Delivered,
+            stats.steps,
+            stats.packets_sent_forward,
+            stats.messages_delivered,
+        ),
+        Err(SimError::Stalled { diagnostic, .. }) => (
+            RunOutcome::Stalled,
+            diagnostic.at_step,
+            counter("chan.fwd.sends"),
+            diagnostic.messages_delivered,
+        ),
+        Err(SimError::Violation(_)) => (
+            RunOutcome::Violation,
+            0,
+            counter("chan.fwd.sends"),
+            counter("sim.messages.received"),
+        ),
+    };
+    RunRecord {
+        spec: spec.clone(),
+        outcome,
+        fingerprint,
+        steps,
+        fwd_sends,
+        delivered,
+        metrics,
+        cached: false,
+    }
+}
+
+impl From<&RunRecord> for CachedRun {
+    fn from(r: &RunRecord) -> Self {
+        CachedRun {
+            outcome: r.outcome,
+            fingerprint: r.fingerprint,
+            steps: r.steps,
+            fwd_sends: r.fwd_sends,
+            delivered: r.delivered,
+            metrics: r.metrics.clone(),
+        }
+    }
+}
+
+/// The merged result of a campaign, in input-spec order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// One record per input spec, in input order.
+    pub records: Vec<RunRecord>,
+    /// How many records were replayed from the cache.
+    pub cache_hits: usize,
+}
+
+impl CampaignReport {
+    /// Renders the campaign as a markdown table. A pure function of the
+    /// run results: byte-identical at any thread count and for any mix of
+    /// cached and fresh records.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.spec.scenario.clone(),
+                    r.spec.protocol.clone(),
+                    r.spec.discipline.to_string(),
+                    r.spec.messages.to_string(),
+                    r.spec.seed.to_string(),
+                    r.outcome.to_string(),
+                    r.steps.to_string(),
+                    r.fwd_sends.to_string(),
+                    f3(if r.delivered == 0 {
+                        0.0
+                    } else {
+                        r.fwd_sends as f64 / r.delivered as f64
+                    }),
+                    format!("{:016x}", r.fingerprint),
+                ]
+            })
+            .collect();
+        markdown(
+            &[
+                "scenario",
+                "protocol",
+                "channel",
+                "n",
+                "seed",
+                "outcome",
+                "steps",
+                "fwd sends",
+                "cost/msg",
+                "fingerprint",
+            ],
+            &rows,
+        )
+    }
+
+    /// Merges every run's metrics snapshot, in input order, into one
+    /// campaign-wide aggregate, plus the `campaign.runs_total`,
+    /// `campaign.cache_hits`, and per-outcome `campaign.runs.*` counters.
+    /// Deterministic: the merge order is the input-spec order, not the
+    /// completion order.
+    pub fn aggregate_metrics(&self) -> MetricsSnapshot {
+        let mut agg = MetricsSnapshot {
+            schema_version: SCHEMA_VERSION,
+            ..MetricsSnapshot::default()
+        };
+        for record in &self.records {
+            agg.merge_from(&record.metrics);
+        }
+        agg.counters
+            .insert("campaign.runs_total".to_string(), self.records.len() as u64);
+        agg.counters
+            .insert("campaign.cache_hits".to_string(), self.cache_hits as u64);
+        for outcome in [
+            RunOutcome::Delivered,
+            RunOutcome::Stalled,
+            RunOutcome::Violation,
+        ] {
+            let count = self.count(outcome) as u64;
+            agg.counters
+                .insert(format!("campaign.runs.{outcome}"), count);
+        }
+        agg
+    }
+
+    /// Number of runs that ended with `outcome`.
+    pub fn count(&self, outcome: RunOutcome) -> usize {
+        self.records.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// The campaign-level error for the exit-code contract, if any run
+    /// failed: violations dominate stalls.
+    pub fn worst(&self) -> Option<NonFifoError> {
+        let violations = self.count(RunOutcome::Violation) as u64;
+        let stalls = self.count(RunOutcome::Stalled) as u64;
+        if violations == 0 && stalls == 0 {
+            None
+        } else {
+            Some(NonFifoError::CampaignFailed { violations, stalls })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+    use nonfifo_channel::Discipline;
+
+    fn matrix() -> Vec<RunSpec> {
+        ScenarioSpec::new("t")
+            .protocol("abp")
+            .protocol("seqnum")
+            .discipline(Discipline::Fifo)
+            .discipline(Discipline::Probabilistic { q: 0.3 })
+            .message_counts(&[5, 10])
+            .seeds(0..3)
+            .expand()
+    }
+
+    #[test]
+    fn report_and_aggregate_are_thread_count_invariant() {
+        let runs = matrix();
+        let base = CampaignRunner::new(1).run(&runs).unwrap();
+        for threads in [2, 8] {
+            let other = CampaignRunner::new(threads).run(&runs).unwrap();
+            assert_eq!(base.render(), other.render(), "{threads} threads");
+            assert_eq!(
+                base.aggregate_metrics().to_json(),
+                other.aggregate_metrics().to_json(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_replay_is_transparent_and_total() {
+        let runs = matrix();
+        let mut cache = CampaignCache::new();
+        let cold = CampaignRunner::new(2)
+            .run_with_cache(&runs, &mut cache)
+            .unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cache.len(), runs.len());
+        let warm = CampaignRunner::new(2)
+            .run_with_cache(&runs, &mut cache)
+            .unwrap();
+        assert_eq!(warm.cache_hits, runs.len());
+        assert!(warm.records.iter().all(|r| r.cached));
+        assert_eq!(cold.render(), warm.render());
+        // The only aggregate difference a warm cache makes is the hit counter.
+        let mut cold_agg = cold.aggregate_metrics();
+        cold_agg
+            .counters
+            .insert("campaign.cache_hits".to_string(), runs.len() as u64);
+        assert_eq!(cold_agg, warm.aggregate_metrics());
+    }
+
+    #[test]
+    fn failing_runs_surface_through_worst() {
+        // The alternating bit falls over a bounded-reorder channel.
+        let runs = ScenarioSpec::new("break")
+            .protocol("abp")
+            .discipline(Discipline::BoundedReorder { bound: 4 })
+            .message_counts(&[20])
+            .seeds(0..4)
+            .expand();
+        let report = CampaignRunner::new(2).run(&runs).unwrap();
+        let failed = report.count(RunOutcome::Violation) + report.count(RunOutcome::Stalled);
+        assert!(failed > 0, "expected at least one failing seed");
+        match report.worst() {
+            Some(NonFifoError::CampaignFailed { violations, stalls }) => {
+                assert_eq!(violations + stalls, failed as u64);
+            }
+            other => panic!("expected CampaignFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_protocols_fail_fast() {
+        let mut runs = matrix();
+        runs[3].protocol = "warbler".to_string();
+        let err = CampaignRunner::new(2).run(&runs).unwrap_err();
+        assert!(err.to_string().contains("warbler"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_counts_runs_and_outcomes() {
+        let runs = matrix();
+        let report = CampaignRunner::new(2).run(&runs).unwrap();
+        let agg = report.aggregate_metrics();
+        assert_eq!(agg.counters["campaign.runs_total"], runs.len() as u64);
+        assert_eq!(
+            agg.counters["campaign.runs.delivered"]
+                + agg.counters["campaign.runs.stalled"]
+                + agg.counters["campaign.runs.violation"],
+            runs.len() as u64
+        );
+        // Per-run channel counters accumulated across the whole matrix.
+        assert!(agg.counters["chan.fwd.sends"] > 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! One factory for every autonomous channel discipline.
+//!
+//! The simulation layer historically offered one constructor per channel
+//! kind; [`Discipline`] replaces that fan-out with a single declarative
+//! value that knows how to build a matched forward/backward pair. It is the
+//! channel axis of the `SimulationBuilder` and of campaign scenario
+//! matrices, so it parses from and renders to a stable, round-tripping
+//! text form (`fifo`, `lossy:0.2`, `probabilistic:0.3`, `reorder:4`).
+
+use crate::{
+    BoundedReorderChannel, BoxedChannel, ChaosChannel, FaultPlan, FifoChannel, LossyFifoChannel,
+    ProbabilisticChannel,
+};
+use nonfifo_ioa::Dir;
+use std::fmt;
+use std::str::FromStr;
+
+/// A declarative description of an autonomous channel pair.
+///
+/// `Discipline` covers the seeded, self-driving substrates a
+/// [`Simulation`](https://docs.rs/nonfifo-core) can pump without adversary
+/// input. Fully adversarial channels (every copy individually addressable)
+/// stay outside: they are driven by schedules, not seeds.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_channel::Discipline;
+///
+/// let d: Discipline = "probabilistic:0.3".parse().unwrap();
+/// assert_eq!(d, Discipline::Probabilistic { q: 0.3 });
+/// assert_eq!(d.to_string(), "probabilistic:0.3");
+/// let (fwd, bwd) = d.build_pair(42);
+/// assert_eq!(fwd.dir(), nonfifo_ioa::Dir::Forward);
+/// assert_eq!(bwd.dir(), nonfifo_ioa::Dir::Backward);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Discipline {
+    /// Reliable FIFO (the control substrate). Ignores the seed.
+    Fifo,
+    /// FIFO order with i.i.d. loss probability `loss`.
+    LossyFifo {
+        /// Per-copy loss probability, in `[0, 1]`.
+        loss: f64,
+    },
+    /// The paper's PL2p physical layer: each copy is delayed with
+    /// probability `q`.
+    Probabilistic {
+        /// Per-copy delay probability, in `[0, 1]`.
+        q: f64,
+    },
+    /// Non-FIFO with overtaking distance `< bound`.
+    BoundedReorder {
+        /// The reorder distance bound, at least 1.
+        bound: u64,
+    },
+}
+
+/// Why a discipline spelling was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisciplineError(pub String);
+
+impl fmt::Display for DisciplineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DisciplineError {}
+
+impl Discipline {
+    /// Checks the discipline's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Probabilities outside `[0, 1]` and a reorder bound of 0.
+    pub fn validate(&self) -> Result<(), DisciplineError> {
+        match *self {
+            Discipline::Fifo => Ok(()),
+            Discipline::LossyFifo { loss } => probability("lossy", loss),
+            Discipline::Probabilistic { q } => probability("probabilistic", q),
+            Discipline::BoundedReorder { bound } => {
+                if bound >= 1 {
+                    Ok(())
+                } else {
+                    Err(DisciplineError(
+                        "reorder bound must be at least 1".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Builds the forward/backward channel pair: the forward channel is
+    /// driven by `seed`, the backward by `seed + 1` (matching the historical
+    /// per-kind constructors, so fingerprints are preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters [`validate`](Discipline::validate) rejects;
+    /// parse-time validation makes this unreachable for parsed disciplines.
+    pub fn build_pair(&self, seed: u64) -> (BoxedChannel, BoxedChannel) {
+        match *self {
+            Discipline::Fifo => (
+                Box::new(FifoChannel::new(Dir::Forward)),
+                Box::new(FifoChannel::new(Dir::Backward)),
+            ),
+            Discipline::LossyFifo { loss } => (
+                Box::new(LossyFifoChannel::new(Dir::Forward, loss, seed)),
+                Box::new(LossyFifoChannel::new(
+                    Dir::Backward,
+                    loss,
+                    seed.wrapping_add(1),
+                )),
+            ),
+            Discipline::Probabilistic { q } => (
+                Box::new(ProbabilisticChannel::new(Dir::Forward, q, seed)),
+                Box::new(ProbabilisticChannel::new(
+                    Dir::Backward,
+                    q,
+                    seed.wrapping_add(1),
+                )),
+            ),
+            Discipline::BoundedReorder { bound } => (
+                Box::new(BoundedReorderChannel::new(Dir::Forward, bound, seed)),
+                Box::new(BoundedReorderChannel::new(
+                    Dir::Backward,
+                    bound,
+                    seed.wrapping_add(1),
+                )),
+            ),
+        }
+    }
+
+    /// Builds the pair and wraps both directions in the chaos
+    /// fault-injection decorator, forward driven by `seed`, backward by
+    /// `seed + 1` (the historical `Simulation::chaos` seeding).
+    pub fn build_pair_with_faults(
+        &self,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> (BoxedChannel, BoxedChannel) {
+        let (fwd, bwd) = self.build_pair(seed);
+        (
+            Box::new(ChaosChannel::new(fwd, plan.clone(), seed)),
+            Box::new(ChaosChannel::new(bwd, plan.clone(), seed.wrapping_add(1))),
+        )
+    }
+}
+
+impl fmt::Display for Discipline {
+    /// Canonical spelling; [`FromStr`] of the output reproduces the value.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Discipline::Fifo => write!(f, "fifo"),
+            Discipline::LossyFifo { loss } => write!(f, "lossy:{loss}"),
+            Discipline::Probabilistic { q } => write!(f, "probabilistic:{q}"),
+            Discipline::BoundedReorder { bound } => write!(f, "reorder:{bound}"),
+        }
+    }
+}
+
+impl FromStr for Discipline {
+    type Err = DisciplineError;
+
+    /// Parses `fifo`, `lossy[:L]`, `probabilistic[:Q]` (alias `prob`), and
+    /// `reorder[:B]`; omitted parameters take the CLI's historical defaults
+    /// (`L = 0.3`, `Q = 0.3`, `B = 4`).
+    fn from_str(s: &str) -> Result<Discipline, DisciplineError> {
+        let (kind, param) = match s.split_once(':') {
+            Some((k, p)) => (k, Some(p)),
+            None => (s, None),
+        };
+        let d = match kind {
+            "fifo" => {
+                if param.is_some() {
+                    return Err(DisciplineError("fifo takes no parameter".to_string()));
+                }
+                Discipline::Fifo
+            }
+            "lossy" => Discipline::LossyFifo {
+                loss: parse_param(kind, param, 0.3)?,
+            },
+            "probabilistic" | "prob" => Discipline::Probabilistic {
+                q: parse_param(kind, param, 0.3)?,
+            },
+            "reorder" => Discipline::BoundedReorder {
+                bound: parse_param(kind, param, 4)?,
+            },
+            other => {
+                return Err(DisciplineError(format!(
+                    "unknown discipline {other:?} (expected fifo, lossy[:L], \
+                     probabilistic[:Q], or reorder[:B])"
+                )))
+            }
+        };
+        d.validate()?;
+        Ok(d)
+    }
+}
+
+fn probability(name: &str, p: f64) -> Result<(), DisciplineError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(DisciplineError(format!(
+            "{name} probability must be in [0, 1], got {p}"
+        )))
+    }
+}
+
+fn parse_param<T: FromStr>(
+    kind: &str,
+    param: Option<&str>,
+    default: T,
+) -> Result<T, DisciplineError> {
+    match param {
+        None => Ok(default),
+        Some(p) => p
+            .parse()
+            .map_err(|_| DisciplineError(format!("{kind}: cannot parse parameter {p:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spellings_round_trip() {
+        for text in ["fifo", "lossy:0.2", "probabilistic:0.35", "reorder:7"] {
+            let d: Discipline = text.parse().unwrap();
+            assert_eq!(d.to_string(), text);
+            assert_eq!(d.to_string().parse::<Discipline>().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn defaults_match_the_cli() {
+        assert_eq!(
+            "lossy".parse::<Discipline>().unwrap(),
+            Discipline::LossyFifo { loss: 0.3 }
+        );
+        assert_eq!(
+            "prob".parse::<Discipline>().unwrap(),
+            Discipline::Probabilistic { q: 0.3 }
+        );
+        assert_eq!(
+            "reorder".parse::<Discipline>().unwrap(),
+            Discipline::BoundedReorder { bound: 4 }
+        );
+    }
+
+    #[test]
+    fn bad_spellings_are_rejected() {
+        for text in [
+            "carrier-pigeon",
+            "lossy:2.0",
+            "probabilistic:-0.1",
+            "reorder:0",
+            "reorder:x",
+            "fifo:1",
+        ] {
+            assert!(text.parse::<Discipline>().is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn build_pair_directions_and_determinism() {
+        for d in [
+            Discipline::Fifo,
+            Discipline::LossyFifo { loss: 0.3 },
+            Discipline::Probabilistic { q: 0.3 },
+            Discipline::BoundedReorder { bound: 4 },
+        ] {
+            let (fwd, bwd) = d.build_pair(9);
+            assert_eq!(fwd.dir(), Dir::Forward, "{d}");
+            assert_eq!(bwd.dir(), Dir::Backward, "{d}");
+        }
+    }
+
+    #[test]
+    fn faulted_pair_is_chaos_wrapped() {
+        let plan = FaultPlan::parse("dup 0.5").unwrap();
+        let (mut fwd, _bwd) = Discipline::Fifo.build_pair_with_faults(1, &plan);
+        // A chaos decorator is the only channel that can report injections.
+        for _ in 0..64 {
+            fwd.send(nonfifo_ioa::Packet::header_only(nonfifo_ioa::Header::new(
+                0,
+            )));
+            fwd.tick();
+        }
+        assert!(
+            !fwd.fault_log().is_empty(),
+            "the plan fired through the wrap"
+        );
+    }
+}

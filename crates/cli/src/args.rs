@@ -16,6 +16,12 @@ impl fmt::Display for ArgsError {
 
 impl std::error::Error for ArgsError {}
 
+impl From<ArgsError> for nonfifo_core::NonFifoError {
+    fn from(e: ArgsError) -> Self {
+        nonfifo_core::NonFifoError::Usage(e.0)
+    }
+}
+
 /// Parsed arguments: positionals in order, options by name.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {

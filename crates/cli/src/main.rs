@@ -12,16 +12,20 @@
 //!                  [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
 //!                  [--parallel] [--threads N] [--differential] [--no-shrink]
 //!                  [--metrics] [--metrics-out FILE] [--trace-out FILE]
+//! nonfifo campaign <plan-file> [--threads N] [--cache FILE]
+//!                  [--metrics-out FILE]
 //! nonfifo schedule <protocol> <attack-file> [--diagram]
 //! nonfifo recheck  <trace-file> [--diagram]
 //! nonfifo report   [--exp eN]
 //! nonfifo list
 //! ```
 //!
-//! `explore` distinguishes its outcomes in the exit code so scripts cannot
-//! mistake a truncated search for a certificate: 0 = exhaustive certificate,
-//! 2 = counterexample found, 3 = state budget exhausted (inconclusive),
-//! 4 = differential mismatch between the sequential and parallel engines.
+//! Outcome-bearing subcommands (`explore`, `simulate`, `chaos`, `campaign`)
+//! share one exit-code contract, applied in exactly one place
+//! ([`exit_code`]) over the workspace-wide [`NonFifoError`]: 0 = clean run /
+//! exhaustive certificate, 2 = counterexample or specification violation,
+//! 3 = stall or exhausted state budget (inconclusive), 4 = differential
+//! mismatch between engines, 1 = operational error (bad usage, I/O, parse).
 //!
 //! Telemetry flags are shared by `simulate`, `chaos`, and `explore`:
 //! `--metrics` prints a human summary, `--metrics-out FILE` writes the
@@ -36,7 +40,7 @@ use nonfifo_adversary::{
     explore, shrink, Discipline, ExploreConfig, ExploreOutcome, FalsifyOutcome,
     GreedyReplayAdversary, MfConfig, MfFalsifier, ParallelExplorer, PfConfig, PfFalsifier,
 };
-use nonfifo_core::{CrashEvent, CrashMode, SimConfig, SimError, Station};
+use nonfifo_core::{CrashEvent, CrashMode, NonFifoError, SimConfig, SimError, Station};
 use nonfifo_telemetry::{Registry, TraceSink};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -57,9 +61,11 @@ usage:
                    [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
                    [--parallel] [--threads N] [--differential] [--no-shrink]
                    [--metrics] [--metrics-out FILE] [--trace-out FILE]
+  nonfifo campaign <plan-file> [--threads N] [--cache FILE]
+                   [--metrics-out FILE]
   nonfifo schedule <protocol> <attack-file> [--diagram]
   nonfifo recheck  <trace-file> [--diagram]
-  nonfifo report   [--exp e1..e11,e13,e14]
+  nonfifo report   [--exp e1..e11,e13,e14,e15]
   nonfifo list
 
 explore exit codes: 0 certificate, 2 counterexample, 3 inconclusive
@@ -73,16 +79,22 @@ JSON (load in chrome://tracing or Perfetto).
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(raw) {
-        Ok(code) => code,
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("\n{USAGE}");
-            ExitCode::FAILURE
+            let code = exit_code(&e);
+            if code == 1 {
+                // Operational failure: the run never happened, so explain.
+                eprintln!("error: {e}");
+                eprintln!("\n{USAGE}");
+            }
+            // Outcome codes (2/3/4): the subcommand already reported the
+            // finding in full; the code is the machine-readable verdict.
+            ExitCode::from(code)
         }
     }
 }
 
-fn dispatch(raw: Vec<String>) -> Result<ExitCode, ArgsError> {
+fn dispatch(raw: Vec<String>) -> Result<(), NonFifoError> {
     let args = Args::parse(
         raw,
         &[
@@ -98,32 +110,36 @@ fn dispatch(raw: Vec<String>) -> Result<ExitCode, ArgsError> {
         ],
     )?;
     match args.positional(0) {
-        Some("simulate") => cmd_simulate(&args).map(|()| ExitCode::SUCCESS),
-        Some("chaos") => cmd_chaos(&args).map(|()| ExitCode::SUCCESS),
-        Some("attack") => cmd_attack(&args).map(|()| ExitCode::SUCCESS),
+        Some("simulate") => cmd_simulate(&args),
+        Some("chaos") => cmd_chaos(&args),
+        Some("attack") => Ok(cmd_attack(&args)?),
         Some("explore") => cmd_explore(&args),
-        Some("schedule") => cmd_schedule(&args).map(|()| ExitCode::SUCCESS),
-        Some("recheck") => cmd_recheck(&args).map(|()| ExitCode::SUCCESS),
-        Some("report") => cmd_report(&args).map(|()| ExitCode::SUCCESS),
+        Some("campaign") => cmd_campaign(&args),
+        Some("schedule") => Ok(cmd_schedule(&args)?),
+        Some("recheck") => Ok(cmd_recheck(&args)?),
+        Some("report") => Ok(cmd_report(&args)?),
         Some("list") => {
             cmd_list();
-            Ok(ExitCode::SUCCESS)
+            Ok(())
         }
-        _ => Err(ArgsError("missing or unknown subcommand".into())),
+        _ => Err(NonFifoError::Usage("missing or unknown subcommand".into())),
     }
 }
 
-/// The `explore` exit code contract: scripts branch on this, so truncation
-/// must be distinguishable from a certificate.
-fn explore_exit_code(outcome: &ExploreOutcome) -> u8 {
-    match outcome {
-        ExploreOutcome::Exhausted { .. } => 0,
-        ExploreOutcome::Counterexample { .. } => 2,
-        ExploreOutcome::Truncated { .. } => 3,
+/// The one exit-code mapping. Scripts branch on these, so a truncated
+/// search must stay distinguishable from a certificate and a violation
+/// from an operational failure.
+fn exit_code(err: &NonFifoError) -> u8 {
+    match err {
+        NonFifoError::Usage(_) | NonFifoError::Io { .. } | NonFifoError::Plan(_) => 1,
+        NonFifoError::Sim(SimError::Violation(_)) | NonFifoError::Counterexample { .. } => 2,
+        NonFifoError::CampaignFailed { violations, .. } if *violations > 0 => 2,
+        NonFifoError::Sim(SimError::Stalled { .. })
+        | NonFifoError::Truncated { .. }
+        | NonFifoError::CampaignFailed { .. } => 3,
+        NonFifoError::DifferentialMismatch => 4,
     }
 }
-
-const EXIT_DIFFERENTIAL_MISMATCH: u8 = 4;
 
 /// Builds the telemetry sinks the common options asked for. A registry is
 /// created whenever any sink is requested (runs attach metrics and trace
@@ -171,9 +187,9 @@ fn cmd_list() {
     }
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), ArgsError> {
+fn cmd_simulate(args: &Args) -> Result<(), NonFifoError> {
     if args.positional_count() > 3 {
-        return Err(ArgsError("simulate takes exactly two positionals".into()));
+        return Err(ArgsError("simulate takes exactly two positionals".into()).into());
     }
     let proto = args
         .positional(1)
@@ -213,13 +229,18 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgsError> {
                     }
                 );
             }
-            export_telemetry(&opts, metrics.as_ref(), trace.as_ref())
+            export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
+            Ok(())
         }
-        Err(e) => Err(ArgsError(format!("run failed: {e}"))),
+        Err(e) => {
+            println!("run failed: {e}");
+            export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
+            Err(e.into())
+        }
     }
 }
 
-fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
+fn cmd_chaos(args: &Args) -> Result<(), NonFifoError> {
     use nonfifo_channel::FaultPlan;
     let proto_name = args
         .positional(1)
@@ -230,9 +251,8 @@ fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
     let opts = CommonOpts::from_args(args)?;
     let seed = opts.seed;
     let messages: u64 = args.option_or("messages", 100)?;
-    let text = std::fs::read_to_string(plan_path)
-        .map_err(|e| ArgsError(format!("cannot read {plan_path}: {e}")))?;
-    let plan = FaultPlan::parse(&text).map_err(|e| ArgsError(format!("plan: {e}")))?;
+    let text = std::fs::read_to_string(plan_path).map_err(|e| NonFifoError::io(plan_path, &e))?;
+    let plan = FaultPlan::parse(&text)?;
 
     let mode = if args.flag("restore") {
         CrashMode::Restore
@@ -278,7 +298,8 @@ fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
     if plan.is_quiet() && cfg.crash_plan.is_empty() {
         println!("  (the plan injects no faults and schedules no crashes)");
     }
-    match sim.deliver(messages, &cfg) {
+    let result = sim.deliver(messages, &cfg);
+    match &result {
         Ok(stats) => {
             println!("  messages delivered : {}", stats.messages_delivered);
             println!("  forward packets    : {}", stats.packets_sent_forward);
@@ -298,7 +319,7 @@ fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
             println!("{diagnostic}");
             let path = args.option("dump").unwrap_or("stall-repro.attack");
             std::fs::write(path, &diagnostic.repro_schedule)
-                .map_err(|e| ArgsError(format!("cannot write {path}: {e}")))?;
+                .map_err(|e| NonFifoError::io(path, &e))?;
             println!(
                 "repro schedule written to {path} (replay with `nonfifo schedule {proto_name} {path}`)"
             );
@@ -309,7 +330,8 @@ fn cmd_chaos(args: &Args) -> Result<(), ArgsError> {
     }
     // Faulted runs still export telemetry: the counters are exactly what a
     // post-mortem wants.
-    export_telemetry(&opts, metrics.as_ref(), trace.as_ref())
+    export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
+    result.map(|_| ()).map_err(NonFifoError::from)
 }
 
 fn cmd_attack(args: &Args) -> Result<(), ArgsError> {
@@ -382,7 +404,7 @@ fn cmd_attack(args: &Args) -> Result<(), ArgsError> {
     Ok(())
 }
 
-fn cmd_explore(args: &Args) -> Result<ExitCode, ArgsError> {
+fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
     let proto_name = args
         .positional(1)
         .ok_or_else(|| ArgsError("explore needs a protocol".into()))?;
@@ -458,7 +480,7 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, ArgsError> {
             println!("--- this engine ---\n{}", outcome.report());
             println!("--- other engine ---\n{}", other.report());
             export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
-            return Ok(ExitCode::from(EXIT_DIFFERENTIAL_MISMATCH));
+            return Err(NonFifoError::DifferentialMismatch);
         }
         println!("differential: sequential and parallel reports are byte-identical");
     }
@@ -495,7 +517,85 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, ArgsError> {
         }
     }
     export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
-    Ok(ExitCode::from(explore_exit_code(&outcome)))
+    match outcome {
+        ExploreOutcome::Exhausted { .. } => Ok(()),
+        ExploreOutcome::Counterexample { depth, .. } => Err(NonFifoError::Counterexample { depth }),
+        ExploreOutcome::Truncated { states } => Err(NonFifoError::Truncated {
+            states: states as u64,
+        }),
+    }
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), NonFifoError> {
+    use nonfifo_campaign::{CampaignCache, CampaignPlan, CampaignRunner, RunOutcome};
+    let plan_path = args
+        .positional(1)
+        .ok_or_else(|| ArgsError("campaign needs a plan file".into()))?;
+    if args.positional_count() > 2 {
+        return Err(ArgsError("campaign takes exactly one positional".into()).into());
+    }
+    let threads: usize = args.option_or("threads", 0)?;
+    let text = std::fs::read_to_string(plan_path).map_err(|e| NonFifoError::io(plan_path, &e))?;
+    let plan = CampaignPlan::parse(&text)?;
+    let runs = plan.expand();
+    let mut cache = match args.option("cache") {
+        Some(path) => CampaignCache::load(path)?,
+        None => CampaignCache::new(),
+    };
+    let runner = CampaignRunner::new(threads);
+    println!(
+        "campaign: {} scenario(s), {} run(s), {} thread(s), plan {plan_path}",
+        plan.scenarios.len(),
+        runs.len(),
+        runner.threads()
+    );
+    let started = std::time::Instant::now();
+    let report = runner.run_with_cache(&runs, &mut cache)?;
+    let elapsed = started.elapsed().as_secs_f64();
+    println!("\n{}", report.render());
+    println!(
+        "outcome: {} delivered, {} stalled, {} violation(s)",
+        report.count(RunOutcome::Delivered),
+        report.count(RunOutcome::Stalled),
+        report.count(RunOutcome::Violation),
+    );
+    // Integer percentage, so CI smoke jobs can grep the hit rate.
+    let percent = if runs.is_empty() {
+        100
+    } else {
+        report.cache_hits * 100 / runs.len()
+    };
+    println!(
+        "cache  : {} hits / {} runs ({percent}%)",
+        report.cache_hits,
+        runs.len()
+    );
+    if elapsed > 0.0 {
+        println!(
+            "timing : {:.2}s, {:.0} runs/sec",
+            elapsed,
+            runs.len() as f64 / elapsed
+        );
+    }
+    if let Some(path) = args.option("cache") {
+        cache.save(path)?;
+        println!("cache written to {path} ({} entries)", cache.len());
+    }
+    if let Some(path) = args.option("metrics-out") {
+        // The aggregate is a pure function of the run results — identical
+        // at any thread count and for any cache state except the
+        // campaign.cache_hits counter — so timing never goes in this file.
+        std::fs::write(path, report.aggregate_metrics().to_json())
+            .map_err(|e| NonFifoError::io(path, &e))?;
+        println!("metrics written to {path}");
+    }
+    match report.worst() {
+        None => Ok(()),
+        Some(err) => {
+            println!("verdict: {err}");
+            Err(err)
+        }
+    }
 }
 
 fn cmd_schedule(args: &Args) -> Result<(), ArgsError> {
@@ -566,13 +666,14 @@ fn cmd_recheck(args: &Args) -> Result<(), ArgsError> {
 }
 
 fn cmd_report(args: &Args) -> Result<(), ArgsError> {
+    use nonfifo_campaign::experiments as cx;
     use nonfifo_core::experiments as ex;
     let seed = 20260705u64;
     let selected: Vec<String> = match args.option("exp") {
         Some(e) => vec![e.to_string()],
         None => (1..=11)
             .map(|i| format!("e{i}"))
-            .chain(["e13".to_string(), "e14".to_string()])
+            .chain(["e13".to_string(), "e14".to_string(), "e15".to_string()])
             .collect(),
     };
     for exp in selected {
@@ -589,7 +690,8 @@ fn cmd_report(args: &Args) -> Result<(), ArgsError> {
             "e10" => println!("## E10\n\n{}", ex::e10_transport(100)),
             "e11" => println!("## E11\n\n{}", ex::e11_exhaustive()),
             "e13" => println!("## E13\n\n{}", ex::e13_parallel_certification()),
-            "e14" => println!("## E14\n\n{}", ex::e14_cost_vs_in_transit()),
+            "e14" => println!("## E14\n\n{}", cx::e14_cost_vs_in_transit()),
+            "e15" => println!("## E15\n\n{}", cx::e15_growth_campaign()),
             other => return Err(ArgsError(format!("unknown experiment {other:?}"))),
         }
     }
@@ -599,28 +701,36 @@ fn cmd_report(args: &Args) -> Result<(), ArgsError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nonfifo_adversary::Schedule;
 
     #[test]
-    fn explore_exit_codes_distinguish_all_outcomes() {
+    fn exit_codes_distinguish_all_outcomes() {
+        assert_eq!(exit_code(&NonFifoError::Usage("bad".into())), 1);
         assert_eq!(
-            explore_exit_code(&ExploreOutcome::Exhausted { states: 42 }),
-            0
+            exit_code(&NonFifoError::Io {
+                path: "x".into(),
+                message: "gone".into()
+            }),
+            1
         );
+        assert_eq!(exit_code(&NonFifoError::Counterexample { depth: 6 }), 2);
+        assert_eq!(exit_code(&NonFifoError::Truncated { states: 42 }), 3);
+        assert_eq!(exit_code(&NonFifoError::DifferentialMismatch), 4);
+        // Campaign verdicts follow the single-run rules: any violation is a
+        // counterexample (2); stalls alone are inconclusive (3).
         assert_eq!(
-            explore_exit_code(&ExploreOutcome::Counterexample {
-                execution: nonfifo_ioa::Execution::default(),
-                depth: 6,
-                schedule: Schedule::new(Vec::new()),
+            exit_code(&NonFifoError::CampaignFailed {
+                violations: 1,
+                stalls: 5
             }),
             2
         );
         assert_eq!(
-            explore_exit_code(&ExploreOutcome::Truncated { states: 42 }),
+            exit_code(&NonFifoError::CampaignFailed {
+                violations: 0,
+                stalls: 1
+            }),
             3
         );
-        // The differential-mismatch code collides with none of the above.
-        assert_eq!(EXIT_DIFFERENTIAL_MISMATCH, 4);
     }
 
     #[test]

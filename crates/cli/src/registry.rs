@@ -1,38 +1,20 @@
 //! Name-based registries for protocols and channel substrates.
+//!
+//! Protocol resolution lives in [`nonfifo_protocols::catalog`] and channel
+//! construction behind [`nonfifo_channel::Discipline`]; this module only
+//! adapts CLI option spellings (`--loss`, `--q`, `--bound`, `--spread`) to
+//! those factories and keeps the one substrate outside the discipline
+//! family (the multipath virtual link).
 
 use crate::args::{Args, ArgsError, CommonOpts};
-use nonfifo_channel::{BoxedChannel, FaultPlan};
+use nonfifo_channel::{BoxedChannel, Discipline, FaultPlan};
 use nonfifo_core::Simulation;
 use nonfifo_ioa::Dir;
-use nonfifo_protocols::{
-    AfekFlush, AlternatingBit, DataLink, GoBackN, NaiveCycle, Outnumber, SelectiveReject,
-    SequenceNumber, SlidingWindow,
-};
+use nonfifo_protocols::{catalog, DataLink};
 use nonfifo_transport::VirtualLinkBuilder;
 
 /// Protocol names accepted by the CLI.
-pub const PROTOCOLS: &[(&str, &str)] = &[
-    ("abp", "alternating bit [BSW69]: 2 headers, lossy-FIFO only"),
-    ("cycle<k>", "naive k-label cycle (e.g. cycle3): FIFO only"),
-    ("seqnum", "sequence numbers: n headers, safe everywhere"),
-    (
-        "window<w>",
-        "selective-repeat sliding window (e.g. window4): 2w headers",
-    ),
-    (
-        "gbn<w>",
-        "go-back-n (e.g. gbn4): w+1 headers, cumulative acks",
-    ),
-    ("srej<w>", "selective reject (e.g. srej4): NAK-driven ARQ"),
-    (
-        "outnumber<L>",
-        "AFWZ'88 reconstruction (e.g. outnumber5): exponential",
-    ),
-    (
-        "afek<k>",
-        "Afek'88 reconstruction (e.g. afek3): oracle-assisted, linear in transit",
-    ),
-];
+pub const PROTOCOLS: &[(&str, &str)] = catalog::PROTOCOLS;
 
 /// Channel substrate names accepted by the CLI.
 pub const CHANNELS: &[(&str, &str)] = &[
@@ -46,163 +28,55 @@ pub const CHANNELS: &[(&str, &str)] = &[
     ("multipath", "two-route virtual link (--spread, default 8)"),
 ];
 
-fn parse_suffix(name: &str, prefix: &str) -> Option<u32> {
-    name.strip_prefix(prefix).and_then(|s| s.parse().ok())
-}
-
-/// Rejects out-of-range probabilities before they reach a channel
-/// constructor, which would panic on them.
-fn probability(option: &str, p: f64) -> Result<f64, ArgsError> {
-    if (0.0..=1.0).contains(&p) {
-        Ok(p)
-    } else {
-        Err(ArgsError(format!("--{option} must be in [0, 1], got {p}")))
-    }
-}
-
 /// Builds a protocol factory from its CLI name.
 ///
 /// # Errors
 ///
 /// Fails on unknown names or out-of-range parameters.
 pub fn protocol(name: &str) -> Result<Box<dyn DataLink>, ArgsError> {
-    if name == "abp" {
-        return Ok(Box::new(AlternatingBit::new()));
-    }
-    if name == "seqnum" {
-        return Ok(Box::new(SequenceNumber::new()));
-    }
-    if let Some(k) = parse_suffix(name, "cycle") {
-        if k >= 2 {
-            return Ok(Box::new(NaiveCycle::new(k)));
-        }
-    }
-    if let Some(w) = parse_suffix(name, "window") {
-        if w >= 1 {
-            return Ok(Box::new(SlidingWindow::new(w)));
-        }
-    }
-    if let Some(w) = parse_suffix(name, "gbn") {
-        if w >= 1 {
-            return Ok(Box::new(GoBackN::new(w)));
-        }
-    }
-    if let Some(w) = parse_suffix(name, "srej") {
-        if w >= 1 {
-            return Ok(Box::new(SelectiveReject::new(w)));
-        }
-    }
-    if let Some(l) = parse_suffix(name, "outnumber") {
-        if l >= 3 {
-            return Ok(Box::new(Outnumber::new(l)));
-        }
-    }
-    if let Some(k) = parse_suffix(name, "afek") {
-        if k >= 3 {
-            return Ok(Box::new(AfekFlush::with_labels(k)));
-        }
-    }
-    Err(ArgsError(format!(
-        "unknown protocol {name:?} (try: abp, cycle3, seqnum, window4, gbn4, outnumber5, afek3)"
-    )))
+    catalog::by_name(name).map_err(|e| ArgsError(e.to_string()))
 }
 
-fn channel_pair(
-    name: &str,
-    args: &Args,
-    opts: &CommonOpts,
-) -> Result<(BoxedChannel, BoxedChannel), ArgsError> {
-    use nonfifo_channel::{
-        BoundedReorderChannel, FifoChannel, LossyFifoChannel, ProbabilisticChannel,
-    };
-    let seed = opts.seed;
-    let pair: (BoxedChannel, BoxedChannel) = match name {
-        "fifo" => (
-            Box::new(FifoChannel::new(Dir::Forward)),
-            Box::new(FifoChannel::new(Dir::Backward)),
-        ),
-        "lossy" => {
-            let loss = probability("loss", args.option_or("loss", 0.3)?)?;
-            (
-                Box::new(LossyFifoChannel::new(Dir::Forward, loss, seed)),
-                Box::new(LossyFifoChannel::new(
-                    Dir::Backward,
-                    loss,
-                    seed.wrapping_add(1),
-                )),
-            )
-        }
-        "probabilistic" => (
-            Box::new(ProbabilisticChannel::new(Dir::Forward, opts.q, seed)),
-            Box::new(ProbabilisticChannel::new(
-                Dir::Backward,
-                opts.q,
-                seed.wrapping_add(1),
-            )),
-        ),
-        "reorder" => (
-            Box::new(BoundedReorderChannel::new(Dir::Forward, opts.bound, seed)),
-            Box::new(BoundedReorderChannel::new(
-                Dir::Backward,
-                opts.bound,
-                seed.wrapping_add(1),
-            )),
-        ),
-        "multipath" => {
-            let spread: u64 = args.option_or("spread", 8)?;
-            (
-                Box::new(
-                    VirtualLinkBuilder::new(Dir::Forward)
-                        .route(0)
-                        .route(spread)
-                        .seed(seed)
-                        .build(),
-                ),
-                Box::new(
-                    VirtualLinkBuilder::new(Dir::Backward)
-                        .route(0)
-                        .route(spread)
-                        .seed(seed.wrapping_add(1))
-                        .build(),
-                ),
-            )
-        }
+/// Resolves a CLI channel name plus options to a [`Discipline`], or `None`
+/// for the one substrate outside the discipline family (`multipath`).
+fn discipline(name: &str, args: &Args, opts: &CommonOpts) -> Result<Option<Discipline>, ArgsError> {
+    let d = match name {
+        "fifo" => Discipline::Fifo,
+        "lossy" => Discipline::LossyFifo {
+            loss: args.option_or("loss", 0.3)?,
+        },
+        "probabilistic" => Discipline::Probabilistic { q: opts.q },
+        "reorder" => Discipline::BoundedReorder { bound: opts.bound },
+        "multipath" => return Ok(None),
         other => {
             return Err(ArgsError(format!(
                 "unknown channel {other:?} (try: fifo, lossy, probabilistic, reorder, multipath)"
             )))
         }
     };
-    Ok(pair)
+    d.validate()
+        .map_err(|e| ArgsError(format!("--loss: {e}")))?;
+    Ok(Some(d))
 }
 
-/// Adapter: a boxed factory usable where `impl DataLink` is required.
-struct Boxed(Box<dyn DataLink>);
-
-impl std::fmt::Debug for Boxed {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
-    }
-}
-
-impl DataLink for Boxed {
-    fn name(&self) -> String {
-        self.0.name()
-    }
-    fn forward_headers(&self) -> nonfifo_protocols::HeaderBound {
-        self.0.forward_headers()
-    }
-    fn make(
-        &self,
-    ) -> (
-        nonfifo_protocols::BoxedTransmitter,
-        nonfifo_protocols::BoxedReceiver,
-    ) {
-        self.0.make()
-    }
-    fn uses_ghosts(&self) -> bool {
-        self.0.uses_ghosts()
-    }
+fn multipath_pair(args: &Args, seed: u64) -> Result<(BoxedChannel, BoxedChannel), ArgsError> {
+    let spread: u64 = args.option_or("spread", 8)?;
+    Ok((
+        Box::new(
+            VirtualLinkBuilder::new(Dir::Forward)
+                .route(0)
+                .route(spread)
+                .seed(seed)
+                .build(),
+        ),
+        Box::new(
+            VirtualLinkBuilder::new(Dir::Backward)
+                .route(0)
+                .route(spread)
+                .seed(seed.wrapping_add(1))
+                .build(),
+        ),
+    ))
 }
 
 /// Builds a [`Simulation`] from CLI names and options.
@@ -217,8 +91,16 @@ pub fn simulation(
     opts: &CommonOpts,
 ) -> Result<Simulation, ArgsError> {
     let proto = protocol(proto_name)?;
-    let (fwd, bwd) = channel_pair(channel_name, args, opts)?;
-    Ok(Simulation::with_channels(Boxed(proto), fwd, bwd))
+    match discipline(channel_name, args, opts)? {
+        Some(d) => Ok(Simulation::builder(proto)
+            .channel(d)
+            .seed(opts.seed)
+            .build()),
+        None => {
+            let (fwd, bwd) = multipath_pair(args, opts.seed)?;
+            Ok(Simulation::with_channels(proto, fwd, bwd))
+        }
+    }
 }
 
 /// Builds a chaos [`Simulation`]: FIFO channels wrapped in the seeded
@@ -233,7 +115,10 @@ pub fn chaos_simulation(
     seed: u64,
 ) -> Result<Simulation, ArgsError> {
     let proto = protocol(proto_name)?;
-    Ok(Simulation::chaos(Boxed(proto), plan, seed))
+    Ok(Simulation::builder(proto)
+        .fault_plan(plan.clone())
+        .seed(seed)
+        .build())
 }
 
 #[cfg(test)]
@@ -263,10 +148,11 @@ mod tests {
     fn channel_names_resolve() {
         let args = Args::parse(Vec::<String>::new(), &[]).unwrap();
         let opts = CommonOpts::from_args(&args).unwrap();
-        for name in ["fifo", "lossy", "probabilistic", "reorder", "multipath"] {
-            assert!(channel_pair(name, &args, &opts).is_ok(), "{name}");
+        for name in ["fifo", "lossy", "probabilistic", "reorder"] {
+            assert!(discipline(name, &args, &opts).unwrap().is_some(), "{name}");
         }
-        assert!(channel_pair("carrier-pigeon", &args, &opts).is_err());
+        assert!(discipline("multipath", &args, &opts).unwrap().is_none());
+        assert!(discipline("carrier-pigeon", &args, &opts).is_err());
     }
 
     #[test]
@@ -275,7 +161,7 @@ mod tests {
         // stays channel-specific and is checked here.
         let args = Args::parse(["--loss", "2.0"], &[]).unwrap();
         let opts = CommonOpts::from_args(&args).unwrap();
-        let err = channel_pair("lossy", &args, &opts).unwrap_err();
+        let err = discipline("lossy", &args, &opts).unwrap_err();
         assert!(err.0.contains("loss"), "{err:?}");
     }
 
@@ -288,5 +174,16 @@ mod tests {
             .deliver(20, &nonfifo_core::SimConfig::default())
             .unwrap();
         assert_eq!(stats.messages_delivered, 20);
+    }
+
+    #[test]
+    fn multipath_still_builds() {
+        let args = Args::parse(["--spread", "6"], &[]).unwrap();
+        let opts = CommonOpts::from_args(&args).unwrap();
+        let mut sim = simulation("seqnum", "multipath", &args, &opts).unwrap();
+        let stats = sim
+            .deliver(10, &nonfifo_core::SimConfig::default())
+            .unwrap();
+        assert_eq!(stats.messages_delivered, 10);
     }
 }

@@ -1,0 +1,158 @@
+//! The workspace-wide error type.
+//!
+//! Every front end (the CLI, the campaign engine, experiment drivers) used
+//! to invent its own error enum and its own exit-code mapping;
+//! [`NonFifoError`] unifies them. The exit-code contract itself
+//! (0 = certificate/success, 2 = counterexample/violation, 3 = truncated or
+//! stalled, 4 = differential mismatch, 1 = everything operational) is
+//! applied in exactly one place, `crates/cli/src/main.rs`.
+
+use crate::SimError;
+use nonfifo_channel::{DisciplineError, PlanError};
+use std::error::Error;
+use std::fmt;
+
+/// Any failure a `nonfifo` front end can surface.
+#[derive(Debug)]
+pub enum NonFifoError {
+    /// The caller asked for something malformed (bad flag, unknown name,
+    /// out-of-range parameter).
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
+    /// A fault-plan or campaign-plan file failed to parse.
+    Plan(PlanError),
+    /// A simulation run failed (stall or specification violation).
+    Sim(SimError),
+    /// An exploration found a violating schedule at the given depth.
+    Counterexample {
+        /// Depth at which the violation was found.
+        depth: usize,
+    },
+    /// An exploration hit its state budget before reaching a verdict.
+    Truncated {
+        /// States visited before giving up.
+        states: u64,
+    },
+    /// Two explorers disagreed on the same state space.
+    DifferentialMismatch,
+    /// A campaign finished with failing runs. Violations dominate stalls in
+    /// the exit-code contract (2 beats 3), mirroring the single-run rules.
+    CampaignFailed {
+        /// Runs that ended in a specification violation.
+        violations: u64,
+        /// Runs that stalled out of their step budget.
+        stalls: u64,
+    },
+}
+
+impl fmt::Display for NonFifoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonFifoError::Usage(msg) => write!(f, "{msg}"),
+            NonFifoError::Io { path, message } => write!(f, "{path}: {message}"),
+            NonFifoError::Plan(e) => write!(f, "{e}"),
+            NonFifoError::Sim(e) => write!(f, "{e}"),
+            NonFifoError::Counterexample { depth } => {
+                write!(f, "counterexample found at depth {depth}")
+            }
+            NonFifoError::Truncated { states } => {
+                write!(f, "exploration truncated after {states} states")
+            }
+            NonFifoError::DifferentialMismatch => {
+                write!(f, "differential exploration mismatch")
+            }
+            NonFifoError::CampaignFailed { violations, stalls } => {
+                write!(
+                    f,
+                    "campaign failed: {violations} violation(s), {stalls} stall(s)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for NonFifoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NonFifoError::Plan(e) => Some(e),
+            NonFifoError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for NonFifoError {
+    fn from(e: SimError) -> Self {
+        NonFifoError::Sim(e)
+    }
+}
+
+impl From<PlanError> for NonFifoError {
+    fn from(e: PlanError) -> Self {
+        NonFifoError::Plan(e)
+    }
+}
+
+impl From<DisciplineError> for NonFifoError {
+    fn from(e: DisciplineError) -> Self {
+        NonFifoError::Usage(e.0)
+    }
+}
+
+impl NonFifoError {
+    /// Wraps an OS error with the path it struck.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Self {
+        NonFifoError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonfifo_channel::FaultPlan;
+
+    #[test]
+    fn displays_are_informative() {
+        let plan_err = FaultPlan::parse("dup").unwrap_err();
+        let cases: Vec<(NonFifoError, &str)> = vec![
+            (NonFifoError::Usage("bad --q".into()), "bad --q"),
+            (
+                NonFifoError::Io {
+                    path: "x.plan".into(),
+                    message: "not found".into(),
+                },
+                "x.plan",
+            ),
+            (NonFifoError::Plan(plan_err), "dup"),
+            (NonFifoError::Counterexample { depth: 3 }, "depth 3"),
+            (NonFifoError::Truncated { states: 10 }, "10 states"),
+            (NonFifoError::DifferentialMismatch, "mismatch"),
+            (
+                NonFifoError::CampaignFailed {
+                    violations: 2,
+                    stalls: 1,
+                },
+                "2 violation(s)",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        let err: NonFifoError = FaultPlan::parse("dup").unwrap_err().into();
+        assert!(err.source().is_some());
+        assert!(NonFifoError::DifferentialMismatch.source().is_none());
+    }
+}

@@ -4,6 +4,7 @@
 
 use crate::{SimConfig, Simulation};
 use nonfifo_adversary::{FalsifyOutcome, GreedyReplayAdversary, MfFalsifier};
+use nonfifo_channel::Discipline;
 use nonfifo_protocols::AlternatingBit;
 use std::fmt;
 
@@ -46,7 +47,10 @@ impl fmt::Display for E8Report {
 /// Runs E8.
 pub fn e8_classic_break(seed: u64) -> E8Report {
     // Classic domain: lossy FIFO.
-    let mut sim = Simulation::lossy_fifo(AlternatingBit::new(), 0.3, seed);
+    let mut sim = Simulation::builder(AlternatingBit::new())
+        .channel(Discipline::LossyFifo { loss: 0.3 })
+        .seed(seed)
+        .build();
     let stats = sim
         .deliver(200, &SimConfig::default())
         .expect("alternating bit is correct over lossy FIFO");

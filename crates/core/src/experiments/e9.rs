@@ -9,6 +9,7 @@
 
 use super::table::markdown;
 use crate::{SimConfig, SimError, Simulation};
+use nonfifo_channel::Discipline;
 use nonfifo_protocols::SlidingWindow;
 use std::fmt;
 
@@ -73,7 +74,10 @@ pub fn e9_window_ablation(messages: u64, seed: u64) -> E9Report {
     let mut rows = Vec::new();
     for &window in &[1u32, 2, 4, 8] {
         for &bound in &[1u64, 2, 4, 8, 16, 32] {
-            let mut sim = Simulation::bounded_reorder(SlidingWindow::new(window), bound, seed);
+            let mut sim = Simulation::builder(SlidingWindow::new(window))
+                .channel(Discipline::BoundedReorder { bound })
+                .seed(seed)
+                .build();
             let cfg = SimConfig {
                 payloads: true,
                 max_steps_per_message: 50_000,

@@ -20,7 +20,9 @@
 //! | [`e10_transport`] | §1 remark: the results extend to transport protocols over non-FIFO virtual links |
 //! | [`e11_exhaustive`] | Small-scope exhaustive verification: shortest counterexamples / in-scope safety certificates |
 //! | [`e13_parallel_certification`] | Certified-scope growth: the parallel explorer covers growing scopes, byte-identical to the sequential oracle |
-//! | [`e14_cost_vs_in_transit`] | Theorem 4.1 via telemetry: per-message cost tracks the in-transit population over `k` |
+//!
+//! E14 and E15 are campaign-shaped and live in `nonfifo-campaign`'s
+//! `experiments` module.
 //!
 //! All runners are deterministic given their seeds.
 
@@ -28,7 +30,6 @@ mod e1;
 mod e10;
 mod e11;
 mod e13;
-mod e14;
 mod e2;
 mod e3;
 mod e4;
@@ -43,7 +44,6 @@ pub use e1::{e1_boundness, E1Report, E1Row};
 pub use e10::{e10_transport, E10Report, E10Row};
 pub use e11::{e11_exhaustive, E11Report, E11Row};
 pub use e13::{e13_parallel_certification, E13Report, E13Row};
-pub use e14::{e14_cost_vs_in_transit, e14_cost_vs_in_transit_at, E14Report, E14Row};
 pub use e2::{e2_mf_falsifier, E2Report, E2Row};
 pub use e3::{e3_naive_protocol, E3Report, E3Row};
 pub use e4::{e4_pf_cost, E4Report, E4Row};

@@ -14,10 +14,14 @@
 //! # Example
 //!
 //! ```
+//! use nonfifo_channel::Discipline;
 //! use nonfifo_core::{SimConfig, Simulation};
 //! use nonfifo_protocols::SequenceNumber;
 //!
-//! let mut sim = Simulation::probabilistic(SequenceNumber::factory(), 0.25, 7);
+//! let mut sim = Simulation::builder(SequenceNumber::factory())
+//!     .channel(Discipline::Probabilistic { q: 0.25 })
+//!     .seed(7)
+//!     .build();
 //! let stats = sim.deliver(50, &SimConfig::default()).expect("delivery");
 //! assert_eq!(stats.messages_delivered, 50);
 //! assert!(stats.violation.is_none());
@@ -26,9 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
+mod error;
 pub mod experiments;
 mod simulation;
 
+pub use builder::SimulationBuilder;
+pub use error::NonFifoError;
 pub use simulation::{
     CrashEvent, CrashMode, RunStats, SimConfig, SimError, Simulation, StallDiagnostic, Station,
 };

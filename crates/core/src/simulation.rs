@@ -1,9 +1,7 @@
 //! The user-facing simulation engine.
 
-use nonfifo_channel::{
-    BoundedReorderChannel, BoxedChannel, ChaosChannel, FaultPlan, FifoChannel, LossyFifoChannel,
-    ProbabilisticChannel,
-};
+use crate::builder::SimulationBuilder;
+use nonfifo_channel::{BoxedChannel, Discipline, FaultPlan};
 use nonfifo_ioa::fingerprint::Fnv64;
 use nonfifo_ioa::{
     CopyId, Dir, Event, Header, Message, Packet, Payload, SpecMonitor, SpecViolation,
@@ -467,73 +465,69 @@ impl Simulation {
         self.telemetry = Some(SimTelemetry::new(registry, trace));
     }
 
+    /// Starts a [`SimulationBuilder`] over `proto` — the one assembly path
+    /// for the discipline family (FIFO, lossy, probabilistic, reorder) with
+    /// optional chaos faults. Defaults: FIFO, seed 0, no faults.
+    pub fn builder<P: DataLink>(proto: P) -> SimulationBuilder<P> {
+        SimulationBuilder::new(proto)
+    }
+
     /// Probabilistic physical layer with delay probability `q` in both
     /// directions (§5's PL2p model).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(proto).channel(Discipline::Probabilistic { q }).seed(seed).build()"
+    )]
     pub fn probabilistic(proto: impl DataLink, q: f64, seed: u64) -> Self {
-        Simulation::with_channels(
-            proto,
-            Box::new(ProbabilisticChannel::new(Dir::Forward, q, seed)),
-            Box::new(ProbabilisticChannel::new(
-                Dir::Backward,
-                q,
-                seed.wrapping_add(1),
-            )),
-        )
+        Simulation::builder(proto)
+            .channel(Discipline::Probabilistic { q })
+            .seed(seed)
+            .build()
     }
 
     /// Reliable FIFO channels (the control substrate).
+    #[deprecated(since = "0.1.0", note = "use Simulation::builder(proto).build()")]
     pub fn fifo(proto: impl DataLink) -> Self {
-        Simulation::with_channels(
-            proto,
-            Box::new(FifoChannel::new(Dir::Forward)),
-            Box::new(FifoChannel::new(Dir::Backward)),
-        )
+        Simulation::builder(proto).build()
     }
 
     /// Lossy FIFO channels (the alternating-bit protocol's home turf).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(proto).channel(Discipline::LossyFifo { loss }).seed(seed).build()"
+    )]
     pub fn lossy_fifo(proto: impl DataLink, loss: f64, seed: u64) -> Self {
-        Simulation::with_channels(
-            proto,
-            Box::new(LossyFifoChannel::new(Dir::Forward, loss, seed)),
-            Box::new(LossyFifoChannel::new(
-                Dir::Backward,
-                loss,
-                seed.wrapping_add(1),
-            )),
-        )
+        Simulation::builder(proto)
+            .channel(Discipline::LossyFifo { loss })
+            .seed(seed)
+            .build()
     }
 
     /// Bounded-reorder channels with overtaking distance `< bound`
     /// (experiment E9's substrate).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(proto).channel(Discipline::BoundedReorder { bound }).seed(seed).build()"
+    )]
     pub fn bounded_reorder(proto: impl DataLink, bound: u64, seed: u64) -> Self {
-        Simulation::with_channels(
-            proto,
-            Box::new(BoundedReorderChannel::new(Dir::Forward, bound, seed)),
-            Box::new(BoundedReorderChannel::new(
-                Dir::Backward,
-                bound,
-                seed.wrapping_add(1),
-            )),
-        )
+        Simulation::builder(proto)
+            .channel(Discipline::BoundedReorder { bound })
+            .seed(seed)
+            .build()
     }
 
     /// FIFO channels wrapped in the chaos fault-injection decorator in both
     /// directions: the forward channel is driven by `seed`, the backward by
     /// `seed + 1`. Runs are bit-replayable from `(plan, seed)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(proto).fault_plan(plan).seed(seed).build()"
+    )]
     pub fn chaos(proto: impl DataLink, plan: &FaultPlan, seed: u64) -> Self {
-        Simulation::with_channels(
-            proto,
-            Box::new(ChaosChannel::new(
-                Box::new(FifoChannel::new(Dir::Forward)),
-                plan.clone(),
-                seed,
-            )),
-            Box::new(ChaosChannel::new(
-                Box::new(FifoChannel::new(Dir::Backward)),
-                plan.clone(),
-                seed.wrapping_add(1),
-            )),
-        )
+        Simulation::builder(proto)
+            .seed(seed)
+            .fault_plan(plan.clone())
+            .build()
     }
 
     /// Order-sensitive digest of every event observed so far (see
@@ -948,7 +942,7 @@ mod tests {
 
     #[test]
     fn seqnum_over_fifo_costs_one_packet_per_message() {
-        let mut sim = Simulation::fifo(SequenceNumber::new());
+        let mut sim = Simulation::builder(SequenceNumber::new()).build();
         let stats = sim.deliver(20, &SimConfig::default()).unwrap();
         assert_eq!(stats.messages_delivered, 20);
         assert_eq!(stats.packets_sent_forward, 20);
@@ -958,7 +952,10 @@ mod tests {
 
     #[test]
     fn seqnum_over_probabilistic_is_linear() {
-        let mut sim = Simulation::probabilistic(SequenceNumber::new(), 0.3, 99);
+        let mut sim = Simulation::builder(SequenceNumber::new())
+            .channel(Discipline::Probabilistic { q: 0.3 })
+            .seed(99)
+            .build();
         let stats = sim.deliver(100, &SimConfig::default()).unwrap();
         assert_eq!(stats.messages_delivered, 100);
         // About 1/(1−q)² round trips per message; certainly way below
@@ -968,7 +965,10 @@ mod tests {
 
     #[test]
     fn alternating_bit_is_fine_over_lossy_fifo() {
-        let mut sim = Simulation::lossy_fifo(AlternatingBit::new(), 0.4, 5);
+        let mut sim = Simulation::builder(AlternatingBit::new())
+            .channel(Discipline::LossyFifo { loss: 0.4 })
+            .seed(5)
+            .build();
         let stats = sim.deliver(100, &SimConfig::default()).unwrap();
         assert_eq!(stats.messages_delivered, 100);
         assert_eq!(stats.distinct_forward_packets, 2);
@@ -977,7 +977,7 @@ mod tests {
 
     #[test]
     fn payload_mode_checks_content_ordering() {
-        let mut sim = Simulation::fifo(SequenceNumber::new());
+        let mut sim = Simulation::builder(SequenceNumber::new()).build();
         let cfg = SimConfig {
             payloads: true,
             ..SimConfig::default()
@@ -988,7 +988,10 @@ mod tests {
 
     #[test]
     fn sliding_window_survives_mild_reordering() {
-        let mut sim = Simulation::bounded_reorder(SlidingWindow::new(8), 4, 12);
+        let mut sim = Simulation::builder(SlidingWindow::new(8))
+            .channel(Discipline::BoundedReorder { bound: 4 })
+            .seed(12)
+            .build();
         let cfg = SimConfig {
             payloads: true,
             ..SimConfig::default()
@@ -1000,7 +1003,10 @@ mod tests {
 
     #[test]
     fn outnumber_cost_explodes_but_stays_safe() {
-        let mut sim = Simulation::probabilistic(Outnumber::factory(), 0.3, 21);
+        let mut sim = Simulation::builder(Outnumber::factory())
+            .channel(Discipline::Probabilistic { q: 0.3 })
+            .seed(21)
+            .build();
         let stats = sim.deliver(10, &SimConfig::default()).unwrap();
         assert!(stats.violation.is_none());
         assert!(
@@ -1013,7 +1019,10 @@ mod tests {
     #[test]
     fn stall_is_reported() {
         // q = 1: nothing is ever delivered.
-        let mut sim = Simulation::probabilistic(SequenceNumber::new(), 1.0, 0);
+        let mut sim = Simulation::builder(SequenceNumber::new())
+            .channel(Discipline::Probabilistic { q: 1.0 })
+            .seed(0)
+            .build();
         let cfg = SimConfig {
             max_steps_per_message: 50,
             ..SimConfig::default()
@@ -1024,7 +1033,10 @@ mod tests {
 
     #[test]
     fn stall_diagnostic_is_structured() {
-        let mut sim = Simulation::probabilistic(SequenceNumber::new(), 1.0, 0);
+        let mut sim = Simulation::builder(SequenceNumber::new())
+            .channel(Discipline::Probabilistic { q: 1.0 })
+            .seed(0)
+            .build();
         let cfg = SimConfig {
             max_steps_per_message: 50,
             ..SimConfig::default()
@@ -1051,7 +1063,10 @@ mod tests {
 
     #[test]
     fn restore_crashes_are_transparent_to_delivery() {
-        let mut sim = Simulation::lossy_fifo(AlternatingBit::new(), 0.2, 9);
+        let mut sim = Simulation::builder(AlternatingBit::new())
+            .channel(Discipline::LossyFifo { loss: 0.2 })
+            .seed(9)
+            .build();
         let cfg = SimConfig {
             crash_plan: vec![
                 CrashEvent {
@@ -1078,7 +1093,7 @@ mod tests {
     fn full_reboot_with_retry_still_delivers() {
         // Both stations lose all volatile state mid-run; the retry knob
         // re-submits the message the transmitter forgot.
-        let mut sim = Simulation::fifo(SequenceNumber::new());
+        let mut sim = Simulation::builder(SequenceNumber::new()).build();
         let cfg = SimConfig {
             crash_plan: vec![
                 CrashEvent {
@@ -1107,7 +1122,7 @@ mod tests {
     fn downed_station_keeps_copies_in_transit() {
         // A long backoff with no retry: the run stalls while the receiver
         // is down, and the diagnostic records the crash.
-        let mut sim = Simulation::fifo(SequenceNumber::new());
+        let mut sim = Simulation::builder(SequenceNumber::new()).build();
         let cfg = SimConfig {
             crash_plan: vec![CrashEvent {
                 at_step: 1,
@@ -1130,7 +1145,10 @@ mod tests {
     fn same_seed_and_plan_reproduce_the_fingerprint() {
         let plan = FaultPlan::parse("dup 0.1\ndrop 0.15").unwrap();
         let run = |seed: u64| {
-            let mut sim = Simulation::chaos(SequenceNumber::new(), &plan, seed);
+            let mut sim = Simulation::builder(SequenceNumber::new())
+                .fault_plan(plan.clone())
+                .seed(seed)
+                .build();
             sim.deliver(40, &SimConfig::default()).unwrap()
         };
         let a = run(7);
@@ -1145,7 +1163,10 @@ mod tests {
     #[test]
     fn chaos_faults_stay_pl1_sound() {
         let plan = FaultPlan::parse("dup 0.2\ndrop 0.1\ncorrupt 0.05").unwrap();
-        let mut sim = Simulation::chaos(SequenceNumber::new(), &plan, 3);
+        let mut sim = Simulation::builder(SequenceNumber::new())
+            .fault_plan(plan.clone())
+            .seed(3)
+            .build();
         let stats = sim.deliver(30, &SimConfig::default()).unwrap();
         assert_eq!(stats.messages_delivered, 30);
         assert!(stats.violation.is_none(), "got {:?}", stats.violation);

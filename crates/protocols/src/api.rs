@@ -212,6 +212,24 @@ pub trait DataLink: fmt::Debug + Send + Sync {
     }
 }
 
+/// A boxed factory is a factory: lets `Box<dyn DataLink>` flow into any
+/// `impl DataLink` position (the simulation builder, experiment tables)
+/// without a bespoke newtype adapter at each call site.
+impl DataLink for Box<dyn DataLink> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn forward_headers(&self) -> HeaderBound {
+        (**self).forward_headers()
+    }
+    fn make(&self) -> (BoxedTransmitter, BoxedReceiver) {
+        (**self).make()
+    }
+    fn uses_ghosts(&self) -> bool {
+        (**self).uses_ghosts()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,137 @@
+//! Name-based protocol resolution shared by the CLI and campaign layers.
+//!
+//! The table lives next to the protocols themselves so every front end
+//! (`nonfifo run`, campaign plan files, experiment configs) resolves the
+//! same spellings to the same factories.
+
+use crate::{
+    AfekFlush, AlternatingBit, DataLink, GoBackN, NaiveCycle, Outnumber, SelectiveReject,
+    SequenceNumber, SlidingWindow,
+};
+use std::fmt;
+
+/// Protocol names accepted by [`by_name`], with one-line descriptions.
+pub const PROTOCOLS: &[(&str, &str)] = &[
+    ("abp", "alternating bit [BSW69]: 2 headers, lossy-FIFO only"),
+    ("cycle<k>", "naive k-label cycle (e.g. cycle3): FIFO only"),
+    ("seqnum", "sequence numbers: n headers, safe everywhere"),
+    (
+        "window<w>",
+        "selective-repeat sliding window (e.g. window4): 2w headers",
+    ),
+    (
+        "gbn<w>",
+        "go-back-n (e.g. gbn4): w+1 headers, cumulative acks",
+    ),
+    ("srej<w>", "selective reject (e.g. srej4): NAK-driven ARQ"),
+    (
+        "outnumber<L>",
+        "AFWZ'88 reconstruction (e.g. outnumber5): exponential",
+    ),
+    (
+        "afek<k>",
+        "Afek'88 reconstruction (e.g. afek3): oracle-assisted, linear in transit",
+    ),
+];
+
+/// A protocol name [`by_name`] could not resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProtocol(pub String);
+
+impl fmt::Display for UnknownProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown protocol {:?} (try: abp, cycle3, seqnum, window4, gbn4, outnumber5, afek3)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownProtocol {}
+
+fn parse_suffix(name: &str, prefix: &str) -> Option<u32> {
+    name.strip_prefix(prefix).and_then(|s| s.parse().ok())
+}
+
+/// Builds a protocol factory from its catalog name.
+///
+/// # Errors
+///
+/// Fails on unknown names and out-of-range parameters (`cycle<k>` needs
+/// `k ≥ 2`, the window family `w ≥ 1`, `outnumber<L>` `L ≥ 3`, `afek<k>`
+/// `k ≥ 3`).
+pub fn by_name(name: &str) -> Result<Box<dyn DataLink>, UnknownProtocol> {
+    if name == "abp" {
+        return Ok(Box::new(AlternatingBit::new()));
+    }
+    if name == "seqnum" {
+        return Ok(Box::new(SequenceNumber::new()));
+    }
+    if let Some(k) = parse_suffix(name, "cycle") {
+        if k >= 2 {
+            return Ok(Box::new(NaiveCycle::new(k)));
+        }
+    }
+    if let Some(w) = parse_suffix(name, "window") {
+        if w >= 1 {
+            return Ok(Box::new(SlidingWindow::new(w)));
+        }
+    }
+    if let Some(w) = parse_suffix(name, "gbn") {
+        if w >= 1 {
+            return Ok(Box::new(GoBackN::new(w)));
+        }
+    }
+    if let Some(w) = parse_suffix(name, "srej") {
+        if w >= 1 {
+            return Ok(Box::new(SelectiveReject::new(w)));
+        }
+    }
+    if let Some(l) = parse_suffix(name, "outnumber") {
+        if l >= 3 {
+            return Ok(Box::new(Outnumber::new(l)));
+        }
+    }
+    if let Some(k) = parse_suffix(name, "afek") {
+        if k >= 3 {
+            return Ok(Box::new(AfekFlush::with_labels(k)));
+        }
+    }
+    Err(UnknownProtocol(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_resolve() {
+        for name in [
+            "abp",
+            "cycle3",
+            "seqnum",
+            "window4",
+            "gbn2",
+            "srej4",
+            "outnumber5",
+            "afek3",
+        ] {
+            assert!(by_name(name).is_ok(), "{name}");
+        }
+        for name in ["cycle1", "window0", "outnumber2", "afek2", "nope"] {
+            assert!(by_name(name).is_err(), "{name}");
+        }
+    }
+
+    #[test]
+    fn boxed_factory_forwards() {
+        let boxed = by_name("abp").unwrap();
+        assert_eq!(boxed.name(), AlternatingBit::new().name());
+        assert_eq!(boxed.forward_headers(), crate::HeaderBound::Fixed(2));
+        assert!(!boxed.uses_ghosts());
+        let (tx, rx) = boxed.make();
+        assert!(tx.ready());
+        drop(rx);
+    }
+}

@@ -41,6 +41,7 @@
 mod afek;
 mod alternating_bit;
 mod api;
+pub mod catalog;
 mod go_back_n;
 mod naive_cycle;
 mod outnumber;

@@ -97,6 +97,13 @@ fn schema_err<T>(msg: impl Into<String>) -> Result<T, SnapshotError> {
 impl MetricsSnapshot {
     /// Serializes the snapshot as a compact, key-sorted JSON document.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// The snapshot as a [`Json`] value — for callers that embed snapshots
+    /// inside a larger document (the campaign result cache) rather than
+    /// writing a standalone file.
+    pub fn to_json_value(&self) -> Json {
         let counters = Json::Obj(
             self.counters
                 .iter()
@@ -157,7 +164,6 @@ impl MetricsSnapshot {
             ("histograms".into(), histograms),
             ("values".into(), values),
         ])
-        .to_string()
     }
 
     /// Parses a snapshot document written by [`to_json`](Self::to_json).
@@ -167,7 +173,17 @@ impl MetricsSnapshot {
     /// Rejects malformed JSON, documents without a `schema_version`, and
     /// versions newer than this crate understands.
     pub fn from_json(text: &str) -> Result<MetricsSnapshot, SnapshotError> {
-        let doc = Json::parse(text)?;
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Parses a snapshot from an already-parsed [`Json`] value (the inverse
+    /// of [`to_json_value`](Self::to_json_value)).
+    ///
+    /// # Errors
+    ///
+    /// Rejects documents without a `schema_version` and versions newer than
+    /// this crate understands.
+    pub fn from_json_value(doc: &Json) -> Result<MetricsSnapshot, SnapshotError> {
         let version = match doc.get("schema_version").and_then(Json::as_u64) {
             Some(v) => v,
             None => return schema_err("missing schema_version"),
@@ -256,6 +272,61 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Folds `other` into `self`, metric by metric, as if both snapshots
+    /// had been recorded into one registry:
+    ///
+    /// - counters add;
+    /// - gauges keep the maximum of both `value`s and `high_water`s (the
+    ///   only merge that is commutative and still means "high water");
+    /// - histograms add `count`/`sum`, widen `min`/`max`, and merge buckets
+    ///   by upper bound;
+    /// - derived `values` are overwritten by `other`'s (last write wins —
+    ///   merge in a deterministic order).
+    ///
+    /// Every rule except `values` is commutative and associative, so
+    /// folding per-run snapshots in run order yields the same aggregate on
+    /// any thread count.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, g) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(GaugeSnapshot {
+                value: 0,
+                high_water: 0,
+            });
+            slot.value = slot.value.max(g.value);
+            slot.high_water = slot.high_water.max(g.high_water);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+                Some(slot) => {
+                    slot.min = if slot.count == 0 {
+                        h.min
+                    } else if h.count == 0 {
+                        slot.min
+                    } else {
+                        slot.min.min(h.min)
+                    };
+                    slot.max = slot.max.max(h.max);
+                    slot.count += h.count;
+                    slot.sum += h.sum;
+                    let mut buckets: BTreeMap<u64, u64> = slot.buckets.iter().copied().collect();
+                    for &(le, n) in &h.buckets {
+                        *buckets.entry(le).or_insert(0) += n;
+                    }
+                    slot.buckets = buckets.into_iter().collect();
+                }
+            }
+        }
+        for (k, &v) in &other.values {
+            self.values.insert(k.clone(), v);
+        }
+    }
 }
 
 fn parse_histogram(name: &str, v: &Json) -> Result<HistogramSnapshot, SnapshotError> {
@@ -335,6 +406,67 @@ mod tests {
             MetricsSnapshot::from_json("not json"),
             Err(SnapshotError::Json(_))
         ));
+    }
+
+    #[test]
+    fn json_value_round_trip_matches_text_round_trip() {
+        let snap = populated();
+        let value = snap.to_json_value();
+        assert_eq!(value.to_string(), snap.to_json());
+        assert_eq!(MetricsSnapshot::from_json_value(&value).unwrap(), snap);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_widens_gauges_and_histograms() {
+        let mut a = populated();
+        let b = populated();
+        a.merge_from(&b);
+        assert_eq!(a.counters["chan.fwd.sends"], 24);
+        // Gauges take the max, not the sum.
+        assert_eq!(a.gauges["sim.fwd.in_transit"].value, 4);
+        assert_eq!(a.gauges["sim.fwd.in_transit"].high_water, 9);
+        let h = &a.histograms["sim.packets_per_message"];
+        assert_eq!(h.count, 8);
+        assert_eq!(h.sum, 20);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 5);
+        // Buckets merged by upper bound: each count doubled.
+        for &(le, n) in &h.buckets {
+            let orig = b.histograms["sim.packets_per_message"]
+                .buckets
+                .iter()
+                .find(|&&(l, _)| l == le)
+                .unwrap()
+                .1;
+            assert_eq!(n, 2 * orig);
+        }
+        // Derived values: last write wins.
+        assert_eq!(a.values["explore.states_per_sec"], 123456.75);
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity_and_order_independent() {
+        let b = populated();
+        let mut empty = MetricsSnapshot {
+            schema_version: SCHEMA_VERSION,
+            ..MetricsSnapshot::default()
+        };
+        empty.merge_from(&b);
+        assert_eq!(empty, b);
+
+        // Commutativity on the structural metrics (values excluded by
+        // construction: both sides carry the same derived values here).
+        let reg = Registry::new();
+        reg.counter("chan.fwd.sends").add(5);
+        reg.gauge("sim.fwd.in_transit").set(30);
+        reg.histogram("sim.packets_per_message").record(64);
+        let c = reg.snapshot();
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut cb = c.clone();
+        cb.merge_from(&b);
+        cb.values = bc.values.clone();
+        assert_eq!(bc, cb);
     }
 
     #[test]

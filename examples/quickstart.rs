@@ -5,13 +5,17 @@
 //! cargo run --example quickstart
 //! ```
 
+use nonfifo::channel::Discipline;
 use nonfifo::core::{SimConfig, Simulation};
 use nonfifo::protocols::{DataLink, SequenceNumber, SlidingWindow};
 
 fn main() {
     // The paper's "naive" protocol: one header per message, O(log n)
     // space, correct over any non-duplicating channel.
-    let mut sim = Simulation::probabilistic(SequenceNumber::factory(), 0.3, 42);
+    let mut sim = Simulation::builder(SequenceNumber::factory())
+        .channel(Discipline::Probabilistic { q: 0.3 })
+        .seed(42)
+        .build();
     let stats = sim
         .deliver(1000, &SimConfig::default())
         .expect("sequence numbers are safe and live over lossy channels");
@@ -26,7 +30,10 @@ fn main() {
     // as the channel's reordering stays under its window.
     let proto = SlidingWindow::new(8);
     println!("\n{} over bounded-reorder(B = 4):", proto.name());
-    let mut sim = Simulation::bounded_reorder(proto, 4, 7);
+    let mut sim = Simulation::builder(proto)
+        .channel(Discipline::BoundedReorder { bound: 4 })
+        .seed(7)
+        .build();
     let cfg = SimConfig {
         payloads: true,
         ..SimConfig::default()

@@ -31,6 +31,9 @@
 //!   remark, with non-FIFO behaviour emerging from routing.
 //! - [`analysis`] — Hoeffding tails, binomial distributions, growth fitting.
 //! - [`core`] — the simulation engine and per-experiment runners.
+//! - [`campaign`] — declarative scenario matrices: expand a spec into
+//!   thousands of deterministic runs, execute them on a work-stealing pool,
+//!   and cache results by run fingerprint.
 //!
 //! ## Quickstart
 //!
@@ -38,10 +41,14 @@
 //! probabilistic channel and inspect the cost:
 //!
 //! ```
+//! use nonfifo::channel::Discipline;
 //! use nonfifo::core::{Simulation, SimConfig};
 //! use nonfifo::protocols::SequenceNumber;
 //!
-//! let mut sim = Simulation::probabilistic(SequenceNumber::factory(), 0.2, 42);
+//! let mut sim = Simulation::builder(SequenceNumber::factory())
+//!     .channel(Discipline::Probabilistic { q: 0.2 })
+//!     .seed(42)
+//!     .build();
 //! let stats = sim.deliver(100, &SimConfig::default()).expect("delivery");
 //! assert_eq!(stats.messages_delivered, 100);
 //! assert!(stats.packets_sent_forward >= 100);
@@ -52,6 +59,7 @@
 
 pub use nonfifo_adversary as adversary;
 pub use nonfifo_analysis as analysis;
+pub use nonfifo_campaign as campaign;
 pub use nonfifo_channel as channel;
 pub use nonfifo_core as core;
 pub use nonfifo_ioa as ioa;
@@ -65,11 +73,12 @@ pub mod prelude {
         explore, BoundnessOracle, ExploreConfig, ExploreOutcome, FalsifyOutcome, MfFalsifier,
         PfFalsifier,
     };
+    pub use nonfifo_campaign::{CampaignPlan, CampaignRunner, ScenarioSpec};
     pub use nonfifo_channel::{
-        AdversarialChannel, BoundedReorderChannel, Channel, CorruptingChannel, FifoChannel,
-        LossyFifoChannel, ProbabilisticChannel,
+        AdversarialChannel, BoundedReorderChannel, Channel, CorruptingChannel, Discipline,
+        FifoChannel, LossyFifoChannel, ProbabilisticChannel,
     };
-    pub use nonfifo_core::{SimConfig, Simulation};
+    pub use nonfifo_core::{NonFifoError, SimConfig, Simulation, SimulationBuilder};
     pub use nonfifo_ioa::{
         CopyId, Dir, Event, Execution, Header, Message, Packet, SpecMonitor, SpecViolation,
     };

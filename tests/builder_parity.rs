@@ -1,0 +1,115 @@
+//! The builder migration contract: every deprecated constructor is a pure
+//! respelling of a `Simulation::builder` chain. Parity is checked at the
+//! strongest observable level — execution fingerprints and full metrics
+//! snapshots — so the old spellings can be deleted without behaviour risk.
+
+#![allow(deprecated)]
+
+use nonfifo::channel::{Discipline, FaultPlan};
+use nonfifo::core::{SimConfig, Simulation};
+use nonfifo::protocols::{AlternatingBit, SequenceNumber};
+use nonfifo::telemetry::{MetricsSnapshot, Registry};
+use std::sync::Arc;
+
+/// Runs `sim` for `n` messages under telemetry and returns the pair of
+/// observables parity is judged on.
+fn observe(mut sim: Simulation, n: u64) -> (u64, MetricsSnapshot) {
+    let registry = Arc::new(Registry::new());
+    sim.attach_telemetry(Arc::clone(&registry), None);
+    sim.deliver(n, &SimConfig::default()).expect("delivery");
+    (sim.execution_fingerprint(), registry.snapshot())
+}
+
+/// Asserts the two constructions are indistinguishable.
+fn assert_parity(old: Simulation, new: Simulation, n: u64, label: &str) {
+    let (old_fp, old_snap) = observe(old, n);
+    let (new_fp, new_snap) = observe(new, n);
+    assert_eq!(old_fp, new_fp, "{label}: fingerprints diverged");
+    assert_eq!(old_snap, new_snap, "{label}: metrics diverged");
+}
+
+#[test]
+fn fifo_constructor_matches_builder() {
+    assert_parity(
+        Simulation::fifo(SequenceNumber::factory()),
+        Simulation::builder(SequenceNumber::factory()).build(),
+        40,
+        "fifo",
+    );
+}
+
+#[test]
+fn probabilistic_constructor_matches_builder() {
+    for seed in [0, 7, 41] {
+        assert_parity(
+            Simulation::probabilistic(SequenceNumber::factory(), 0.3, seed),
+            Simulation::builder(SequenceNumber::factory())
+                .channel(Discipline::Probabilistic { q: 0.3 })
+                .seed(seed)
+                .build(),
+            25,
+            "probabilistic",
+        );
+    }
+}
+
+#[test]
+fn lossy_fifo_constructor_matches_builder() {
+    for seed in [0, 7, 41] {
+        assert_parity(
+            Simulation::lossy_fifo(AlternatingBit::factory(), 0.25, seed),
+            Simulation::builder(AlternatingBit::factory())
+                .channel(Discipline::LossyFifo { loss: 0.25 })
+                .seed(seed)
+                .build(),
+            25,
+            "lossy_fifo",
+        );
+    }
+}
+
+#[test]
+fn bounded_reorder_constructor_matches_builder() {
+    for seed in [0, 7, 41] {
+        assert_parity(
+            Simulation::bounded_reorder(SequenceNumber::factory(), 4, seed),
+            Simulation::builder(SequenceNumber::factory())
+                .channel(Discipline::BoundedReorder { bound: 4 })
+                .seed(seed)
+                .build(),
+            25,
+            "bounded_reorder",
+        );
+    }
+}
+
+#[test]
+fn chaos_constructor_matches_builder() {
+    let plan = FaultPlan::parse("dup 0.15\ndrop 0.1").expect("plan");
+    for seed in [0, 7, 41] {
+        assert_parity(
+            Simulation::chaos(SequenceNumber::factory(), &plan, seed),
+            Simulation::builder(SequenceNumber::factory())
+                .fault_plan(plan.clone())
+                .seed(seed)
+                .build(),
+            25,
+            "chaos",
+        );
+    }
+}
+
+/// The builder's defaults are the documented ones: FIFO, seed 0, no faults.
+/// Spelling them out explicitly must change nothing.
+#[test]
+fn builder_defaults_are_explicit_fifo_seed_zero() {
+    assert_parity(
+        Simulation::builder(SequenceNumber::factory()).build(),
+        Simulation::builder(SequenceNumber::factory())
+            .channel(Discipline::Fifo)
+            .seed(0)
+            .build(),
+        40,
+        "defaults",
+    );
+}

@@ -7,7 +7,7 @@
 //! input without a persisted regression corpus.
 
 use nonfifo::channel::{
-    AdversarialChannel, BoundedReorderChannel, Channel, FaultObserver, FifoChannel,
+    AdversarialChannel, BoundedReorderChannel, Channel, Discipline, FaultObserver, FifoChannel,
     LossyFifoChannel, PacketMultiset, ProbabilisticChannel,
 };
 use nonfifo::ioa::spec::{check_dl1_dl2, check_pl1};
@@ -165,7 +165,12 @@ fn sliding_window_correct_under_in_window_reorder() {
     for_seeds(48, |seed, rng| {
         let w = rng.gen_range(4..10) as u32;
         let bound = u64::from(w) / 2; // strictly inside the window
-        let mut sim = Simulation::bounded_reorder(SlidingWindow::new(w), bound.max(1), seed);
+        let mut sim = Simulation::builder(SlidingWindow::new(w))
+            .channel(Discipline::BoundedReorder {
+                bound: bound.max(1),
+            })
+            .seed(seed)
+            .build();
         let cfg = SimConfig {
             payloads: true,
             max_steps_per_message: 50_000,
@@ -494,7 +499,10 @@ mod chaos {
         plan: &FaultPlan,
         seed: u64,
     ) -> (Result<u64, SimError>, u64) {
-        let mut sim = Simulation::chaos(proto, plan, seed);
+        let mut sim = Simulation::builder(proto)
+            .fault_plan(plan.clone())
+            .seed(seed)
+            .build();
         let cfg = SimConfig {
             max_steps_per_message: 10_000,
             ..SimConfig::default()

@@ -1,6 +1,7 @@
 //! Integration: every protocol on every channel it claims to support,
 //! end to end through the public API.
 
+use nonfifo::channel::Discipline;
 use nonfifo::core::{SimConfig, Simulation};
 use nonfifo::protocols::{
     AfekFlush, AlternatingBit, DataLink, GoBackN, NaiveCycle, Outnumber, SelectiveReject,
@@ -34,9 +35,15 @@ fn build(proto: &dyn DataLink, substrate: Substrate, seed: u64) -> Simulation {
     macro_rules! with {
         ($p:expr) => {
             match substrate {
-                Substrate::Fifo => Simulation::fifo($p),
-                Substrate::LossyFifo(l) => Simulation::lossy_fifo($p, l, seed),
-                Substrate::Probabilistic(q) => Simulation::probabilistic($p, q, seed),
+                Substrate::Fifo => Simulation::builder($p).build(),
+                Substrate::LossyFifo(l) => Simulation::builder($p)
+                    .channel(Discipline::LossyFifo { loss: l })
+                    .seed(seed)
+                    .build(),
+                Substrate::Probabilistic(q) => Simulation::builder($p)
+                    .channel(Discipline::Probabilistic { q })
+                    .seed(seed)
+                    .build(),
             }
         };
     }
@@ -144,9 +151,15 @@ fn cost_separation_over_probabilistic_channel() {
     // bounded-header witness pays orders of magnitude more than the naive
     // protocol.
     let n = 10;
-    let mut naive = Simulation::probabilistic(SequenceNumber::new(), 0.3, 9);
+    let mut naive = Simulation::builder(SequenceNumber::new())
+        .channel(Discipline::Probabilistic { q: 0.3 })
+        .seed(9)
+        .build();
     let naive_stats = naive.deliver(n, &SimConfig::default()).unwrap();
-    let mut bounded = Simulation::probabilistic(Outnumber::factory(), 0.3, 9);
+    let mut bounded = Simulation::builder(Outnumber::factory())
+        .channel(Discipline::Probabilistic { q: 0.3 })
+        .seed(9)
+        .build();
     let bounded_stats = bounded.deliver(n, &SimConfig::default()).unwrap();
     assert!(
         bounded_stats.packets_sent_forward > 20 * naive_stats.packets_sent_forward,

@@ -6,7 +6,7 @@
 use nonfifo::adversary::{ExploreConfig, ParallelExplorer};
 use nonfifo::channel::{
     AdversarialChannel, BoundedReorderChannel, ChannelIntrospect, ChaosChannel, CorruptingChannel,
-    FaultObserver, FaultPlan, FifoChannel, LossyFifoChannel, ProbabilisticChannel,
+    Discipline, FaultObserver, FaultPlan, FifoChannel, LossyFifoChannel, ProbabilisticChannel,
 };
 use nonfifo::core::{SimConfig, Simulation};
 use nonfifo::ioa::{Dir, Header, Packet};
@@ -84,7 +84,10 @@ fn conservation_holds_for_every_channel_impl() {
 fn chaos_run_metrics_satisfy_conservation() {
     let plan = FaultPlan::parse("dup 0.15\ndrop 0.1").expect("plan");
     let registry = Arc::new(Registry::new());
-    let mut sim = Simulation::chaos(SequenceNumber::factory(), &plan, 7);
+    let mut sim = Simulation::builder(SequenceNumber::factory())
+        .fault_plan(plan.clone())
+        .seed(7)
+        .build();
     sim.attach_telemetry(Arc::clone(&registry), None);
     sim.deliver(40, &SimConfig::default()).expect("run");
 
@@ -145,12 +148,18 @@ fn metrics_json_round_trips_with_pinned_schema() {
 fn telemetry_on_and_off_yield_identical_fingerprints() {
     for seed in 0..8 {
         let cfg = SimConfig::default();
-        let mut plain = Simulation::probabilistic(SequenceNumber::factory(), 0.35, seed);
+        let mut plain = Simulation::builder(SequenceNumber::factory())
+            .channel(Discipline::Probabilistic { q: 0.35 })
+            .seed(seed)
+            .build();
         let plain_stats = plain.deliver(25, &cfg).expect("plain run");
 
         let registry = Arc::new(Registry::new());
         let trace = Arc::new(TraceSink::new());
-        let mut watched = Simulation::probabilistic(SequenceNumber::factory(), 0.35, seed);
+        let mut watched = Simulation::builder(SequenceNumber::factory())
+            .channel(Discipline::Probabilistic { q: 0.35 })
+            .seed(seed)
+            .build();
         watched.attach_telemetry(Arc::clone(&registry), Some(Arc::clone(&trace)));
         let watched_stats = watched.deliver(25, &cfg).expect("watched run");
 
