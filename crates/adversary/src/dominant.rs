@@ -320,19 +320,19 @@ fn ghost_info(
     bwd: &ProbabilisticChannel,
     watermark: nonfifo_ioa::CopyId,
 ) -> GhostInfo {
-    let mut stale = BTreeMap::new();
-    for (pkt, _) in fwd.delayed_multiset().iter() {
-        let h = pkt.header();
-        if stale.contains_key(&h) {
-            continue;
-        }
-        stale.insert(h, fwd.header_copies_older_than(h, watermark) as u64);
-    }
-    GhostInfo {
+    let mut ghost = GhostInfo {
         fwd_in_transit: fwd.in_transit_len() as u64,
         bwd_in_transit: bwd.in_transit_len() as u64,
-        stale_fwd_by_header: stale,
+        stale_fwd_by_header: Vec::new(),
+    };
+    for (pkt, _) in fwd.delayed_multiset().iter() {
+        let h = pkt.header();
+        if ghost.stale_fwd_by_header.iter().any(|&(g, _)| g == h) {
+            continue;
+        }
+        ghost.push_stale(h, fwd.header_copies_older_than(h, watermark) as u64);
     }
+    ghost
 }
 
 #[cfg(test)]

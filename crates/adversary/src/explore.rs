@@ -31,11 +31,17 @@
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
 use nonfifo_channel::Channel as _;
-use nonfifo_ioa::fingerprint::StateHash;
+use nonfifo_ioa::fingerprint::{Fnv64, StateHash};
 use nonfifo_ioa::{CopyId, Execution, Packet};
 use nonfifo_protocols::DataLink;
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
+use std::hash::BuildHasherDefault;
+
+/// Visited-state set on the fixed-key FNV-64 hasher: state keys are already
+/// well-mixed 64-bit fingerprints, so the cheap hash is safe and saves the
+/// SipHash pass `std`'s default would pay per probe.
+pub(crate) type FnvSet = HashSet<u64, BuildHasherDefault<Fnv64>>;
 
 /// What the forward channel is allowed to do with delayed copies — the
 /// channel axis of the exploration matrix.
@@ -196,72 +202,84 @@ pub(crate) enum Action {
 }
 
 pub(crate) fn state_key(sys: &System) -> u64 {
-    let mut h = StateHash::new("explore-state")
+    let ms = sys.fwd.parked_multiset();
+    StateHash::new("explore-state")
         .field(sys.tx.state_fingerprint())
         .field(sys.rx.state_fingerprint())
         .field(sys.counts().sm)
-        .field(sys.counts().rm);
-    for (packet, count) in sys.fwd.parked_multiset().histogram() {
-        h = h.field(packet).field(count as u64);
-    }
-    h.finish()
+        .field(sys.counts().rm)
+        // O(1) stand-in for the pool's value histogram: the multiset
+        // maintains an order-independent content digest incrementally, so
+        // hashing a state no longer walks the pool.
+        .field(ms.content_hash())
+        .field(ms.len() as u64)
+        .finish()
 }
 
-/// Per distinct parked packet value, its oldest delayed copy, in packet
-/// order (deterministic).
-fn oldest_copies(sys: &System) -> BTreeMap<Packet, CopyId> {
-    let mut oldest: BTreeMap<Packet, CopyId> = BTreeMap::new();
+/// Fills `oldest` with each distinct parked packet value's oldest delayed
+/// copy, in packet order (deterministic). The multiset's entries are sorted
+/// by copy id, so the first occurrence of a value is its oldest copy; the
+/// distinct-value count is tiny (bounded by the scope's pool), so the
+/// membership scan is a few cache lines.
+fn oldest_copies_into(sys: &System, oldest: &mut Vec<(Packet, CopyId)>) {
+    oldest.clear();
     for (packet, copy) in sys.fwd.parked_multiset().iter() {
-        oldest
-            .entry(packet)
-            .and_modify(|c| *c = (*c).min(copy))
-            .or_insert(copy);
+        if !oldest.iter().any(|&(p, _)| p == packet) {
+            oldest.push((packet, copy));
+        }
     }
-    oldest
+    oldest.sort_unstable();
 }
 
-pub(crate) fn enabled_actions(sys: &System, cfg: &ExploreConfig) -> Vec<Action> {
-    let mut actions = Vec::new();
+/// Fills `actions` with the enabled adversary actions, reusing `oldest` as
+/// scratch — the allocation-free core of both explorers' expansion loops.
+pub(crate) fn enabled_actions_into(
+    sys: &System,
+    cfg: &ExploreConfig,
+    oldest: &mut Vec<(Packet, CopyId)>,
+    actions: &mut Vec<Action>,
+) {
+    actions.clear();
     if sys.ready() && sys.messages_sent() < cfg.max_messages {
         actions.push(Action::SendMsg);
     }
     if sys.fwd.in_transit_len() < cfg.max_pool {
         actions.push(Action::StepPark);
     }
-    let oldest = oldest_copies(sys);
+    oldest_copies_into(sys, oldest);
     // A delivery overtakes the delayed copies older than the one released;
     // each discipline bounds how many it may overtake.
-    let overtaken = |copy: CopyId| {
-        sys.fwd
-            .parked_multiset()
-            .iter()
-            .filter(|&(_, c)| c < copy)
-            .count() as u64
-    };
+    let ms = sys.fwd.parked_multiset();
     match cfg.discipline {
         Discipline::NonFifo => {
-            for &packet in oldest.keys() {
+            for &(packet, _) in oldest.iter() {
                 actions.push(Action::Deliver(packet));
             }
         }
         Discipline::BoundedReorder(bound) => {
-            for (&packet, &copy) in &oldest {
-                if overtaken(copy) <= bound {
+            for &(packet, copy) in oldest.iter() {
+                if ms.copies_older_than(copy) as u64 <= bound {
                     actions.push(Action::Deliver(packet));
                 }
             }
         }
         Discipline::LossyFifo => {
-            for (&packet, &copy) in &oldest {
-                if overtaken(copy) == 0 {
+            for &(packet, copy) in oldest.iter() {
+                if ms.copies_older_than(copy) == 0 {
                     actions.push(Action::Deliver(packet));
                 }
             }
-            for &packet in oldest.keys() {
+            for &(packet, _) in oldest.iter() {
                 actions.push(Action::DropOldest(packet));
             }
         }
     }
+}
+
+pub(crate) fn enabled_actions(sys: &System, cfg: &ExploreConfig) -> Vec<Action> {
+    let mut oldest = Vec::new();
+    let mut actions = Vec::new();
+    enabled_actions_into(sys, cfg, &mut oldest, &mut actions);
     actions
 }
 
@@ -303,7 +321,7 @@ pub(crate) fn to_step(action: Action) -> ScheduleStep {
 /// Exhaustively explores the adversary's choices against `proto`.
 pub fn explore(proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
     let root = System::new(proto);
-    let mut visited: HashSet<u64> = HashSet::new();
+    let mut visited: FnvSet = FnvSet::default();
     visited.insert(state_key(&root));
     let mut frontier: VecDeque<(System, Vec<ScheduleStep>)> = VecDeque::new();
     frontier.push_back((root, Vec::new()));

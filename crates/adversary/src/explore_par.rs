@@ -10,14 +10,36 @@
 //! external work-stealing runtime, in keeping with the workspace's
 //! zero-dependency policy.
 //!
+//! **Zero-copy hot path.** Three structural choices keep the steady-state
+//! expansion loop off the allocator (see `docs/explorer_internals.md`):
+//!
+//! - **Parent-pointer paths.** A frontier node does not own its schedule.
+//!   Each level appends one `(parent index, last step)` record per admitted
+//!   node to a per-level arena, and full paths are reconstructed by walking
+//!   the parent chain — only on a violation or never. Expanding a node
+//!   copies two words instead of cloning an O(depth) vector.
+//! - **Pooled systems.** Expanded successors draw recycled [`System`]s from
+//!   a pool and refill them in place ([`System::assign_from`]); merged-out
+//!   duplicates and retired frontiers return to the pool. With the flat
+//!   multiset and fieldwise `clone_from` plumbing underneath, a warm
+//!   expansion performs no heap allocation (pinned by the allocation
+//!   regression test in `tests/explore_alloc.rs`).
+//! - **FNV-sharded dedup.** Visited shards and `state_key` run on the
+//!   fixed-key FNV-64 hasher ([`nonfifo_ioa::fingerprint`]); the state key
+//!   itself folds in the multiset's incrementally maintained content
+//!   digest, so hashing a state no longer walks the pool.
+//!
 //! **Determinism.** The outcome is a pure function of (protocol, config):
 //! thread count and OS scheduling cannot change it.
 //!
 //! - Workers only *read* the visited set (it is frozen during a level);
 //!   newly discovered states are merged after the level in sorted
-//!   `(state key, path)` order, so when two paths reach the same state in
-//!   the same level, the lexicographically smallest path deterministically
-//!   claims it.
+//!   `(state key, parent rank, step)` order. All paths within a level have
+//!   equal length and the frontier is kept sorted by path order, so
+//!   comparing `(parent rank, step)` *is* comparing full paths — when two
+//!   paths reach the same state in the same level, the lexicographically
+//!   smallest path deterministically claims it, exactly as the old
+//!   owned-path engine did (property-tested in `tests/explore_props.rs`).
 //! - Violations found within a level are collected, and the
 //!   lexicographically smallest schedule wins — not the first one a thread
 //!   happened to stumble on. (The sequential oracle instead returns the
@@ -36,13 +58,15 @@
 //! replaying its schedule through the strict scheduler — which doubles as
 //! an end-to-end validation of every reported attack.
 
-use crate::explore::{apply, enabled_actions, state_key, to_step, ExploreConfig, ExploreOutcome};
+use crate::explore::{
+    apply, enabled_actions_into, state_key, to_step, Action, ExploreConfig, ExploreOutcome, FnvSet,
+};
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
 use crate::workpool::ChunkCursor;
+use nonfifo_ioa::{CopyId, Packet};
 use nonfifo_protocols::DataLink;
 use nonfifo_telemetry::{Counter, Histogram, Registry, TraceSink};
-use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -55,18 +79,120 @@ const SHARDS: usize = 64;
 /// balance skewed levels, large enough to keep the cursor cold.
 const CHUNK: usize = 16;
 
-/// A frontier node: a deduplicated system state and the lexicographically
-/// smallest action path known to reach it.
-struct Node {
-    sys: System,
-    path: Vec<ScheduleStep>,
+/// One parent-pointer path record: the frontier node at this level reached
+/// its state by taking `step` from the previous level's node at index
+/// `parent`. Full schedules are reconstructed by walking the chain — two
+/// words per node instead of an owned `Vec<ScheduleStep>` per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PathRec {
+    /// Index of the parent node in the previous level's frontier. The
+    /// frontier is kept sorted by path order, so for the equal-length paths
+    /// of one BFS level, comparing `(parent, step)` is exactly comparing
+    /// full paths lexicographically.
+    parent: u32,
+    /// The action taken from the parent.
+    step: ScheduleStep,
 }
 
 /// A successor discovered during a level, pending the deterministic merge.
 struct Candidate {
     key: u64,
-    path: Vec<ScheduleStep>,
+    rec: PathRec,
     sys: System,
+}
+
+/// Per-worker scratch: action/oldest-copy buffers for the expansion core, a
+/// local system pool, and the candidate/violation out-buffers. Everything
+/// is reused level to level and run to run.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    actions: Vec<Action>,
+    oldest: Vec<(Packet, CopyId)>,
+    pool: Vec<System>,
+    candidates: Vec<Candidate>,
+    violations: Vec<PathRec>,
+}
+
+impl std::fmt::Debug for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Candidate")
+            .field("key", &self.key)
+            .field("rec", &self.rec)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Caller-owned reusable workspace for [`ParallelExplorer::explore_in`]:
+/// visited shards, the system pool, per-worker scratches, the path arena,
+/// and the merge buffers. Running repeated explorations through one arena
+/// keeps the steady-state expansion loop entirely off the allocator — the
+/// campaign runner and the allocation regression test both rely on this.
+#[derive(Debug, Default)]
+pub struct ExploreArena {
+    shards: Vec<FnvSet>,
+    pool: Vec<System>,
+    workers: Vec<WorkerScratch>,
+    /// `levels[d]` holds one [`PathRec`] per frontier node at depth `d`
+    /// (`levels[0]` stays empty: the root has no incoming step).
+    levels: Vec<Vec<PathRec>>,
+    frontier: Vec<System>,
+    merged: Vec<Candidate>,
+    winners: Vec<Candidate>,
+}
+
+impl ExploreArena {
+    /// Creates an empty arena; buffers warm up over the first run.
+    pub fn new() -> Self {
+        ExploreArena::default()
+    }
+
+    /// Clears logical state while keeping every allocation: shards retain
+    /// capacity, systems return to the pool, level/merge buffers reset to
+    /// length zero.
+    fn reset(&mut self, threads: usize) {
+        if self.shards.is_empty() {
+            self.shards = (0..SHARDS).map(|_| FnvSet::default()).collect();
+        }
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        while self.workers.len() < threads {
+            self.workers.push(WorkerScratch::default());
+        }
+        let ExploreArena {
+            pool,
+            workers,
+            levels,
+            frontier,
+            merged,
+            winners,
+            ..
+        } = self;
+        pool.append(frontier);
+        pool.extend(merged.drain(..).map(|c| c.sys));
+        pool.extend(winners.drain(..).map(|c| c.sys));
+        for w in workers.iter_mut() {
+            pool.extend(w.candidates.drain(..).map(|c| c.sys));
+            w.violations.clear();
+        }
+        for level in levels.iter_mut() {
+            level.clear();
+        }
+    }
+
+    /// Reconstructs the full schedule ending in `last`, a record whose
+    /// parent sits at depth `depth` (so the path has `depth + 1` steps).
+    fn reconstruct(&self, depth: usize, last: PathRec) -> Vec<ScheduleStep> {
+        let mut steps = vec![last.step];
+        let mut idx = last.parent as usize;
+        for level in self.levels[1..=depth].iter().rev() {
+            let rec = level[idx];
+            steps.push(rec.step);
+            idx = rec.parent as usize;
+        }
+        steps.reverse();
+        steps
+    }
 }
 
 /// The work-stealing breadth-first exploration engine.
@@ -121,17 +247,21 @@ impl ExploreTelemetry {
     }
 
     /// End-of-run derived metrics: visited-set shard occupancy (balance of
-    /// the `key % SHARDS` split) and overall throughput.
-    fn finalize(&self, shards: &[HashSet<u64>], elapsed_secs: f64) {
+    /// the `key % SHARDS` split), overall throughput, and the peak resident
+    /// frontier estimate.
+    fn finalize(&self, shards: &[FnvSet], elapsed_secs: f64, peak_frontier_bytes: usize) {
         let occupancy = self.registry.histogram("explore.shard_occupancy");
         for shard in shards {
             occupancy.record(shard.len() as u64);
         }
-        let states: usize = shards.iter().map(HashSet::len).sum();
+        let states: usize = shards.iter().map(FnvSet::len).sum();
         if elapsed_secs > 0.0 {
             self.registry
                 .set_value("explore.states_per_sec", states as f64 / elapsed_secs);
         }
+        self.registry
+            .gauge("explore.peak_frontier_bytes")
+            .set(peak_frontier_bytes as u64);
     }
 }
 
@@ -153,8 +283,9 @@ impl ParallelExplorer {
     /// Attaches a metrics registry (and optionally a trace sink) that every
     /// subsequent [`explore`](ParallelExplorer::explore) call records into:
     /// states/candidates/dedup counters, per-depth frontier widths, shard
-    /// occupancy, throughput, and per-level spans. Telemetry never feeds
-    /// back into the search — outcomes stay byte-identical.
+    /// occupancy, throughput, peak frontier bytes, and per-level spans.
+    /// Telemetry never feeds back into the search — outcomes stay
+    /// byte-identical.
     pub fn with_telemetry(
         mut self,
         registry: Arc<Registry>,
@@ -173,11 +304,27 @@ impl ParallelExplorer {
     /// [`explore`](crate::explore()): shortest counterexample, certificate,
     /// or truncation — and the result is identical for every thread count.
     pub fn explore(&self, proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
+        self.explore_in(proto, cfg, &mut ExploreArena::new())
+    }
+
+    /// [`explore`](ParallelExplorer::explore) through a caller-owned
+    /// [`ExploreArena`], reusing its buffers. The outcome is identical to a
+    /// fresh-arena run; only the allocation profile changes.
+    pub fn explore_in(
+        &self,
+        proto: &dyn DataLink,
+        cfg: &ExploreConfig,
+        arena: &mut ExploreArena,
+    ) -> ExploreOutcome {
         let started = Instant::now();
-        let mut shards: Vec<HashSet<u64>> = (0..SHARDS).map(|_| HashSet::new()).collect();
-        let outcome = self.run(proto, cfg, &mut shards);
+        arena.reset(self.threads);
+        let (outcome, peak_frontier_bytes) = self.run(proto, cfg, arena);
         if let Some(tel) = &self.telemetry {
-            tel.finalize(&shards, started.elapsed().as_secs_f64());
+            tel.finalize(
+                &arena.shards,
+                started.elapsed().as_secs_f64(),
+                peak_frontier_bytes,
+            );
             tel.registry
                 .gauge("explore.threads")
                 .set(self.threads as u64);
@@ -189,24 +336,22 @@ impl ParallelExplorer {
         &self,
         proto: &dyn DataLink,
         cfg: &ExploreConfig,
-        shards: &mut [HashSet<u64>],
-    ) -> ExploreOutcome {
+        arena: &mut ExploreArena,
+    ) -> (ExploreOutcome, usize) {
+        let tel = self.telemetry.as_ref();
         let mut root = System::new(proto);
         root.disable_event_log();
         let root_key = state_key(&root);
-        shards[shard_of(root_key)].insert(root_key);
+        arena.shards[shard_of(root_key)].insert(root_key);
         let mut states = 1usize;
-        let tel = self.telemetry.as_ref();
         if let Some(t) = tel {
             t.states.inc();
         }
-        let mut frontier = vec![Node {
-            sys: root,
-            path: Vec::new(),
-        }];
+        arena.frontier.push(root);
+        let mut peak_frontier_bytes = 0usize;
 
         for depth in 0..cfg.max_depth {
-            if frontier.is_empty() {
+            if arena.frontier.is_empty() {
                 break;
             }
             let _level_span = tel.and_then(|t| t.trace.as_deref()).map(|trace| {
@@ -215,97 +360,128 @@ impl ParallelExplorer {
                     &format!("level {depth}"),
                     vec![
                         ("depth".to_string(), depth as u64),
-                        ("frontier".to_string(), frontier.len() as u64),
+                        ("frontier".to_string(), arena.frontier.len() as u64),
                     ],
                 )
             });
             if let Some(t) = tel {
-                t.frontier_width.record(frontier.len() as u64);
+                t.frontier_width.record(arena.frontier.len() as u64);
+                // The resident estimate walks the frontier, so only pay for
+                // it when someone attached a registry to read it.
+                let bytes: usize = arena.frontier.iter().map(System::heap_bytes_estimate).sum();
+                peak_frontier_bytes = peak_frontier_bytes.max(bytes);
             }
-            let (mut violations, mut candidates) = self.expand_level(&frontier, shards, cfg);
+            self.expand_level(cfg, arena);
 
-            if !violations.is_empty() {
-                violations.sort_unstable();
-                return materialize(proto, violations.swap_remove(0));
+            // Violations: the lexicographically smallest path wins; within
+            // one level that is the minimal (parent rank, step) pair.
+            let best_violation = arena
+                .workers
+                .iter()
+                .flat_map(|w| w.violations.iter().copied())
+                .min();
+            if let Some(rec) = best_violation {
+                let steps = arena.reconstruct(depth, rec);
+                return (materialize(proto, steps), peak_frontier_bytes);
             }
 
-            // Deterministic merge: sorted by (key, path), so the smallest
-            // path claims each state whatever order threads found them in.
-            candidates.sort_unstable_by(|a, b| (a.key, &a.path).cmp(&(b.key, &b.path)));
-            let mut next = Vec::with_capacity(candidates.len());
-            for c in candidates {
+            // Deterministic merge: sorted by (key, parent rank, step) — for
+            // the equal-length paths of one level this is (key, path), so
+            // the smallest path claims each state whatever order threads
+            // found them in.
+            let ExploreArena {
+                shards,
+                pool,
+                workers,
+                levels,
+                frontier,
+                merged,
+                winners,
+            } = &mut *arena;
+            for w in workers.iter_mut() {
+                merged.append(&mut w.candidates);
+            }
+            merged.sort_unstable_by_key(|c| (c.key, c.rec));
+            // The expanded frontier is dead; recycle its systems.
+            pool.append(frontier);
+            winners.clear();
+            for c in merged.drain(..) {
                 if shards[shard_of(c.key)].insert(c.key) {
                     states += 1;
                     if let Some(t) = tel {
                         t.states.inc();
                     }
                     if states >= cfg.max_states {
-                        return ExploreOutcome::Truncated { states };
+                        return (ExploreOutcome::Truncated { states }, peak_frontier_bytes);
                     }
-                    next.push(Node {
-                        sys: c.sys,
-                        path: c.path,
-                    });
-                } else if let Some(t) = tel {
-                    t.dedup_hits.inc();
+                    winners.push(c);
+                } else {
+                    if let Some(t) = tel {
+                        t.dedup_hits.inc();
+                    }
+                    pool.push(c.sys);
                 }
             }
-            frontier = next;
+            // Rank assignment: sorted by (parent rank, step) the winners
+            // are in lexicographic path order, so each node's index in the
+            // next frontier — and in the level's record arena — *is* its
+            // path rank. This invariant is what lets the merge above
+            // compare two-word records instead of whole paths.
+            winners.sort_unstable_by_key(|c| c.rec);
+            while levels.len() <= depth + 1 {
+                levels.push(Vec::new());
+            }
+            let level = &mut levels[depth + 1];
+            for c in winners.drain(..) {
+                level.push(c.rec);
+                frontier.push(c.sys);
+            }
         }
-        ExploreOutcome::Exhausted { states }
+        (ExploreOutcome::Exhausted { states }, peak_frontier_bytes)
     }
 
-    /// Expands every frontier node, returning the violating paths and the
-    /// not-yet-visited successors discovered at this level. Work is claimed
-    /// in [`CHUNK`]-sized slices from an atomic cursor.
-    fn expand_level(
-        &self,
-        frontier: &[Node],
-        shards: &[HashSet<u64>],
-        cfg: &ExploreConfig,
-    ) -> (Vec<Vec<ScheduleStep>>, Vec<Candidate>) {
-        let workers = self.threads.min(frontier.len().div_ceil(CHUNK)).max(1);
+    /// Expands every frontier node, leaving each worker's discoveries in
+    /// its scratch buffers. Work is claimed in [`CHUNK`]-sized slices from
+    /// an atomic cursor; a frontier too small to fill one chunk per worker
+    /// runs on the calling thread without spawning a scope.
+    fn expand_level(&self, cfg: &ExploreConfig, arena: &mut ExploreArena) {
         let tel = self.telemetry.as_ref();
-        if workers == 1 {
-            let mut violations = Vec::new();
-            let mut candidates = Vec::new();
-            for node in frontier {
-                expand_node(node, shards, cfg, tel, &mut violations, &mut candidates);
+        let ExploreArena {
+            shards,
+            pool,
+            workers,
+            frontier,
+            ..
+        } = arena;
+        let nworkers = self.threads.min(frontier.len().div_ceil(CHUNK)).max(1);
+        // Hand the recycled systems to the active workers round-robin so
+        // every thread draws from a warm local pool.
+        for (i, sys) in pool.drain(..).enumerate() {
+            workers[i % nworkers].pool.push(sys);
+        }
+        if nworkers == 1 {
+            let scratch = &mut workers[0];
+            for (rank, sys) in frontier.iter().enumerate() {
+                expand_node(sys, rank as u32, shards, cfg, tel, scratch);
             }
-            return (violations, candidates);
+            return;
         }
         let cursor = ChunkCursor::new(frontier.len(), CHUNK);
+        let frontier = &*frontier;
+        let shards = &*shards;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut violations = Vec::new();
-                        let mut candidates = Vec::new();
-                        while let Some(range) = cursor.claim() {
-                            for node in &frontier[range] {
-                                expand_node(
-                                    node,
-                                    shards,
-                                    cfg,
-                                    tel,
-                                    &mut violations,
-                                    &mut candidates,
-                                );
-                            }
+            for scratch in workers[..nworkers].iter_mut() {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    while let Some(range) = cursor.claim() {
+                        let start = range.start;
+                        for (i, sys) in frontier[range].iter().enumerate() {
+                            expand_node(sys, (start + i) as u32, shards, cfg, tel, scratch);
                         }
-                        (violations, candidates)
-                    })
-                })
-                .collect();
-            let mut violations = Vec::new();
-            let mut candidates = Vec::new();
-            for handle in handles {
-                let (v, c) = handle.join().expect("explorer worker panicked");
-                violations.extend(v);
-                candidates.extend(c);
+                    }
+                });
             }
-            (violations, candidates)
-        })
+        });
     }
 }
 
@@ -314,23 +490,34 @@ fn shard_of(key: u64) -> usize {
 }
 
 fn expand_node(
-    node: &Node,
-    shards: &[HashSet<u64>],
+    sys: &System,
+    rank: u32,
+    shards: &[FnvSet],
     cfg: &ExploreConfig,
     tel: Option<&ExploreTelemetry>,
-    violations: &mut Vec<Vec<ScheduleStep>>,
-    candidates: &mut Vec<Candidate>,
+    scratch: &mut WorkerScratch,
 ) {
     if let Some(t) = tel {
         t.expansions.inc();
     }
-    for action in enabled_actions(&node.sys, cfg) {
-        let mut next = node.sys.clone();
+    enabled_actions_into(sys, cfg, &mut scratch.oldest, &mut scratch.actions);
+    for k in 0..scratch.actions.len() {
+        let action = scratch.actions[k];
+        let mut next = match scratch.pool.pop() {
+            Some(mut recycled) => {
+                recycled.assign_from(sys);
+                recycled
+            }
+            None => sys.clone(),
+        };
         apply(&mut next, action);
-        let mut path = node.path.clone();
-        path.push(to_step(action));
+        let rec = PathRec {
+            parent: rank,
+            step: to_step(action),
+        };
         if next.violation().is_some() {
-            violations.push(path);
+            scratch.violations.push(rec);
+            scratch.pool.push(next);
             continue;
         }
         let key = state_key(&next);
@@ -340,13 +527,16 @@ fn expand_node(
             if let Some(t) = tel {
                 t.candidates.inc();
             }
-            candidates.push(Candidate {
+            scratch.candidates.push(Candidate {
                 key,
-                path,
+                rec,
                 sys: next,
             });
-        } else if let Some(t) = tel {
-            t.dedup_hits.inc();
+        } else {
+            if let Some(t) = tel {
+                t.dedup_hits.inc();
+            }
+            scratch.pool.push(next);
         }
     }
 }
@@ -490,6 +680,127 @@ mod tests {
     }
 
     #[test]
+    fn arena_reuse_preserves_reports() {
+        // Back-to-back explorations through one arena — including a switch
+        // of protocol, which exercises the assign_from type-mismatch
+        // fallback on pooled systems — match fresh-arena runs exactly.
+        let explorer = ParallelExplorer::new(2);
+        let cfg = ExploreConfig::default();
+        let mut arena = ExploreArena::new();
+        for _ in 0..2 {
+            for proto in [
+                &AlternatingBit::new() as &dyn DataLink,
+                &SequenceNumber::new() as &dyn DataLink,
+            ] {
+                let warm = explorer.explore_in(proto, &cfg, &mut arena).report();
+                let fresh = explorer.explore(proto, &cfg).report();
+                assert_eq!(warm, fresh, "{}", proto.name());
+            }
+        }
+    }
+
+    /// The pre-optimization engine, kept as a reference: every frontier
+    /// node owns its full `Vec<ScheduleStep>` path, and the merge compares
+    /// whole paths. The production engine's two-word `(parent rank, step)`
+    /// records must reproduce its reports byte for byte.
+    fn cloned_path_reference(proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
+        struct Node {
+            sys: System,
+            path: Vec<ScheduleStep>,
+        }
+        let mut root = System::new(proto);
+        root.disable_event_log();
+        let mut visited = FnvSet::default();
+        visited.insert(state_key(&root));
+        let mut states = 1usize;
+        let mut frontier = vec![Node {
+            sys: root,
+            path: Vec::new(),
+        }];
+        for _ in 0..cfg.max_depth {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut violations: Vec<Vec<ScheduleStep>> = Vec::new();
+            let mut candidates: Vec<(u64, Vec<ScheduleStep>, System)> = Vec::new();
+            for node in &frontier {
+                for action in crate::explore::enabled_actions(&node.sys, cfg) {
+                    let mut next = node.sys.clone();
+                    apply(&mut next, action);
+                    let mut path = node.path.clone();
+                    path.push(to_step(action));
+                    if next.violation().is_some() {
+                        violations.push(path);
+                        continue;
+                    }
+                    let key = state_key(&next);
+                    if !visited.contains(&key) {
+                        candidates.push((key, path, next));
+                    }
+                }
+            }
+            if !violations.is_empty() {
+                violations.sort_unstable();
+                return materialize(proto, violations.swap_remove(0));
+            }
+            candidates.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+            let mut next = Vec::new();
+            for (key, path, sys) in candidates {
+                if visited.insert(key) {
+                    states += 1;
+                    if states >= cfg.max_states {
+                        return ExploreOutcome::Truncated { states };
+                    }
+                    next.push(Node { sys, path });
+                }
+            }
+            frontier = next;
+        }
+        ExploreOutcome::Exhausted { states }
+    }
+
+    #[test]
+    fn rank_merge_matches_cloned_path_reference() {
+        let protos: Vec<Box<dyn DataLink>> = vec![
+            Box::new(AlternatingBit::new()),
+            Box::new(NaiveCycle::new(3)),
+            Box::new(SequenceNumber::new()),
+            Box::new(GoBackN::new(1)),
+        ];
+        let scopes = [
+            ExploreConfig::default(),
+            ExploreConfig {
+                discipline: Discipline::BoundedReorder(2),
+                ..ExploreConfig::default()
+            },
+            ExploreConfig {
+                discipline: Discipline::LossyFifo,
+                ..ExploreConfig::default()
+            },
+            ExploreConfig {
+                max_states: 40,
+                ..ExploreConfig::default()
+            },
+        ];
+        for proto in &protos {
+            for cfg in &scopes {
+                let reference = cloned_path_reference(proto.as_ref(), cfg).report();
+                for threads in [1, 4] {
+                    let engine = explore_parallel(proto.as_ref(), cfg, threads).report();
+                    assert_eq!(
+                        reference,
+                        engine,
+                        "{} / {} / {threads} threads: parent-pointer engine \
+                         diverged from the owned-path reference",
+                        proto.name(),
+                        cfg.discipline,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn telemetry_observes_without_perturbing() {
         let cfg = ExploreConfig::default();
         let plain = ParallelExplorer::new(4)
@@ -525,6 +836,10 @@ mod tests {
             "at least one level was recorded"
         );
         assert!(snap.values.contains_key("explore.states_per_sec"));
+        assert!(
+            snap.gauges["explore.peak_frontier_bytes"].value > 0,
+            "resident frontier estimate was recorded"
+        );
         assert!(!trace.is_empty(), "per-level spans were recorded");
     }
 }

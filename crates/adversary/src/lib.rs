@@ -77,7 +77,7 @@ mod workpool;
 
 pub use dominant::{DominantReport, DominantTracker, ProbRunConfig};
 pub use explore::{explore, Discipline, ExploreConfig, ExploreOutcome};
-pub use explore_par::{explore_parallel, ParallelExplorer};
+pub use explore_par::{explore_parallel, ExploreArena, ParallelExplorer};
 pub use greedy::GreedyReplayAdversary;
 pub use mf::{MfConfig, MfFalsifier, MfGrowthStage};
 pub use oracle::{BoundnessOracle, Extension};

@@ -223,8 +223,19 @@ impl Schedule {
     /// while the transmitter is busy, or `deliver h3` with no delayed copy
     /// of `h3`).
     pub fn run(&self, proto: &dyn DataLink) -> Result<System, ScheduleError> {
+        Schedule::run_steps(&self.steps, proto)
+    }
+
+    /// [`run`](Schedule::run) over a bare step slice, without constructing
+    /// a `Schedule` first. The shrinker probes hundreds of candidate
+    /// deletions per minimisation; replaying slices directly keeps those
+    /// probes from cloning the step vector each time.
+    pub fn run_steps(
+        steps: &[ScheduleStep],
+        proto: &dyn DataLink,
+    ) -> Result<System, ScheduleError> {
         let mut sys = System::new(proto);
-        for (i, &step) in self.steps.iter().enumerate() {
+        for (i, &step) in steps.iter().enumerate() {
             let fail = |message: String| ScheduleError { at: i + 1, message };
             match step {
                 ScheduleStep::Send => {

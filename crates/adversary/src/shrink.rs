@@ -58,8 +58,7 @@ impl ShrinkOutcome {
 
 fn still_violates(proto: &dyn DataLink, steps: &[ScheduleStep], attempts: &mut usize) -> bool {
     *attempts += 1;
-    Schedule::new(steps.to_vec())
-        .run(proto)
+    Schedule::run_steps(steps, proto)
         .map(|sys| sys.violation().is_some())
         .unwrap_or(false)
 }

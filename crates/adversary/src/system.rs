@@ -6,7 +6,6 @@ use nonfifo_channel::{
 use nonfifo_ioa::{CopyId, Dir, Event, Execution, Header, Message, Packet, SpecViolation};
 use nonfifo_ioa::{Counts, SpecMonitor};
 use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};
-use std::collections::BTreeMap;
 
 /// What the adversary does with a freshly sent forward packet during a
 /// [`System::step`].
@@ -31,7 +30,7 @@ pub enum Disposition {
 /// Every action is recorded in an [`Execution`] and checked online by a
 /// [`SpecMonitor`]; the falsifiers succeed precisely when the monitor flags
 /// `rm > sm`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct System {
     /// The transmitting-station automaton.
     pub tx: BoxedTransmitter,
@@ -50,8 +49,41 @@ pub struct System {
     /// How many packets the policy may pump from the transmitter per step.
     pub burst: usize,
     peak_space: usize,
-    sent_values: std::collections::BTreeSet<Packet>,
+    /// Distinct forward packet values sent so far, kept sorted (a flat vec:
+    /// the alphabet is tiny and binary-search insert beats a tree's pointer
+    /// chasing and per-node allocations).
+    sent_values: Vec<Packet>,
     partitioned: bool,
+    /// Whether the protocol consumes [`GhostInfo`]; honest protocols don't,
+    /// and [`step`](System::step) skips the ghost sweep entirely for them.
+    uses_ghosts: bool,
+    /// Reusable ghost summary so the per-step sweep never allocates.
+    ghost_scratch: GhostInfo,
+}
+
+impl Clone for System {
+    fn clone(&self) -> Self {
+        System {
+            tx: self.tx.clone_box(),
+            rx: self.rx.clone_box(),
+            fwd: self.fwd.clone(),
+            bwd: self.bwd.clone(),
+            exec: self.exec.clone(),
+            monitor: self.monitor.clone(),
+            next_msg: self.next_msg,
+            round_watermark: self.round_watermark,
+            burst: self.burst,
+            peak_space: self.peak_space,
+            sent_values: self.sent_values.clone(),
+            partitioned: self.partitioned,
+            uses_ghosts: self.uses_ghosts,
+            ghost_scratch: GhostInfo::default(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.assign_from(source);
+    }
 }
 
 impl System {
@@ -69,9 +101,40 @@ impl System {
             round_watermark: CopyId::from_raw(0),
             burst: 64,
             peak_space: 0,
-            sent_values: std::collections::BTreeSet::new(),
+            sent_values: Vec::new(),
             partitioned: false,
+            uses_ghosts: proto.uses_ghosts(),
+            ghost_scratch: GhostInfo::default(),
         }
+    }
+
+    /// Copies `source`'s state into `self`, reusing every buffer this
+    /// system already owns: the automata are refilled in place via
+    /// [`Transmitter::assign_from`](nonfifo_protocols::Transmitter::assign_from)
+    /// (falling back to `clone_box` on a concrete-type mismatch), and the
+    /// channels, monitor, and execution reuse their allocations through
+    /// `clone_from`. The state-space explorer recycles frontier systems
+    /// through a pool with this, which is what keeps its steady-state
+    /// expansion loop off the allocator.
+    pub fn assign_from(&mut self, source: &System) {
+        if !self.tx.assign_from(source.tx.as_ref()) {
+            self.tx = source.tx.clone_box();
+        }
+        if !self.rx.assign_from(source.rx.as_ref()) {
+            self.rx = source.rx.clone_box();
+        }
+        self.fwd.clone_from(&source.fwd);
+        self.bwd.clone_from(&source.bwd);
+        self.exec.clone_from(&source.exec);
+        self.monitor.clone_from(&source.monitor);
+        self.next_msg = source.next_msg;
+        self.round_watermark = source.round_watermark;
+        self.burst = source.burst;
+        self.peak_space = source.peak_space;
+        self.sent_values.clone_from(&source.sent_values);
+        self.partitioned = source.partitioned;
+        self.uses_ghosts = source.uses_ghosts;
+        // ghost_scratch is per-step scratch, not logical state: keep ours.
     }
 
     /// The recorded execution so far.
@@ -130,6 +193,19 @@ impl System {
         self.round_watermark
     }
 
+    /// Approximate resident bytes of this system: the struct itself plus
+    /// the automata's live state and the channels' reserved buffers. Feeds
+    /// the explorer's `explore.peak_frontier_bytes` gauge; an estimate, not
+    /// an accounting guarantee.
+    pub fn heap_bytes_estimate(&self) -> usize {
+        std::mem::size_of::<System>()
+            + self.tx.space_bytes()
+            + self.rx.space_bytes()
+            + self.fwd.heap_bytes()
+            + self.bwd.heap_bytes()
+            + self.sent_values.capacity() * std::mem::size_of::<Packet>()
+    }
+
     /// True when the transmitter can accept the next message.
     pub fn ready(&self) -> bool {
         self.tx.ready()
@@ -157,19 +233,31 @@ impl System {
 
     /// Current ghost summary (pushed to the automata at each step).
     pub fn ghost(&self) -> GhostInfo {
-        let mut stale: BTreeMap<Header, u64> = BTreeMap::new();
+        let mut ghost = GhostInfo::default();
+        self.fill_ghost(&mut ghost);
+        ghost
+    }
+
+    /// Refills `ghost` in place (clearing it first); the hot path in
+    /// [`step`](System::step) runs this over a scratch summary so the
+    /// per-step sweep touches no heap once the scratch has warmed up.
+    fn fill_ghost(&self, ghost: &mut GhostInfo) {
+        ghost.reset();
+        ghost.fwd_in_transit = self.fwd.in_transit_len() as u64;
+        ghost.bwd_in_transit = self.bwd.in_transit_len() as u64;
         for (packet, _copy) in self.fwd.parked_multiset().iter() {
             let h = packet.header();
-            if stale.contains_key(&h) {
+            if ghost.stale_fwd_by_header.iter().any(|&(g, _)| g == h) {
                 continue;
             }
             let n = self.fwd.header_copies_older_than(h, self.round_watermark) as u64;
-            stale.insert(h, n);
+            ghost.push_stale(h, n);
         }
-        GhostInfo {
-            fwd_in_transit: self.fwd.in_transit_len() as u64,
-            bwd_in_transit: self.bwd.in_transit_len() as u64,
-            stale_fwd_by_header: stale,
+    }
+
+    fn note_sent_value(&mut self, pkt: Packet) {
+        if let Err(i) = self.sent_values.binary_search(&pkt) {
+            self.sent_values.insert(i, pkt);
         }
     }
 
@@ -188,9 +276,15 @@ impl System {
     where
         F: FnMut(Packet, CopyId, &mut AdversarialChannel) -> Disposition,
     {
-        let ghost = self.ghost();
-        self.tx.on_ghost(&ghost);
-        self.rx.on_ghost(&ghost);
+        if self.uses_ghosts {
+            // Take the scratch out so the automata can borrow it while we
+            // stay mutably borrowed; its buffer survives round trips.
+            let mut ghost = std::mem::take(&mut self.ghost_scratch);
+            self.fill_ghost(&mut ghost);
+            self.tx.on_ghost(&ghost);
+            self.rx.on_ghost(&ghost);
+            self.ghost_scratch = ghost;
+        }
         self.tx.on_tick();
         self.rx.on_tick();
 
@@ -199,7 +293,7 @@ impl System {
             let Some(pkt) = self.tx.poll_send() else {
                 break;
             };
-            self.sent_values.insert(pkt);
+            self.note_sent_value(pkt);
             let copy = self.fwd.send(pkt);
             self.record(Event::SendPkt {
                 dir: Dir::Forward,
@@ -251,7 +345,7 @@ impl System {
         let Some(pkt) = self.oldest_forward_of_header(h) else {
             return false;
         };
-        self.sent_values.insert(pkt);
+        self.note_sent_value(pkt);
         let copy = self.fwd.send(pkt);
         self.record(Event::SendPkt {
             dir: Dir::Forward,
@@ -273,7 +367,7 @@ impl System {
         let dropped = self.fwd.drop_oldest_of_packet(pkt).is_some();
         debug_assert!(dropped, "oldest copy just observed must be droppable");
         let twisted = corrupt_packet(pkt);
-        self.sent_values.insert(twisted);
+        self.note_sent_value(twisted);
         let copy = self.fwd.send(twisted);
         self.record(Event::SendPkt {
             dir: Dir::Forward,

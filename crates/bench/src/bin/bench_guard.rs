@@ -1,21 +1,31 @@
-//! `bench_guard` — the CI throughput-regression tripwire.
+//! `bench_guard` — the CI throughput- and memory-regression tripwire.
 //!
-//! Compares `explore.states_per_sec` between a freshly exported metrics
-//! snapshot (`nonfifo explore … --metrics-out current.json`) and the
-//! checked-in `BENCH_baseline.json`. Exits nonzero when the current rate
-//! has regressed more than the allowed fraction (default 30% — generous,
-//! because CI machines are noisy; the guard catches order-of-magnitude
-//! mistakes like an accidentally quadratic merge, not percent-level
-//! drift).
+//! Compares one metric between a freshly exported metrics snapshot
+//! (`nonfifo explore … --metrics-out current.json`) and the checked-in
+//! `BENCH_baseline.json`, in whichever direction is "worse" for that
+//! metric:
+//!
+//! - **Rates** (the default `explore.states_per_sec`, or any `values`
+//!   entry named with `--metric`): regression means *falling*. The guard
+//!   fails when current drops more than `--max-regression` (default 30% —
+//!   generous, because CI machines are noisy; it catches
+//!   order-of-magnitude mistakes like an accidentally quadratic merge,
+//!   not percent-level drift).
+//! - **Footprints** (`--max-growth`, e.g. for `explore.peak_frontier_bytes`):
+//!   regression means *growing*. The guard fails when current exceeds the
+//!   baseline by more than the given fraction — the tripwire for someone
+//!   quietly re-attaching owned paths or event logs to frontier states.
 //!
 //! ```text
 //! bench_guard <current.json> <baseline.json> [--max-regression 0.30]
-//!             [--metric explore.states_per_sec]
+//!             [--max-growth 0.50] [--metric explore.states_per_sec]
 //! ```
 //!
-//! `--metric` names any entry in the snapshots' `values` map, so one guard
-//! binary watches every throughput series the workspace exports
-//! (`explore.states_per_sec`, `campaign.runs_per_sec`, …).
+//! `--metric` names an entry in the snapshots' `values` map or, failing
+//! that, a gauge (a gauge's current value is compared), so one guard
+//! binary watches every series the workspace exports
+//! (`explore.states_per_sec`, `campaign.runs_per_sec`,
+//! `explore.peak_frontier_bytes`, …).
 //!
 //! Exit codes: 0 within budget, 1 regression, 2 usage or unreadable input.
 
@@ -25,20 +35,22 @@ use std::process::ExitCode;
 const DEFAULT_RATE_METRIC: &str = "explore.states_per_sec";
 const DEFAULT_MAX_REGRESSION: f64 = 0.30;
 
-fn load_rate(path: &str, metric: &str) -> Result<f64, String> {
+fn load_metric(path: &str, metric: &str) -> Result<f64, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let snapshot = MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     snapshot
         .values
         .get(metric)
         .copied()
-        .filter(|rate| *rate > 0.0)
-        .ok_or_else(|| format!("{path}: no positive {metric} value"))
+        .or_else(|| snapshot.gauges.get(metric).map(|g| g.value as f64))
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| format!("{path}: no positive {metric} value or gauge"))
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
     let mut paths = Vec::new();
     let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut max_growth: Option<f64> = None;
     let mut metric = DEFAULT_RATE_METRIC.to_string();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -54,6 +66,17 @@ fn run(args: &[String]) -> Result<bool, String> {
                     "--max-regression must be in [0, 1), got {max_regression}"
                 ));
             }
+        } else if arg == "--max-growth" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--max-growth needs a value".to_string())?;
+            let growth: f64 = value
+                .parse()
+                .map_err(|_| format!("bad --max-growth {value:?}"))?;
+            if growth < 0.0 {
+                return Err(format!("--max-growth must be >= 0, got {growth}"));
+            }
+            max_growth = Some(growth);
         } else if arg == "--metric" {
             metric = iter
                 .next()
@@ -65,19 +88,31 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
     let [current_path, baseline_path] = paths.as_slice() else {
         return Err("usage: bench_guard <current.json> <baseline.json> \
-                    [--max-regression 0.30] [--metric explore.states_per_sec]"
+                    [--max-regression 0.30] [--max-growth 0.50] \
+                    [--metric explore.states_per_sec]"
             .to_string());
     };
 
-    let current = load_rate(current_path, &metric)?;
-    let baseline = load_rate(baseline_path, &metric)?;
+    let current = load_metric(current_path, &metric)?;
+    let baseline = load_metric(baseline_path, &metric)?;
     let ratio = current / baseline;
-    let floor = 1.0 - max_regression;
     println!("{metric}:");
     println!("  baseline : {baseline:>12.0}  ({baseline_path})");
     println!("  current  : {current:>12.0}  ({current_path})");
-    println!("  ratio    : {ratio:>12.2}  (must stay >= {floor:.2})");
-    Ok(ratio >= floor)
+    match max_growth {
+        // Footprint guard: bigger is worse.
+        Some(growth) => {
+            let ceiling = 1.0 + growth;
+            println!("  ratio    : {ratio:>12.2}  (must stay <= {ceiling:.2})");
+            Ok(ratio <= ceiling)
+        }
+        // Rate guard: smaller is worse.
+        None => {
+            let floor = 1.0 - max_regression;
+            println!("  ratio    : {ratio:>12.2}  (must stay >= {floor:.2})");
+            Ok(ratio >= floor)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -88,7 +123,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("REGRESSION: throughput fell below the allowed floor");
+            eprintln!("REGRESSION: the metric crossed its allowed bound");
             ExitCode::FAILURE
         }
         Err(message) => {

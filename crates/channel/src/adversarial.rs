@@ -54,7 +54,7 @@ pub enum DeliveryMode {
 /// ch.release_copy(old).unwrap();
 /// assert_eq!(ch.poll_deliver(), Some((p, old)));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AdversarialChannel {
     dir: Dir,
     mode: DeliveryMode,
@@ -65,6 +65,36 @@ pub struct AdversarialChannel {
     sent: u64,
     delivered: u64,
     dropped: u64,
+}
+
+impl Clone for AdversarialChannel {
+    fn clone(&self) -> Self {
+        AdversarialChannel {
+            dir: self.dir,
+            mode: self.mode,
+            parked: self.parked.clone(),
+            queue: self.queue.clone(),
+            drops: self.drops.clone(),
+            next_copy: self.next_copy,
+            sent: self.sent,
+            delivered: self.delivered,
+            dropped: self.dropped,
+        }
+    }
+
+    /// Fieldwise `clone_from` so the explorer's system pool can refill a
+    /// recycled channel without reallocating its buffers.
+    fn clone_from(&mut self, source: &Self) {
+        self.dir = source.dir;
+        self.mode = source.mode;
+        self.parked.clone_from(&source.parked);
+        self.queue.clone_from(&source.queue);
+        self.drops.clone_from(&source.drops);
+        self.next_copy = source.next_copy;
+        self.sent = source.sent;
+        self.delivered = source.delivered;
+        self.dropped = source.dropped;
+    }
 }
 
 impl AdversarialChannel {
@@ -204,6 +234,14 @@ impl AdversarialChannel {
     /// by mode, not yet polled).
     pub fn queued_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Heap bytes currently reserved by this channel's buffers (capacities,
+    /// not live lengths) — input to the explorer's frontier memory gauge.
+    pub fn heap_bytes(&self) -> usize {
+        self.parked.heap_bytes()
+            + self.queue.capacity() * std::mem::size_of::<(Packet, CopyId)>()
+            + self.drops.capacity() * std::mem::size_of::<(Packet, CopyId)>()
     }
 }
 

@@ -8,7 +8,7 @@ use nonfifo_ioa::{
 };
 use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};
 use nonfifo_telemetry::{Counter, Gauge, Histogram, Registry, TraceSink};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -779,24 +779,26 @@ impl Simulation {
     }
 
     fn ghost(&self) -> GhostInfo {
-        let mut stale: BTreeMap<Header, u64> = BTreeMap::new();
+        let mut ghost = GhostInfo {
+            fwd_in_transit: self.fwd.in_transit_len() as u64,
+            bwd_in_transit: self.bwd.in_transit_len() as u64,
+            stale_fwd_by_header: Vec::new(),
+        };
         // Conservative sweep over a small header space: ghost info is only
         // consumed by bounded-header reconstructions, whose alphabets are
         // tiny. Headers beyond 64 are not swept (no consumer needs them).
+        // The sweep is in ascending header order, so pushing directly keeps
+        // the vec sorted.
         for h in 0..64u32 {
             let header = Header::new(h);
             let n = self
                 .fwd
                 .header_copies_older_than(header, self.round_watermark);
             if n > 0 {
-                stale.insert(header, n as u64);
+                ghost.stale_fwd_by_header.push((header, n as u64));
             }
         }
-        GhostInfo {
-            fwd_in_transit: self.fwd.in_transit_len() as u64,
-            bwd_in_transit: self.bwd.in_transit_len() as u64,
-            stale_fwd_by_header: stale,
-        }
+        ghost
     }
 
     /// One scheduler step: crashes, ghosts, ticks, transmitter pump,

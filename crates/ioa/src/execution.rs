@@ -115,11 +115,28 @@ impl fmt::Display for Counts {
 /// assert_eq!(exec.counts().sm, 1);
 /// assert_eq!(exec.counts().in_transit(Dir::Forward), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Execution {
     events: Vec<Event>,
     counts: Counts,
     counts_only: bool,
+}
+
+impl Clone for Execution {
+    fn clone(&self) -> Self {
+        Execution {
+            events: self.events.clone(),
+            counts: self.counts,
+            counts_only: self.counts_only,
+        }
+    }
+
+    /// Fieldwise `clone_from` so pooled clones reuse the event buffer.
+    fn clone_from(&mut self, source: &Self) {
+        self.events.clone_from(&source.events);
+        self.counts = source.counts;
+        self.counts_only = source.counts_only;
+    }
 }
 
 impl Execution {

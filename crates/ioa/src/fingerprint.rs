@@ -65,6 +65,26 @@ pub fn fnv64<T: Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
+/// A strong 64-bit bit-mixing finalizer (the SplitMix64 output function).
+///
+/// FNV-1a is fast but nearly linear over inputs that share a prefix and
+/// differ in trailing byte values: `fnv64(a) - fnv64(b)` is close to
+/// `(a - b) * FNV_PRIME`. That is harmless when the hash is used whole, but
+/// it breaks *additive* combinations — summing raw FNV hashes of the
+/// sequentially-numbered packets a protocol mints makes `{p1, p4}` collide
+/// with `{p2, p3}`. Any accumulator that adds per-element hashes (the
+/// packet multiset's content digest) must finalize each element through
+/// this mixer first, restoring full avalanche so sums collide only by
+/// 64-bit coincidence.
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
 /// Incremental builder for protocol state fingerprints.
 ///
 /// # Example
@@ -119,6 +139,20 @@ mod tests {
         assert_eq!(fnv64("abc"), fnv64("abc"));
         assert_ne!(fnv64("abc"), fnv64("abd"));
         assert_ne!(fnv64(&1u64), fnv64(&2u64));
+    }
+
+    #[test]
+    fn mix64_breaks_fnv_linearity() {
+        // Raw FNV hashes of consecutive small values differ only in a few
+        // xor-flipped bits, so their sums collide ({0,3} vs {1,2}: the
+        // offset basis ends in 0x25, and 0x24 + 0x27 == 0x25 + 0x26);
+        // mixed hashes must not.
+        let h = |v: u32| fnv64(&v);
+        let raw = |a: u32, b: u32| h(a).wrapping_add(h(b));
+        assert_eq!(raw(0, 3), raw(1, 2), "the degeneracy mix64 exists to fix");
+        let mixed = |a: u32, b: u32| mix64(h(a)).wrapping_add(mix64(h(b)));
+        assert_ne!(mixed(0, 3), mixed(1, 2));
+        assert_eq!(mix64(7), mix64(7));
     }
 
     #[test]

@@ -6,9 +6,16 @@
 //! simulation engine can run millions of events without retaining the trace.
 
 use crate::event::Event;
+use crate::fingerprint::Fnv64;
 use crate::packet::{CopyId, Dir, Packet};
 use crate::spec::SpecViolation;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// Copy-state map keyed by the fixed-key FNV-64 hasher: `CopyId`s are small
+/// sequential integers, so the cheap hash wins over SipHash and stays
+/// deterministic across runs.
+type CopyMap = HashMap<CopyId, CopyState, BuildHasherDefault<Fnv64>>;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum CopyState {
@@ -31,14 +38,46 @@ enum CopyState {
 /// // A second delivery with no matching send violates DL1.
 /// assert!(mon.observe(&Event::ReceiveMsg(Message::identical(1))).is_err());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SpecMonitor {
-    copies_fwd: HashMap<CopyId, CopyState>,
-    copies_bwd: HashMap<CopyId, CopyState>,
+    copies_fwd: CopyMap,
+    copies_bwd: CopyMap,
     sm: u64,
     rm: u64,
     events_seen: u64,
     first_violation: Option<SpecViolation>,
+}
+
+impl Clone for SpecMonitor {
+    fn clone(&self) -> Self {
+        SpecMonitor {
+            copies_fwd: self.copies_fwd.clone(),
+            copies_bwd: self.copies_bwd.clone(),
+            sm: self.sm,
+            rm: self.rm,
+            events_seen: self.events_seen,
+            first_violation: self.first_violation,
+        }
+    }
+
+    /// Fieldwise `clone_from` so monitor clones in the explorer's pooled
+    /// systems reuse the copy-map allocations. `HashMap::clone_from`
+    /// reallocates whenever the two tables' bucket counts differ — which
+    /// for maps of varying size is nearly always — so the maps are refilled
+    /// via clear + extend instead: `clear` keeps the buckets, and a table
+    /// only grows when the source outsizes everything the target has held.
+    fn clone_from(&mut self, source: &Self) {
+        self.copies_fwd.clear();
+        self.copies_fwd
+            .extend(source.copies_fwd.iter().map(|(&k, &v)| (k, v)));
+        self.copies_bwd.clear();
+        self.copies_bwd
+            .extend(source.copies_bwd.iter().map(|(&k, &v)| (k, v)));
+        self.sm = source.sm;
+        self.rm = source.rm;
+        self.events_seen = source.events_seen;
+        self.first_violation = source.first_violation;
+    }
 }
 
 impl SpecMonitor {
@@ -90,7 +129,7 @@ impl SpecMonitor {
         Ok(())
     }
 
-    fn copies(&mut self, dir: Dir) -> &mut HashMap<CopyId, CopyState> {
+    fn copies(&mut self, dir: Dir) -> &mut CopyMap {
         match dir {
             Dir::Forward => &mut self.copies_fwd,
             Dir::Backward => &mut self.copies_bwd,

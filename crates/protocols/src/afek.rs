@@ -122,7 +122,7 @@ impl DataLink for AfekFlush {
 }
 
 /// Transmitter automaton of the flush protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AfekFlushTx {
     labels: u64,
     /// Index of the current (or next) message, 0-based.
@@ -130,6 +130,29 @@ pub struct AfekFlushTx {
     pending: bool,
     total_sent: u64,
     outbox: VecDeque<Packet>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for AfekFlushTx {
+    fn clone(&self) -> Self {
+        AfekFlushTx {
+            labels: self.labels,
+            idx: self.idx,
+            pending: self.pending,
+            total_sent: self.total_sent,
+            outbox: self.outbox.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.labels.clone_from(&source.labels);
+        self.idx.clone_from(&source.idx);
+        self.pending.clone_from(&source.pending);
+        self.total_sent.clone_from(&source.total_sent);
+        self.outbox.clone_from(&source.outbox);
+    }
 }
 
 impl AfekFlushTx {
@@ -207,10 +230,24 @@ impl Transmitter for AfekFlushTx {
     fn clone_box(&self) -> BoxedTransmitter {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Receiver automaton of the flush protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AfekFlushRx {
     labels: u64,
     /// Next undelivered message index, 0-based.
@@ -223,6 +260,31 @@ pub struct AfekFlushRx {
     stale_snapshot: Option<u64>,
     outbox: VecDeque<Packet>,
     deliveries: VecDeque<Message>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for AfekFlushRx {
+    fn clone(&self) -> Self {
+        AfekFlushRx {
+            labels: self.labels,
+            next: self.next,
+            counted: self.counted,
+            stale_snapshot: self.stale_snapshot,
+            outbox: self.outbox.clone(),
+            deliveries: self.deliveries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.labels.clone_from(&source.labels);
+        self.next.clone_from(&source.next);
+        self.counted.clone_from(&source.counted);
+        self.stale_snapshot.clone_from(&source.stale_snapshot);
+        self.outbox.clone_from(&source.outbox);
+        self.deliveries.clone_from(&source.deliveries);
+    }
 }
 
 impl AfekFlushRx {
@@ -318,6 +380,20 @@ impl Receiver for AfekFlushRx {
     fn clone_box(&self) -> BoxedReceiver {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -326,7 +402,7 @@ mod tests {
 
     fn ghost_with(h: Header, stale: u64) -> GhostInfo {
         let mut g = GhostInfo::default();
-        g.stale_fwd_by_header.insert(h, stale);
+        g.push_stale(h, stale);
         g
     }
 

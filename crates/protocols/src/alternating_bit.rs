@@ -57,11 +57,30 @@ impl DataLink for AlternatingBit {
 }
 
 /// Transmitter automaton of the alternating-bit protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AlternatingBitTx {
     bit: u8,
     pending: Option<Message>,
     outbox: VecDeque<Packet>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for AlternatingBitTx {
+    fn clone(&self) -> Self {
+        AlternatingBitTx {
+            bit: self.bit,
+            pending: self.pending,
+            outbox: self.outbox.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.bit.clone_from(&source.bit);
+        self.pending.clone_from(&source.pending);
+        self.outbox.clone_from(&source.outbox);
+    }
 }
 
 impl AlternatingBitTx {
@@ -146,15 +165,50 @@ impl Transmitter for AlternatingBitTx {
     fn clone_box(&self) -> BoxedTransmitter {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Receiver automaton of the alternating-bit protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AlternatingBitRx {
     expected: u8,
     delivered: u64,
     outbox: VecDeque<Packet>,
     inbox_deliveries: VecDeque<Message>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for AlternatingBitRx {
+    fn clone(&self) -> Self {
+        AlternatingBitRx {
+            expected: self.expected,
+            delivered: self.delivered,
+            outbox: self.outbox.clone(),
+            inbox_deliveries: self.inbox_deliveries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.expected.clone_from(&source.expected);
+        self.delivered.clone_from(&source.delivered);
+        self.outbox.clone_from(&source.outbox);
+        self.inbox_deliveries.clone_from(&source.inbox_deliveries);
+    }
 }
 
 impl AlternatingBitRx {
@@ -219,6 +273,20 @@ impl Receiver for AlternatingBitRx {
 
     fn clone_box(&self) -> BoxedReceiver {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
     }
 }
 

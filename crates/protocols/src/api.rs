@@ -2,7 +2,7 @@
 //! [`DataLink`] factory.
 
 use nonfifo_ioa::{Header, Message, Packet};
-use std::collections::BTreeMap;
+use std::any::Any;
 use std::fmt;
 
 /// Harness-computed channel summaries pushed to the automata every
@@ -22,19 +22,44 @@ pub struct GhostInfo {
     pub bwd_in_transit: u64,
     /// Per forward header: copies delayed on the forward channel that were
     /// sent *before* the most recent `send_msg` — the stale population that
-    /// could be replayed against the current message.
-    pub stale_fwd_by_header: BTreeMap<Header, u64>,
+    /// could be replayed against the current message. Sorted by header and
+    /// deduplicated; use [`push_stale`](GhostInfo::push_stale) to maintain
+    /// the invariant. A flat vec rather than a map so harnesses can rebuild
+    /// the summary every scheduler step without touching the heap.
+    pub stale_fwd_by_header: Vec<(Header, u64)>,
 }
 
 impl GhostInfo {
     /// Stale forward copies of header `h` (0 if none).
     pub fn stale_fwd(&self, h: Header) -> u64 {
-        self.stale_fwd_by_header.get(&h).copied().unwrap_or(0)
+        self.stale_fwd_by_header
+            .binary_search_by_key(&h, |&(header, _)| header)
+            .map(|i| self.stale_fwd_by_header[i].1)
+            .unwrap_or(0)
     }
 
     /// Total stale forward copies across all headers.
     pub fn stale_fwd_total(&self) -> u64 {
-        self.stale_fwd_by_header.values().sum()
+        self.stale_fwd_by_header.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Records `n` stale copies of header `h`, keeping the entries sorted
+    /// and unique (inserting an existing header overwrites its count).
+    pub fn push_stale(&mut self, h: Header, n: u64) {
+        match self
+            .stale_fwd_by_header
+            .binary_search_by_key(&h, |&(header, _)| header)
+        {
+            Ok(i) => self.stale_fwd_by_header[i].1 = n,
+            Err(i) => self.stale_fwd_by_header.insert(i, (h, n)),
+        }
+    }
+
+    /// Clears the summary for in-place refill, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.fwd_in_transit = 0;
+        self.bwd_in_transit = 0;
+        self.stale_fwd_by_header.clear();
     }
 }
 
@@ -114,6 +139,18 @@ pub trait Transmitter: Recoverable + fmt::Debug + Send + Sync {
 
     /// Clones the automaton behind a box.
     fn clone_box(&self) -> BoxedTransmitter;
+
+    /// The automaton as [`Any`], enabling same-type downcasts for
+    /// [`assign_from`](Transmitter::assign_from).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Copies `source`'s state into `self` without allocating a new box,
+    /// reusing this automaton's storage. Returns false when `source` is a
+    /// different concrete type — callers fall back to
+    /// [`clone_box`](Transmitter::clone_box). The state-space explorer
+    /// recycles frontier systems through a pool with this, so its
+    /// steady-state expansion loop never touches the allocator.
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool;
 }
 
 /// The receiving-station automaton `Aʳ`.
@@ -145,6 +182,15 @@ pub trait Receiver: Recoverable + fmt::Debug + Send + Sync {
 
     /// Clones the automaton behind a box.
     fn clone_box(&self) -> BoxedReceiver;
+
+    /// The automaton as [`Any`], enabling same-type downcasts for
+    /// [`assign_from`](Receiver::assign_from).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Copies `source`'s state into `self` without allocating a new box;
+    /// false when `source` is a different concrete type (fall back to
+    /// [`clone_box`](Receiver::clone_box)).
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool;
 }
 
 /// A boxed transmitter trait object.
@@ -237,8 +283,8 @@ mod tests {
     #[test]
     fn ghost_accessors() {
         let mut g = GhostInfo::default();
-        g.stale_fwd_by_header.insert(Header::new(0), 3);
-        g.stale_fwd_by_header.insert(Header::new(2), 4);
+        g.push_stale(Header::new(0), 3);
+        g.push_stale(Header::new(2), 4);
         assert_eq!(g.stale_fwd(Header::new(0)), 3);
         assert_eq!(g.stale_fwd(Header::new(1)), 0);
         assert_eq!(g.stale_fwd_total(), 7);

@@ -71,7 +71,7 @@ impl DataLink for GoBackN {
 }
 
 /// Transmitter automaton of Go-Back-N.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GoBackNTx {
     window: u64,
     modulus: u64,
@@ -79,6 +79,31 @@ pub struct GoBackNTx {
     next: u64,
     unacked: VecDeque<Option<Payload>>,
     outbox: VecDeque<Packet>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for GoBackNTx {
+    fn clone(&self) -> Self {
+        GoBackNTx {
+            window: self.window,
+            modulus: self.modulus,
+            base: self.base,
+            next: self.next,
+            unacked: self.unacked.clone(),
+            outbox: self.outbox.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.window.clone_from(&source.window);
+        self.modulus.clone_from(&source.modulus);
+        self.base.clone_from(&source.base);
+        self.next.clone_from(&source.next);
+        self.unacked.clone_from(&source.unacked);
+        self.outbox.clone_from(&source.outbox);
+    }
 }
 
 impl GoBackNTx {
@@ -178,15 +203,50 @@ impl Transmitter for GoBackNTx {
     fn clone_box(&self) -> BoxedTransmitter {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Receiver automaton of Go-Back-N: no reorder buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GoBackNRx {
     modulus: u64,
     next_expected: u64,
     outbox: VecDeque<Packet>,
     deliveries: VecDeque<Message>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for GoBackNRx {
+    fn clone(&self) -> Self {
+        GoBackNRx {
+            modulus: self.modulus,
+            next_expected: self.next_expected,
+            outbox: self.outbox.clone(),
+            deliveries: self.deliveries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.modulus.clone_from(&source.modulus);
+        self.next_expected.clone_from(&source.next_expected);
+        self.outbox.clone_from(&source.outbox);
+        self.deliveries.clone_from(&source.deliveries);
+    }
 }
 
 impl GoBackNRx {
@@ -250,6 +310,20 @@ impl Receiver for GoBackNRx {
 
     fn clone_box(&self) -> BoxedReceiver {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
     }
 }
 

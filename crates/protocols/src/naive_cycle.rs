@@ -66,12 +66,33 @@ impl DataLink for NaiveCycle {
 }
 
 /// Transmitter automaton of the label-cycle protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NaiveCycleTx {
     k: u32,
     seq: u64,
     pending: Option<Message>,
     outbox: VecDeque<Packet>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for NaiveCycleTx {
+    fn clone(&self) -> Self {
+        NaiveCycleTx {
+            k: self.k,
+            seq: self.seq,
+            pending: self.pending,
+            outbox: self.outbox.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.k.clone_from(&source.k);
+        self.seq.clone_from(&source.seq);
+        self.pending.clone_from(&source.pending);
+        self.outbox.clone_from(&source.outbox);
+    }
 }
 
 impl NaiveCycleTx {
@@ -149,15 +170,50 @@ impl Transmitter for NaiveCycleTx {
     fn clone_box(&self) -> BoxedTransmitter {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Receiver automaton of the label-cycle protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NaiveCycleRx {
     k: u32,
     delivered: u64,
     outbox: VecDeque<Packet>,
     deliveries: VecDeque<Message>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for NaiveCycleRx {
+    fn clone(&self) -> Self {
+        NaiveCycleRx {
+            k: self.k,
+            delivered: self.delivered,
+            outbox: self.outbox.clone(),
+            deliveries: self.deliveries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.k.clone_from(&source.k);
+        self.delivered.clone_from(&source.delivered);
+        self.outbox.clone_from(&source.outbox);
+        self.deliveries.clone_from(&source.deliveries);
+    }
 }
 
 impl NaiveCycleRx {
@@ -215,6 +271,20 @@ impl Receiver for NaiveCycleRx {
 
     fn clone_box(&self) -> BoxedReceiver {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
     }
 }
 

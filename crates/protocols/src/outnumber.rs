@@ -102,7 +102,7 @@ impl DataLink for Outnumber {
 }
 
 /// Transmitter automaton of the outnumber protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OutnumberTx {
     labels: u64,
     /// Index of the current (or next) message, 0-based.
@@ -110,6 +110,29 @@ pub struct OutnumberTx {
     pending: bool,
     total_sent: u64,
     outbox: VecDeque<Packet>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for OutnumberTx {
+    fn clone(&self) -> Self {
+        OutnumberTx {
+            labels: self.labels,
+            idx: self.idx,
+            pending: self.pending,
+            total_sent: self.total_sent,
+            outbox: self.outbox.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.labels.clone_from(&source.labels);
+        self.idx.clone_from(&source.idx);
+        self.pending.clone_from(&source.pending);
+        self.total_sent.clone_from(&source.total_sent);
+        self.outbox.clone_from(&source.outbox);
+    }
 }
 
 impl OutnumberTx {
@@ -195,10 +218,24 @@ impl Transmitter for OutnumberTx {
     fn clone_box(&self) -> BoxedTransmitter {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Receiver automaton of the outnumber protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OutnumberRx {
     labels: u64,
     /// Next undelivered message index, 0-based.
@@ -212,6 +249,33 @@ pub struct OutnumberRx {
     threshold: u64,
     outbox: VecDeque<Packet>,
     deliveries: VecDeque<Message>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for OutnumberRx {
+    fn clone(&self) -> Self {
+        OutnumberRx {
+            labels: self.labels,
+            next: self.next,
+            since_delivery: self.since_delivery.clone(),
+            total_received: self.total_received,
+            threshold: self.threshold,
+            outbox: self.outbox.clone(),
+            deliveries: self.deliveries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.labels.clone_from(&source.labels);
+        self.next.clone_from(&source.next);
+        self.since_delivery.clone_from(&source.since_delivery);
+        self.total_received.clone_from(&source.total_received);
+        self.threshold.clone_from(&source.threshold);
+        self.outbox.clone_from(&source.outbox);
+        self.deliveries.clone_from(&source.deliveries);
+    }
 }
 
 impl OutnumberRx {
@@ -307,6 +371,20 @@ impl Receiver for OutnumberRx {
 
     fn clone_box(&self) -> BoxedReceiver {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
     }
 }
 

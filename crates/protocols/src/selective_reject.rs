@@ -71,7 +71,7 @@ impl DataLink for SelectiveReject {
 }
 
 /// Transmitter automaton of selective reject.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SelectiveRejectTx {
     window: u64,
     modulus: u64,
@@ -85,6 +85,35 @@ pub struct SelectiveRejectTx {
     /// fallback retransmission of the window base (NAKs themselves can be
     /// lost).
     stall_ticks: u32,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for SelectiveRejectTx {
+    fn clone(&self) -> Self {
+        SelectiveRejectTx {
+            window: self.window,
+            modulus: self.modulus,
+            base: self.base,
+            next: self.next,
+            unacked: self.unacked.clone(),
+            nak_queue: self.nak_queue.clone(),
+            outbox: self.outbox.clone(),
+            stall_ticks: self.stall_ticks,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.window.clone_from(&source.window);
+        self.modulus.clone_from(&source.modulus);
+        self.base.clone_from(&source.base);
+        self.next.clone_from(&source.next);
+        self.unacked.clone_from(&source.unacked);
+        self.nak_queue.clone_from(&source.nak_queue);
+        self.outbox.clone_from(&source.outbox);
+        self.stall_ticks.clone_from(&source.stall_ticks);
+    }
 }
 
 const STALL_RESEND: u32 = 4;
@@ -217,10 +246,24 @@ impl Transmitter for SelectiveRejectTx {
     fn clone_box(&self) -> BoxedTransmitter {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Receiver automaton of selective reject.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SelectiveRejectRx {
     window: u64,
     modulus: u64,
@@ -231,6 +274,33 @@ pub struct SelectiveRejectRx {
     naked: BTreeSet<u64>,
     outbox: VecDeque<Packet>,
     deliveries: VecDeque<Message>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for SelectiveRejectRx {
+    fn clone(&self) -> Self {
+        SelectiveRejectRx {
+            window: self.window,
+            modulus: self.modulus,
+            next_expected: self.next_expected,
+            buffered: self.buffered.clone(),
+            naked: self.naked.clone(),
+            outbox: self.outbox.clone(),
+            deliveries: self.deliveries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.window.clone_from(&source.window);
+        self.modulus.clone_from(&source.modulus);
+        self.next_expected.clone_from(&source.next_expected);
+        self.buffered.clone_from(&source.buffered);
+        self.naked.clone_from(&source.naked);
+        self.outbox.clone_from(&source.outbox);
+        self.deliveries.clone_from(&source.deliveries);
+    }
 }
 
 impl SelectiveRejectRx {
@@ -328,6 +398,20 @@ impl Receiver for SelectiveRejectRx {
 
     fn clone_box(&self) -> BoxedReceiver {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -65,11 +65,30 @@ impl DataLink for SequenceNumber {
 }
 
 /// Transmitter automaton of the sequence-number protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SequenceNumberTx {
     seq: u64,
     pending: Option<Message>,
     outbox: VecDeque<Packet>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for SequenceNumberTx {
+    fn clone(&self) -> Self {
+        SequenceNumberTx {
+            seq: self.seq,
+            pending: self.pending,
+            outbox: self.outbox.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.seq.clone_from(&source.seq);
+        self.pending.clone_from(&source.pending);
+        self.outbox.clone_from(&source.outbox);
+    }
 }
 
 impl SequenceNumberTx {
@@ -154,14 +173,47 @@ impl Transmitter for SequenceNumberTx {
     fn clone_box(&self) -> BoxedTransmitter {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Receiver automaton of the sequence-number protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SequenceNumberRx {
     next_expected: u64,
     outbox: VecDeque<Packet>,
     deliveries: VecDeque<Message>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for SequenceNumberRx {
+    fn clone(&self) -> Self {
+        SequenceNumberRx {
+            next_expected: self.next_expected,
+            outbox: self.outbox.clone(),
+            deliveries: self.deliveries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.next_expected.clone_from(&source.next_expected);
+        self.outbox.clone_from(&source.outbox);
+        self.deliveries.clone_from(&source.deliveries);
+    }
 }
 
 impl SequenceNumberRx {
@@ -228,6 +280,20 @@ impl Receiver for SequenceNumberRx {
 
     fn clone_box(&self) -> BoxedReceiver {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
     }
 }
 

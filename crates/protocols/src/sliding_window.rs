@@ -73,7 +73,7 @@ impl DataLink for SlidingWindow {
 }
 
 /// Transmitter automaton of the sliding-window protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SlidingWindowTx {
     window: u64,
     modulus: u64,
@@ -83,6 +83,31 @@ pub struct SlidingWindowTx {
     next: u64,
     unacked: BTreeMap<u64, Option<Payload>>,
     outbox: VecDeque<Packet>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for SlidingWindowTx {
+    fn clone(&self) -> Self {
+        SlidingWindowTx {
+            window: self.window,
+            modulus: self.modulus,
+            base: self.base,
+            next: self.next,
+            unacked: self.unacked.clone(),
+            outbox: self.outbox.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.window.clone_from(&source.window);
+        self.modulus.clone_from(&source.modulus);
+        self.base.clone_from(&source.base);
+        self.next.clone_from(&source.next);
+        self.unacked.clone_from(&source.unacked);
+        self.outbox.clone_from(&source.outbox);
+    }
 }
 
 impl SlidingWindowTx {
@@ -180,10 +205,24 @@ impl Transmitter for SlidingWindowTx {
     fn clone_box(&self) -> BoxedTransmitter {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Transmitter) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Receiver automaton of the sliding-window protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SlidingWindowRx {
     window: u64,
     modulus: u64,
@@ -192,6 +231,31 @@ pub struct SlidingWindowRx {
     buffered: BTreeMap<u64, Option<Payload>>,
     outbox: VecDeque<Packet>,
     deliveries: VecDeque<Message>,
+}
+
+/// Manual `Clone` so `clone_from` reuses this automaton's buffers — the
+/// explorer's system pool refills recycled automata in place via
+/// `assign_from`, and the derived `clone_from` would reallocate instead.
+impl Clone for SlidingWindowRx {
+    fn clone(&self) -> Self {
+        SlidingWindowRx {
+            window: self.window,
+            modulus: self.modulus,
+            next_expected: self.next_expected,
+            buffered: self.buffered.clone(),
+            outbox: self.outbox.clone(),
+            deliveries: self.deliveries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.window.clone_from(&source.window);
+        self.modulus.clone_from(&source.modulus);
+        self.next_expected.clone_from(&source.next_expected);
+        self.buffered.clone_from(&source.buffered);
+        self.outbox.clone_from(&source.outbox);
+        self.deliveries.clone_from(&source.deliveries);
+    }
 }
 
 impl SlidingWindowRx {
@@ -269,6 +333,20 @@ impl Receiver for SlidingWindowRx {
 
     fn clone_box(&self) -> BoxedReceiver {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn assign_from(&mut self, source: &dyn Receiver) -> bool {
+        match source.as_any().downcast_ref::<Self>() {
+            Some(src) => {
+                self.clone_from(src);
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -8,7 +8,9 @@
 //! `PROPTEST_CASES` scales the case count (CI pins it for reproducible
 //! runtime).
 
-use nonfifo::adversary::{explore, Discipline, ExploreConfig, ExploreOutcome, ParallelExplorer};
+use nonfifo::adversary::{
+    explore, Discipline, ExploreArena, ExploreConfig, ExploreOutcome, ParallelExplorer,
+};
 use nonfifo::protocols::{
     AlternatingBit, DataLink, GoBackN, Outnumber, SequenceNumber, SlidingWindow,
 };
@@ -121,6 +123,35 @@ fn parallel_reports_are_byte_identical_across_thread_counts() {
                 baseline,
                 report,
                 "seed {seed}: {threads}-thread report diverges for {} under {}",
+                proto.name(),
+                cfg.discipline,
+            );
+        }
+    });
+}
+
+#[test]
+fn arena_reuse_is_invisible() {
+    // The engine's zero-copy machinery — parent-pointer path records,
+    // pooled systems refilled with `assign_from`, reused worker scratch —
+    // lives in the `ExploreArena`. Running a random sequence of scopes and
+    // protocols through ONE arena (so every run inherits the previous
+    // run's recycled buffers, including across protocol switches) must
+    // produce byte-identical reports to fresh-arena runs.
+    for_seeds(cases(), |seed, rng| {
+        let explorer = ParallelExplorer::new(1 + rng.gen_range(0..3));
+        let mut arena = ExploreArena::new();
+        for round in 0..3 {
+            let proto = random_protocol(rng);
+            let cfg = random_scope(rng);
+            let warm = explorer
+                .explore_in(proto.as_ref(), &cfg, &mut arena)
+                .report();
+            let fresh = explorer.explore(proto.as_ref(), &cfg).report();
+            assert_eq!(
+                warm,
+                fresh,
+                "seed {seed} round {round}: warm-arena report diverges for {} under {}",
                 proto.name(),
                 cfg.discipline,
             );
