@@ -32,8 +32,9 @@ use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
 use nonfifo_channel::Channel as _;
 use nonfifo_ioa::fingerprint::{Fnv64, StateHash};
-use nonfifo_ioa::{CopyId, Execution, Packet};
+use nonfifo_ioa::{CopyId, Execution, Header, Packet};
 use nonfifo_protocols::DataLink;
+use nonfifo_rng::StdRng;
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::hash::BuildHasherDefault;
@@ -103,6 +104,14 @@ pub struct ExploreConfig {
     pub max_states: usize,
     /// The channel discipline the adversary plays under.
     pub discipline: Discipline,
+    /// Start the exploration from a *corrupted* root: the seed drives a
+    /// small deterministic preload of junk packet copies onto the parked
+    /// forward channel (declared as monitored sends, so PL1 checking stays
+    /// meaningful) before the first adversary action. `None` is the
+    /// ordinary clean boot. A certificate under `Some(_)` says no adversary
+    /// schedule violates safety *even from that poisoned in-transit state* —
+    /// the small-scope face of self-stabilization.
+    pub corrupt_start: Option<u64>,
 }
 
 impl Default for ExploreConfig {
@@ -113,8 +122,53 @@ impl Default for ExploreConfig {
             max_pool: 6,
             max_states: 200_000,
             discipline: Discipline::NonFifo,
+            corrupt_start: None,
         }
     }
+}
+
+/// Decorrelates corrupted-root preloads from other consumers of the seed.
+const CORRUPT_ROOT_SALT: u64 = 0x5eed_c0de_ba5e_0001;
+
+/// Builds the root [`System`] of `cfg`'s scope — the state every replay of
+/// an emitted schedule must start from. For clean scopes this is a fresh
+/// boot; with [`ExploreConfig::corrupt_start`] set it carries the seeded
+/// junk preload, and replaying from `System::new` instead desynchronises
+/// on the first step that touches the preloaded junk.
+pub fn scope_root(proto: &dyn DataLink, cfg: &ExploreConfig) -> System {
+    build_root(proto, cfg, true)
+}
+
+/// Builds the exploration root for `cfg`: a fresh closed system, its event
+/// log disabled first when `event_log` is false (the parallel engine's
+/// counters-only frontier), then the corrupted-start preload applied if
+/// configured. Both engines — and the counterexample re-materialisation —
+/// construct their roots through this one path, so corrupted starts cannot
+/// desynchronise them.
+pub(crate) fn build_root(proto: &dyn DataLink, cfg: &ExploreConfig, event_log: bool) -> System {
+    let mut root = System::new(proto);
+    if !event_log {
+        root.disable_event_log();
+    }
+    if let Some(seed) = cfg.corrupt_start {
+        let mut rng = StdRng::seed_from_u64(seed ^ CORRUPT_ROOT_SALT);
+        // One or two distinct junk values, one or two copies each, capped
+        // by the scope's pool bound: enough to poison the receiver's view
+        // without drowning the state space. Headers stay small (0..8) so
+        // the junk collides with real alphabets instead of being ignored.
+        let values = rng.gen_range(1..3);
+        for _ in 0..values {
+            let pkt = Packet::header_only(Header::new(rng.gen_range(0..8) as u32));
+            let copies = rng.gen_range(1..3);
+            for _ in 0..copies {
+                if root.fwd.in_transit_len() >= cfg.max_pool {
+                    return root;
+                }
+                root.preload_forward(pkt);
+            }
+        }
+    }
+    root
 }
 
 /// The result of an exhaustive exploration.
@@ -320,7 +374,7 @@ pub(crate) fn to_step(action: Action) -> ScheduleStep {
 
 /// Exhaustively explores the adversary's choices against `proto`.
 pub fn explore(proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
-    let root = System::new(proto);
+    let root = build_root(proto, cfg, true);
     let mut visited: FnvSet = FnvSet::default();
     visited.insert(state_key(&root));
     let mut frontier: VecDeque<(System, Vec<ScheduleStep>)> = VecDeque::new();
@@ -365,7 +419,7 @@ mod tests {
     use super::*;
     use nonfifo_ioa::spec::{check_dl1, check_pl1, Validity};
     use nonfifo_ioa::Dir;
-    use nonfifo_protocols::{AlternatingBit, NaiveCycle, SequenceNumber};
+    use nonfifo_protocols::{AlternatingBit, NaiveCycle, SequenceNumber, StabilizingDl};
 
     #[test]
     fn finds_minimal_counterexample_for_alternating_bit() {
@@ -487,6 +541,57 @@ mod tests {
         assert!(outcome.is_truncated(), "got {outcome:?}");
         assert!(!outcome.is_certificate());
         assert!(outcome.report().contains("inconclusive"));
+    }
+
+    #[test]
+    fn corrupted_roots_are_deterministic_per_seed() {
+        let cfg = ExploreConfig {
+            corrupt_start: Some(42),
+            ..ExploreConfig::default()
+        };
+        let a = build_root(&SequenceNumber::new(), &cfg, true);
+        let b = build_root(&SequenceNumber::new(), &cfg, true);
+        assert_eq!(state_key(&a), state_key(&b));
+        assert!(
+            a.fwd.in_transit_len() > 0,
+            "a corrupted root preloads at least one junk copy"
+        );
+        assert_eq!(a.execution().len(), b.execution().len());
+        // Every preloaded copy is a declared send: the monitor saw it.
+        assert_eq!(a.violation(), None);
+    }
+
+    #[test]
+    fn corrupted_starts_separate_stabilizing_from_trusting_protocols() {
+        // The counting protocol needs capacity+1 identical sightings to
+        // deliver; a preload of at most two copies per junk value can never
+        // cross that threshold, so every corrupted start carries a
+        // certificate. The sequence-number protocol trusts whatever matches
+        // its expected header — a junk copy of header 0 is a phantom
+        // delivery one adversary action deep.
+        let scope = |seed| ExploreConfig {
+            max_messages: 2,
+            max_depth: 8,
+            max_pool: 4,
+            max_states: 300_000,
+            corrupt_start: Some(seed),
+            ..ExploreConfig::default()
+        };
+        let mut seqnum_fell = false;
+        for seed in 0..16 {
+            let dl = explore(&StabilizingDl::new(), &scope(seed));
+            assert!(
+                dl.is_certificate(),
+                "seed {seed}: stabilizing-dl got {dl:?}"
+            );
+            if explore(&SequenceNumber::new(), &scope(seed)).is_counterexample() {
+                seqnum_fell = true;
+            }
+        }
+        assert!(
+            seqnum_fell,
+            "no junk preload collided with seqnum's expected header across 16 seeds"
+        );
     }
 
     #[test]

@@ -59,7 +59,8 @@
 //! an end-to-end validation of every reported attack.
 
 use crate::explore::{
-    apply, enabled_actions_into, state_key, to_step, Action, ExploreConfig, ExploreOutcome, FnvSet,
+    apply, build_root, enabled_actions_into, state_key, to_step, Action, ExploreConfig,
+    ExploreOutcome, FnvSet,
 };
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
@@ -185,10 +186,16 @@ impl ExploreArena {
     fn reconstruct(&self, depth: usize, last: PathRec) -> Vec<ScheduleStep> {
         let mut steps = vec![last.step];
         let mut idx = last.parent as usize;
-        for level in self.levels[1..=depth].iter().rev() {
-            let rec = level[idx];
-            steps.push(rec.step);
-            idx = rec.parent as usize;
+        // A depth-0 violation has no interior path to walk — and on a fresh
+        // arena `levels` is still empty, so even the degenerate `[1..=0]`
+        // slice would be out of bounds. Reachable only from a corrupted
+        // start, where the very first deliver can already be a phantom.
+        if depth > 0 {
+            for level in self.levels[1..=depth].iter().rev() {
+                let rec = level[idx];
+                steps.push(rec.step);
+                idx = rec.parent as usize;
+            }
         }
         steps.reverse();
         steps
@@ -339,8 +346,7 @@ impl ParallelExplorer {
         arena: &mut ExploreArena,
     ) -> (ExploreOutcome, usize) {
         let tel = self.telemetry.as_ref();
-        let mut root = System::new(proto);
-        root.disable_event_log();
+        let root = build_root(proto, cfg, false);
         let root_key = state_key(&root);
         arena.shards[shard_of(root_key)].insert(root_key);
         let mut states = 1usize;
@@ -382,7 +388,7 @@ impl ParallelExplorer {
                 .min();
             if let Some(rec) = best_violation {
                 let steps = arena.reconstruct(depth, rec);
-                return (materialize(proto, steps), peak_frontier_bytes);
+                return (materialize(proto, cfg, steps), peak_frontier_bytes);
             }
 
             // Deterministic merge: sorted by (key, parent rank, step) — for
@@ -543,10 +549,15 @@ fn expand_node(
 
 /// Re-runs the winning path through the strict scheduler to recover the
 /// full invalid execution (frontier systems carry counters-only logs).
-fn materialize(proto: &dyn DataLink, steps: Vec<ScheduleStep>) -> ExploreOutcome {
+fn materialize(
+    proto: &dyn DataLink,
+    cfg: &ExploreConfig,
+    steps: Vec<ScheduleStep>,
+) -> ExploreOutcome {
     let schedule = Schedule::new(steps);
-    let sys = schedule
-        .run(proto)
+    // Replay from the same (possibly corrupted) root that produced the
+    // violation — a clean boot would desynchronise corrupted-start runs.
+    let sys = Schedule::run_steps_from(schedule.steps(), build_root(proto, cfg, true))
         .expect("explorer-found schedule must replay");
     assert!(
         sys.violation().is_some(),
@@ -660,6 +671,55 @@ mod tests {
     }
 
     #[test]
+    fn depth_zero_violations_reconstruct_from_a_fresh_arena() {
+        // Corrupt seed 8 preloads junk whose very first deliver is already
+        // a phantom: the shortest counterexample is one action, found at
+        // depth 0 before the path arena holds any levels. Regression:
+        // `reconstruct` used to slice `levels[1..=0]` on the still-empty
+        // arena and panic out of bounds.
+        let cfg = ExploreConfig {
+            max_messages: 2,
+            max_depth: 8,
+            max_pool: 4,
+            max_states: 300_000,
+            corrupt_start: Some(8),
+            ..ExploreConfig::default()
+        };
+        for threads in [1, 4] {
+            match explore_parallel(&SequenceNumber::new(), &cfg, threads) {
+                ExploreOutcome::Counterexample { schedule, .. } => {
+                    assert_eq!(schedule.steps().len(), 1, "{threads} threads");
+                }
+                other => {
+                    panic!("{threads} threads: expected a one-action counterexample, got {other:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_starts_flow_through_the_parallel_engine() {
+        // Same corrupted root on every engine and thread count: reports are
+        // byte-identical, and a parallel-found counterexample re-materialises
+        // from the seeded root (materialize panics otherwise).
+        for seed in 0..4 {
+            let cfg = ExploreConfig {
+                max_messages: 2,
+                max_depth: 8,
+                max_pool: 4,
+                max_states: 300_000,
+                corrupt_start: Some(seed),
+                ..ExploreConfig::default()
+            };
+            let reference = explore(&SequenceNumber::new(), &cfg).report();
+            for threads in [1, 4] {
+                let par = explore_parallel(&SequenceNumber::new(), &cfg, threads).report();
+                assert_eq!(par, reference, "seed {seed}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
     fn disciplines_flow_through_the_parallel_engine() {
         let lossy = ExploreConfig {
             discipline: Discipline::LossyFifo,
@@ -741,7 +801,7 @@ mod tests {
             }
             if !violations.is_empty() {
                 violations.sort_unstable();
-                return materialize(proto, violations.swap_remove(0));
+                return materialize(proto, cfg, violations.swap_remove(0));
             }
             candidates.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
             let mut next = Vec::new();

@@ -76,7 +76,7 @@ mod system;
 mod workpool;
 
 pub use dominant::{DominantReport, DominantTracker, ProbRunConfig};
-pub use explore::{explore, Discipline, ExploreConfig, ExploreOutcome};
+pub use explore::{explore, scope_root, Discipline, ExploreConfig, ExploreOutcome};
 pub use explore_par::{explore_parallel, ExploreArena, ParallelExplorer};
 pub use greedy::GreedyReplayAdversary;
 pub use mf::{MfConfig, MfFalsifier, MfGrowthStage};

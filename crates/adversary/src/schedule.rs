@@ -234,7 +234,16 @@ impl Schedule {
         steps: &[ScheduleStep],
         proto: &dyn DataLink,
     ) -> Result<System, ScheduleError> {
-        let mut sys = System::new(proto);
+        Schedule::run_steps_from(steps, System::new(proto))
+    }
+
+    /// [`run_steps`](Schedule::run_steps) from a caller-prepared system
+    /// instead of a fresh boot — the corrupted-start explorer replays its
+    /// counterexamples from the same seeded root that produced them.
+    pub fn run_steps_from(
+        steps: &[ScheduleStep],
+        mut sys: System,
+    ) -> Result<System, ScheduleError> {
         for (i, &step) in steps.iter().enumerate() {
             let fail = |message: String| ScheduleError { at: i + 1, message };
             match step {

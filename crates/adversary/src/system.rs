@@ -355,6 +355,23 @@ impl System {
         true
     }
 
+    /// Mints `pkt` onto the forward channel as a parked, monitored
+    /// `SendPkt` — the corrupted-start explorer's way of seeding an
+    /// arbitrary in-transit multiset before the first adversary action.
+    /// Same declaration pattern as [`duplicate_oldest`](System::duplicate_oldest):
+    /// the copy is announced to the monitor, so its later delivery or loss
+    /// stays PL1-sound.
+    pub fn preload_forward(&mut self, pkt: Packet) -> CopyId {
+        self.note_sent_value(pkt);
+        let copy = self.fwd.send(pkt);
+        self.record(Event::SendPkt {
+            dir: Dir::Forward,
+            packet: pkt,
+            copy,
+        });
+        copy
+    }
+
     /// Replaces the oldest delayed forward copy of header `h` with a
     /// bit-corrupted rewrite: the original copy is dropped (monitored
     /// `DropPkt`) and the corrupted value is minted as a fresh parked copy

@@ -6,12 +6,15 @@
 //! |--------|-------------|
 //! | [`e14_cost_vs_in_transit`] | Theorem 4.1 via telemetry: per-message cost tracks the in-transit population over `k` |
 //! | [`e15_growth_campaign`] | Theorem 5.1 as a campaign: bounded headers pay compounding cost over PL2p as `q` and `n` grow; unbounded headers stay linear |
+//! | [`e16_convergence_campaign`] | Self-stabilization (DDPT'11): the counting protocol converges from every corrupted start across severity × chaos; a trusting protocol fails to recover |
 //!
-//! Both are deterministic given their seeds, and — being campaigns — their
+//! All are deterministic given their seeds, and — being campaigns — their
 //! tables are byte-identical at any thread count.
 
 mod e14;
 mod e15;
+mod e16;
 
 pub use e14::{e14_cost_vs_in_transit, e14_cost_vs_in_transit_at, E14Report, E14Row};
 pub use e15::{e15_growth_campaign, e15_growth_campaign_at, E15Report, E15Row};
+pub use e16::{e16_convergence_campaign, e16_convergence_campaign_at, E16Report, E16Row};

@@ -11,6 +11,7 @@
 //! messages 10 20 40
 //! seeds 0..5
 //! budget 5000000
+//! corruption medium      # optional; start every run from a seeded scramble
 //! fault dup 0.1          # optional; verbs are the fault-plan DSL's
 //! ```
 //!
@@ -20,7 +21,7 @@
 //! a mid-campaign panic.
 
 use crate::spec::{RunSpec, ScenarioSpec};
-use nonfifo_channel::{Discipline, FaultPlan};
+use nonfifo_channel::{CorruptionSeverity, Discipline, FaultPlan, SeverityError};
 use nonfifo_core::NonFifoError;
 use nonfifo_protocols::catalog;
 use std::error::Error;
@@ -206,6 +207,18 @@ impl CampaignPlan {
                     }
                     d.spec.payloads = true;
                 }
+                "corruption" => {
+                    let [severity] = args[..] else {
+                        return Err(err(
+                            line,
+                            "corruption takes one severity: light, medium, or heavy",
+                        ));
+                    };
+                    let parsed: CorruptionSeverity = severity
+                        .parse()
+                        .map_err(|e: SeverityError| err(line, e.to_string()))?;
+                    d.spec.corruption = Some(parsed);
+                }
                 "fault" => {
                     if args.is_empty() {
                         return Err(err(line, "fault needs a fault-plan directive"));
@@ -217,7 +230,8 @@ impl CampaignPlan {
                         line,
                         format!(
                             "unknown directive `{other}` (expected scenario, protocols, \
-                             disciplines, messages, seeds, budget, payloads, or fault)"
+                             disciplines, messages, seeds, budget, payloads, corruption, \
+                             or fault)"
                         ),
                     ))
                 }
@@ -278,6 +292,7 @@ protocols window4
 disciplines fifo
 messages 8
 seeds 7
+corruption medium
 fault dup 0.1
 fault drop 0.05
 ";
@@ -292,6 +307,8 @@ fault drop 0.05
         let last = runs.last().unwrap();
         assert_eq!(last.scenario, "chaos");
         assert_eq!(last.seed, 7);
+        assert_eq!(last.corruption, Some(CorruptionSeverity::Medium));
+        assert!(runs[0].corruption.is_none());
         let faults = last.fault_plan.as_ref().unwrap();
         assert!((faults.dup - 0.1).abs() < 1e-12);
         assert!((faults.drop - 0.05).abs() < 1e-12);
@@ -309,6 +326,8 @@ fault drop 0.05
             ),
             ("scenario a\nmessages zero", 2, "cannot parse"),
             ("scenario a\nseeds 5..5", 2, "empty range"),
+            ("scenario a\ncorruption lethal", 2, "severity"),
+            ("scenario a\ncorruption light heavy", 2, "one severity"),
             ("scenario a\nteleport now", 2, "unknown directive"),
             (
                 "scenario a\nprotocols abp\ndisciplines fifo\nmessages 5\nfault dup",

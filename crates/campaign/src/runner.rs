@@ -19,9 +19,13 @@
 use crate::cache::{CachedRun, CampaignCache};
 use crate::spec::RunSpec;
 use nonfifo_adversary::ChunkCursor;
+use nonfifo_channel::CorruptionSeverity;
 use nonfifo_core::experiments::table::{f3, markdown};
-use nonfifo_core::{NonFifoError, SimConfig, SimError, Simulation};
-use nonfifo_protocols::catalog;
+use nonfifo_core::{
+    corrupted_simulation, drive_corrupted, NonFifoError, SeedVerdict, SimConfig, SimError,
+    Simulation, StabilizeConfig,
+};
+use nonfifo_protocols::{catalog, DataLink};
 use nonfifo_telemetry::{MetricsSnapshot, Registry, SCHEMA_VERSION};
 use std::fmt;
 use std::sync::Arc;
@@ -35,6 +39,9 @@ pub enum RunOutcome {
     Stalled,
     /// The online monitor flagged a specification violation.
     Violation,
+    /// A corrupted-start run never acquired a legal suffix: the scramble's
+    /// damage persisted past the convergence bound.
+    Diverged,
 }
 
 impl RunOutcome {
@@ -44,6 +51,7 @@ impl RunOutcome {
             RunOutcome::Delivered => "delivered",
             RunOutcome::Stalled => "stalled",
             RunOutcome::Violation => "violation",
+            RunOutcome::Diverged => "diverged",
         }
     }
 
@@ -53,6 +61,7 @@ impl RunOutcome {
             "delivered" => Some(RunOutcome::Delivered),
             "stalled" => Some(RunOutcome::Stalled),
             "violation" => Some(RunOutcome::Violation),
+            "diverged" => Some(RunOutcome::Diverged),
             _ => None,
         }
     }
@@ -213,6 +222,9 @@ impl CampaignRunner {
 /// Executes one validated spec on the calling thread.
 fn execute(spec: &RunSpec) -> RunRecord {
     let proto = catalog::by_name(&spec.protocol).expect("specs are validated before dispatch");
+    if let Some(severity) = spec.corruption {
+        return execute_corrupted(spec, proto, severity);
+    }
     let registry = Arc::new(Registry::new());
     let mut builder = Simulation::builder(proto)
         .channel(spec.discipline.clone())
@@ -265,6 +277,54 @@ fn execute(spec: &RunSpec) -> RunRecord {
     }
 }
 
+/// Executes one corruption-bearing spec: the run starts from a seeded
+/// scramble (scramble seed = run seed) and is judged by convergence
+/// instead of clean-start delivery — `Delivered` means the execution
+/// acquired a legal suffix after its corrupted prefix. The telemetry
+/// registry is attached between building and driving the simulation, so
+/// corrupted records carry the same per-run metrics as clean ones (minus
+/// the preload events, which land before the registry exists).
+fn execute_corrupted(
+    spec: &RunSpec,
+    proto: Box<dyn DataLink>,
+    severity: CorruptionSeverity,
+) -> RunRecord {
+    let stab_cfg = StabilizeConfig {
+        severity,
+        discipline: spec.discipline.clone(),
+        fault_plan: spec.fault_plan.clone(),
+        messages: spec.messages,
+        max_steps_per_message: spec
+            .budget
+            .unwrap_or(StabilizeConfig::default().max_steps_per_message),
+        ..StabilizeConfig::default()
+    };
+    let registry = Arc::new(Registry::new());
+    let mut sim = corrupted_simulation(proto, spec.seed, &stab_cfg);
+    sim.attach_telemetry(Arc::clone(&registry), None);
+    let outcome = drive_corrupted(&mut sim, spec.seed, &stab_cfg);
+    // Phantom deliveries from the scramble don't count: only real workload
+    // payloads do (junk payloads live at or above 2^40, so no collisions).
+    let delivered = (0..spec.messages)
+        .filter(|m| sim.delivered_payloads().contains(m))
+        .count() as u64;
+    let metrics = registry.snapshot();
+    RunRecord {
+        spec: spec.clone(),
+        outcome: match outcome.verdict {
+            SeedVerdict::Converged { .. } => RunOutcome::Delivered,
+            SeedVerdict::Diverged { .. } => RunOutcome::Diverged,
+            SeedVerdict::Stalled => RunOutcome::Stalled,
+        },
+        fingerprint: outcome.fingerprint,
+        steps: outcome.steps,
+        fwd_sends: metrics.counters.get("chan.fwd.sends").copied().unwrap_or(0),
+        delivered,
+        metrics,
+        cached: false,
+    }
+}
+
 impl From<&RunRecord> for CachedRun {
     fn from(r: &RunRecord) -> Self {
         CachedRun {
@@ -300,6 +360,9 @@ impl CampaignReport {
                     r.spec.scenario.clone(),
                     r.spec.protocol.clone(),
                     r.spec.discipline.to_string(),
+                    r.spec
+                        .corruption
+                        .map_or_else(|| "-".to_string(), |s| s.to_string()),
                     r.spec.messages.to_string(),
                     r.spec.seed.to_string(),
                     r.outcome.to_string(),
@@ -319,6 +382,7 @@ impl CampaignReport {
                 "scenario",
                 "protocol",
                 "channel",
+                "corrupt",
                 "n",
                 "seed",
                 "outcome",
@@ -352,6 +416,7 @@ impl CampaignReport {
             RunOutcome::Delivered,
             RunOutcome::Stalled,
             RunOutcome::Violation,
+            RunOutcome::Diverged,
         ] {
             let count = self.count(outcome) as u64;
             agg.counters
@@ -366,9 +431,12 @@ impl CampaignReport {
     }
 
     /// The campaign-level error for the exit-code contract, if any run
-    /// failed: violations dominate stalls.
+    /// failed: violations dominate stalls. A corrupted-start run that
+    /// diverged counts as a violation — failing to recover is a spec
+    /// failure, not a liveness one.
     pub fn worst(&self) -> Option<NonFifoError> {
-        let violations = self.count(RunOutcome::Violation) as u64;
+        let violations =
+            (self.count(RunOutcome::Violation) + self.count(RunOutcome::Diverged)) as u64;
         let stalls = self.count(RunOutcome::Stalled) as u64;
         if violations == 0 && stalls == 0 {
             None
@@ -382,7 +450,7 @@ impl CampaignReport {
 mod tests {
     use super::*;
     use crate::spec::ScenarioSpec;
-    use nonfifo_channel::Discipline;
+    use nonfifo_channel::{Discipline, FaultPlan};
 
     fn matrix() -> Vec<RunSpec> {
         ScenarioSpec::new("t")
@@ -454,6 +522,64 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_scenarios_certify_stabilizing_and_flag_trusting_protocols() {
+        let runs = ScenarioSpec::new("stab")
+            .protocol("stabilizing-dl")
+            .discipline(Discipline::Probabilistic { q: 0.2 })
+            .message_counts(&[4])
+            .seeds(0..6)
+            .corruption(CorruptionSeverity::Medium)
+            .expand();
+        let report = CampaignRunner::new(2).run(&runs).unwrap();
+        assert_eq!(report.count(RunOutcome::Delivered), runs.len());
+        assert!(report.worst().is_none());
+
+        let naive = ScenarioSpec::new("naive")
+            .protocol("cycle3")
+            .discipline(Discipline::Probabilistic { q: 0.2 })
+            .message_counts(&[4])
+            .seeds(0..6)
+            .corruption(CorruptionSeverity::Medium)
+            .expand();
+        let report = CampaignRunner::new(2).run(&naive).unwrap();
+        let failed = report.count(RunOutcome::Diverged) + report.count(RunOutcome::Stalled);
+        assert!(failed > 0, "cycle3 must not survive corrupted starts");
+        match report.worst() {
+            Some(NonFifoError::CampaignFailed { violations, stalls }) => {
+                assert_eq!(
+                    violations + stalls,
+                    failed as u64,
+                    "diverged runs count as violations"
+                );
+            }
+            other => panic!("expected CampaignFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_runs_replay_from_the_cache_byte_identically() {
+        let runs = ScenarioSpec::new("stab")
+            .protocol("stabilizing-dl")
+            .discipline(Discipline::Probabilistic { q: 0.2 })
+            .message_counts(&[4])
+            .seeds(0..3)
+            .corruption(CorruptionSeverity::Heavy)
+            .fault_plan(FaultPlan::parse("dup 0.1").unwrap())
+            .expand();
+        let mut cache = CampaignCache::new();
+        let cold = CampaignRunner::new(1)
+            .run_with_cache(&runs, &mut cache)
+            .unwrap();
+        let reloaded = CampaignCache::from_json(&cache.to_json()).unwrap();
+        let mut warm_cache = reloaded;
+        let warm = CampaignRunner::new(8)
+            .run_with_cache(&runs, &mut warm_cache)
+            .unwrap();
+        assert_eq!(warm.cache_hits, runs.len());
+        assert_eq!(cold.render(), warm.render());
+    }
+
+    #[test]
     fn unknown_protocols_fail_fast() {
         let mut runs = matrix();
         runs[3].protocol = "warbler".to_string();
@@ -470,7 +596,8 @@ mod tests {
         assert_eq!(
             agg.counters["campaign.runs.delivered"]
                 + agg.counters["campaign.runs.stalled"]
-                + agg.counters["campaign.runs.violation"],
+                + agg.counters["campaign.runs.violation"]
+                + agg.counters["campaign.runs.diverged"],
             runs.len() as u64
         );
         // Per-run channel counters accumulated across the whole matrix.

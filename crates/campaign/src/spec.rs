@@ -8,7 +8,7 @@
 //! axes were declared), and every expanded run carries a stable canonical
 //! spelling whose FNV-64 hash keys the campaign result cache.
 
-use nonfifo_channel::{Discipline, FaultPlan};
+use nonfifo_channel::{CorruptionSeverity, Discipline, FaultPlan};
 use nonfifo_ioa::fingerprint::fnv64;
 use std::fmt;
 
@@ -48,6 +48,10 @@ pub struct ScenarioSpec {
     pub budget: Option<u64>,
     /// Stamp messages with their index as payload.
     pub payloads: bool,
+    /// Optional initial-state corruption: every run starts from a seeded
+    /// scramble of this severity and is judged by convergence instead of
+    /// clean-start delivery.
+    pub corruption: Option<CorruptionSeverity>,
 }
 
 impl ScenarioSpec {
@@ -62,6 +66,7 @@ impl ScenarioSpec {
             fault_plan: None,
             budget: None,
             payloads: false,
+            corruption: None,
         }
     }
 
@@ -114,6 +119,17 @@ impl ScenarioSpec {
         self
     }
 
+    /// Starts every run from a seeded corrupted initial state of the given
+    /// severity. Corrupted runs are judged by convergence — the outcome is
+    /// `Delivered` only if the execution acquired a legal suffix — and the
+    /// scramble is derived from the run seed, so the initial-corruption
+    /// axis crosses with fault plans and stays cacheable.
+    #[must_use]
+    pub fn corruption(mut self, severity: CorruptionSeverity) -> Self {
+        self.corruption = Some(severity);
+        self
+    }
+
     /// Expands the cross product in declaration order: protocol, then
     /// discipline, then message count, then seed.
     pub fn expand(&self) -> Vec<RunSpec> {
@@ -131,6 +147,7 @@ impl ScenarioSpec {
                             fault_plan: self.fault_plan.clone(),
                             budget: self.budget,
                             payloads: self.payloads,
+                            corruption: self.corruption,
                         });
                     }
                 }
@@ -159,6 +176,8 @@ pub struct RunSpec {
     pub budget: Option<u64>,
     /// Payload stamping.
     pub payloads: bool,
+    /// Initial-state corruption severity, if the scenario starts corrupted.
+    pub corruption: Option<CorruptionSeverity>,
 }
 
 impl RunSpec {
@@ -176,6 +195,9 @@ impl RunSpec {
         }
         if self.payloads {
             s.push_str(" payloads");
+        }
+        if let Some(severity) = self.corruption {
+            s.push_str(&format!(" corrupt={severity}"));
         }
         if let Some(plan) = &self.fault_plan {
             // Canonical plan text is multi-line; flatten it.
@@ -238,10 +260,20 @@ mod tests {
             .fault_plan(FaultPlan::parse("dup 0.1").unwrap())
             .expand();
         let payloaded = spec().payloads(true).expand();
-        let fps: Vec<u64> = [&base[0], &base[1], &budgeted[0], &faulted[0], &payloaded[0]]
-            .iter()
-            .map(|r| r.fingerprint())
-            .collect();
+        let corrupted = spec().corruption(CorruptionSeverity::Medium).expand();
+        let heavier = spec().corruption(CorruptionSeverity::Heavy).expand();
+        let fps: Vec<u64> = [
+            &base[0],
+            &base[1],
+            &budgeted[0],
+            &faulted[0],
+            &payloaded[0],
+            &corrupted[0],
+            &heavier[0],
+        ]
+        .iter()
+        .map(|r| r.fingerprint())
+        .collect();
         for i in 0..fps.len() {
             for j in i + 1..fps.len() {
                 assert_ne!(fps[i], fps[j], "{i} vs {j} collide");
@@ -249,6 +281,13 @@ mod tests {
         }
         // Stable: same spec, same key.
         assert_eq!(base[0].fingerprint(), spec().expand()[0].fingerprint());
+    }
+
+    #[test]
+    fn canonical_spells_out_the_corruption_severity() {
+        let runs = spec().corruption(CorruptionSeverity::Light).expand();
+        let c = runs[0].canonical();
+        assert!(c.contains(" corrupt=light"), "{c}");
     }
 
     #[test]

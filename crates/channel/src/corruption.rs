@@ -1,0 +1,313 @@
+//! Seeded initial-state corruption for self-stabilization experiments.
+//!
+//! Self-stabilization (Dolev–Dubois–Potop-Butucaru–Tixeuil, arXiv:1011.3632)
+//! asks whether a protocol converges to legal behavior from an *arbitrary*
+//! automaton/channel configuration. This module generates that arbitrary
+//! configuration deterministically: a [`ScramblePlan`] is a seeded recipe of
+//! junk packets to preload into the channels and to feed synthetically into
+//! the automata before the run starts.
+//!
+//! Two properties keep the rest of the harness sound:
+//!
+//! - **API-reachable states only.** Corruption never pokes automaton fields;
+//!   it drives the public `on_receive_pkt` inputs and the channels' `send`,
+//!   so every corrupted configuration is one some (hostile) physical layer
+//!   could actually produce, and PL1 stays checkable: the harness records a
+//!   `send_pkt` for every preloaded copy, exactly like the chaos layer's
+//!   declared injections.
+//! - **Bounded multiplicity.** No junk packet value appears more than
+//!   [`MAX_JUNK_MULTIPLICITY`] times across the whole plan. Counting-based
+//!   stabilizing protocols deliver only after `capacity + 1` identical
+//!   sightings; keeping junk multiplicity strictly below that threshold is
+//!   the fault-resilience contract under which convergence is achievable at
+//!   all (DDPT's "optimal fault-resilience" is exactly this trade-off).
+
+use nonfifo_ioa::{Header, Packet, Payload};
+use nonfifo_rng::StdRng;
+use std::fmt;
+use std::str::FromStr;
+
+/// Stream salt so corruption draws never replicate the channel RNG streams
+/// (disciplines seed the forward channel with `seed` and the backward with
+/// `seed + 1`).
+const SCRAMBLE_SALT: u64 = 0x5e1f_57ab_1e5c_0de5;
+
+/// Upper bound on how many copies of any single junk packet value a plan may
+/// contain, across all four destinations.
+pub const MAX_JUNK_MULTIPLICITY: usize = 3;
+
+/// How hard the initial state is scrambled.
+///
+/// The severity scales the number of distinct junk packet values and the
+/// number of copies of each; it never raises per-value multiplicity above
+/// [`MAX_JUNK_MULTIPLICITY`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionSeverity {
+    /// A couple of junk values, one copy each.
+    Light,
+    /// A handful of junk values, up to two copies each.
+    Medium,
+    /// Many junk values, up to three copies each.
+    Heavy,
+}
+
+impl CorruptionSeverity {
+    /// All severities, mildest first.
+    pub const ALL: [CorruptionSeverity; 3] = [
+        CorruptionSeverity::Light,
+        CorruptionSeverity::Medium,
+        CorruptionSeverity::Heavy,
+    ];
+
+    /// `(distinct junk values, max copies per value)` for this severity.
+    fn scale(self) -> (usize, usize) {
+        match self {
+            CorruptionSeverity::Light => (2, 1),
+            CorruptionSeverity::Medium => (4, 2),
+            CorruptionSeverity::Heavy => (7, MAX_JUNK_MULTIPLICITY),
+        }
+    }
+
+    /// The canonical spelling used by campaign plans and the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CorruptionSeverity::Light => "light",
+            CorruptionSeverity::Medium => "medium",
+            CorruptionSeverity::Heavy => "heavy",
+        }
+    }
+}
+
+impl fmt::Display for CorruptionSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An unrecognized severity spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeverityError(pub String);
+
+impl fmt::Display for SeverityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown corruption severity {:?} (expected light, medium, or heavy)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for SeverityError {}
+
+impl FromStr for CorruptionSeverity {
+    type Err = SeverityError;
+
+    fn from_str(s: &str) -> Result<Self, SeverityError> {
+        match s {
+            "light" => Ok(CorruptionSeverity::Light),
+            "medium" => Ok(CorruptionSeverity::Medium),
+            "heavy" => Ok(CorruptionSeverity::Heavy),
+            other => Err(SeverityError(other.to_string())),
+        }
+    }
+}
+
+/// A deterministic recipe for one corrupted initial configuration.
+///
+/// The four destinations cover the full configuration space reachable
+/// through the composed system's interfaces:
+///
+/// - `fwd_preload` / `bwd_preload` — junk copies in transit on the data /
+///   acknowledgement channel (the in-transit packet-multiset scramble),
+/// - `rx_feed` — junk data packets pushed through the receiver's
+///   `on_receive_pkt` before the run (scrambles receiver control state and
+///   queues phantom deliveries/acks),
+/// - `tx_feed` — junk acknowledgements pushed through the transmitter's
+///   `on_receive_pkt` (scrambles transmitter control state).
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_channel::{CorruptionSeverity, ScramblePlan};
+///
+/// let a = ScramblePlan::generate(CorruptionSeverity::Medium, 7);
+/// let b = ScramblePlan::generate(CorruptionSeverity::Medium, 7);
+/// assert_eq!(a, b); // deterministic per (severity, seed)
+/// assert!(!a.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScramblePlan {
+    /// Junk data packets to push through the receiver before the run.
+    pub rx_feed: Vec<Packet>,
+    /// Junk acknowledgements to push through the transmitter before the run.
+    pub tx_feed: Vec<Packet>,
+    /// Junk copies to place in transit on the forward channel.
+    pub fwd_preload: Vec<Packet>,
+    /// Junk copies to place in transit on the backward channel.
+    pub bwd_preload: Vec<Packet>,
+}
+
+impl ScramblePlan {
+    /// Generates the plan for `(severity, seed)`. Same inputs, same plan,
+    /// forever — execution fingerprints of corrupted runs replay bit-exactly.
+    pub fn generate(severity: CorruptionSeverity, seed: u64) -> ScramblePlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ SCRAMBLE_SALT);
+        let (values, max_copies) = severity.scale();
+        let mut plan = ScramblePlan::default();
+        let mut used: Vec<Packet> = Vec::with_capacity(values);
+        for _ in 0..values {
+            // Distinct packet values keep per-value multiplicity at the
+            // per-value copy count: the small-header pool is only 8 wide, so
+            // two "different" junk values could otherwise collide and stack
+            // their copies past MAX_JUNK_MULTIPLICITY.
+            let mut pkt = junk_packet(&mut rng);
+            while used.contains(&pkt) {
+                pkt = junk_packet(&mut rng);
+            }
+            used.push(pkt);
+            let copies = rng.gen_range(1..max_copies + 1);
+            for _ in 0..copies {
+                match rng.gen_range(0..4) {
+                    0 => plan.rx_feed.push(pkt),
+                    1 => plan.tx_feed.push(pkt),
+                    2 => plan.fwd_preload.push(pkt),
+                    _ => plan.bwd_preload.push(pkt),
+                }
+            }
+        }
+        plan
+    }
+
+    /// Total junk copies across all destinations.
+    pub fn len(&self) -> usize {
+        self.rx_feed.len() + self.tx_feed.len() + self.fwd_preload.len() + self.bwd_preload.len()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The highest multiplicity any single packet value reaches across the
+    /// whole plan (what a counting protocol's capacity must exceed).
+    pub fn max_multiplicity(&self) -> usize {
+        let mut counts: std::collections::BTreeMap<Packet, usize> =
+            std::collections::BTreeMap::new();
+        for p in self
+            .rx_feed
+            .iter()
+            .chain(&self.tx_feed)
+            .chain(&self.fwd_preload)
+            .chain(&self.bwd_preload)
+        {
+            *counts.entry(*p).or_insert(0) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// One junk packet value. Headers mix a small range (poisons bounded-header
+/// protocols, whose live labels are small indices) with large random indices
+/// clamped below `2^31` (poisons counter-based protocols without risking
+/// `u32` arithmetic overflow in their adopt paths). Payloads are absent or
+/// drawn with bit 40 forced, so junk can never collide with the harness's
+/// real payload words (small integers).
+fn junk_packet(rng: &mut StdRng) -> Packet {
+    let header = if rng.gen_bool(0.5) {
+        Header::new(rng.gen_range(0..8) as u32)
+    } else {
+        Header::new((rng.next_u64() as u32) & 0x7fff_ffff)
+    };
+    if rng.gen_bool(0.5) {
+        Packet::header_only(header)
+    } else {
+        Packet::new(header, Payload::new(rng.next_u64() | (1 << 40)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_spellings_roundtrip() {
+        for s in CorruptionSeverity::ALL {
+            assert_eq!(s.to_string().parse::<CorruptionSeverity>(), Ok(s));
+        }
+        assert!("loud".parse::<CorruptionSeverity>().is_err());
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for s in CorruptionSeverity::ALL {
+            for seed in 0..50 {
+                let a = ScramblePlan::generate(s, seed);
+                let b = ScramblePlan::generate(s, seed);
+                assert_eq!(a, b);
+                assert!(!a.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_plans() {
+        let plans: Vec<ScramblePlan> = (0..20)
+            .map(|seed| ScramblePlan::generate(CorruptionSeverity::Heavy, seed))
+            .collect();
+        let distinct = plans
+            .iter()
+            .filter(|p| plans.iter().filter(|q| q == p).count() == 1)
+            .count();
+        assert!(distinct >= 18, "only {distinct}/20 plans distinct");
+    }
+
+    #[test]
+    fn multiplicity_stays_bounded() {
+        for s in CorruptionSeverity::ALL {
+            for seed in 0..200 {
+                let plan = ScramblePlan::generate(s, seed);
+                assert!(
+                    plan.max_multiplicity() <= MAX_JUNK_MULTIPLICITY,
+                    "{s} seed {seed}: multiplicity {}",
+                    plan.max_multiplicity()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn severity_scales_volume() {
+        let avg = |s: CorruptionSeverity| -> f64 {
+            (0..100)
+                .map(|seed| ScramblePlan::generate(s, seed).len())
+                .sum::<usize>() as f64
+                / 100.0
+        };
+        let (l, m, h) = (
+            avg(CorruptionSeverity::Light),
+            avg(CorruptionSeverity::Medium),
+            avg(CorruptionSeverity::Heavy),
+        );
+        assert!(l < m && m < h, "light {l}, medium {m}, heavy {h}");
+    }
+
+    #[test]
+    fn junk_headers_stay_below_two_to_the_31() {
+        for seed in 0..100 {
+            let plan = ScramblePlan::generate(CorruptionSeverity::Heavy, seed);
+            for p in plan
+                .rx_feed
+                .iter()
+                .chain(&plan.tx_feed)
+                .chain(&plan.fwd_preload)
+                .chain(&plan.bwd_preload)
+            {
+                assert!(p.header().index() < 1 << 31);
+                if let Some(pl) = p.payload() {
+                    assert!(pl.word() >= 1 << 40);
+                }
+            }
+        }
+    }
+}

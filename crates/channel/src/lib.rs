@@ -59,6 +59,7 @@ mod bounded_reorder;
 mod channel;
 mod chaos;
 mod corrupting;
+mod corruption;
 mod discipline;
 mod fifo;
 mod lossy_fifo;
@@ -70,6 +71,7 @@ pub use bounded_reorder::BoundedReorderChannel;
 pub use channel::{BoxedChannel, Channel, ChannelIntrospect, FaultObserver, InstrumentedChannel};
 pub use chaos::{ChaosChannel, FaultKind, FaultPlan, FaultRecord, PlanError, CHAOS_COPY_BASE};
 pub use corrupting::{corrupt_packet, CorruptingChannel};
+pub use corruption::{CorruptionSeverity, ScramblePlan, SeverityError, MAX_JUNK_MULTIPLICITY};
 pub use discipline::{Discipline, DisciplineError};
 pub use fifo::FifoChannel;
 pub use lossy_fifo::LossyFifoChannel;

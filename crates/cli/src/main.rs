@@ -63,13 +63,16 @@ usage:
                    [--metrics] [--metrics-out FILE] [--trace-out FILE]
   nonfifo campaign <plan-file> [--threads N] [--cache FILE]
                    [--metrics-out FILE]
+  nonfifo stabilize --protocol P [--seeds N] [--severity light|medium|heavy]
+                   [--discipline D] [--messages M] [--budget B] [--plan FILE]
   nonfifo schedule <protocol> <attack-file> [--diagram]
   nonfifo recheck  <trace-file> [--diagram]
-  nonfifo report   [--exp e1..e11,e13,e14,e15]
+  nonfifo report   [--exp e1..e11,e13,e14,e15,e16]
   nonfifo list
 
 explore exit codes: 0 certificate, 2 counterexample, 3 inconclusive
-(state budget), 4 differential mismatch.
+(state budget), 4 differential mismatch. stabilize exits 5 when the
+protocol fails to converge from a corrupted start within the bound.
 
 telemetry: --metrics prints a summary table; --metrics-out writes the
 schema-versioned metrics JSON; --trace-out writes a Chrome trace_events
@@ -115,6 +118,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), NonFifoError> {
         Some("attack") => Ok(cmd_attack(&args)?),
         Some("explore") => cmd_explore(&args),
         Some("campaign") => cmd_campaign(&args),
+        Some("stabilize") => cmd_stabilize(&args),
         Some("schedule") => Ok(cmd_schedule(&args)?),
         Some("recheck") => Ok(cmd_recheck(&args)?),
         Some("report") => Ok(cmd_report(&args)?),
@@ -138,6 +142,10 @@ fn exit_code(err: &NonFifoError) -> u8 {
         | NonFifoError::Truncated { .. }
         | NonFifoError::CampaignFailed { .. } => 3,
         NonFifoError::DifferentialMismatch => 4,
+        // Failing to *recover* is its own verdict: a clean-start
+        // misbehavior earns 2, but a protocol that never converges from a
+        // corrupted start earns 5 so scripts can tell the two apart.
+        NonFifoError::ConvergenceFailed { .. } => 5,
     }
 }
 
@@ -252,7 +260,11 @@ fn cmd_chaos(args: &Args) -> Result<(), NonFifoError> {
     let seed = opts.seed;
     let messages: u64 = args.option_or("messages", 100)?;
     let text = std::fs::read_to_string(plan_path).map_err(|e| NonFifoError::io(plan_path, &e))?;
-    let plan = FaultPlan::parse(&text)?;
+    // A malformed plan is a usage error at load time (exit 1), reported
+    // with the file and line so the fix is one glance away — not a
+    // mid-run surprise.
+    let plan = FaultPlan::parse(&text)
+        .map_err(|e| NonFifoError::Usage(format!("{plan_path}:{}: {}", e.line, e.message)))?;
 
     let mode = if args.flag("restore") {
         CrashMode::Restore
@@ -415,12 +427,20 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
     };
     // `--states` is the historical spelling of `--max-states`.
     let default_states: usize = args.option_or("states", 500_000)?;
+    let corrupt_start = match args.option("corrupt-start") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| ArgsError(format!("--corrupt-start needs a u64 seed, got {s:?}")))?,
+        ),
+    };
     let cfg = ExploreConfig {
         max_messages: args.option_or("messages", 3)?,
         max_depth: args.option_or("depth", 12)?,
         max_pool: args.option_or("pool", 5)?,
         max_states: args.option_or("max-states", default_states)?,
         discipline,
+        corrupt_start,
     };
     let opts = CommonOpts::from_args(args)?;
     let (metrics, trace) = telemetry_sinks(&opts);
@@ -436,12 +456,15 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         ("sequential".to_string(), ParallelExplorer::new(1))
     };
     println!(
-        "exploring {} in scope msgs={} depth={} pool={} discipline={} ({})…",
+        "exploring {} in scope msgs={} depth={} pool={} discipline={}{} ({})…",
         proto.name(),
         cfg.max_messages,
         cfg.max_depth,
         cfg.max_pool,
         cfg.discipline,
+        cfg.corrupt_start
+            .map(|s| format!(" corrupt-start={s}"))
+            .unwrap_or_default(),
         engine.0,
     );
     let started = std::time::Instant::now();
@@ -491,7 +514,9 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
             schedule,
         } => {
             println!("shortest invalid execution: {depth} adversary actions");
-            let script = if args.flag("no-shrink") {
+            let script = if args.flag("no-shrink") || cfg.corrupt_start.is_some() {
+                // The shrinker replays candidates from a clean boot, which
+                // would desynchronise a corrupted-start counterexample.
                 schedule.clone()
             } else {
                 let shrunk = shrink(proto.as_ref(), schedule)
@@ -554,10 +579,11 @@ fn cmd_campaign(args: &Args) -> Result<(), NonFifoError> {
     let elapsed = started.elapsed().as_secs_f64();
     println!("\n{}", report.render());
     println!(
-        "outcome: {} delivered, {} stalled, {} violation(s)",
+        "outcome: {} delivered, {} stalled, {} violation(s), {} diverged",
         report.count(RunOutcome::Delivered),
         report.count(RunOutcome::Stalled),
         report.count(RunOutcome::Violation),
+        report.count(RunOutcome::Diverged),
     );
     // Integer percentage, so CI smoke jobs can grep the hit rate.
     let percent = if runs.is_empty() {
@@ -592,6 +618,76 @@ fn cmd_campaign(args: &Args) -> Result<(), NonFifoError> {
     match report.worst() {
         None => Ok(()),
         Some(err) => {
+            println!("verdict: {err}");
+            Err(err)
+        }
+    }
+}
+
+fn cmd_stabilize(args: &Args) -> Result<(), NonFifoError> {
+    use nonfifo_channel::{CorruptionSeverity, DisciplineError, FaultPlan};
+    use nonfifo_core::{certify, StabilizeConfig};
+    let proto_name = args
+        .option("protocol")
+        .ok_or_else(|| ArgsError("stabilize needs --protocol NAME".into()))?;
+    registry::protocol(proto_name)?;
+    let seeds: u64 = args.option_or("seeds", 1000)?;
+    if seeds == 0 {
+        return Err(ArgsError("--seeds must be at least 1".into()).into());
+    }
+    let mut cfg = StabilizeConfig::default();
+    if let Some(s) = args.option("severity") {
+        cfg.severity = s
+            .parse::<CorruptionSeverity>()
+            .map_err(|e| ArgsError(e.to_string()))?;
+    }
+    if let Some(d) = args.option("discipline") {
+        cfg.discipline = d.parse().map_err(|e: DisciplineError| ArgsError(e.0))?;
+    }
+    cfg.messages = args.option_or("messages", cfg.messages)?;
+    cfg.max_steps_per_message = args.option_or("budget", cfg.max_steps_per_message)?;
+    if let Some(path) = args.option("plan") {
+        let text = std::fs::read_to_string(path).map_err(|e| NonFifoError::io(path, &e))?;
+        let plan = FaultPlan::parse(&text)
+            .map_err(|e| NonFifoError::Usage(format!("{path}:{}: {}", e.line, e.message)))?;
+        cfg.fault_plan = Some(plan);
+    }
+    println!(
+        "stabilize: {proto_name}, {seeds} corrupted start(s), severity {}, channel {}, \
+         {} message(s) per start",
+        cfg.severity, cfg.discipline, cfg.messages
+    );
+    if let Some(plan) = &cfg.fault_plan {
+        let flat: Vec<String> = plan.to_string().lines().map(str::to_string).collect();
+        println!("chaos  : {}", flat.join("; "));
+    }
+    let started = std::time::Instant::now();
+    let report = certify(
+        || registry::protocol(proto_name).expect("validated before the sweep"),
+        seeds,
+        &cfg,
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+    println!("result : {report}");
+    if let Some(failure) = report.first_failure() {
+        println!(
+            "first failure: seed {} — {} (fingerprint {:016x}, replayable)",
+            failure.seed, failure.verdict, failure.fingerprint
+        );
+    }
+    if elapsed > 0.0 {
+        println!(
+            "timing : {:.2}s, {:.0} runs/sec",
+            elapsed,
+            seeds as f64 / elapsed
+        );
+    }
+    match report.to_result() {
+        Ok(()) => {
+            println!("verdict: CERTIFIED — every corrupted start converged");
+            Ok(())
+        }
+        Err(err) => {
             println!("verdict: {err}");
             Err(err)
         }
@@ -673,7 +769,11 @@ fn cmd_report(args: &Args) -> Result<(), ArgsError> {
         Some(e) => vec![e.to_string()],
         None => (1..=11)
             .map(|i| format!("e{i}"))
-            .chain(["e13".to_string(), "e14".to_string(), "e15".to_string()])
+            .chain(
+                ["e13", "e14", "e15", "e16"]
+                    .iter()
+                    .map(|s| (*s).to_string()),
+            )
             .collect(),
     };
     for exp in selected {
@@ -692,6 +792,7 @@ fn cmd_report(args: &Args) -> Result<(), ArgsError> {
             "e13" => println!("## E13\n\n{}", ex::e13_parallel_certification()),
             "e14" => println!("## E14\n\n{}", cx::e14_cost_vs_in_transit()),
             "e15" => println!("## E15\n\n{}", cx::e15_growth_campaign()),
+            "e16" => println!("## E16\n\n{}", cx::e16_convergence_campaign()),
             other => return Err(ArgsError(format!("unknown experiment {other:?}"))),
         }
     }
@@ -730,6 +831,43 @@ mod tests {
                 stalls: 1
             }),
             3
+        );
+        // Convergence failure is its own verdict: distinguishable from
+        // both a clean-start violation (2) and a stall (3).
+        assert_eq!(
+            exit_code(&NonFifoError::ConvergenceFailed {
+                diverged: 3,
+                stalled: 1,
+                seeds: 24
+            }),
+            5
+        );
+    }
+
+    #[test]
+    fn stabilize_flags_parse() {
+        let args = Args::parse(
+            [
+                "stabilize",
+                "--protocol",
+                "stabilizing-dl",
+                "--seeds",
+                "50",
+                "--severity",
+                "heavy",
+                "--discipline",
+                "prob:0.3",
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(args.option("protocol"), Some("stabilizing-dl"));
+        assert_eq!(args.option_or("seeds", 0u64).unwrap(), 50);
+        assert_eq!(
+            args.option("severity")
+                .unwrap()
+                .parse::<nonfifo_channel::CorruptionSeverity>(),
+            Ok(nonfifo_channel::CorruptionSeverity::Heavy)
         );
     }
 

@@ -24,7 +24,7 @@
 //! it replaces — see `tests/builder_parity.rs`.
 
 use crate::Simulation;
-use nonfifo_channel::{Discipline, FaultPlan};
+use nonfifo_channel::{CorruptionSeverity, Discipline, FaultPlan, ScramblePlan};
 use nonfifo_protocols::DataLink;
 
 /// Assembles a [`Simulation`] from a protocol, a channel [`Discipline`], a
@@ -40,6 +40,7 @@ pub struct SimulationBuilder<P: DataLink> {
     discipline: Discipline,
     seed: u64,
     fault_plan: Option<FaultPlan>,
+    corruption: Option<(CorruptionSeverity, u64)>,
 }
 
 impl<P: DataLink> SimulationBuilder<P> {
@@ -49,6 +50,7 @@ impl<P: DataLink> SimulationBuilder<P> {
             discipline: Discipline::Fifo,
             seed: 0,
             fault_plan: None,
+            corruption: None,
         }
     }
 
@@ -73,6 +75,23 @@ impl<P: DataLink> SimulationBuilder<P> {
         self
     }
 
+    /// Scrambles the initial state before the first delivery: a
+    /// [`ScramblePlan`] seeded by `corruption_seed` preloads junk packets
+    /// into both channels (declared as monitored sends, so PL1 stays
+    /// checkable) and feeds junk receipts to both automata (state
+    /// corruption). The build also switches the online monitor into
+    /// convergence mode and retains the execution, so a
+    /// `ConvergenceSpec` can judge the run afterwards. The plan is a pure
+    /// function of `(severity, corruption_seed)`: fingerprints replay.
+    pub fn initial_corruption(
+        mut self,
+        severity: CorruptionSeverity,
+        corruption_seed: u64,
+    ) -> Self {
+        self.corruption = Some((severity, corruption_seed));
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Panics
@@ -84,7 +103,13 @@ impl<P: DataLink> SimulationBuilder<P> {
             None => self.discipline.build_pair(self.seed),
             Some(plan) => self.discipline.build_pair_with_faults(self.seed, plan),
         };
-        Simulation::with_channels(self.proto, fwd, bwd)
+        let mut sim = Simulation::with_channels(self.proto, fwd, bwd);
+        if let Some((severity, corruption_seed)) = self.corruption {
+            sim.enable_convergence_monitor();
+            sim.retain_execution();
+            sim.corrupt_initial_state(&ScramblePlan::generate(severity, corruption_seed));
+        }
+        sim
     }
 }
 

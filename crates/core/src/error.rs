@@ -4,8 +4,9 @@
 //! to invent its own error enum and its own exit-code mapping;
 //! [`NonFifoError`] unifies them. The exit-code contract itself
 //! (0 = certificate/success, 2 = counterexample/violation, 3 = truncated or
-//! stalled, 4 = differential mismatch, 1 = everything operational) is
-//! applied in exactly one place, `crates/cli/src/main.rs`.
+//! stalled, 4 = differential mismatch, 5 = convergence not reached within
+//! bound, 1 = everything operational) is applied in exactly one place,
+//! `crates/cli/src/main.rs`.
 
 use crate::SimError;
 use nonfifo_channel::{DisciplineError, PlanError};
@@ -49,6 +50,19 @@ pub enum NonFifoError {
         /// Runs that stalled out of their step budget.
         stalls: u64,
     },
+    /// A stabilization certification failed: some corrupted starts never
+    /// reached — and stayed in — legal behavior within the bounded prefix.
+    /// Distinct from a plain safety violation: a clean-start protocol that
+    /// misbehaves earns exit 2, a protocol that fails to *recover* earns
+    /// exit 5.
+    ConvergenceFailed {
+        /// Corrupted starts whose executions kept violating past the bound.
+        diverged: u64,
+        /// Corrupted starts that stalled before finishing the workload.
+        stalled: u64,
+        /// Total corrupted starts examined.
+        seeds: u64,
+    },
 }
 
 impl fmt::Display for NonFifoError {
@@ -71,6 +85,17 @@ impl fmt::Display for NonFifoError {
                 write!(
                     f,
                     "campaign failed: {violations} violation(s), {stalls} stall(s)"
+                )
+            }
+            NonFifoError::ConvergenceFailed {
+                diverged,
+                stalled,
+                seeds,
+            } => {
+                write!(
+                    f,
+                    "convergence not reached within bound: {diverged} diverged, \
+                     {stalled} stalled of {seeds} corrupted start(s)"
                 )
             }
         }
@@ -142,6 +167,14 @@ mod tests {
                     stalls: 1,
                 },
                 "2 violation(s)",
+            ),
+            (
+                NonFifoError::ConvergenceFailed {
+                    diverged: 3,
+                    stalled: 1,
+                    seeds: 100,
+                },
+                "3 diverged",
             ),
         ];
         for (err, needle) in cases {

@@ -34,9 +34,14 @@ mod builder;
 mod error;
 pub mod experiments;
 mod simulation;
+mod stabilize;
 
 pub use builder::SimulationBuilder;
 pub use error::NonFifoError;
 pub use simulation::{
     CrashEvent, CrashMode, RunStats, SimConfig, SimError, Simulation, StallDiagnostic, Station,
+};
+pub use stabilize::{
+    certify, corrupted_simulation, drive_corrupted, stabilize_run, SeedOutcome, SeedVerdict,
+    StabilizeConfig, StabilizeReport,
 };

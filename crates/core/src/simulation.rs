@@ -1,10 +1,10 @@
 //! The user-facing simulation engine.
 
 use crate::builder::SimulationBuilder;
-use nonfifo_channel::{BoxedChannel, Discipline, FaultPlan};
+use nonfifo_channel::{BoxedChannel, Discipline, FaultPlan, ScramblePlan};
 use nonfifo_ioa::fingerprint::Fnv64;
 use nonfifo_ioa::{
-    CopyId, Dir, Event, Header, Message, Packet, Payload, SpecMonitor, SpecViolation,
+    CopyId, Dir, Event, Execution, Header, Message, Packet, Payload, SpecMonitor, SpecViolation,
 };
 use nonfifo_protocols::{BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo};
 use nonfifo_telemetry::{Counter, Gauge, Histogram, Registry, TraceSink};
@@ -409,6 +409,7 @@ pub struct Simulation {
     restart_backoff: u64,
     round_start_step: u64,
     telemetry: Option<SimTelemetry>,
+    execution: Option<Execution>,
 }
 
 impl Simulation {
@@ -453,6 +454,7 @@ impl Simulation {
             restart_backoff: 0,
             round_start_step: 0,
             telemetry: None,
+            execution: None,
         }
     }
 
@@ -463,6 +465,92 @@ impl Simulation {
     /// fingerprints and statistics are identical with or without it.
     pub fn attach_telemetry(&mut self, registry: Arc<Registry>, trace: Option<Arc<TraceSink>>) {
         self.telemetry = Some(SimTelemetry::new(registry, trace));
+    }
+
+    /// Starts retaining the full event sequence as an [`Execution`]. Only
+    /// events recorded after the call are kept, so call it before the
+    /// first delivery — the builder's
+    /// [`SimulationBuilder::initial_corruption`] does this automatically.
+    /// Retention is observation-only: fingerprints and statistics are
+    /// identical with or without it.
+    pub fn retain_execution(&mut self) {
+        if self.execution.is_none() {
+            self.execution = Some(Execution::new());
+        }
+    }
+
+    /// The retained execution, if [`Simulation::retain_execution`] was
+    /// called.
+    pub fn execution(&self) -> Option<&Execution> {
+        self.execution.as_ref()
+    }
+
+    /// Payloads delivered so far, in delivery order (recorded only for
+    /// rounds driven with [`SimConfig::payloads`] set).
+    pub fn delivered_payloads(&self) -> &[u64] {
+        &self.delivered_payloads
+    }
+
+    /// Swaps the online monitor into convergence mode: over-deliveries
+    /// (`rm > sm`, inevitable when the receiver boots poisoned) are counted
+    /// instead of latched, while PL1 physical-safety checks stay fatal.
+    /// Judge the retained execution with a `ConvergenceSpec` afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor has already observed events — convergence
+    /// mode cannot be entered retroactively.
+    pub fn enable_convergence_monitor(&mut self) {
+        assert_eq!(
+            self.monitor.events_seen(),
+            0,
+            "convergence mode must be enabled before any event is observed"
+        );
+        self.monitor = SpecMonitor::convergence();
+    }
+
+    /// Scrambles the initial state through public interfaces only: the
+    /// plan's channel preloads are injected as monitored `SendPkt` events
+    /// (each junk copy is *declared*, so PL1 stays checkable when it is
+    /// later delivered or dropped), and the feed halves are handed straight
+    /// to the automata as synthetic packet receipts — automaton-state
+    /// corruption that leaves no channel trace. Deterministic: the plan is
+    /// a pure function of its seed, so execution fingerprints replay.
+    pub fn corrupt_initial_state(&mut self, plan: &ScramblePlan) {
+        for &pkt in &plan.fwd_preload {
+            self.sent_values.insert(pkt);
+            let copy = self.fwd.send(pkt);
+            self.record(&Event::SendPkt {
+                dir: Dir::Forward,
+                packet: pkt,
+                copy,
+            });
+        }
+        for &pkt in &plan.bwd_preload {
+            let copy = self.bwd.send(pkt);
+            self.record(&Event::SendPkt {
+                dir: Dir::Backward,
+                packet: pkt,
+                copy,
+            });
+        }
+        for &pkt in &plan.rx_feed {
+            self.rx.on_receive_pkt(pkt);
+        }
+        for &pkt in &plan.tx_feed {
+            self.tx.on_receive_pkt(pkt);
+        }
+    }
+
+    /// Pumps the scheduler `steps` times without submitting any message —
+    /// lets corruption-induced traffic (junk copies, phantom deliveries,
+    /// acknowledgement exchanges) flush before the real workload starts,
+    /// so a convergence bound drawn at the end of the settle phase cleanly
+    /// separates the corrupted prefix from the legal suffix.
+    pub fn settle(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.pump();
+        }
     }
 
     /// Starts a [`SimulationBuilder`] over `proto` — the one assembly path
@@ -666,6 +754,9 @@ impl Simulation {
     fn record(&mut self, event: &Event) {
         event.hash(&mut self.fingerprint);
         let _ = self.monitor.observe(event);
+        if let Some(exec) = &mut self.execution {
+            exec.push(*event);
+        }
         if let Some(tel) = &mut self.telemetry {
             tel.observe(event);
         }

@@ -57,4 +57,4 @@ pub use execution::{Counts, Execution};
 pub use message::{Message, MsgId};
 pub use monitor::SpecMonitor;
 pub use packet::{CopyId, Dir, Header, Packet, Payload};
-pub use spec::{SpecViolation, Validity};
+pub use spec::{Convergence, ConvergenceSpec, SpecViolation, Validity};

@@ -46,6 +46,9 @@ pub struct SpecMonitor {
     rm: u64,
     events_seen: u64,
     first_violation: Option<SpecViolation>,
+    convergence_mode: bool,
+    overdeliveries: u64,
+    last_overdelivery_index: Option<usize>,
 }
 
 impl Clone for SpecMonitor {
@@ -57,6 +60,9 @@ impl Clone for SpecMonitor {
             rm: self.rm,
             events_seen: self.events_seen,
             first_violation: self.first_violation,
+            convergence_mode: self.convergence_mode,
+            overdeliveries: self.overdeliveries,
+            last_overdelivery_index: self.last_overdelivery_index,
         }
     }
 
@@ -77,6 +83,9 @@ impl Clone for SpecMonitor {
         self.rm = source.rm;
         self.events_seen = source.events_seen;
         self.first_violation = source.first_violation;
+        self.convergence_mode = source.convergence_mode;
+        self.overdeliveries = source.overdeliveries;
+        self.last_overdelivery_index = source.last_overdelivery_index;
     }
 }
 
@@ -84,6 +93,45 @@ impl SpecMonitor {
     /// Creates a monitor with no observed events.
     pub fn new() -> Self {
         SpecMonitor::default()
+    }
+
+    /// Creates a monitor in *convergence mode*, for runs started from a
+    /// corrupted state.
+    ///
+    /// PL1 stays fatal — the physical layer is not what corruption excuses,
+    /// and chaos fault plans must remain checkable — but the prefix-count
+    /// form of DL1 (`rm ≤ sm`) is *tracked* rather than latched: a run from
+    /// a poisoned state legitimately drains phantom deliveries before it
+    /// stabilizes, and once `rm > sm` the prefix counts never recover, so
+    /// latching would condemn every corrupted start unconditionally.
+    /// Convergence is instead judged after the fact by
+    /// [`ConvergenceSpec`](crate::spec::ConvergenceSpec) on the retained
+    /// execution; the monitor exposes
+    /// [`overdeliveries`](Self::overdeliveries) and
+    /// [`last_overdelivery_index`](Self::last_overdelivery_index) as cheap
+    /// online diagnostics.
+    pub fn convergence() -> Self {
+        SpecMonitor {
+            convergence_mode: true,
+            ..SpecMonitor::default()
+        }
+    }
+
+    /// True if this monitor tracks rather than latches DL overdeliveries.
+    pub fn is_convergence_mode(&self) -> bool {
+        self.convergence_mode
+    }
+
+    /// Convergence mode only: number of `receive_msg` events observed while
+    /// `rm > sm` (phantom deliveries drained from the corrupted state).
+    pub fn overdeliveries(&self) -> u64 {
+        self.overdeliveries
+    }
+
+    /// Convergence mode only: event index of the most recent overdelivery —
+    /// a lower bound on where a legal suffix can start.
+    pub fn last_overdelivery_index(&self) -> Option<usize> {
+        self.last_overdelivery_index
     }
 
     /// Number of events observed so far.
@@ -145,9 +193,14 @@ impl SpecMonitor {
             Event::ReceiveMsg(_) => {
                 self.rm += 1;
                 if self.rm > self.sm {
-                    Err(SpecViolation::MessageInvented {
-                        event_index: (self.events_seen - 1) as usize,
-                    })
+                    let event_index = (self.events_seen - 1) as usize;
+                    if self.convergence_mode {
+                        self.overdeliveries += 1;
+                        self.last_overdelivery_index = Some(event_index);
+                        Ok(())
+                    } else {
+                        Err(SpecViolation::MessageInvented { event_index })
+                    }
                 } else {
                     Ok(())
                 }
@@ -239,6 +292,36 @@ mod tests {
         assert!(mon
             .observe(&Event::ReceiveMsg(Message::identical(1)))
             .is_err());
+    }
+
+    #[test]
+    fn convergence_mode_tracks_overdeliveries_without_latching() {
+        let mut mon = SpecMonitor::convergence();
+        assert!(mon.is_convergence_mode());
+        // Phantom deliveries from a corrupted start: tracked, not fatal.
+        mon.observe(&Event::ReceiveMsg(Message::identical(90)))
+            .unwrap();
+        mon.observe(&Event::ReceiveMsg(Message::identical(91)))
+            .unwrap();
+        assert_eq!(mon.overdeliveries(), 2);
+        assert_eq!(mon.last_overdelivery_index(), Some(1));
+        assert_eq!(mon.first_violation(), None);
+        // PL1 stays fatal even in convergence mode.
+        assert!(mon.observe(&rp(1)).is_err());
+        assert!(mon.first_violation().is_some());
+    }
+
+    #[test]
+    fn convergence_mode_counts_continuing_overdelivery() {
+        // rm stays ahead of sm: every further delivery while rm > sm counts.
+        let mut mon = SpecMonitor::convergence();
+        mon.observe(&Event::ReceiveMsg(Message::identical(0)))
+            .unwrap();
+        mon.observe(&Event::SendMsg(Message::identical(0))).unwrap();
+        mon.observe(&Event::ReceiveMsg(Message::identical(0)))
+            .unwrap();
+        assert_eq!(mon.overdeliveries(), 2);
+        assert_eq!(mon.last_overdelivery_index(), Some(2));
     }
 
     #[test]

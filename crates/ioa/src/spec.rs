@@ -371,6 +371,157 @@ pub fn messages_correspond(send: &Message, recv: &Message) -> bool {
     matchable(send, recv)
 }
 
+/// Verdict of a [`ConvergenceSpec`] check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Convergence {
+    /// A legal suffix exists: every event from `stabilized_at` onward
+    /// satisfies DL1/DL2 (and quiescence, if required) on its own.
+    Converged {
+        /// Event index where the legal suffix starts (0 = the whole
+        /// execution is legal, i.e. the start state was effectively clean).
+        stabilized_at: usize,
+    },
+    /// No cut within the bound yields a legal suffix.
+    Diverged {
+        /// The violation at the last (deepest) cut tried — the best the
+        /// execution managed.
+        last_violation: SpecViolation,
+    },
+}
+
+impl Convergence {
+    /// True for [`Convergence::Converged`].
+    pub fn is_converged(self) -> bool {
+        matches!(self, Convergence::Converged { .. })
+    }
+}
+
+impl fmt::Display for Convergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Convergence::Converged { stabilized_at } => {
+                write!(f, "converged (legal suffix from event {stabilized_at})")
+            }
+            Convergence::Diverged { last_violation } => {
+                write!(f, "diverged ({last_violation})")
+            }
+        }
+    }
+}
+
+/// The self-stabilization acceptance condition: an execution is accepted if
+/// it has a suffix — starting within a bounded prefix — that is legal on its
+/// own, regardless of how illegal the prefix was.
+///
+/// This is the finite-trace form of the stabilizing data-link specification
+/// of Dolev–Dubois–Potop-Butucaru–Tixeuil (arXiv:1011.3632): started from an
+/// *arbitrary* automaton/channel configuration, the protocol must reach, and
+/// thereafter remain in, legal behavior. In contrast the clean-start
+/// checkers ([`check_dl1_dl2`], [`Validity::classify`]) reject the whole
+/// execution on the first violation, wherever it occurs.
+///
+/// A suffix is legal when [`check_dl1_dl2`] accepts it (every delivery in
+/// the suffix matches a send *in the suffix*, order-preserved) and — when
+/// [`require_quiescence`](ConvergenceSpec::require_quiescence) is set —
+/// every suffix send was delivered ([`check_dl3_quiescent`]).
+///
+/// Legality of a suffix is **not** monotone in the cut point (moving the cut
+/// past a `send_msg` strands its delivery in the suffix), so the checker
+/// scans candidate cuts: index 0 and the position just after every
+/// `send_msg`/`receive_msg` event. DL1/DL2/DL3 only inspect message events,
+/// so cutting anywhere else is equivalent to cutting at the previous
+/// candidate — the scan is exact and costs O(#messages) suffix checks.
+///
+/// # Example
+///
+/// ```
+/// use nonfifo_ioa::{spec::ConvergenceSpec, Event, Execution, Message};
+///
+/// // A corrupted start delivers a phantom, then behaves.
+/// let exec: Execution = vec![
+///     Event::ReceiveMsg(Message::identical(99)), // phantom from corruption
+///     Event::SendMsg(Message::identical(0)),
+///     Event::ReceiveMsg(Message::identical(0)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert!(nonfifo_ioa::spec::check_dl1(&exec).is_err()); // clean-start: rejected
+/// let verdict = ConvergenceSpec::new(8).check(&exec);
+/// assert!(verdict.is_converged()); // stabilization: accepted (suffix from 1)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceSpec {
+    max_prefix_events: usize,
+    require_quiescence: bool,
+}
+
+impl ConvergenceSpec {
+    /// Creates a spec that accepts executions with a legal suffix starting
+    /// at or before event index `max_prefix_events`.
+    pub fn new(max_prefix_events: usize) -> Self {
+        ConvergenceSpec {
+            max_prefix_events,
+            require_quiescence: true,
+        }
+    }
+
+    /// Sets whether the legal suffix must also be quiescent (every suffix
+    /// `send_msg` delivered). Defaults to true: a protocol that stops
+    /// delivering has not stabilized, it has died.
+    #[must_use]
+    pub fn require_quiescence(mut self, yes: bool) -> Self {
+        self.require_quiescence = yes;
+        self
+    }
+
+    /// The bound on where the legal suffix may start.
+    pub fn max_prefix_events(&self) -> usize {
+        self.max_prefix_events
+    }
+
+    fn suffix_legal(&self, suffix: &Execution) -> Result<(), SpecViolation> {
+        check_dl1_dl2(suffix)?;
+        if self.require_quiescence {
+            check_dl3_quiescent(suffix)?;
+        }
+        Ok(())
+    }
+
+    /// Checks `exec` against the convergence condition, returning the
+    /// earliest cut that yields a legal suffix.
+    pub fn check(&self, exec: &Execution) -> Convergence {
+        let bound = self.max_prefix_events.min(exec.len());
+        let mut last = None;
+        let mut try_cut = |cut: usize| -> Option<Convergence> {
+            let suffix: Execution = exec.iter().skip(cut).copied().collect();
+            match self.suffix_legal(&suffix) {
+                Ok(()) => Some(Convergence::Converged { stabilized_at: cut }),
+                Err(v) => {
+                    last = Some(v);
+                    None
+                }
+            }
+        };
+        if let Some(done) = try_cut(0) {
+            return done;
+        }
+        for (i, event) in exec.iter().enumerate() {
+            if i + 1 > bound {
+                break;
+            }
+            if matches!(event, Event::SendMsg(_) | Event::ReceiveMsg(_)) {
+                if let Some(done) = try_cut(i + 1) {
+                    return done;
+                }
+            }
+        }
+        Convergence::Diverged {
+            // At least the cut at 0 ran, so a violation was recorded.
+            last_violation: last.expect("diverged with no cut tried"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,5 +758,118 @@ mod tests {
     fn violation_display_nonempty() {
         let v = SpecViolation::MessageInvented { event_index: 3 };
         assert!(v.to_string().contains("DL1"));
+    }
+
+    #[test]
+    fn convergence_accepts_clean_execution_at_cut_zero() {
+        let exec: Execution = vec![
+            Event::SendMsg(Message::identical(0)),
+            Event::ReceiveMsg(Message::identical(0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            ConvergenceSpec::new(16).check(&exec),
+            Convergence::Converged { stabilized_at: 0 }
+        );
+    }
+
+    #[test]
+    fn convergence_forgives_a_poisoned_prefix() {
+        // Two phantoms from a corrupted start, then two legal rounds.
+        let exec: Execution = vec![
+            Event::ReceiveMsg(Message::identical(90)),
+            Event::ReceiveMsg(Message::identical(91)),
+            Event::SendMsg(Message::identical(0)),
+            Event::ReceiveMsg(Message::identical(0)),
+            Event::SendMsg(Message::identical(1)),
+            Event::ReceiveMsg(Message::identical(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_dl1(&exec).is_err());
+        assert_eq!(
+            ConvergenceSpec::new(16).check(&exec),
+            Convergence::Converged { stabilized_at: 2 }
+        );
+    }
+
+    #[test]
+    fn convergence_rejects_violations_past_the_bound() {
+        // The phantom lands at event 4; a bound of 2 cannot cut past it.
+        let exec: Execution = vec![
+            Event::SendMsg(Message::identical(0)),
+            Event::ReceiveMsg(Message::identical(0)),
+            Event::SendMsg(Message::identical(1)),
+            Event::ReceiveMsg(Message::identical(1)),
+            Event::ReceiveMsg(Message::identical(2)), // phantom, late
+        ]
+        .into_iter()
+        .collect();
+        let verdict = ConvergenceSpec::new(2).check(&exec);
+        assert!(!verdict.is_converged(), "{verdict}");
+        // A generous bound forgives it (empty-ish suffix after the phantom).
+        assert!(ConvergenceSpec::new(16).check(&exec).is_converged());
+    }
+
+    #[test]
+    fn convergence_quiescence_rejects_a_protocol_that_stalls() {
+        // Phantom prefix, then a send that is never delivered. With the
+        // bound at 1 the cut cannot amputate the send, so the only
+        // DL1/DL2-legal suffix leaves it outstanding: quiescence rejects.
+        let exec: Execution = vec![
+            Event::ReceiveMsg(Message::identical(90)),
+            Event::SendMsg(Message::identical(0)),
+        ]
+        .into_iter()
+        .collect();
+        let strict = ConvergenceSpec::new(1);
+        assert!(!strict.check(&exec).is_converged());
+        let lax = strict.require_quiescence(false);
+        assert_eq!(
+            lax.check(&exec),
+            Convergence::Converged { stabilized_at: 1 }
+        );
+        // A bound past the send treats the lost send as part of the
+        // transient (stabilizing protocols may lose O(1) messages while
+        // converging) and accepts with an empty suffix.
+        assert!(ConvergenceSpec::new(16).check(&exec).is_converged());
+    }
+
+    #[test]
+    fn convergence_cut_is_earliest() {
+        // Legal from the very first event after one phantom; later cuts
+        // also work but the checker reports the earliest.
+        let exec: Execution = vec![
+            Event::ReceiveMsg(Message::identical(90)),
+            Event::SendMsg(Message::identical(0)),
+            Event::ReceiveMsg(Message::identical(0)),
+            Event::SendMsg(Message::identical(1)),
+            Event::ReceiveMsg(Message::identical(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            ConvergenceSpec::new(16).check(&exec),
+            Convergence::Converged { stabilized_at: 1 }
+        );
+    }
+
+    #[test]
+    fn convergence_empty_execution_converges_trivially() {
+        assert_eq!(
+            ConvergenceSpec::new(0).check(&Execution::new()),
+            Convergence::Converged { stabilized_at: 0 }
+        );
+    }
+
+    #[test]
+    fn convergence_display() {
+        let c = Convergence::Converged { stabilized_at: 3 };
+        assert!(c.to_string().contains("event 3"));
+        let d = Convergence::Diverged {
+            last_violation: SpecViolation::MessageInvented { event_index: 1 },
+        };
+        assert!(d.to_string().contains("diverged"));
     }
 }

@@ -114,7 +114,7 @@ impl Default for AlternatingBitTx {
 
 impl Recoverable for AlternatingBitTx {
     fn crash_amnesia(&mut self) {
-        *self = AlternatingBitTx::new();
+        crate::api::amnesia_reboot(self, AlternatingBitTx::new());
     }
 }
 
@@ -236,7 +236,7 @@ impl Default for AlternatingBitRx {
 
 impl Recoverable for AlternatingBitRx {
     fn crash_amnesia(&mut self) {
-        *self = AlternatingBitRx::new();
+        crate::api::amnesia_reboot(self, AlternatingBitRx::new());
     }
 }
 

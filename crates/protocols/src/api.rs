@@ -90,6 +90,21 @@ pub trait Recoverable {
     fn crash_amnesia(&mut self);
 }
 
+/// Shared implementation of [`Recoverable::crash_amnesia`]: rebuilds the
+/// automaton from its construction-time configuration ("ROM") while reusing
+/// the existing heap buffers.
+///
+/// Callers pass a freshly constructed `initial` carrying the same
+/// configuration (`Self::new(self.window)` and the like); the reset goes
+/// through the automaton's fieldwise `clone_from`, so queue and map
+/// allocations survive the reboot — the same reason the automata implement
+/// manual `Clone` for the explorer's pool. This replaces the per-protocol
+/// fieldwise reset lists that used to be duplicated (and had to be kept in
+/// sync with the field set by hand) across the window-family protocols.
+pub fn amnesia_reboot<A: Clone>(automaton: &mut A, initial: A) {
+    automaton.clone_from(&initial);
+}
+
 /// The transmitting-station automaton `Aᵗ`.
 ///
 /// Input actions are the `on_*` methods (`send_msg`,

@@ -6,7 +6,7 @@
 
 use crate::{
     AfekFlush, AlternatingBit, DataLink, GoBackN, NaiveCycle, Outnumber, SelectiveReject,
-    SequenceNumber, SlidingWindow,
+    SequenceNumber, SlidingWindow, StabilizingDl,
 };
 use std::fmt;
 
@@ -31,6 +31,10 @@ pub const PROTOCOLS: &[(&str, &str)] = &[
     (
         "afek<k>",
         "Afek'88 reconstruction (e.g. afek3): oracle-assisted, linear in transit",
+    ),
+    (
+        "stabilizing-dl[<c>]",
+        "self-stabilizing counting protocol [DDPT'11]: converges from any corrupted state",
     ),
 ];
 
@@ -98,6 +102,14 @@ pub fn by_name(name: &str) -> Result<Box<dyn DataLink>, UnknownProtocol> {
             return Ok(Box::new(AfekFlush::with_labels(k)));
         }
     }
+    if name == "stabilizing-dl" {
+        return Ok(Box::new(StabilizingDl::new()));
+    }
+    if let Some(c) = parse_suffix(name, "stabilizing-dl") {
+        if c >= 1 {
+            return Ok(Box::new(StabilizingDl::with_capacity(c)));
+        }
+    }
     Err(UnknownProtocol(name.to_string()))
 }
 
@@ -116,12 +128,33 @@ mod tests {
             "srej4",
             "outnumber5",
             "afek3",
+            "stabilizing-dl",
+            "stabilizing-dl2",
         ] {
             assert!(by_name(name).is_ok(), "{name}");
         }
-        for name in ["cycle1", "window0", "outnumber2", "afek2", "nope"] {
+        for name in [
+            "cycle1",
+            "window0",
+            "outnumber2",
+            "afek2",
+            "stabilizing-dl0",
+            "nope",
+        ] {
             assert!(by_name(name).is_err(), "{name}");
         }
+    }
+
+    #[test]
+    fn stabilizing_dl_spellings() {
+        assert_eq!(
+            by_name("stabilizing-dl").unwrap().name(),
+            "stabilizing-dl(c=4)"
+        );
+        assert_eq!(
+            by_name("stabilizing-dl7").unwrap().name(),
+            "stabilizing-dl(c=7)"
+        );
     }
 
     #[test]

@@ -136,10 +136,7 @@ impl GoBackNTx {
 
 impl Recoverable for GoBackNTx {
     fn crash_amnesia(&mut self) {
-        self.base = 0;
-        self.next = 0;
-        self.unacked.clear();
-        self.outbox.clear();
+        crate::api::amnesia_reboot(self, GoBackNTx::new(self.window as u32));
     }
 }
 
@@ -269,9 +266,7 @@ impl GoBackNRx {
 
 impl Recoverable for GoBackNRx {
     fn crash_amnesia(&mut self) {
-        self.next_expected = 0;
-        self.outbox.clear();
-        self.deliveries.clear();
+        crate::api::amnesia_reboot(self, GoBackNRx::new((self.modulus - 1) as u32));
     }
 }
 

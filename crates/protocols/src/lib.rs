@@ -16,6 +16,7 @@
 //! | [`SelectiveReject`] | 2·w (+2·w NAKs backward) | FIFO (with loss) | O(1), loss-frugal | NAK-driven ARQ; most packet-efficient of the classic trio |
 //! | [`Outnumber`] | L (default 5) | probabilistic, q < ½ | exponential in n | reconstruction of \[AFWZ88\] (E5) |
 //! | [`AfekFlush`] | 3 | any PL1 channel (ghost-assisted) | Θ(in-transit) | reconstruction of \[Afe88\], tightness of Theorem 4.1 (E4) |
+//! | [`StabilizingDl`] | n (one per round) | any PL1 channel, **from any initial state** | capacity + 1 copies | self-stabilizing counting protocol after DDPT arXiv:1011.3632 (E16) |
 //!
 //! ## The forward/backward asymmetry
 //!
@@ -48,12 +49,13 @@ mod outnumber;
 mod selective_reject;
 mod sequence;
 mod sliding_window;
+mod stabilizing_dl;
 
 pub use afek::{AfekFlush, AfekFlushRx, AfekFlushTx};
 pub use alternating_bit::{AlternatingBit, AlternatingBitRx, AlternatingBitTx};
 pub use api::{
-    BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo, HeaderBound, Receiver, Recoverable,
-    Transmitter,
+    amnesia_reboot, BoxedReceiver, BoxedTransmitter, DataLink, GhostInfo, HeaderBound, Receiver,
+    Recoverable, Transmitter,
 };
 pub use go_back_n::{GoBackN, GoBackNRx, GoBackNTx};
 pub use naive_cycle::{NaiveCycle, NaiveCycleRx, NaiveCycleTx};
@@ -61,3 +63,4 @@ pub use outnumber::{Outnumber, OutnumberRx, OutnumberTx};
 pub use selective_reject::{SelectiveReject, SelectiveRejectRx, SelectiveRejectTx};
 pub use sequence::{SequenceNumber, SequenceNumberRx, SequenceNumberTx};
 pub use sliding_window::{SlidingWindow, SlidingWindowRx, SlidingWindowTx};
+pub use stabilizing_dl::{StabilizingDl, StabilizingDlRx, StabilizingDlTx, DEFAULT_CAPACITY};

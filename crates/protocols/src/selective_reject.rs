@@ -158,12 +158,7 @@ impl SelectiveRejectTx {
 
 impl Recoverable for SelectiveRejectTx {
     fn crash_amnesia(&mut self) {
-        self.base = 0;
-        self.next = 0;
-        self.unacked.clear();
-        self.nak_queue.clear();
-        self.outbox.clear();
-        self.stall_ticks = 0;
+        crate::api::amnesia_reboot(self, SelectiveRejectTx::new(self.window as u32));
     }
 }
 
@@ -338,11 +333,7 @@ impl SelectiveRejectRx {
 
 impl Recoverable for SelectiveRejectRx {
     fn crash_amnesia(&mut self) {
-        self.next_expected = 0;
-        self.buffered.clear();
-        self.naked.clear();
-        self.outbox.clear();
-        self.deliveries.clear();
+        crate::api::amnesia_reboot(self, SelectiveRejectRx::new(self.window as u32));
     }
 }
 

@@ -140,10 +140,7 @@ impl SlidingWindowTx {
 
 impl Recoverable for SlidingWindowTx {
     fn crash_amnesia(&mut self) {
-        self.base = 0;
-        self.next = 0;
-        self.unacked.clear();
-        self.outbox.clear();
+        crate::api::amnesia_reboot(self, SlidingWindowTx::new(self.window as u32));
     }
 }
 
@@ -280,10 +277,7 @@ impl SlidingWindowRx {
 
 impl Recoverable for SlidingWindowRx {
     fn crash_amnesia(&mut self) {
-        self.next_expected = 0;
-        self.buffered.clear();
-        self.outbox.clear();
-        self.deliveries.clear();
+        crate::api::amnesia_reboot(self, SlidingWindowRx::new(self.window as u32));
     }
 }
 

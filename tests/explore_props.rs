@@ -9,7 +9,8 @@
 //! runtime).
 
 use nonfifo::adversary::{
-    explore, Discipline, ExploreArena, ExploreConfig, ExploreOutcome, ParallelExplorer,
+    explore, scope_root, Discipline, ExploreArena, ExploreConfig, ExploreOutcome, ParallelExplorer,
+    Schedule,
 };
 use nonfifo::protocols::{
     AlternatingBit, DataLink, GoBackN, Outnumber, SequenceNumber, SlidingWindow,
@@ -65,6 +66,13 @@ fn random_scope(rng: &mut StdRng) -> ExploreConfig {
         // stay comparable across engines.
         max_states: 2_000_000,
         discipline: random_discipline(rng),
+        // A third of the scopes start from a seeded corrupted in-transit
+        // multiset — the engines must agree there too.
+        corrupt_start: if rng.gen_range(0..3) == 0 {
+            Some(rng.next_u64())
+        } else {
+            None
+        },
     }
 }
 
@@ -170,8 +178,9 @@ fn counterexamples_replay_and_certificates_quiesce() {
         if let ExploreOutcome::Counterexample { schedule, .. } =
             ParallelExplorer::new(0).explore(proto.as_ref(), &cfg)
         {
-            let sys = schedule
-                .run(proto.as_ref())
+            // Replay from the scope's root: corrupted scopes only violate
+            // when the seeded junk is present, so a clean boot would abort.
+            let sys = Schedule::run_steps_from(schedule.steps(), scope_root(proto.as_ref(), &cfg))
                 .unwrap_or_else(|e| panic!("seed {seed}: replay aborted: {e}"));
             assert!(
                 sys.violation().is_some(),
