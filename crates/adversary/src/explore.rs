@@ -112,6 +112,15 @@ pub struct ExploreConfig {
     /// schedule violates safety *even from that poisoned in-transit state* —
     /// the small-scope face of self-stabilization.
     pub corrupt_start: Option<u64>,
+    /// Enable partial-order reduction: defer inert deliveries under the
+    /// sleep-set rule of [`por`](crate::por). Effective only under
+    /// [`Discipline::NonFifo`] with ghost-free protocols (elsewhere the
+    /// reduced search silently equals the full one). Certificates and
+    /// counterexample existence are preserved — the shortest reachable
+    /// violation survives the reduction — but `Exhausted` state counts
+    /// shrink, so reduced and full reports are *not* byte-comparable;
+    /// compare outcome kind, depth, and shrunk schedules instead.
+    pub por: bool,
 }
 
 impl Default for ExploreConfig {
@@ -123,6 +132,7 @@ impl Default for ExploreConfig {
             max_states: 200_000,
             discipline: Discipline::NonFifo,
             corrupt_start: None,
+            por: false,
         }
     }
 }
@@ -372,11 +382,30 @@ pub(crate) fn to_step(action: Action) -> ScheduleStep {
     }
 }
 
+/// Side statistics of one exploration run — what the search did, beyond
+/// the outcome it returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Successor transitions put to sleep by the partial-order reduction
+    /// (always 0 with [`ExploreConfig::por`] off or inapplicable).
+    pub pruned: u64,
+}
+
 /// Exhaustively explores the adversary's choices against `proto`.
 pub fn explore(proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
+    explore_with_stats(proto, cfg).0
+}
+
+/// [`explore`], also returning the run's [`ExploreStats`].
+pub fn explore_with_stats(
+    proto: &dyn DataLink,
+    cfg: &ExploreConfig,
+) -> (ExploreOutcome, ExploreStats) {
     let root = build_root(proto, cfg, true);
+    let por = crate::por::PorCtx::new(&root, cfg);
+    let mut stats = ExploreStats::default();
     let mut visited: FnvSet = FnvSet::default();
-    visited.insert(state_key(&root));
+    visited.insert(por.key(&root));
     let mut frontier: VecDeque<(System, Vec<ScheduleStep>)> = VecDeque::new();
     frontier.push_back((root, Vec::new()));
 
@@ -390,18 +419,29 @@ pub fn explore(proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
             if next.violation().is_some() {
                 let mut steps = path.clone();
                 steps.push(to_step(action));
-                return ExploreOutcome::Counterexample {
+                let outcome = ExploreOutcome::Counterexample {
                     execution: next.execution().clone(),
                     depth: steps.len(),
                     schedule: Schedule::new(steps),
                 };
+                return (outcome, stats);
             }
-            let key = state_key(&next);
+            // The sleep decision is a pure function of (state, action), so
+            // it sits *after* the violation check (a violating successor is
+            // never inert, but keep the order manifest) and *before* dedup:
+            // a slept edge is neither recorded nor expanded, here or in the
+            // parallel engine.
+            if por.sleeps(&sys, &next, action, cfg) {
+                stats.pruned += 1;
+                continue;
+            }
+            let key = por.key(&next);
             if visited.insert(key) {
                 if visited.len() >= cfg.max_states {
-                    return ExploreOutcome::Truncated {
+                    let outcome = ExploreOutcome::Truncated {
                         states: visited.len(),
                     };
+                    return (outcome, stats);
                 }
                 let mut steps = path.clone();
                 steps.push(to_step(action));
@@ -409,9 +449,10 @@ pub fn explore(proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
             }
         }
     }
-    ExploreOutcome::Exhausted {
+    let outcome = ExploreOutcome::Exhausted {
         states: visited.len(),
-    }
+    };
+    (outcome, stats)
 }
 
 #[cfg(test)]

@@ -59,9 +59,9 @@
 //! an end-to-end validation of every reported attack.
 
 use crate::explore::{
-    apply, build_root, enabled_actions_into, state_key, to_step, Action, ExploreConfig,
-    ExploreOutcome, FnvSet,
+    apply, build_root, enabled_actions_into, to_step, Action, ExploreConfig, ExploreOutcome, FnvSet,
 };
+use crate::por::PorCtx;
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
 use crate::workpool::ChunkCursor;
@@ -236,6 +236,9 @@ struct ExploreTelemetry {
     dedup_hits: Counter,
     /// Unique states admitted to the visited set.
     states: Counter,
+    /// Successor transitions put to sleep by the partial-order reduction
+    /// (worker-side; stays 0 with `--por` off or inapplicable).
+    pruned: Counter,
     /// Frontier width, one observation per depth level.
     frontier_width: Histogram,
 }
@@ -247,6 +250,7 @@ impl ExploreTelemetry {
             candidates: registry.counter("explore.candidates"),
             dedup_hits: registry.counter("explore.dedup_hits"),
             states: registry.counter("explore.states"),
+            pruned: registry.counter("explore.pruned_states"),
             frontier_width: registry.histogram("explore.frontier_width"),
             registry,
             trace,
@@ -347,7 +351,11 @@ impl ParallelExplorer {
     ) -> (ExploreOutcome, usize) {
         let tel = self.telemetry.as_ref();
         let root = build_root(proto, cfg, false);
-        let root_key = state_key(&root);
+        // The sleep rule is a pure function of (state, action), so workers
+        // apply it independently with no coordination — pruning cannot
+        // depend on discovery order or thread count.
+        let por = PorCtx::new(&root, cfg);
+        let root_key = por.key(&root);
         arena.shards[shard_of(root_key)].insert(root_key);
         let mut states = 1usize;
         if let Some(t) = tel {
@@ -377,7 +385,7 @@ impl ParallelExplorer {
                 let bytes: usize = arena.frontier.iter().map(System::heap_bytes_estimate).sum();
                 peak_frontier_bytes = peak_frontier_bytes.max(bytes);
             }
-            self.expand_level(cfg, arena);
+            self.expand_level(cfg, por, arena);
 
             // Violations: the lexicographically smallest path wins; within
             // one level that is the minimal (parent rank, step) pair.
@@ -450,7 +458,7 @@ impl ParallelExplorer {
     /// its scratch buffers. Work is claimed in [`CHUNK`]-sized slices from
     /// an atomic cursor; a frontier too small to fill one chunk per worker
     /// runs on the calling thread without spawning a scope.
-    fn expand_level(&self, cfg: &ExploreConfig, arena: &mut ExploreArena) {
+    fn expand_level(&self, cfg: &ExploreConfig, por: PorCtx, arena: &mut ExploreArena) {
         let tel = self.telemetry.as_ref();
         let ExploreArena {
             shards,
@@ -468,7 +476,7 @@ impl ParallelExplorer {
         if nworkers == 1 {
             let scratch = &mut workers[0];
             for (rank, sys) in frontier.iter().enumerate() {
-                expand_node(sys, rank as u32, shards, cfg, tel, scratch);
+                expand_node(sys, rank as u32, shards, cfg, por, tel, scratch);
             }
             return;
         }
@@ -482,7 +490,7 @@ impl ParallelExplorer {
                     while let Some(range) = cursor.claim() {
                         let start = range.start;
                         for (i, sys) in frontier[range].iter().enumerate() {
-                            expand_node(sys, (start + i) as u32, shards, cfg, tel, scratch);
+                            expand_node(sys, (start + i) as u32, shards, cfg, por, tel, scratch);
                         }
                     }
                 });
@@ -500,6 +508,7 @@ fn expand_node(
     rank: u32,
     shards: &[FnvSet],
     cfg: &ExploreConfig,
+    por: PorCtx,
     tel: Option<&ExploreTelemetry>,
     scratch: &mut WorkerScratch,
 ) {
@@ -526,7 +535,17 @@ fn expand_node(
             scratch.pool.push(next);
             continue;
         }
-        let key = state_key(&next);
+        // Sleep-set pruning, mirrored exactly from the sequential engine:
+        // after the violation check, before dedup. Pure in (state, action),
+        // so every thread schedule prunes the identical edge set.
+        if por.sleeps(sys, &next, action, cfg) {
+            if let Some(t) = tel {
+                t.pruned.inc();
+            }
+            scratch.pool.push(next);
+            continue;
+        }
+        let key = por.key(&next);
         // Frozen prior-level membership check; same-level duplicates are
         // resolved in the sorted merge.
         if !shards[shard_of(key)].contains(&key) {
@@ -583,7 +602,7 @@ pub fn explore_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{explore, Discipline};
+    use crate::explore::{explore, state_key, Discipline};
     use nonfifo_protocols::{AlternatingBit, GoBackN, NaiveCycle, SequenceNumber};
 
     fn outcome_kind(o: &ExploreOutcome) -> &'static str {

@@ -70,18 +70,23 @@ mod greedy;
 mod mf;
 mod oracle;
 mod pf;
+pub mod por;
 mod schedule;
 mod shrink;
 mod system;
 mod workpool;
 
 pub use dominant::{DominantReport, DominantTracker, ProbRunConfig};
-pub use explore::{explore, scope_root, Discipline, ExploreConfig, ExploreOutcome};
+pub use explore::{
+    explore, explore_with_stats, scope_root, Discipline, ExploreConfig, ExploreOutcome,
+    ExploreStats,
+};
 pub use explore_par::{explore_parallel, ExploreArena, ParallelExplorer};
 pub use greedy::GreedyReplayAdversary;
 pub use mf::{MfConfig, MfFalsifier, MfGrowthStage};
 pub use oracle::{BoundnessOracle, Extension};
 pub use pf::{PfConfig, PfFalsifier, PfMessageCost};
+pub use por::{apply_step, state_digest, steps_independent_at};
 pub use schedule::{Schedule, ScheduleError, ScheduleStep};
 pub use shrink::{shrink, ShrinkError, ShrinkOutcome};
 pub use system::{Disposition, System};

@@ -193,6 +193,30 @@ impl System {
         self.round_watermark
     }
 
+    /// Whether the protocol driving this system consumes [`GhostInfo`].
+    /// Ghost-reading protocols observe the in-transit pool through the
+    /// per-step summary, so channel-only edits are *not* invisible to them —
+    /// the explorer's partial-order reduction disables itself here.
+    pub fn uses_ghosts(&self) -> bool {
+        self.uses_ghosts
+    }
+
+    /// True when the delayed forward copy `p` is *retired garbage*: the
+    /// receiver has retired its header (it can never be delivered again)
+    /// and the transmitter has retired it too (the acknowledgement the
+    /// receiver would echo for it is ignored for the rest of time). Retired
+    /// copies are interchangeable — only how many of them occupy pool slots
+    /// matters — which is what the explorer's partial-order reduction
+    /// exploits (see [`por`](crate::por)). Both claims come from the
+    /// protocol ([`Transmitter::header_retired`] /
+    /// [`Receiver::header_retired`]) and are conservative-by-default.
+    ///
+    /// [`Transmitter::header_retired`]: nonfifo_protocols::Transmitter::header_retired
+    /// [`Receiver::header_retired`]: nonfifo_protocols::Receiver::header_retired
+    pub fn packet_retired(&self, p: Packet) -> bool {
+        self.rx.header_retired(p.header()) && self.tx.header_retired(p.header())
+    }
+
     /// Approximate resident bytes of this system: the struct itself plus
     /// the automata's live state and the channels' reserved buffers. Feeds
     /// the explorer's `explore.peak_frontier_bytes` gauge; an estimate, not

@@ -5,6 +5,14 @@
 //! short-circuits the search, so every run covers the same state set and
 //! states/sec is a meaningful rate). The headline number is the 8-thread
 //! speedup over the sequential baseline.
+//!
+//! The partial-order-reduction section runs the same scope with `--por`
+//! semantics on and off and reports the certified-states ratio. The ratio
+//! is structural — a pure function of the protocol and the scope, not of
+//! the machine — so with `--out <path>` it is exported as the
+//! `explore.reduction_ratio` value of a metrics snapshot for
+//! `bench_guard --metric explore.reduction_ratio` to hold against
+//! `BENCH_baseline.json`.
 
 use nonfifo_adversary::{explore, ExploreConfig, ExploreOutcome, ParallelExplorer};
 use nonfifo_bench::harness::Group;
@@ -35,6 +43,13 @@ fn median_rate(mut f: impl FnMut() -> ExploreOutcome) -> f64 {
 }
 
 fn main() {
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
     // Large enough that every BFS level carries a wide frontier (87k+
     // states total), so the parallel engine has real work to distribute.
     let cfg = ExploreConfig {
@@ -84,4 +99,31 @@ fn main() {
         "overhead      : {overhead:>9.1}%  (target <= 5%) {}",
         if overhead <= 5.0 { "ok" } else { "EXCEEDED" }
     );
+
+    // Partial-order reduction: the same certificate scope with the
+    // retired-copy quotient on. Both runs certify (the reduction preserves
+    // verdicts), so the states ratio is the quotient's compression — a
+    // structural number, identical on every machine.
+    println!("\n== partial-order reduction (parallel t=8)");
+    let por_cfg = ExploreConfig { por: true, ..cfg };
+    let full_states = states(&ParallelExplorer::new(8).explore(&proto, &cfg));
+    let por_start = Instant::now();
+    let por_outcome = ParallelExplorer::new(8).explore(&proto, &por_cfg);
+    let por_elapsed = por_start.elapsed().as_secs_f64();
+    let por_states = states(&por_outcome);
+    assert!(por_states > 0, "reduced run must still certify");
+    let ratio = full_states as f64 / por_states as f64;
+    println!("por off       : {full_states:>10} states");
+    println!(
+        "por on        : {por_states:>10} states  ({:.0} states/sec)",
+        por_states as f64 / por_elapsed
+    );
+    println!("reduction     : {ratio:>10.2}x");
+
+    if let Some(path) = out {
+        let registry = Registry::new();
+        registry.set_value("explore.reduction_ratio", ratio);
+        std::fs::write(&path, registry.snapshot().to_json()).expect("write --out snapshot");
+        println!("wrote explore.reduction_ratio to {path}");
+    }
 }

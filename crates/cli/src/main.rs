@@ -10,8 +10,9 @@
 //! nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
 //! nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
 //!                  [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
-//!                  [--parallel] [--threads N] [--differential] [--no-shrink]
-//!                  [--metrics] [--metrics-out FILE] [--trace-out FILE]
+//!                  [--parallel] [--threads N] [--por] [--differential]
+//!                  [--no-shrink] [--metrics] [--metrics-out FILE]
+//!                  [--trace-out FILE]
 //! nonfifo campaign <plan-file> [--threads N] [--cache FILE]
 //!                  [--metrics-out FILE]
 //! nonfifo schedule <protocol> <attack-file> [--diagram]
@@ -59,8 +60,9 @@ usage:
   nonfifo attack   <protocol> [mf|pf|greedy] [--messages N] [--dump FILE]
   nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
                    [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
-                   [--parallel] [--threads N] [--differential] [--no-shrink]
-                   [--metrics] [--metrics-out FILE] [--trace-out FILE]
+                   [--parallel] [--threads N] [--por] [--differential]
+                   [--no-shrink] [--metrics] [--metrics-out FILE]
+                   [--trace-out FILE]
   nonfifo campaign <plan-file> [--threads N] [--cache FILE]
                    [--metrics-out FILE]
   nonfifo stabilize --protocol P [--seeds N] [--severity light|medium|heavy]
@@ -73,6 +75,13 @@ usage:
 explore exit codes: 0 certificate, 2 counterexample, 3 inconclusive
 (state budget), 4 differential mismatch. stabilize exits 5 when the
 protocol fails to converge from a corrupted start within the bound.
+
+explore --por enables partial-order reduction (sleep-set deferral of
+inert deliveries; effective under the nonfifo discipline): same
+verdicts, far fewer states per scope. With --differential the reduced
+run is checked against the full explorer (outcome kind, counterexample
+depth, shrunk attack script) instead of the byte-report comparison the
+flag performs between the sequential and parallel engines otherwise.
 
 telemetry: --metrics prints a summary table; --metrics-out writes the
 schema-versioned metrics JSON; --trace-out writes a Chrome trace_events
@@ -109,6 +118,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), NonFifoError> {
             "parallel",
             "differential",
             "no-shrink",
+            "por",
             "metrics",
         ],
     )?;
@@ -416,6 +426,90 @@ fn cmd_attack(args: &Args) -> Result<(), ArgsError> {
     Ok(())
 }
 
+/// State count carried by a non-counterexample outcome.
+fn states_of(outcome: &ExploreOutcome) -> Option<usize> {
+    match outcome {
+        ExploreOutcome::Exhausted { states } | ExploreOutcome::Truncated { states } => {
+            Some(*states)
+        }
+        ExploreOutcome::Counterexample { .. } => None,
+    }
+}
+
+/// Compares a `--por` outcome against the full oracle's: same outcome
+/// kind, same shortest-counterexample depth, and — when the shrinker is
+/// applicable (clean boot) — the same minimal attack script after
+/// [`shrink`]. State counts are *expected* to differ (that is the
+/// reduction); report bytes are not compared. Returns a description of the
+/// first divergence, or `None` on agreement.
+fn por_differential_mismatch(
+    proto: &dyn nonfifo_protocols::DataLink,
+    cfg: &ExploreConfig,
+    reduced: &ExploreOutcome,
+    full: &ExploreOutcome,
+) -> Option<String> {
+    match (reduced, full) {
+        (
+            ExploreOutcome::Counterexample {
+                depth: dr,
+                schedule: sr,
+                ..
+            },
+            ExploreOutcome::Counterexample {
+                depth: df,
+                schedule: sf,
+                ..
+            },
+        ) => {
+            if dr != df {
+                return Some(format!(
+                    "shortest counterexample depths differ (reduced {dr}, full {df})"
+                ));
+            }
+            // Engines may legitimately return different same-depth attacks;
+            // the shrinker normalises both to a minimal script. Corrupted
+            // starts skip this (the shrinker replays from a clean boot).
+            if cfg.corrupt_start.is_none() {
+                match (shrink(proto, sr), shrink(proto, sf)) {
+                    (Ok(a), Ok(b)) => {
+                        if a.schedule != b.schedule {
+                            return Some("shrunk attack scripts differ".into());
+                        }
+                    }
+                    (r, f) => {
+                        return Some(format!(
+                            "shrinker failed (reduced {:?}, full {:?})",
+                            r.err(),
+                            f.err()
+                        ));
+                    }
+                }
+            }
+            None
+        }
+        (ExploreOutcome::Exhausted { .. }, ExploreOutcome::Exhausted { .. })
+        | (ExploreOutcome::Truncated { .. }, ExploreOutcome::Truncated { .. }) => None,
+        // A reduced certificate against a full truncation is the reduction
+        // working as intended (same scope, smaller state count), not a
+        // soundness violation — the full engine ran out of budget, it did
+        // not disagree.
+        (ExploreOutcome::Exhausted { .. }, ExploreOutcome::Truncated { .. }) => None,
+        _ => Some(format!(
+            "outcome kinds differ (reduced {}, full {})",
+            outcome_kind(reduced),
+            outcome_kind(full)
+        )),
+    }
+}
+
+fn outcome_kind(outcome: &ExploreOutcome) -> &'static str {
+    match outcome {
+        ExploreOutcome::Counterexample { .. } => "counterexample",
+        ExploreOutcome::Exhausted { .. } => "certificate",
+        ExploreOutcome::Truncated { .. } => "inconclusive",
+    }
+}
+
 fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
     let proto_name = args
         .positional(1)
@@ -441,6 +535,7 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         max_states: args.option_or("max-states", default_states)?,
         discipline,
         corrupt_start,
+        por: args.flag("por"),
     };
     let opts = CommonOpts::from_args(args)?;
     let (metrics, trace) = telemetry_sinks(&opts);
@@ -456,7 +551,7 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         ("sequential".to_string(), ParallelExplorer::new(1))
     };
     println!(
-        "exploring {} in scope msgs={} depth={} pool={} discipline={}{} ({})…",
+        "exploring {} in scope msgs={} depth={} pool={} discipline={}{}{} ({})…",
         proto.name(),
         cfg.max_messages,
         cfg.max_depth,
@@ -465,13 +560,18 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         cfg.corrupt_start
             .map(|s| format!(" corrupt-start={s}"))
             .unwrap_or_default(),
+        if cfg.por { " por" } else { "" },
         engine.0,
     );
     let started = std::time::Instant::now();
     let outcome = if parallel {
         engine.1.explore(proto.as_ref(), &cfg)
     } else {
-        explore(proto.as_ref(), &cfg)
+        let (outcome, stats) = nonfifo_adversary::explore_with_stats(proto.as_ref(), &cfg);
+        if let Some(registry) = &metrics {
+            registry.counter("explore.pruned_states").add(stats.pruned);
+        }
+        outcome
     };
     // The sequential oracle is uninstrumented (it is the reference
     // implementation); record the coarse counters after the fact so
@@ -493,19 +593,46 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         }
     }
     if args.flag("differential") {
-        let other = if parallel {
-            explore(proto.as_ref(), &cfg)
+        if cfg.por {
+            // The reduced run certifies with *fewer* states, so byte
+            // reports cannot match; compare verdicts against the full
+            // explorer instead — outcome kind, counterexample depth, and
+            // (for clean scopes) the shrunk attack script.
+            let full_cfg = ExploreConfig { por: false, ..cfg };
+            let full = ParallelExplorer::new(0).explore(proto.as_ref(), &full_cfg);
+            if let Some(mismatch) = por_differential_mismatch(proto.as_ref(), &cfg, &outcome, &full)
+            {
+                println!("DIFFERENTIAL MISMATCH between reduced and full explorers: {mismatch}");
+                println!("--- reduced (--por) ---\n{}", outcome.report());
+                println!("--- full oracle ---\n{}", full.report());
+                export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
+                return Err(NonFifoError::DifferentialMismatch);
+            }
+            println!("differential: reduced and full explorers agree on the verdict");
+            if let (Some(reduced_states), Some(full_states)) =
+                (states_of(&outcome), states_of(&full))
+            {
+                let ratio = full_states as f64 / reduced_states.max(1) as f64;
+                println!("reduction: {reduced_states} states vs {full_states} full ({ratio:.2}x)");
+                if let Some(registry) = &metrics {
+                    registry.set_value("explore.reduction_ratio", ratio);
+                }
+            }
         } else {
-            ParallelExplorer::new(0).explore(proto.as_ref(), &cfg)
-        };
-        if outcome.report() != other.report() {
-            println!("DIFFERENTIAL MISMATCH between sequential and parallel engines:");
-            println!("--- this engine ---\n{}", outcome.report());
-            println!("--- other engine ---\n{}", other.report());
-            export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
-            return Err(NonFifoError::DifferentialMismatch);
+            let other = if parallel {
+                explore(proto.as_ref(), &cfg)
+            } else {
+                ParallelExplorer::new(0).explore(proto.as_ref(), &cfg)
+            };
+            if outcome.report() != other.report() {
+                println!("DIFFERENTIAL MISMATCH between sequential and parallel engines:");
+                println!("--- this engine ---\n{}", outcome.report());
+                println!("--- other engine ---\n{}", other.report());
+                export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
+                return Err(NonFifoError::DifferentialMismatch);
+            }
+            println!("differential: sequential and parallel reports are byte-identical");
         }
-        println!("differential: sequential and parallel reports are byte-identical");
     }
     match &outcome {
         ExploreOutcome::Counterexample {

@@ -19,7 +19,7 @@
 //! | [`e9_window_ablation`] | Practice ablation: sliding window vs. bounded reorder distance |
 //! | [`e10_transport`] | §1 remark: the results extend to transport protocols over non-FIFO virtual links |
 //! | [`e11_exhaustive`] | Small-scope exhaustive verification: shortest counterexamples / in-scope safety certificates |
-//! | [`e13_parallel_certification`] | Certified-scope growth: the parallel explorer covers growing scopes, byte-identical to the sequential oracle |
+//! | [`e13_parallel_certification`] | Certified-scope growth: the parallel explorer covers growing scopes, byte-identical to the sequential oracle, with the partial-order reduction's quotient coverage alongside |
 //!
 //! E14 and E15 are campaign-shaped and live in `nonfifo-campaign`'s
 //! `experiments` module.

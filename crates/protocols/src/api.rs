@@ -137,6 +137,26 @@ pub trait Transmitter: Recoverable + fmt::Debug + Send + Sync {
     /// Harness pushes ghost channel summaries; honest protocols ignore it.
     fn on_ghost(&mut self, _ghost: &GhostInfo) {}
 
+    /// True when, from the automaton's **current** state, an arriving
+    /// acknowledgement with header `h` can never again change its control
+    /// state, its outputs, or its readiness — for *every* possible future
+    /// input sequence. The claim must be **monotone**: once a header is
+    /// retired it stays retired forever (protocols with strictly growing
+    /// counters retire every header below the counter; protocols that
+    /// cycle through a fixed header alphabet must leave the conservative
+    /// default, `false`).
+    ///
+    /// This is the protocol-supplied half of the explorer's partial-order
+    /// reduction (see `nonfifo-adversary`'s `por` module): delayed copies
+    /// whose header both stations have retired are interchangeable
+    /// garbage, and the reduced engine deduplicates states modulo their
+    /// identity. An over-claiming implementation makes `--por` unsound —
+    /// the differential oracle and the property harness exist to catch
+    /// exactly that.
+    fn header_retired(&self, _h: Header) -> bool {
+        false
+    }
+
     /// Drains the next enabled `send_pkt`ᵗ→ʳ output, if any.
     fn poll_send(&mut self) -> Option<Packet>;
 
@@ -182,6 +202,18 @@ pub trait Receiver: Recoverable + fmt::Debug + Send + Sync {
 
     /// Harness pushes ghost channel summaries; honest protocols ignore it.
     fn on_ghost(&mut self, _ghost: &GhostInfo) {}
+
+    /// True when, from the automaton's **current** state, an arriving data
+    /// packet with header `h` can never again change its control state or
+    /// deliver a message — for *every* possible future input sequence.
+    /// (Re-emitting an acknowledgement for such a packet is allowed; the
+    /// reduction additionally requires the transmitter to have retired the
+    /// echoed header.) Same monotonicity contract and same soundness
+    /// stakes as [`Transmitter::header_retired`]; the conservative default
+    /// is `false`.
+    fn header_retired(&self, _h: Header) -> bool {
+        false
+    }
 
     /// Drains the next enabled `send_pkt`ʳ→ᵗ output (acknowledgement).
     fn poll_send(&mut self) -> Option<Packet>;

@@ -151,6 +151,12 @@ impl Transmitter for SequenceNumberTx {
         }
     }
 
+    fn header_retired(&self, h: Header) -> bool {
+        // `seq` only grows and `on_receive_pkt` compares for equality, so
+        // an ack below the current number is ignored for the rest of time.
+        u64::from(h.index()) < self.seq
+    }
+
     fn poll_send(&mut self) -> Option<Packet> {
         self.outbox.pop_front()
     }
@@ -258,6 +264,13 @@ impl Receiver for SequenceNumberRx {
             self.deliveries.push_back(msg);
             self.next_expected += 1;
         }
+    }
+
+    fn header_retired(&self, h: Header) -> bool {
+        // `next_expected` only grows: a data packet numbered below it can
+        // never be delivered again, only re-acknowledged — and the ack it
+        // echoes carries the same retired number.
+        u64::from(h.index()) < self.next_expected
     }
 
     fn poll_send(&mut self) -> Option<Packet> {

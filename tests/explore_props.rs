@@ -73,6 +73,10 @@ fn random_scope(rng: &mut StdRng) -> ExploreConfig {
         } else {
             None
         },
+        // Half the scopes run reduced: every property here (engine
+        // agreement, thread-count byte-identity, arena invisibility,
+        // counterexample replay) must hold with the reduction on too.
+        por: rng.gen_range(0..2) == 1,
     }
 }
 

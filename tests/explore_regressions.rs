@@ -6,8 +6,12 @@
 //! changed behaviour. Both engines are pinned so a regression in either is
 //! attributed directly.
 
-use nonfifo::adversary::{explore, Discipline, ExploreConfig, ExploreOutcome, ParallelExplorer};
-use nonfifo::protocols::{AlternatingBit, DataLink, GoBackN, NaiveCycle, SequenceNumber};
+use nonfifo::adversary::{
+    explore, shrink, Discipline, ExploreConfig, ExploreOutcome, ParallelExplorer,
+};
+use nonfifo::protocols::{
+    AlternatingBit, DataLink, GoBackN, NaiveCycle, Outnumber, SequenceNumber, SlidingWindow,
+};
 
 fn small() -> ExploreConfig {
     ExploreConfig {
@@ -98,6 +102,124 @@ fn alternating_bit_survives_fifo_and_lossy_but_not_reorder() {
     assert!(outcome.is_counterexample(), "got {outcome:?}");
 }
 
+fn with_por(cfg: &ExploreConfig) -> ExploreConfig {
+    ExploreConfig { por: true, ..*cfg }
+}
+
+#[test]
+fn por_reduction_pins_its_state_counts() {
+    // The reduced certificate coverage is a regression surface of its own:
+    // the exact quotient sizes pin both the retirement oracle and the
+    // quotient key. Fewer states means the quotient got coarser (soundness
+    // risk — the differential pins below would trip), more means the
+    // reduction got weaker. The full-engine counts for the same scopes are
+    // 111 and 419, so these pins also lock the reduction ratios (~2.2x and
+    // ~4.5x) the E13 experiment reports.
+    for (cfg, expected) in [(small(), 51), (cycle_scope(), 94)] {
+        for outcome in [
+            explore(&SequenceNumber::new(), &with_por(&cfg)),
+            ParallelExplorer::new(0).explore(&SequenceNumber::new(), &with_por(&cfg)),
+        ] {
+            let ExploreOutcome::Exhausted { states } = outcome else {
+                panic!("expected reduced certificate, got {outcome:?}");
+            };
+            assert_eq!(states, expected, "reduced state count moved");
+        }
+    }
+}
+
+#[test]
+fn por_agrees_with_full_explorer_across_catalog() {
+    // The differential oracle as a pinned test: for every protocol in the
+    // small-instance catalog, the reduced engine and the full engine must
+    // reach the same verdict kind — and for the victims, the same shortest
+    // depth and the same schedule after shrinking.
+    let catalog: Vec<Box<dyn DataLink>> = vec![
+        Box::new(AlternatingBit::new()),
+        Box::new(NaiveCycle::new(3)),
+        Box::new(SequenceNumber::new()),
+        Box::new(GoBackN::new(1)),
+        Box::new(GoBackN::new(2)),
+        Box::new(SlidingWindow::new(2)),
+        Box::new(Outnumber::new(3)),
+    ];
+    for proto in &catalog {
+        let cfg = small();
+        let reduced = ParallelExplorer::new(0).explore(proto.as_ref(), &with_por(&cfg));
+        let full = ParallelExplorer::new(0).explore(proto.as_ref(), &cfg);
+        match (&reduced, &full) {
+            (
+                ExploreOutcome::Counterexample {
+                    depth: dr,
+                    schedule: sr,
+                    ..
+                },
+                ExploreOutcome::Counterexample {
+                    depth: df,
+                    schedule: sf,
+                    ..
+                },
+            ) => {
+                assert_eq!(
+                    dr,
+                    df,
+                    "{}: cex depth differs reduced vs full",
+                    proto.name()
+                );
+                let shrunk_r = shrink(proto.as_ref(), sr).expect("reduced cex shrinks");
+                let shrunk_f = shrink(proto.as_ref(), sf).expect("full cex shrinks");
+                assert_eq!(
+                    shrunk_r.schedule,
+                    shrunk_f.schedule,
+                    "{}: shrunk attack scripts differ reduced vs full",
+                    proto.name()
+                );
+            }
+            (ExploreOutcome::Exhausted { .. }, ExploreOutcome::Exhausted { .. }) => {}
+            _ => panic!(
+                "{}: verdicts differ (reduced {reduced:?}, full {full:?})",
+                proto.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn por_keeps_corrupted_start_phantoms_reachable() {
+    // A corrupted start parks junk the receiver will happily accept: the
+    // phantom delivery sits at the very front of the search (depth 3 for
+    // seeds 0 and 4), exactly where an over-eager reduction would prune
+    // it — the junk is stale-looking but NOT retired (its header is still
+    // in expectation), so the sleep rule and the quotient must both leave
+    // it alone. Seed 42 pins a deeper corrupted victim, seed 1 a corrupted
+    // scope that still certifies.
+    for (seed, expected_depth) in [(0, Some(3)), (4, Some(3)), (42, Some(7)), (1, None)] {
+        let cfg = ExploreConfig {
+            corrupt_start: Some(seed),
+            ..small()
+        };
+        let reduced = ParallelExplorer::new(0).explore(&SequenceNumber::new(), &with_por(&cfg));
+        let full = ParallelExplorer::new(0).explore(&SequenceNumber::new(), &cfg);
+        match expected_depth {
+            Some(d) => {
+                for (engine, outcome) in [("reduced", &reduced), ("full", &full)] {
+                    let ExploreOutcome::Counterexample { depth, .. } = outcome else {
+                        panic!("{engine}: expected phantom cex at corrupt seed {seed}");
+                    };
+                    assert_eq!(
+                        *depth, d,
+                        "{engine}: phantom depth moved at corrupt seed {seed}"
+                    );
+                }
+            }
+            None => {
+                assert!(reduced.is_certificate(), "seed {seed}: {reduced:?}");
+                assert!(full.is_certificate(), "seed {seed}: {full:?}");
+            }
+        }
+    }
+}
+
 /// Large-scope certification: slow, run by the large-scope CI job via
 /// `cargo test --release -- --ignored` (half a minute in release, minutes
 /// in debug).
@@ -117,4 +239,30 @@ fn sequence_number_certified_at_large_scope() {
     };
     // The exact coverage doubles as a determinism pin at scale.
     assert_eq!(states, 1_125_331);
+}
+
+#[test]
+fn por_certifies_the_large_scope_in_tier_one() {
+    // The scope the ignored release-only test above spends ~30 seconds
+    // covering (1,125,331 full states) certifies in 834 quotient states —
+    // a 1349x reduction, fast enough to pin in every tier-1 run, on both
+    // engines. This is the reduction's headline: the budget that bought
+    // one large certificate now buys three orders of magnitude of scope.
+    let cfg = ExploreConfig {
+        max_messages: 10,
+        max_depth: 30,
+        max_pool: 12,
+        max_states: 20_000_000,
+        por: true,
+        ..ExploreConfig::default()
+    };
+    for outcome in [
+        explore(&SequenceNumber::new(), &cfg),
+        ParallelExplorer::new(0).explore(&SequenceNumber::new(), &cfg),
+    ] {
+        let ExploreOutcome::Exhausted { states } = outcome else {
+            panic!("expected reduced certificate, got {outcome:?}");
+        };
+        assert_eq!(states, 834, "large-scope quotient coverage moved");
+    }
 }
