@@ -22,10 +22,14 @@
 //! ```
 //!
 //! `--metric` names an entry in the snapshots' `values` map or, failing
-//! that, a gauge (a gauge's current value is compared), so one guard
-//! binary watches every series the workspace exports
-//! (`explore.states_per_sec`, `campaign.runs_per_sec`,
-//! `explore.peak_frontier_bytes`, …).
+//! that, a gauge — compared at its **high-water mark**, because gauges
+//! that track live occupancy (`service.active_workers`) legitimately
+//! read 0 at export time while their peak is the interesting series; for
+//! gauges exported at their peak (`explore.peak_frontier_bytes`) value
+//! and high water coincide. One guard binary thus watches every series
+//! the workspace exports (`explore.states_per_sec`,
+//! `campaign.runs_per_sec`, `explore.peak_frontier_bytes`,
+//! `service.active_workers`, …).
 //!
 //! Exit codes: 0 within budget, 1 regression, 2 usage or unreadable input.
 
@@ -42,7 +46,7 @@ fn load_metric(path: &str, metric: &str) -> Result<f64, String> {
         .values
         .get(metric)
         .copied()
-        .or_else(|| snapshot.gauges.get(metric).map(|g| g.value as f64))
+        .or_else(|| snapshot.gauges.get(metric).map(|g| g.high_water as f64))
         .filter(|v| *v > 0.0)
         .ok_or_else(|| format!("{path}: no positive {metric} value or gauge"))
 }

@@ -19,6 +19,7 @@ use nonfifo_telemetry::{Json, MetricsSnapshot};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
 /// Version stamp of the cache file schema.
 pub const CACHE_SCHEMA_VERSION: u64 = 1;
@@ -39,6 +40,59 @@ pub struct CachedRun {
     pub delivered: u64,
     /// The run's full metrics snapshot.
     pub metrics: MetricsSnapshot,
+}
+
+impl CachedRun {
+    /// The run as a [`Json`] object. This is the one serialization of a
+    /// completed run in the workspace: the cache file embeds it per entry
+    /// and the service wire protocol ships it per `run` message, so the
+    /// two layers cannot drift apart.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "outcome".to_string(),
+                Json::Str(self.outcome.as_str().to_string()),
+            ),
+            ("fingerprint".to_string(), Json::Uint(self.fingerprint)),
+            ("steps".to_string(), Json::Uint(self.steps)),
+            ("fwd_sends".to_string(), Json::Uint(self.fwd_sends)),
+            ("delivered".to_string(), Json::Uint(self.delivered)),
+            ("metrics".to_string(), self.metrics.to_json_value()),
+        ])
+    }
+
+    /// Parses a value written by [`to_json_value`](CachedRun::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Rejects objects with missing or mistyped fields.
+    pub fn from_json_value(entry: &Json) -> Result<CachedRun, CacheError> {
+        let field = |name: &str| {
+            entry
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CacheError(format!("entry missing field {name:?}")))
+        };
+        let outcome = entry
+            .get("outcome")
+            .and_then(Json::as_str)
+            .and_then(RunOutcome::from_str_opt)
+            .ok_or_else(|| CacheError("entry has no valid outcome".to_string()))?;
+        let metrics = entry
+            .get("metrics")
+            .ok_or_else(|| CacheError("entry missing field \"metrics\"".to_string()))
+            .and_then(|m| {
+                MetricsSnapshot::from_json_value(m).map_err(|e| CacheError(e.to_string()))
+            })?;
+        Ok(CachedRun {
+            outcome,
+            fingerprint: field("fingerprint")?,
+            steps: field("steps")?,
+            fwd_sends: field("fwd_sends")?,
+            delivered: field("delivered")?,
+            metrics,
+        })
+    }
 }
 
 /// Why a cache document was rejected.
@@ -108,18 +162,12 @@ impl CampaignCache {
             .entries
             .iter()
             .map(|(&key, run)| {
-                Json::Obj(vec![
-                    ("key".to_string(), Json::Uint(key)),
-                    (
-                        "outcome".to_string(),
-                        Json::Str(run.outcome.as_str().to_string()),
-                    ),
-                    ("fingerprint".to_string(), Json::Uint(run.fingerprint)),
-                    ("steps".to_string(), Json::Uint(run.steps)),
-                    ("fwd_sends".to_string(), Json::Uint(run.fwd_sends)),
-                    ("delivered".to_string(), Json::Uint(run.delivered)),
-                    ("metrics".to_string(), run.metrics.to_json_value()),
-                ])
+                let mut fields = vec![("key".to_string(), Json::Uint(key))];
+                match run.to_json_value() {
+                    Json::Obj(rest) => fields.extend(rest),
+                    _ => unreachable!("CachedRun serializes as an object"),
+                }
+                Json::Obj(fields)
             })
             .collect();
         Json::Obj(vec![
@@ -155,34 +203,13 @@ impl CampaignCache {
             .ok_or_else(|| CacheError("missing entries array".to_string()))?;
         let mut cache = CampaignCache::new();
         for entry in entries {
-            let field = |name: &str| {
-                entry
-                    .get(name)
-                    .and_then(Json::as_u64)
-                    .ok_or_else(|| CacheError(format!("entry missing field {name:?}")))
-            };
-            let outcome = entry
-                .get("outcome")
-                .and_then(Json::as_str)
-                .and_then(RunOutcome::from_str_opt)
-                .ok_or_else(|| CacheError("entry has no valid outcome".to_string()))?;
-            let metrics = entry
-                .get("metrics")
-                .ok_or_else(|| CacheError("entry missing field \"metrics\"".to_string()))
-                .and_then(|m| {
-                    MetricsSnapshot::from_json_value(m).map_err(|e| CacheError(e.to_string()))
-                })?;
-            cache.entries.insert(
-                field("key")?,
-                CachedRun {
-                    outcome,
-                    fingerprint: field("fingerprint")?,
-                    steps: field("steps")?,
-                    fwd_sends: field("fwd_sends")?,
-                    delivered: field("delivered")?,
-                    metrics,
-                },
-            );
+            let key = entry
+                .get("key")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CacheError("entry missing field \"key\"".to_string()))?;
+            cache
+                .entries
+                .insert(key, CachedRun::from_json_value(entry)?);
         }
         Ok(cache)
     }
@@ -207,6 +234,71 @@ impl CampaignCache {
     /// Fails if the file cannot be written.
     pub fn save(&self, path: &str) -> Result<(), NonFifoError> {
         std::fs::write(path, self.to_json()).map_err(|e| NonFifoError::io(path, &e))
+    }
+}
+
+/// A [`CampaignCache`] behind a reader–writer lock: the campaign service's
+/// shared persistent store. Many in-flight campaigns consult the cache
+/// concurrently (lookups take the read lock); completed runs and file
+/// persistence take the write lock. Cloning shares the store.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCache {
+    inner: Arc<RwLock<CampaignCache>>,
+}
+
+impl SharedCache {
+    /// An empty shared cache.
+    pub fn new() -> Self {
+        SharedCache::default()
+    }
+
+    /// Wraps an already-populated cache.
+    pub fn from_cache(cache: CampaignCache) -> Self {
+        SharedCache {
+            inner: Arc::new(RwLock::new(cache)),
+        }
+    }
+
+    /// Loads a cache file; a missing file is an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable files and on files that exist but do not parse.
+    pub fn load(path: &str) -> Result<SharedCache, NonFifoError> {
+        Ok(SharedCache::from_cache(CampaignCache::load(path)?))
+    }
+
+    /// Replays the cached result for `spec` under the read lock.
+    pub fn lookup(&self, spec: &RunSpec) -> Option<RunRecord> {
+        self.inner.read().expect("cache lock poisoned").lookup(spec)
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("cache lock poisoned").len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stores a batch of fresh records under one write-lock acquisition.
+    pub fn insert_all<'a>(&self, records: impl IntoIterator<Item = (&'a RunSpec, &'a RunRecord)>) {
+        let mut cache = self.inner.write().expect("cache lock poisoned");
+        for (spec, record) in records {
+            cache.insert(spec, record);
+        }
+    }
+
+    /// Writes the cache file (read lock only — serialization does not
+    /// mutate the store).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be written.
+    pub fn save(&self, path: &str) -> Result<(), NonFifoError> {
+        self.inner.read().expect("cache lock poisoned").save(path)
     }
 }
 
@@ -269,5 +361,41 @@ mod tests {
     fn missing_file_loads_empty() {
         let cache = CampaignCache::load("/nonexistent/campaign.cache.json").unwrap();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_run_value_round_trips() {
+        let (runs, cache) = populated();
+        for spec in &runs {
+            let record = cache.lookup(spec).unwrap();
+            let run = CachedRun::from(&record);
+            let back = CachedRun::from_json_value(&run.to_json_value()).unwrap();
+            assert_eq!(back, run);
+        }
+    }
+
+    #[test]
+    fn shared_cache_reads_concurrently_and_shares_inserts() {
+        let (runs, cache) = populated();
+        let shared = SharedCache::from_cache(cache);
+        let clone = shared.clone();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| runs.iter().all(|spec| shared.lookup(spec).is_some())))
+                .collect();
+            for h in handles {
+                assert!(h.join().unwrap(), "a reader missed a cached run");
+            }
+        });
+        // Inserts through one handle are visible through the clone.
+        let extra = ScenarioSpec::new("extra")
+            .protocol("abp")
+            .discipline(Discipline::Fifo)
+            .message_counts(&[3])
+            .expand();
+        let record = CampaignRunner::new(1).run(&extra).unwrap().records[0].clone();
+        shared.insert_all([(&extra[0], &record)]);
+        assert!(clone.lookup(&extra[0]).is_some());
+        assert_eq!(clone.len(), runs.len() + 1);
     }
 }

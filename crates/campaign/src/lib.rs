@@ -26,6 +26,15 @@
 //! - [`experiments`] — E14 and E15, the paper experiments that are
 //!   campaigns, ported off their hand-rolled loops.
 //!
+//! Under the runner sits an explicit expand → execute → merge pipeline
+//! ([`PlanExpansion`], [`ShardSpec`], [`merge_reports`]) whose merge is
+//! keyed on expansion index + spec fingerprint, so *any* partition of a
+//! campaign, executed anywhere, reassembles byte-identically. That is
+//! what lets the same engine run as a long-lived HTTP daemon
+//! ([`CampaignService`], `nonfifo serve`) sharding plans across worker
+//! *processes* that speak the NDJSON wire protocol ([`WireMsg`]) over
+//! their pipes — see `docs/campaign_service.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -52,9 +61,15 @@ mod cache;
 pub mod experiments;
 mod plan;
 mod runner;
+mod service;
+mod shard;
 mod spec;
+mod wire;
 
-pub use cache::{CacheError, CachedRun, CampaignCache, CACHE_SCHEMA_VERSION};
-pub use plan::{CampaignPlan, CampaignPlanError};
+pub use cache::{CacheError, CachedRun, CampaignCache, SharedCache, CACHE_SCHEMA_VERSION};
+pub use plan::{CampaignPlan, CampaignPlanError, PLAN_SCHEMA_VERSION};
 pub use runner::{CampaignReport, CampaignRunner, RunOutcome, RunRecord};
+pub use service::{run_worker, CampaignService, ServiceConfig};
+pub use shard::{merge_reports, PlanExpansion, ShardRecord, ShardReport, ShardSpec};
 pub use spec::{RunSpec, ScenarioSpec};
+pub use wire::{WireError, WireMsg, WIRE_SCHEMA_VERSION};

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! # T5.1 growth, as a campaign
+//! schema_version 1       # optional; plans without it parse as v1
 //! scenario growth
 //! protocols outnumber5 seqnum
 //! disciplines prob:0.1 prob:0.3 prob:0.5
@@ -19,6 +20,13 @@
 //! that follow belong to it. Protocol names are resolved against the
 //! catalog *at parse time*, so a typo is a line-numbered parse error, not
 //! a mid-campaign panic.
+//!
+//! The plan format is versioned with the same forward-compatibility
+//! contract as the campaign cache and the metrics snapshot: an optional
+//! `schema_version N` directive (before the first scenario) declares the
+//! format the file was written against, versions newer than
+//! [`PLAN_SCHEMA_VERSION`] are rejected with a line-numbered error, and
+//! unversioned files keep parsing as v1.
 
 use crate::spec::{RunSpec, ScenarioSpec};
 use nonfifo_channel::{CorruptionSeverity, Discipline, FaultPlan, SeverityError};
@@ -27,9 +35,16 @@ use nonfifo_protocols::catalog;
 use std::error::Error;
 use std::fmt;
 
+/// The newest plan-file schema this build reads (and the version written
+/// into new plans). Bump when a directive changes meaning; the parser
+/// keeps accepting every older version.
+pub const PLAN_SCHEMA_VERSION: u64 = 1;
+
 /// A parsed campaign plan: an ordered list of scenarios.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignPlan {
+    /// The schema version the plan file declared (1 when it declared none).
+    pub schema_version: u64,
     /// Scenarios in declaration order.
     pub scenarios: Vec<ScenarioSpec>,
 }
@@ -115,6 +130,7 @@ impl CampaignPlan {
     pub fn parse(text: &str) -> Result<CampaignPlan, CampaignPlanError> {
         let mut scenarios: Vec<ScenarioSpec> = Vec::new();
         let mut draft: Option<Draft> = None;
+        let mut schema_version: Option<u64> = None;
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
             let content = raw.split('#').next().unwrap_or("").trim();
@@ -124,6 +140,34 @@ impl CampaignPlan {
             let mut words = content.split_whitespace();
             let verb = words.next().expect("non-empty line has a first word");
             let args: Vec<&str> = words.collect();
+            if verb == "schema_version" {
+                let [v] = args[..] else {
+                    return Err(err(line, "schema_version takes exactly one number"));
+                };
+                if schema_version.is_some() {
+                    return Err(err(line, "duplicate schema_version directive"));
+                }
+                if draft.is_some() || !scenarios.is_empty() {
+                    return Err(err(
+                        line,
+                        "schema_version must appear before the first scenario",
+                    ));
+                }
+                let v: u64 = v
+                    .parse()
+                    .map_err(|_| err(line, format!("schema_version: cannot parse {v:?}")))?;
+                if v == 0 || v > PLAN_SCHEMA_VERSION {
+                    return Err(err(
+                        line,
+                        format!(
+                            "unsupported schema_version {v} (this build reads \
+                             ≤ {PLAN_SCHEMA_VERSION})"
+                        ),
+                    ));
+                }
+                schema_version = Some(v);
+                continue;
+            }
             if verb == "scenario" {
                 let [name] = args[..] else {
                     return Err(err(line, "scenario takes exactly one name"));
@@ -229,9 +273,9 @@ impl CampaignPlan {
                     return Err(err(
                         line,
                         format!(
-                            "unknown directive `{other}` (expected scenario, protocols, \
-                             disciplines, messages, seeds, budget, payloads, corruption, \
-                             or fault)"
+                            "unknown directive `{other}` (expected schema_version, scenario, \
+                             protocols, disciplines, messages, seeds, budget, payloads, \
+                             corruption, or fault)"
                         ),
                     ))
                 }
@@ -243,7 +287,10 @@ impl CampaignPlan {
         if scenarios.is_empty() {
             return Err(err(1, "plan declares no scenario"));
         }
-        Ok(CampaignPlan { scenarios })
+        Ok(CampaignPlan {
+            schema_version: schema_version.unwrap_or(1),
+            scenarios,
+        })
     }
 
     /// Expands every scenario, concatenated in declaration order.
@@ -301,6 +348,7 @@ fault drop 0.05
     fn parses_scenarios_and_expands_in_order() {
         let plan = CampaignPlan::parse(PLAN).unwrap();
         assert_eq!(plan.scenarios.len(), 2);
+        assert_eq!(plan.schema_version, 1, "unversioned plans parse as v1");
         let runs = plan.expand();
         assert_eq!(runs.len(), 2 * 2 * 2 * 2 + 1);
         assert_eq!(runs[0].scenario, "smoke");
@@ -336,6 +384,20 @@ fault drop 0.05
             ),
             ("scenario a\nscenario a", 2, "duplicate"),
             ("", 1, "no scenario"),
+            ("schema_version 2", 1, "unsupported schema_version 2"),
+            ("schema_version 0", 1, "unsupported schema_version 0"),
+            ("schema_version one", 1, "cannot parse"),
+            ("schema_version 1 1", 1, "one number"),
+            (
+                "schema_version 1\nschema_version 1",
+                2,
+                "duplicate schema_version",
+            ),
+            (
+                "scenario a\nschema_version 1",
+                2,
+                "before the first scenario",
+            ),
         ];
         for (text, line, needle) in cases {
             let e = CampaignPlan::parse(text).unwrap_err();
@@ -349,6 +411,16 @@ fault drop 0.05
         let e = CampaignPlan::parse("scenario lonely\nprotocols abp").unwrap_err();
         assert_eq!(e.line, 1);
         assert!(e.to_string().contains("no disciplines"), "{e}");
+    }
+
+    #[test]
+    fn declared_schema_version_is_recorded() {
+        let plan = CampaignPlan::parse(
+            "schema_version 1\nscenario s\nprotocols abp\ndisciplines fifo\nmessages 3\n",
+        )
+        .unwrap();
+        assert_eq!(plan.schema_version, 1);
+        assert_eq!(plan.expand().len(), 1);
     }
 
     #[test]

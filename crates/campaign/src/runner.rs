@@ -17,6 +17,7 @@
 //! records are indistinguishable from fresh ones in every report artifact.
 
 use crate::cache::{CachedRun, CampaignCache};
+use crate::shard::{merge_reports, PlanExpansion, ShardReport};
 use crate::spec::RunSpec;
 use nonfifo_adversary::ChunkCursor;
 use nonfifo_channel::CorruptionSeverity;
@@ -159,30 +160,36 @@ impl CampaignRunner {
         runs: &[RunSpec],
         cache: &mut CampaignCache,
     ) -> Result<CampaignReport, NonFifoError> {
-        for spec in runs {
-            catalog::by_name(&spec.protocol).map_err(|e| NonFifoError::Usage(e.to_string()))?;
-            spec.discipline.validate()?;
+        let expansion = PlanExpansion::new(runs.to_vec())?;
+        let (cached, to_run) = expansion.partition_cached(cache);
+        let part = self.execute(&expansion, &to_run);
+        let report = merge_reports(&expansion, cached, vec![part])?;
+        for record in report.records.iter().filter(|r| !r.cached) {
+            cache.insert(&record.spec, record);
         }
-        let mut slots: Vec<Option<RunRecord>> = runs.iter().map(|_| None).collect();
-        let mut to_run: Vec<usize> = Vec::new();
-        let mut cache_hits = 0usize;
-        for (i, spec) in runs.iter().enumerate() {
-            match cache.lookup(spec) {
-                Some(hit) => {
-                    slots[i] = Some(hit);
-                    cache_hits += 1;
-                }
-                None => to_run.push(i),
-            }
-        }
+        Ok(report)
+    }
 
-        let workers = self.threads.min(to_run.len()).max(1);
-        let fresh: Vec<(usize, RunRecord)> = if to_run.is_empty() {
+    /// The execute stage on this runner's thread pool: runs the given
+    /// expansion indices, one claim at a time, and returns them as a
+    /// single shard report (records sorted by index, so the report itself
+    /// is deterministic, not just its merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range for `expansion`.
+    pub fn execute(&self, expansion: &PlanExpansion, indices: &[usize]) -> ShardReport {
+        let runs = expansion.runs();
+        let workers = self.threads.min(indices.len()).max(1);
+        let mut fresh: Vec<(usize, RunRecord)> = if indices.is_empty() {
             Vec::new()
         } else if workers == 1 {
-            to_run.iter().map(|&i| (i, execute(&runs[i]))).collect()
+            indices
+                .iter()
+                .map(|&i| (i, execute_one(&runs[i])))
+                .collect()
         } else {
-            let cursor = ChunkCursor::new(to_run.len(), 1);
+            let cursor = ChunkCursor::new(indices.len(), 1);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -190,8 +197,8 @@ impl CampaignRunner {
                             let mut mine = Vec::new();
                             while let Some(range) = cursor.claim() {
                                 for slot in range {
-                                    let i = to_run[slot];
-                                    mine.push((i, execute(&runs[i])));
+                                    let i = indices[slot];
+                                    mine.push((i, execute_one(&runs[i])));
                                 }
                             }
                             mine
@@ -204,23 +211,13 @@ impl CampaignRunner {
                     .collect()
             })
         };
-        for (i, record) in fresh {
-            cache.insert(&runs[i], &record);
-            slots[i] = Some(record);
-        }
-        let records = slots
-            .into_iter()
-            .map(|r| r.expect("every run slot is filled by the cache pre-pass or the pool"))
-            .collect();
-        Ok(CampaignReport {
-            records,
-            cache_hits,
-        })
+        fresh.sort_unstable_by_key(|(i, _)| *i);
+        ShardReport::from_records(0, &fresh)
     }
 }
 
 /// Executes one validated spec on the calling thread.
-fn execute(spec: &RunSpec) -> RunRecord {
+pub(crate) fn execute_one(spec: &RunSpec) -> RunRecord {
     let proto = catalog::by_name(&spec.protocol).expect("specs are validated before dispatch");
     if let Some(severity) = spec.corruption {
         return execute_corrupted(spec, proto, severity);

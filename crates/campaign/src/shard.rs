@@ -1,0 +1,419 @@
+//! The campaign pipeline as three explicit, separately drivable stages:
+//! **expand** ([`PlanExpansion`]) → **execute** ([`ShardSpec::execute`]) →
+//! **merge** ([`merge_reports`]).
+//!
+//! The batch runner, the `nonfifo serve` daemon, and the `nonfifo worker`
+//! subprocess all drive these same stages; they differ only in *where*
+//! each stage runs. A worker process receives the plan text plus a list of
+//! run indices, re-expands the plan locally (expansion is deterministic,
+//! so shipping indices is enough), executes its slice, and streams one
+//! record per run. The merge stage reassembles records **in input order,
+//! keyed by spec fingerprint**: every record must name the fingerprint of
+//! the spec at its index, so a worker that drifted (stale binary, edited
+//! plan, corrupted pipe) is caught at merge time instead of silently
+//! corrupting the report. Because every run is a deterministic function of
+//! its spec, the merged report is byte-identical to a single-process batch
+//! run at any worker count — the property the daemon's CI smoke diffs.
+
+use crate::cache::{CachedRun, CampaignCache};
+use crate::plan::CampaignPlan;
+use crate::runner::{execute_one, CampaignReport, RunRecord};
+use crate::spec::RunSpec;
+use nonfifo_core::NonFifoError;
+use nonfifo_protocols::catalog;
+
+/// Stage 1: a validated, expanded run list.
+///
+/// Construction validates every spec (protocol names against the catalog,
+/// discipline parameters) so the execute stage can assume well-formed
+/// input — a worker never discovers a typo three shards into a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExpansion {
+    runs: Vec<RunSpec>,
+}
+
+impl PlanExpansion {
+    /// Validates an already-expanded run list.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown protocol names or invalid discipline parameters.
+    pub fn new(runs: Vec<RunSpec>) -> Result<PlanExpansion, NonFifoError> {
+        for spec in &runs {
+            catalog::by_name(&spec.protocol).map_err(|e| NonFifoError::Usage(e.to_string()))?;
+            spec.discipline.validate()?;
+        }
+        Ok(PlanExpansion { runs })
+    }
+
+    /// Expands and validates a parsed plan.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown protocol names or invalid discipline parameters
+    /// (plan parsing already rejects most of these; this also covers
+    /// plans built programmatically).
+    pub fn of_plan(plan: &CampaignPlan) -> Result<PlanExpansion, NonFifoError> {
+        PlanExpansion::new(plan.expand())
+    }
+
+    /// The expanded runs, in input order.
+    pub fn runs(&self) -> &[RunSpec] {
+        &self.runs
+    }
+
+    /// Number of runs in the expansion.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True for an empty expansion.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Splits the cache-consulting pre-pass out of the execute stage:
+    /// returns the replayed records (marked `cached`) and the indices
+    /// still to run, both in input order.
+    pub fn partition_cached(&self, cache: &CampaignCache) -> (Vec<(usize, RunRecord)>, Vec<usize>) {
+        let mut cached = Vec::new();
+        let mut misses = Vec::new();
+        for (i, spec) in self.runs.iter().enumerate() {
+            match cache.lookup(spec) {
+                Some(hit) => cached.push((i, hit)),
+                None => misses.push(i),
+            }
+        }
+        (cached, misses)
+    }
+
+    /// Partitions `indices` round-robin into `n` shards. Round-robin (not
+    /// contiguous blocks) because adjacent runs share a scenario and
+    /// therefore a cost profile — interleaving balances the expensive
+    /// scenario across every worker instead of handing it to one.
+    ///
+    /// Shards with no work are dropped, so the result may be shorter than
+    /// `n`; it is empty only if `indices` is.
+    pub fn shards(&self, indices: &[usize], n: usize) -> Vec<ShardSpec> {
+        let n = n.max(1).min(indices.len().max(1));
+        let mut shards: Vec<ShardSpec> = (0..n)
+            .map(|shard| ShardSpec {
+                shard,
+                of: n,
+                indices: Vec::new(),
+            })
+            .collect();
+        for (slot, &index) in indices.iter().enumerate() {
+            shards[slot % n].indices.push(index);
+        }
+        shards.retain(|s| !s.indices.is_empty());
+        shards
+    }
+
+    /// [`shards`](PlanExpansion::shards) over every run in the expansion.
+    pub fn shard_all(&self, n: usize) -> Vec<ShardSpec> {
+        let all: Vec<usize> = (0..self.runs.len()).collect();
+        self.shards(&all, n)
+    }
+}
+
+/// Stage 2's unit of assignment: one worker's slice of the expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's position in the partition.
+    pub shard: usize,
+    /// Total number of shards in the partition.
+    pub of: usize,
+    /// Indices into the expansion's run list, ascending.
+    pub indices: Vec<usize>,
+}
+
+impl ShardSpec {
+    /// Executes the shard's runs in index order on the calling thread,
+    /// invoking `sink` after each — the streaming hook the worker process
+    /// uses to emit a wire record per completed run. Returns the complete
+    /// shard report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range for `expansion` (the daemon and
+    /// worker validate indices when they accept a shard).
+    pub fn execute(
+        &self,
+        expansion: &PlanExpansion,
+        mut sink: impl FnMut(&ShardRecord),
+    ) -> ShardReport {
+        let mut records = Vec::with_capacity(self.indices.len());
+        for &index in &self.indices {
+            let spec = &expansion.runs()[index];
+            let record = execute_one(spec);
+            let shard_record = ShardRecord {
+                index,
+                spec_fingerprint: spec.fingerprint(),
+                run: CachedRun::from(&record),
+            };
+            sink(&shard_record);
+            records.push(shard_record);
+        }
+        ShardReport {
+            shard: self.shard,
+            records,
+        }
+    }
+}
+
+/// One completed run, addressed for the merge stage: the index says where
+/// it lands, the spec fingerprint proves the executor ran the same spec
+/// the merger holds at that index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecord {
+    /// Index into the expansion's run list.
+    pub index: usize,
+    /// [`RunSpec::fingerprint`] of the spec this record answers.
+    pub spec_fingerprint: u64,
+    /// The run result, in its one serializable form.
+    pub run: CachedRun,
+}
+
+/// Stage 2's output: every record a shard produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Which shard produced these records.
+    pub shard: usize,
+    /// Completed runs, in shard-index order.
+    pub records: Vec<ShardRecord>,
+}
+
+impl ShardReport {
+    /// Wraps already-executed records (the batch runner's thread pool
+    /// produces `RunRecord`s directly) as a shard report.
+    pub fn from_records(shard: usize, records: &[(usize, RunRecord)]) -> ShardReport {
+        ShardReport {
+            shard,
+            records: records
+                .iter()
+                .map(|(index, record)| ShardRecord {
+                    index: *index,
+                    spec_fingerprint: record.spec.fingerprint(),
+                    run: CachedRun::from(record),
+                })
+                .collect(),
+        }
+    }
+
+    /// The indices this report covers that `assigned` expected but did not
+    /// get — what the daemon re-dispatches when a worker dies mid-shard.
+    pub fn missing_from(&self, assigned: &[usize]) -> Vec<usize> {
+        assigned
+            .iter()
+            .copied()
+            .filter(|i| !self.records.iter().any(|r| r.index == *i))
+            .collect()
+    }
+}
+
+/// Stage 3: reassembles cache replays and shard records into one
+/// [`CampaignReport`], in input order.
+///
+/// The merge is *fingerprint-keyed*: a shard record only fills slot `i` if
+/// its `spec_fingerprint` equals the fingerprint of the spec at `i`. With
+/// that check, the merged report is a pure function of the expansion —
+/// byte-identical whatever the shard count, completion order, or mix of
+/// cached and fresh records.
+///
+/// # Errors
+///
+/// Fails (`NonFifoError::Usage`) on out-of-range indices, fingerprint
+/// mismatches, two records for one slot, or unfilled slots — each of which
+/// means an executor and the merger disagree about the plan.
+pub fn merge_reports(
+    expansion: &PlanExpansion,
+    cached: Vec<(usize, RunRecord)>,
+    parts: Vec<ShardReport>,
+) -> Result<CampaignReport, NonFifoError> {
+    let mut slots: Vec<Option<RunRecord>> = expansion.runs().iter().map(|_| None).collect();
+    let cache_hits = cached.len();
+    for (index, record) in cached {
+        let slot = slots
+            .get_mut(index)
+            .ok_or_else(|| merge_err(format!("cached index {index} out of range")))?;
+        if slot.is_some() {
+            return Err(merge_err(format!("two records for run {index}")));
+        }
+        *slot = Some(record);
+    }
+    for part in &parts {
+        for record in &part.records {
+            let index = record.index;
+            let spec = expansion
+                .runs()
+                .get(index)
+                .ok_or_else(|| {
+                    merge_err(format!("shard {} index {index} out of range", part.shard))
+                })?
+                .clone();
+            if record.spec_fingerprint != spec.fingerprint() {
+                return Err(merge_err(format!(
+                    "shard {} record for run {index} answers spec {:016x}, expected {:016x} \
+                     (worker ran a different plan?)",
+                    part.shard,
+                    record.spec_fingerprint,
+                    spec.fingerprint()
+                )));
+            }
+            let slot = &mut slots[index];
+            if slot.is_some() {
+                return Err(merge_err(format!("two records for run {index}")));
+            }
+            let run = &record.run;
+            *slot = Some(RunRecord {
+                spec,
+                outcome: run.outcome,
+                fingerprint: run.fingerprint,
+                steps: run.steps,
+                fwd_sends: run.fwd_sends,
+                delivered: run.delivered,
+                metrics: run.metrics.clone(),
+                cached: false,
+            });
+        }
+    }
+    let missing = slots.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        return Err(merge_err(format!(
+            "{missing} of {} runs produced no record",
+            slots.len()
+        )));
+    }
+    Ok(CampaignReport {
+        records: slots.into_iter().map(Option::unwrap).collect(),
+        cache_hits,
+    })
+}
+
+fn merge_err(message: String) -> NonFifoError {
+    NonFifoError::Usage(format!("shard merge: {message}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CampaignRunner;
+    use crate::spec::ScenarioSpec;
+    use nonfifo_channel::Discipline;
+
+    fn expansion() -> PlanExpansion {
+        PlanExpansion::new(
+            ScenarioSpec::new("t")
+                .protocol("abp")
+                .protocol("seqnum")
+                .discipline(Discipline::Fifo)
+                .discipline(Discipline::Probabilistic { q: 0.3 })
+                .message_counts(&[5])
+                .seeds(0..3)
+                .expand(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_unknown_protocols() {
+        let mut runs = expansion().runs().to_vec();
+        runs[2].protocol = "warbler".into();
+        let err = PlanExpansion::new(runs).unwrap_err();
+        assert!(err.to_string().contains("warbler"), "{err}");
+    }
+
+    #[test]
+    fn round_robin_shards_cover_exactly_the_input() {
+        let exp = expansion();
+        for n in [1, 2, 3, 4, 7, exp.len(), exp.len() + 5] {
+            let shards = exp.shard_all(n);
+            assert!(shards.len() <= n.min(exp.len()));
+            let mut seen: Vec<usize> = shards.iter().flat_map(|s| s.indices.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..exp.len()).collect::<Vec<_>>(), "n={n}");
+            // Balanced: sizes differ by at most one.
+            let sizes: Vec<usize> = shards.iter().map(|s| s.indices.len()).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "n={n}: unbalanced {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_execution_merges_byte_identically_at_any_worker_count() {
+        let exp = expansion();
+        let baseline = CampaignRunner::new(1).run(exp.runs()).unwrap();
+        for n in [1, 2, 4] {
+            let parts: Vec<ShardReport> = exp
+                .shard_all(n)
+                .iter()
+                .map(|shard| shard.execute(&exp, |_| {}))
+                .collect();
+            let merged = merge_reports(&exp, Vec::new(), parts).unwrap();
+            assert_eq!(merged.render(), baseline.render(), "{n} shards");
+            assert_eq!(
+                merged.aggregate_metrics().to_json(),
+                baseline.aggregate_metrics().to_json(),
+                "{n} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_fingerprint_mismatches_and_gaps() {
+        let exp = expansion();
+        let mut parts: Vec<ShardReport> = exp
+            .shard_all(2)
+            .iter()
+            .map(|shard| shard.execute(&exp, |_| {}))
+            .collect();
+
+        // A record answering the wrong spec is refused by name.
+        let mut forged = parts.clone();
+        forged[0].records[0].spec_fingerprint ^= 1;
+        let err = merge_reports(&exp, Vec::new(), forged).unwrap_err();
+        assert!(err.to_string().contains("different plan"), "{err}");
+
+        // A dropped record is a counted gap, not a silent hole.
+        parts[1].records.pop();
+        let err = merge_reports(&exp, Vec::new(), parts.clone()).unwrap_err();
+        assert!(err.to_string().contains("1 of 12 runs"), "{err}");
+
+        // Refilling the gap via the retry path heals the merge.
+        let assigned = exp.shard_all(2)[1].indices.clone();
+        let missing = parts[1].missing_from(&assigned);
+        assert_eq!(missing.len(), 1);
+        let retry = ShardSpec {
+            shard: 2,
+            of: 3,
+            indices: missing,
+        }
+        .execute(&exp, |_| {});
+        parts.push(retry);
+        let healed = merge_reports(&exp, Vec::new(), parts).unwrap();
+        assert_eq!(
+            healed.render(),
+            CampaignRunner::new(1).run(exp.runs()).unwrap().render()
+        );
+    }
+
+    #[test]
+    fn duplicate_records_are_rejected() {
+        let exp = expansion();
+        let part = exp.shard_all(1)[0].execute(&exp, |_| {});
+        let err = merge_reports(&exp, Vec::new(), vec![part.clone(), part]).unwrap_err();
+        assert!(err.to_string().contains("two records"), "{err}");
+    }
+
+    #[test]
+    fn execute_streams_every_record_in_index_order() {
+        let exp = expansion();
+        let shard = &exp.shard_all(3)[1];
+        let mut streamed = Vec::new();
+        let report = shard.execute(&exp, |r| streamed.push(r.index));
+        assert_eq!(streamed, shard.indices);
+        assert_eq!(report.records.len(), shard.indices.len());
+        assert!(report.missing_from(&shard.indices).is_empty());
+    }
+}

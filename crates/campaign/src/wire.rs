@@ -1,0 +1,485 @@
+//! The campaign service wire protocol: one line-framed JSON schema shared
+//! by the worker stdin/stdout pipe and the HTTP front end.
+//!
+//! Every message is a single JSON object on one line (newline-delimited
+//! JSON), built with the hand-rolled [`Json`] value from
+//! `nonfifo-telemetry` — insertion-ordered objects, exact integer
+//! variants — so encodings are byte-stable and diffable like every other
+//! artifact in this repo. Every message carries a `"v"` schema field with
+//! the same forward-compat contract as the cache file and
+//! [`MetricsSnapshot`]: a reader rejects versions newer than it knows
+//! rather than guessing.
+//!
+//! The conversation shapes:
+//!
+//! - client → daemon: [`WireMsg::Submit`] (a plan document plus a worker
+//!   count), answered by a stream of `Run`/`Metrics` deltas and one final
+//!   [`WireMsg::Report`] (or [`WireMsg::Error`]).
+//! - daemon → worker: one [`WireMsg::Shard`] on stdin; worker → daemon:
+//!   one [`WireMsg::Run`] per completed run on stdout, in index order.
+//!
+//! A run travels as its [`CachedRun`] — the same serialization the cache
+//! file uses — addressed by expansion index and spec fingerprint so the
+//! receiver can merge it with [`merge_reports`](crate::merge_reports)'
+//! fingerprint check.
+
+use crate::cache::CachedRun;
+use crate::shard::{ShardRecord, ShardSpec};
+use nonfifo_telemetry::{Json, MetricsSnapshot};
+use std::fmt;
+
+/// Version of the wire encoding this build speaks.
+pub const WIRE_SCHEMA_VERSION: u64 = 1;
+
+/// A malformed, unsupported, or out-of-protocol wire line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was wrong with the line.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err(message: impl Into<String>) -> WireError {
+    WireError {
+        message: message.into(),
+    }
+}
+
+/// One message of the campaign service protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Client → daemon: run this plan, sharded across `workers` worker
+    /// processes (`0` = the daemon's configured default).
+    Submit {
+        /// The campaign plan document, verbatim.
+        plan: String,
+        /// Requested worker-process count.
+        workers: u64,
+    },
+    /// Daemon → worker: your slice of the plan. The worker re-expands the
+    /// plan text locally (expansion is deterministic) and runs `indices`.
+    Shard {
+        /// The campaign plan document, verbatim.
+        plan: String,
+        /// This shard's position in the partition.
+        shard: u64,
+        /// Total shards in the partition.
+        of: u64,
+        /// Expansion indices assigned to this shard, ascending.
+        indices: Vec<u64>,
+    },
+    /// One completed run, streamed as it lands.
+    Run {
+        /// Index into the plan expansion.
+        index: u64,
+        /// [`RunSpec::fingerprint`](crate::RunSpec::fingerprint) of the
+        /// spec this record answers — checked at merge.
+        spec_fingerprint: u64,
+        /// The run result, in the cache file's serialization.
+        run: CachedRun,
+    },
+    /// A per-shard metrics delta: the merged snapshots of one shard's
+    /// completed runs. Shard deltas are disjoint slices of the campaign,
+    /// and [`MetricsSnapshot::merge_from`] accumulates counters and
+    /// histograms, so merging every delta reproduces the per-run metrics
+    /// portion of the final aggregate whatever order deltas arrive in.
+    Metrics {
+        /// Which shard this delta summarizes.
+        shard: u64,
+        /// Merged snapshot of the shard's runs, in index order.
+        snapshot: MetricsSnapshot,
+    },
+    /// Daemon → client: the campaign's final merged result.
+    Report {
+        /// The rendered markdown table, byte-identical to batch output.
+        render: String,
+        /// Records replayed from the daemon's shared cache.
+        cache_hits: u64,
+        /// The campaign-wide aggregate snapshot, byte-identical to batch.
+        aggregate: MetricsSnapshot,
+    },
+    /// Either direction: the conversation failed; `message` says why.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl WireMsg {
+    /// The message's `"type"` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMsg::Submit { .. } => "submit",
+            WireMsg::Shard { .. } => "shard",
+            WireMsg::Run { .. } => "run",
+            WireMsg::Metrics { .. } => "metrics",
+            WireMsg::Report { .. } => "report",
+            WireMsg::Error { .. } => "error",
+        }
+    }
+
+    /// Encodes the message as a [`Json`] object (versioned, type-tagged).
+    pub fn to_json_value(&self) -> Json {
+        let mut fields = vec![
+            ("v".to_string(), Json::Uint(WIRE_SCHEMA_VERSION)),
+            ("type".to_string(), Json::Str(self.kind().to_string())),
+        ];
+        match self {
+            WireMsg::Submit { plan, workers } => {
+                fields.push(("plan".to_string(), Json::Str(plan.clone())));
+                fields.push(("workers".to_string(), Json::Uint(*workers)));
+            }
+            WireMsg::Shard {
+                plan,
+                shard,
+                of,
+                indices,
+            } => {
+                fields.push(("plan".to_string(), Json::Str(plan.clone())));
+                fields.push(("shard".to_string(), Json::Uint(*shard)));
+                fields.push(("of".to_string(), Json::Uint(*of)));
+                fields.push((
+                    "indices".to_string(),
+                    Json::Arr(indices.iter().map(|&i| Json::Uint(i)).collect()),
+                ));
+            }
+            WireMsg::Run {
+                index,
+                spec_fingerprint,
+                run,
+            } => {
+                fields.push(("index".to_string(), Json::Uint(*index)));
+                fields.push(("spec".to_string(), Json::Uint(*spec_fingerprint)));
+                fields.push(("run".to_string(), run.to_json_value()));
+            }
+            WireMsg::Metrics { shard, snapshot } => {
+                fields.push(("shard".to_string(), Json::Uint(*shard)));
+                fields.push(("snapshot".to_string(), snapshot.to_json_value()));
+            }
+            WireMsg::Report {
+                render,
+                cache_hits,
+                aggregate,
+            } => {
+                fields.push(("render".to_string(), Json::Str(render.clone())));
+                fields.push(("cache_hits".to_string(), Json::Uint(*cache_hits)));
+                fields.push(("aggregate".to_string(), aggregate.to_json_value()));
+            }
+            WireMsg::Error { message } => {
+                fields.push(("message".to_string(), Json::Str(message.clone())));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Encodes the message as one newline-terminated NDJSON line. JSON
+    /// string escaping keeps embedded newlines (plan documents, rendered
+    /// tables) on the one line.
+    pub fn to_line(&self) -> String {
+        format!("{}\n", self.to_json_value())
+    }
+
+    /// Decodes a [`Json`] object produced by
+    /// [`to_json_value`](WireMsg::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-objects, missing or mistyped fields, unknown `type`
+    /// tags, and — the forward-compat contract — any `v` other than
+    /// [`WIRE_SCHEMA_VERSION`].
+    pub fn from_json_value(doc: &Json) -> Result<WireMsg, WireError> {
+        if doc.as_obj().is_none() {
+            return Err(wire_err("message is not a JSON object"));
+        }
+        let v = need_u64(doc, "v")?;
+        if v != WIRE_SCHEMA_VERSION {
+            return Err(wire_err(format!(
+                "unsupported wire schema_version {v} (this build speaks {WIRE_SCHEMA_VERSION})"
+            )));
+        }
+        let kind = need_str(doc, "type")?;
+        match kind {
+            "submit" => Ok(WireMsg::Submit {
+                plan: need_str(doc, "plan")?.to_string(),
+                workers: need_u64(doc, "workers")?,
+            }),
+            "shard" => {
+                let indices = doc
+                    .get("indices")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| wire_err("shard: missing indices array"))?
+                    .iter()
+                    .map(|j| {
+                        j.as_u64()
+                            .ok_or_else(|| wire_err("shard: non-integer index"))
+                    })
+                    .collect::<Result<Vec<u64>, WireError>>()?;
+                Ok(WireMsg::Shard {
+                    plan: need_str(doc, "plan")?.to_string(),
+                    shard: need_u64(doc, "shard")?,
+                    of: need_u64(doc, "of")?,
+                    indices,
+                })
+            }
+            "run" => {
+                let run = doc
+                    .get("run")
+                    .ok_or_else(|| wire_err("run: missing run object"))?;
+                Ok(WireMsg::Run {
+                    index: need_u64(doc, "index")?,
+                    spec_fingerprint: need_u64(doc, "spec")?,
+                    run: CachedRun::from_json_value(run)
+                        .map_err(|e| wire_err(format!("run: {e}")))?,
+                })
+            }
+            "metrics" => {
+                let snapshot = doc
+                    .get("snapshot")
+                    .ok_or_else(|| wire_err("metrics: missing snapshot"))?;
+                Ok(WireMsg::Metrics {
+                    shard: need_u64(doc, "shard")?,
+                    snapshot: MetricsSnapshot::from_json_value(snapshot)
+                        .map_err(|e| wire_err(format!("metrics: {e}")))?,
+                })
+            }
+            "report" => {
+                let aggregate = doc
+                    .get("aggregate")
+                    .ok_or_else(|| wire_err("report: missing aggregate"))?;
+                Ok(WireMsg::Report {
+                    render: need_str(doc, "render")?.to_string(),
+                    cache_hits: need_u64(doc, "cache_hits")?,
+                    aggregate: MetricsSnapshot::from_json_value(aggregate)
+                        .map_err(|e| wire_err(format!("report: {e}")))?,
+                })
+            }
+            "error" => Ok(WireMsg::Error {
+                message: need_str(doc, "message")?.to_string(),
+            }),
+            other => Err(wire_err(format!("unknown message type {other:?}"))),
+        }
+    }
+
+    /// Decodes one NDJSON line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or any
+    /// [`from_json_value`](WireMsg::from_json_value) rejection.
+    pub fn parse_line(line: &str) -> Result<WireMsg, WireError> {
+        let doc = Json::parse(line.trim()).map_err(|e| wire_err(e.to_string()))?;
+        WireMsg::from_json_value(&doc)
+    }
+
+    /// The `Shard` message assigning `spec`'s indices for `plan`.
+    pub fn shard_assignment(plan: &str, spec: &ShardSpec) -> WireMsg {
+        WireMsg::Shard {
+            plan: plan.to_string(),
+            shard: spec.shard as u64,
+            of: spec.of as u64,
+            indices: spec.indices.iter().map(|&i| i as u64).collect(),
+        }
+    }
+
+    /// The `Run` message carrying `record`.
+    pub fn run_delta(record: &ShardRecord) -> WireMsg {
+        WireMsg::Run {
+            index: record.index as u64,
+            spec_fingerprint: record.spec_fingerprint,
+            run: record.run.clone(),
+        }
+    }
+}
+
+impl WireMsg {
+    /// Converts a received `Run` message back into a [`ShardRecord`] for
+    /// the merge stage; `None` for other message kinds.
+    pub fn into_shard_record(self) -> Option<ShardRecord> {
+        match self {
+            WireMsg::Run {
+                index,
+                spec_fingerprint,
+                run,
+            } => Some(ShardRecord {
+                index: index as usize,
+                spec_fingerprint,
+                run,
+            }),
+            _ => None,
+        }
+    }
+}
+
+fn need_u64(doc: &Json, key: &str) -> Result<u64, WireError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| wire_err(format!("missing or non-integer field {key:?}")))
+}
+
+fn need_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, WireError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| wire_err(format!("missing or non-string field {key:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunOutcome;
+    use nonfifo_telemetry::Registry;
+
+    fn sample_run() -> CachedRun {
+        let registry = Registry::new();
+        registry.counter("chan.fwd.sends").add(7);
+        CachedRun {
+            outcome: RunOutcome::Delivered,
+            fingerprint: 0xdead_beef_cafe_f00d,
+            steps: 42,
+            fwd_sends: 7,
+            delivered: 5,
+            metrics: registry.snapshot(),
+        }
+    }
+
+    fn samples() -> Vec<WireMsg> {
+        let registry = Registry::new();
+        registry.counter("sim.messages.received").add(3);
+        registry.gauge("service.active_workers").set(2);
+        vec![
+            WireMsg::Submit {
+                plan: "scenario demo\nprotocols abp\nmessages 5\n".to_string(),
+                workers: 4,
+            },
+            WireMsg::Shard {
+                plan: "scenario demo\nprotocols abp\nmessages 5\n".to_string(),
+                shard: 1,
+                of: 3,
+                indices: vec![1, 4, 7],
+            },
+            WireMsg::Run {
+                index: 4,
+                spec_fingerprint: 0x0123_4567_89ab_cdef,
+                run: sample_run(),
+            },
+            WireMsg::Metrics {
+                shard: 2,
+                snapshot: registry.snapshot(),
+            },
+            WireMsg::Report {
+                render: "| a | b |\n| - | - |\n".to_string(),
+                cache_hits: 9,
+                aggregate: registry.snapshot(),
+            },
+            WireMsg::Error {
+                message: "plan line 3: unknown directive".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_kind_round_trips_through_one_line() {
+        for msg in samples() {
+            let line = msg.to_line();
+            assert_eq!(
+                line.matches('\n').count(),
+                1,
+                "{}: not one line",
+                msg.kind()
+            );
+            assert!(line.ends_with('\n'));
+            let back = WireMsg::parse_line(&line).unwrap();
+            assert_eq!(back, msg, "{} round trip", msg.kind());
+            // Re-encoding is byte-stable.
+            assert_eq!(back.to_line(), line, "{} re-encode", msg.kind());
+        }
+    }
+
+    #[test]
+    fn messages_embedding_newlines_stay_line_framed() {
+        let msg = WireMsg::Report {
+            render: "line one\nline two\nline three".to_string(),
+            cache_hits: 0,
+            aggregate: Registry::new().snapshot(),
+        };
+        let line = msg.to_line();
+        assert_eq!(line.matches('\n').count(), 1);
+        match WireMsg::parse_line(&line).unwrap() {
+            WireMsg::Report { render, .. } => assert_eq!(render, "line one\nline two\nline three"),
+            other => panic!("wrong kind: {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn newer_schema_versions_are_rejected_by_name() {
+        let mut line = WireMsg::Error {
+            message: "x".to_string(),
+        }
+        .to_line();
+        line = line.replacen("\"v\":1", "\"v\":2", 1);
+        let err = WireMsg::parse_line(&line).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unsupported wire schema_version 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_context() {
+        for (line, needle) in [
+            ("{", "wire:"),
+            ("[1,2]", "not a JSON object"),
+            ("{\"v\":1}", "type"),
+            ("{\"v\":1,\"type\":\"warble\"}", "unknown message type"),
+            ("{\"v\":1,\"type\":\"submit\",\"plan\":\"x\"}", "workers"),
+            (
+                "{\"v\":1,\"type\":\"shard\",\"plan\":\"x\",\"shard\":0,\"of\":1}",
+                "indices",
+            ),
+        ] {
+            let err = WireMsg::parse_line(line).unwrap_err();
+            assert!(err.to_string().contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn shard_assignment_and_run_delta_mirror_the_shard_types() {
+        let spec = ShardSpec {
+            shard: 1,
+            of: 4,
+            indices: vec![1, 5, 9],
+        };
+        match WireMsg::shard_assignment("plan text", &spec) {
+            WireMsg::Shard {
+                plan,
+                shard,
+                of,
+                indices,
+            } => {
+                assert_eq!(plan, "plan text");
+                assert_eq!((shard, of), (1, 4));
+                assert_eq!(indices, vec![1, 5, 9]);
+            }
+            other => panic!("wrong kind: {}", other.kind()),
+        }
+
+        let record = ShardRecord {
+            index: 5,
+            spec_fingerprint: 77,
+            run: sample_run(),
+        };
+        let msg = WireMsg::run_delta(&record);
+        let back = WireMsg::parse_line(&msg.to_line())
+            .unwrap()
+            .into_shard_record()
+            .unwrap();
+        assert_eq!(back, record);
+    }
+}

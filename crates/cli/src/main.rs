@@ -15,6 +15,9 @@
 //!                  [--trace-out FILE]
 //! nonfifo campaign <plan-file> [--threads N] [--cache FILE]
 //!                  [--metrics-out FILE]
+//! nonfifo serve    [--addr HOST:PORT] [--workers N] [--cache FILE]
+//!                  [--in-process]
+//! nonfifo worker   [--die-after N]
 //! nonfifo schedule <protocol> <attack-file> [--diagram]
 //! nonfifo recheck  <trace-file> [--diagram]
 //! nonfifo report   [--exp eN]
@@ -65,6 +68,9 @@ usage:
                    [--trace-out FILE]
   nonfifo campaign <plan-file> [--threads N] [--cache FILE]
                    [--metrics-out FILE]
+  nonfifo serve    [--addr HOST:PORT] [--workers N] [--cache FILE]
+                   [--in-process]
+  nonfifo worker   [--die-after N]
   nonfifo stabilize --protocol P [--seeds N] [--severity light|medium|heavy]
                    [--discipline D] [--messages M] [--budget B] [--plan FILE]
   nonfifo schedule <protocol> <attack-file> [--diagram]
@@ -86,6 +92,14 @@ flag performs between the sequential and parallel engines otherwise.
 telemetry: --metrics prints a summary table; --metrics-out writes the
 schema-versioned metrics JSON; --trace-out writes a Chrome trace_events
 JSON (load in chrome://tracing or Perfetto).
+
+serve runs the campaign daemon: POST a plan (or a submit wire message)
+to /campaign and read the NDJSON result stream; GET /metrics for the
+service registry; POST /shutdown to exit. Each campaign shards across
+`nonfifo worker` processes (--in-process uses threads instead); reports
+are byte-identical to `nonfifo campaign` at any worker count. worker is
+the internal per-shard subprocess; --die-after N is a crash-testing
+hook that kills it after N streamed results.
 ";
 
 fn main() -> ExitCode {
@@ -120,6 +134,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), NonFifoError> {
             "no-shrink",
             "por",
             "metrics",
+            "in-process",
         ],
     )?;
     match args.positional(0) {
@@ -128,6 +143,8 @@ fn dispatch(raw: Vec<String>) -> Result<(), NonFifoError> {
         Some("attack") => Ok(cmd_attack(&args)?),
         Some("explore") => cmd_explore(&args),
         Some("campaign") => cmd_campaign(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("worker") => cmd_worker(&args),
         Some("stabilize") => cmd_stabilize(&args),
         Some("schedule") => Ok(cmd_schedule(&args)?),
         Some("recheck") => Ok(cmd_recheck(&args)?),
@@ -749,6 +766,79 @@ fn cmd_campaign(args: &Args) -> Result<(), NonFifoError> {
             Err(err)
         }
     }
+}
+
+/// `nonfifo serve`: the campaign daemon. Binds `--addr` (default
+/// `127.0.0.1:7171`; port `0` asks the OS for a free one), prints the
+/// actual bound address on its own line so scripts can scrape it, and
+/// serves until `POST /shutdown`. Campaigns shard across spawned
+/// `nonfifo worker` processes (this same binary) unless `--in-process`
+/// routes execution onto daemon threads instead.
+fn cmd_serve(args: &Args) -> Result<(), NonFifoError> {
+    use nonfifo_campaign::{CampaignService, ServiceConfig};
+    let addr = args.option("addr").unwrap_or("127.0.0.1:7171");
+    let workers: usize = args.option_or("workers", 0)?;
+    let worker_command = if args.flag("in-process") {
+        Vec::new()
+    } else {
+        let exe = std::env::current_exe().map_err(|e| NonFifoError::Io {
+            path: "current_exe".to_string(),
+            message: e.to_string(),
+        })?;
+        vec![exe.to_string_lossy().into_owned(), "worker".to_string()]
+    };
+    let service = CampaignService::new(ServiceConfig {
+        workers,
+        worker_command,
+        cache_path: args.option("cache").map(str::to_string),
+    })?;
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| NonFifoError::Io {
+        path: addr.to_string(),
+        message: e.to_string(),
+    })?;
+    let local = listener.local_addr().map_err(|e| NonFifoError::Io {
+        path: addr.to_string(),
+        message: e.to_string(),
+    })?;
+    println!("serving on http://{local}/");
+    println!(
+        "workers: {} per campaign ({}); cache: {}",
+        if workers == 0 {
+            "per-core".to_string()
+        } else {
+            workers.to_string()
+        },
+        if args.flag("in-process") {
+            "in-process threads"
+        } else {
+            "worker processes"
+        },
+        args.option("cache").unwrap_or("none"),
+    );
+    println!("routes : POST /campaign, GET /metrics, GET /healthz, POST /shutdown");
+    service.serve(listener)?;
+    println!("shutdown requested; exiting");
+    Ok(())
+}
+
+/// `nonfifo worker`: the per-shard subprocess the daemon spawns. Speaks
+/// only the wire protocol: one shard assignment line in on stdin, one
+/// flushed result line out per completed run. `--die-after N` exits with
+/// a failure status after N results — the deterministic crash hook the
+/// worker-retry tests drive.
+fn cmd_worker(args: &Args) -> Result<(), NonFifoError> {
+    let die_after = match args.option("die-after") {
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| ArgsError(format!("--die-after needs a count, got {s:?}")))?,
+        ),
+        None => None,
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    nonfifo_campaign::run_worker(&mut input, &mut output, die_after)
 }
 
 fn cmd_stabilize(args: &Args) -> Result<(), NonFifoError> {

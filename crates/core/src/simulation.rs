@@ -1,7 +1,7 @@
 //! The user-facing simulation engine.
 
 use crate::builder::SimulationBuilder;
-use nonfifo_channel::{BoxedChannel, Discipline, FaultPlan, ScramblePlan};
+use nonfifo_channel::{BoxedChannel, ScramblePlan};
 use nonfifo_ioa::fingerprint::Fnv64;
 use nonfifo_ioa::{
     CopyId, Dir, Event, Execution, Header, Message, Packet, Payload, SpecMonitor, SpecViolation,
@@ -560,64 +560,6 @@ impl Simulation {
         SimulationBuilder::new(proto)
     }
 
-    /// Probabilistic physical layer with delay probability `q` in both
-    /// directions (§5's PL2p model).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Simulation::builder(proto).channel(Discipline::Probabilistic { q }).seed(seed).build()"
-    )]
-    pub fn probabilistic(proto: impl DataLink, q: f64, seed: u64) -> Self {
-        Simulation::builder(proto)
-            .channel(Discipline::Probabilistic { q })
-            .seed(seed)
-            .build()
-    }
-
-    /// Reliable FIFO channels (the control substrate).
-    #[deprecated(since = "0.1.0", note = "use Simulation::builder(proto).build()")]
-    pub fn fifo(proto: impl DataLink) -> Self {
-        Simulation::builder(proto).build()
-    }
-
-    /// Lossy FIFO channels (the alternating-bit protocol's home turf).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Simulation::builder(proto).channel(Discipline::LossyFifo { loss }).seed(seed).build()"
-    )]
-    pub fn lossy_fifo(proto: impl DataLink, loss: f64, seed: u64) -> Self {
-        Simulation::builder(proto)
-            .channel(Discipline::LossyFifo { loss })
-            .seed(seed)
-            .build()
-    }
-
-    /// Bounded-reorder channels with overtaking distance `< bound`
-    /// (experiment E9's substrate).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Simulation::builder(proto).channel(Discipline::BoundedReorder { bound }).seed(seed).build()"
-    )]
-    pub fn bounded_reorder(proto: impl DataLink, bound: u64, seed: u64) -> Self {
-        Simulation::builder(proto)
-            .channel(Discipline::BoundedReorder { bound })
-            .seed(seed)
-            .build()
-    }
-
-    /// FIFO channels wrapped in the chaos fault-injection decorator in both
-    /// directions: the forward channel is driven by `seed`, the backward by
-    /// `seed + 1`. Runs are bit-replayable from `(plan, seed)`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Simulation::builder(proto).fault_plan(plan).seed(seed).build()"
-    )]
-    pub fn chaos(proto: impl DataLink, plan: &FaultPlan, seed: u64) -> Self {
-        Simulation::builder(proto)
-            .seed(seed)
-            .fault_plan(plan.clone())
-            .build()
-    }
-
     /// Order-sensitive digest of every event observed so far (see
     /// [`RunStats::fingerprint`]).
     pub fn execution_fingerprint(&self) -> u64 {
@@ -1031,6 +973,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nonfifo_channel::{Discipline, FaultPlan};
     use nonfifo_protocols::{AlternatingBit, Outnumber, SequenceNumber, SlidingWindow};
 
     #[test]

@@ -1,9 +1,10 @@
-//! The builder migration contract: every deprecated constructor is a pure
-//! respelling of a `Simulation::builder` chain. Parity is checked at the
-//! strongest observable level — execution fingerprints and full metrics
-//! snapshots — so the old spellings can be deleted without behaviour risk.
-
-#![allow(deprecated)]
+//! The builder contract, post-migration. The PR 4 per-discipline
+//! constructors (`Simulation::fifo`, `::probabilistic`, `::lossy_fifo`,
+//! `::bounded_reorder`, `::chaos`) were pure respellings of
+//! `Simulation::builder` chains, held to fingerprint-and-metrics parity
+//! until their removal; these tests pin the properties that made that
+//! deletion safe — the builder is deterministic, its defaults are the
+//! documented ones, and each discipline chain is observably distinct.
 
 use nonfifo::channel::{Discipline, FaultPlan};
 use nonfifo::core::{SimConfig, Simulation};
@@ -12,7 +13,7 @@ use nonfifo::telemetry::{MetricsSnapshot, Registry};
 use std::sync::Arc;
 
 /// Runs `sim` for `n` messages under telemetry and returns the pair of
-/// observables parity is judged on.
+/// observables the builder contract is judged on.
 fn observe(mut sim: Simulation, n: u64) -> (u64, MetricsSnapshot) {
     let registry = Arc::new(Registry::new());
     sim.attach_telemetry(Arc::clone(&registry), None);
@@ -28,74 +29,73 @@ fn assert_parity(old: Simulation, new: Simulation, n: u64, label: &str) {
     assert_eq!(old_snap, new_snap, "{label}: metrics diverged");
 }
 
-#[test]
-fn fifo_constructor_matches_builder() {
-    assert_parity(
-        Simulation::fifo(SequenceNumber::factory()),
-        Simulation::builder(SequenceNumber::factory()).build(),
-        40,
-        "fifo",
-    );
-}
-
-#[test]
-fn probabilistic_constructor_matches_builder() {
-    for seed in [0, 7, 41] {
-        assert_parity(
-            Simulation::probabilistic(SequenceNumber::factory(), 0.3, seed),
+/// Every chain from the migration table in `docs/builder_migration.md`,
+/// over a representative protocol.
+fn migration_chains(seed: u64) -> Vec<(&'static str, Simulation)> {
+    let plan = FaultPlan::parse("dup 0.15\ndrop 0.1").expect("plan");
+    vec![
+        (
+            "fifo",
+            Simulation::builder(SequenceNumber::factory()).build(),
+        ),
+        (
+            "probabilistic",
             Simulation::builder(SequenceNumber::factory())
                 .channel(Discipline::Probabilistic { q: 0.3 })
                 .seed(seed)
                 .build(),
-            25,
-            "probabilistic",
-        );
-    }
-}
-
-#[test]
-fn lossy_fifo_constructor_matches_builder() {
-    for seed in [0, 7, 41] {
-        assert_parity(
-            Simulation::lossy_fifo(AlternatingBit::factory(), 0.25, seed),
+        ),
+        (
+            "lossy_fifo",
             Simulation::builder(AlternatingBit::factory())
                 .channel(Discipline::LossyFifo { loss: 0.25 })
                 .seed(seed)
                 .build(),
-            25,
-            "lossy_fifo",
-        );
-    }
-}
-
-#[test]
-fn bounded_reorder_constructor_matches_builder() {
-    for seed in [0, 7, 41] {
-        assert_parity(
-            Simulation::bounded_reorder(SequenceNumber::factory(), 4, seed),
+        ),
+        (
+            "bounded_reorder",
             Simulation::builder(SequenceNumber::factory())
                 .channel(Discipline::BoundedReorder { bound: 4 })
                 .seed(seed)
                 .build(),
-            25,
-            "bounded_reorder",
-        );
+        ),
+        (
+            "chaos",
+            Simulation::builder(SequenceNumber::factory())
+                .fault_plan(plan)
+                .seed(seed)
+                .build(),
+        ),
+    ]
+}
+
+/// Building the same chain twice yields bit-identical executions — the
+/// property the removed constructors delegated to, and the one the
+/// campaign cache and the sharded service still rely on.
+#[test]
+fn every_migration_chain_is_deterministic() {
+    for seed in [0, 7, 41] {
+        let first = migration_chains(seed);
+        let second = migration_chains(seed);
+        for ((label, a), (_, b)) in first.into_iter().zip(second) {
+            assert_parity(a, b, 25, label);
+        }
     }
 }
 
+/// The old constructors were distinct for a reason: each discipline chain
+/// produces an observably different execution on a lossy-tolerant
+/// protocol, so no two rows of the migration table collapsed.
 #[test]
-fn chaos_constructor_matches_builder() {
-    let plan = FaultPlan::parse("dup 0.15\ndrop 0.1").expect("plan");
-    for seed in [0, 7, 41] {
-        assert_parity(
-            Simulation::chaos(SequenceNumber::factory(), &plan, seed),
-            Simulation::builder(SequenceNumber::factory())
-                .fault_plan(plan.clone())
-                .seed(seed)
-                .build(),
-            25,
-            "chaos",
-        );
+fn migration_chains_are_pairwise_distinct() {
+    let fingerprints: Vec<(&str, u64)> = migration_chains(7)
+        .into_iter()
+        .map(|(label, sim)| (label, observe(sim, 25).0))
+        .collect();
+    for (i, (la, fa)) in fingerprints.iter().enumerate() {
+        for (lb, fb) in &fingerprints[i + 1..] {
+            assert_ne!(fa, fb, "{la} and {lb} produced identical executions");
+        }
     }
 }
 
