@@ -30,19 +30,17 @@
 
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
+use crate::visited::VisitedSet;
 use nonfifo_channel::Channel as _;
-use nonfifo_ioa::fingerprint::{Fnv64, StateHash};
 use nonfifo_ioa::{CopyId, Execution, Header, Packet};
 use nonfifo_protocols::DataLink;
 use nonfifo_rng::StdRng;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
-use std::hash::BuildHasherDefault;
 
-/// Visited-state set on the fixed-key FNV-64 hasher: state keys are already
-/// well-mixed 64-bit fingerprints, so the cheap hash is safe and saves the
-/// SipHash pass `std`'s default would pay per probe.
-pub(crate) type FnvSet = HashSet<u64, BuildHasherDefault<Fnv64>>;
+// The state-identity plumbing lives in one shared module now
+// ([`crate::codec`] / [`crate::visited`]); these re-exports keep the
+// historical in-crate paths valid.
 
 /// What the forward channel is allowed to do with delayed copies — the
 /// channel axis of the exploration matrix.
@@ -265,21 +263,6 @@ pub(crate) enum Action {
     DropOldest(Packet),
 }
 
-pub(crate) fn state_key(sys: &System) -> u64 {
-    let ms = sys.fwd.parked_multiset();
-    StateHash::new("explore-state")
-        .field(sys.tx.state_fingerprint())
-        .field(sys.rx.state_fingerprint())
-        .field(sys.counts().sm)
-        .field(sys.counts().rm)
-        // O(1) stand-in for the pool's value histogram: the multiset
-        // maintains an order-independent content digest incrementally, so
-        // hashing a state no longer walks the pool.
-        .field(ms.content_hash())
-        .field(ms.len() as u64)
-        .finish()
-}
-
 /// Fills `oldest` with each distinct parked packet value's oldest delayed
 /// copy, in packet order (deterministic). The multiset's entries are sorted
 /// by copy id, so the first occurrence of a value is its oldest copy; the
@@ -396,15 +379,28 @@ pub fn explore(proto: &dyn DataLink, cfg: &ExploreConfig) -> ExploreOutcome {
     explore_with_stats(proto, cfg).0
 }
 
-/// [`explore`], also returning the run's [`ExploreStats`].
+/// [`explore`], also returning the run's [`ExploreStats`]. A thin wrapper
+/// over the [`Explorer`](crate::Explorer) facade in its default
+/// configuration (sequential engine, exact in-RAM visited tier) — kept so
+/// the historical entry point and its regression pins stay valid.
 pub fn explore_with_stats(
     proto: &dyn DataLink,
     cfg: &ExploreConfig,
 ) -> (ExploreOutcome, ExploreStats) {
+    crate::explorer::Explorer::new(*cfg).explore_with_stats(proto)
+}
+
+/// The sequential breadth-first search — the oracle engine, generic over
+/// the visited tier. `visited` must arrive empty (cleared); the facade owns
+/// its construction and reuse.
+pub(crate) fn run_sequential(
+    proto: &dyn DataLink,
+    cfg: &ExploreConfig,
+    visited: &mut dyn VisitedSet,
+) -> (ExploreOutcome, ExploreStats) {
     let root = build_root(proto, cfg, true);
     let por = crate::por::PorCtx::new(&root, cfg);
     let mut stats = ExploreStats::default();
-    let mut visited: FnvSet = FnvSet::default();
     visited.insert(por.key(&root));
     let mut frontier: VecDeque<(System, Vec<ScheduleStep>)> = VecDeque::new();
     frontier.push_back((root, Vec::new()));
@@ -458,6 +454,7 @@ pub fn explore_with_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::state_key;
     use nonfifo_ioa::spec::{check_dl1, check_pl1, Validity};
     use nonfifo_ioa::Dir;
     use nonfifo_protocols::{AlternatingBit, NaiveCycle, SequenceNumber, StabilizingDl};

@@ -24,10 +24,15 @@
 //!   multiset and fieldwise `clone_from` plumbing underneath, a warm
 //!   expansion performs no heap allocation (pinned by the allocation
 //!   regression test in `tests/explore_alloc.rs`).
-//! - **FNV-sharded dedup.** Visited shards and `state_key` run on the
-//!   fixed-key FNV-64 hasher ([`nonfifo_ioa::fingerprint`]); the state key
-//!   itself folds in the multiset's incrementally maintained content
-//!   digest, so hashing a state no longer walks the pool.
+//! - **Tiered dedup.** The visited set behind the engine is a
+//!   [`VisitedSet`] tier chosen by [`VisitedSpec`] (see [`crate::visited`]):
+//!   the exact RAM tier runs 64 FNV shards on the fixed-key FNV-64 hasher
+//!   ([`nonfifo_ioa::fingerprint`]), the tiered tier spills past a byte
+//!   budget to a sorted disk run, and the probabilistic tier trades
+//!   exactness for a fixed Bloom footprint. State keys come from the shared
+//!   [`StateCodec`](crate::codec::StateCodec), which folds in the
+//!   multiset's incrementally maintained content digest, so hashing a
+//!   state never walks the pool.
 //!
 //! **Determinism.** The outcome is a pure function of (protocol, config):
 //! thread count and OS scheduling cannot change it.
@@ -58,23 +63,20 @@
 //! replaying its schedule through the strict scheduler — which doubles as
 //! an end-to-end validation of every reported attack.
 
+use crate::codec::EncodedState;
 use crate::explore::{
-    apply, build_root, enabled_actions_into, to_step, Action, ExploreConfig, ExploreOutcome, FnvSet,
+    apply, build_root, enabled_actions_into, to_step, Action, ExploreConfig, ExploreOutcome,
 };
 use crate::por::PorCtx;
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
+use crate::visited::{VisitedSet, VisitedSpec};
 use crate::workpool::ChunkCursor;
 use nonfifo_ioa::{CopyId, Packet};
 use nonfifo_protocols::DataLink;
 use nonfifo_telemetry::{Counter, Histogram, Registry, TraceSink};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Visited-set shards: the key's low bits pick the shard. Sharding keeps
-/// the per-level merge cache-friendly and lets `reserve` stay incremental;
-/// lookups during expansion are lock-free because the set is frozen.
-const SHARDS: usize = 64;
 
 /// Frontier nodes a worker claims per cursor fetch. Small enough to
 /// balance skewed levels, large enough to keep the cursor cold.
@@ -124,13 +126,15 @@ impl std::fmt::Debug for Candidate {
 }
 
 /// Caller-owned reusable workspace for [`ParallelExplorer::explore_in`]:
-/// visited shards, the system pool, per-worker scratches, the path arena,
-/// and the merge buffers. Running repeated explorations through one arena
-/// keeps the steady-state expansion loop entirely off the allocator — the
-/// campaign runner and the allocation regression test both rely on this.
-#[derive(Debug, Default)]
+/// the visited set (any [`VisitedSpec`] tier), the system pool, per-worker
+/// scratches, the path arena, and the merge buffers. Running repeated
+/// explorations through one arena keeps the steady-state expansion loop
+/// entirely off the allocator — the campaign runner and the allocation
+/// regression test both rely on this.
+#[derive(Debug)]
 pub struct ExploreArena {
-    shards: Vec<FnvSet>,
+    visited: Box<dyn VisitedSet>,
+    spec: VisitedSpec,
     pool: Vec<System>,
     workers: Vec<WorkerScratch>,
     /// `levels[d]` holds one [`PathRec`] per frontier node at depth `d`
@@ -141,22 +145,65 @@ pub struct ExploreArena {
     winners: Vec<Candidate>,
 }
 
+impl Default for ExploreArena {
+    fn default() -> Self {
+        ExploreArena {
+            visited: VisitedSpec::Ram.build(),
+            spec: VisitedSpec::Ram,
+            pool: Vec::new(),
+            workers: Vec::new(),
+            levels: Vec::new(),
+            frontier: Vec::new(),
+            merged: Vec::new(),
+            winners: Vec::new(),
+        }
+    }
+}
+
 impl ExploreArena {
-    /// Creates an empty arena; buffers warm up over the first run.
+    /// Creates an empty arena on the exact in-RAM visited tier; buffers
+    /// warm up over the first run.
     pub fn new() -> Self {
         ExploreArena::default()
     }
 
-    /// Clears logical state while keeping every allocation: shards retain
-    /// capacity, systems return to the pool, level/merge buffers reset to
-    /// length zero.
+    /// An empty arena deduplicating through `spec`'s visited tier.
+    pub fn with_visited(spec: VisitedSpec) -> Self {
+        let mut arena = ExploreArena::default();
+        arena.install_visited(spec);
+        arena
+    }
+
+    /// Swaps the visited tier to `spec`. A no-op when the arena already
+    /// runs that spec — the existing set (and its warmed allocations) is
+    /// kept and merely cleared at the next run.
+    pub fn install_visited(&mut self, spec: VisitedSpec) {
+        if spec != self.spec {
+            self.visited = spec.build();
+            self.spec = spec;
+        }
+    }
+
+    /// The visited set of the most recent run — spill counts, resident
+    /// bytes, and the probabilistic tier's false-dedup bound are read here.
+    pub fn visited(&self) -> &dyn VisitedSet {
+        &*self.visited
+    }
+
+    /// The spec the current visited set was built from.
+    pub fn visited_spec(&self) -> VisitedSpec {
+        self.spec
+    }
+
+    pub(crate) fn visited_mut(&mut self) -> &mut dyn VisitedSet {
+        &mut *self.visited
+    }
+
+    /// Clears logical state while keeping every allocation: the visited
+    /// set retains capacity, systems return to the pool, level/merge
+    /// buffers reset to length zero.
     fn reset(&mut self, threads: usize) {
-        if self.shards.is_empty() {
-            self.shards = (0..SHARDS).map(|_| FnvSet::default()).collect();
-        }
-        for shard in &mut self.shards {
-            shard.clear();
-        }
+        self.visited.clear();
         while self.workers.len() < threads {
             self.workers.push(WorkerScratch::default());
         }
@@ -258,14 +305,18 @@ impl ExploreTelemetry {
     }
 
     /// End-of-run derived metrics: visited-set shard occupancy (balance of
-    /// the `key % SHARDS` split), overall throughput, and the peak resident
-    /// frontier estimate.
-    fn finalize(&self, shards: &[FnvSet], elapsed_secs: f64, peak_frontier_bytes: usize) {
+    /// the mixed-digest shard split, for tiers with resident shards),
+    /// overall throughput, the peak resident frontier estimate, and the
+    /// memory-footprint gauges of the tiered visited-set work
+    /// (`explore.visited_bytes`, `explore.codec_bytes_per_state`).
+    fn finalize(&self, visited: &dyn VisitedSet, elapsed_secs: f64, peak_frontier_bytes: usize) {
         let occupancy = self.registry.histogram("explore.shard_occupancy");
-        for shard in shards {
-            occupancy.record(shard.len() as u64);
+        let mut sizes = Vec::new();
+        visited.shard_sizes(&mut sizes);
+        for size in sizes {
+            occupancy.record(size);
         }
-        let states: usize = shards.iter().map(FnvSet::len).sum();
+        let states = visited.len();
         if elapsed_secs > 0.0 {
             self.registry
                 .set_value("explore.states_per_sec", states as f64 / elapsed_secs);
@@ -273,6 +324,17 @@ impl ExploreTelemetry {
         self.registry
             .gauge("explore.peak_frontier_bytes")
             .set(peak_frontier_bytes as u64);
+        self.registry
+            .gauge("explore.visited_bytes")
+            .set(visited.peak_memory_bytes() as u64);
+        self.registry
+            .gauge("explore.codec_bytes_per_state")
+            .set(EncodedState::BYTES as u64);
+        if visited.spills() > 0 {
+            self.registry
+                .counter("explore.visited_spills")
+                .add(visited.spills());
+        }
     }
 }
 
@@ -332,7 +394,7 @@ impl ParallelExplorer {
         let (outcome, peak_frontier_bytes) = self.run(proto, cfg, arena);
         if let Some(tel) = &self.telemetry {
             tel.finalize(
-                &arena.shards,
+                arena.visited(),
                 started.elapsed().as_secs_f64(),
                 peak_frontier_bytes,
             );
@@ -356,7 +418,7 @@ impl ParallelExplorer {
         // depend on discovery order or thread count.
         let por = PorCtx::new(&root, cfg);
         let root_key = por.key(&root);
-        arena.shards[shard_of(root_key)].insert(root_key);
+        arena.visited.insert(root_key);
         let mut states = 1usize;
         if let Some(t) = tel {
             t.states.inc();
@@ -404,13 +466,14 @@ impl ParallelExplorer {
             // the smallest path claims each state whatever order threads
             // found them in.
             let ExploreArena {
-                shards,
+                visited,
                 pool,
                 workers,
                 levels,
                 frontier,
                 merged,
                 winners,
+                ..
             } = &mut *arena;
             for w in workers.iter_mut() {
                 merged.append(&mut w.candidates);
@@ -420,7 +483,7 @@ impl ParallelExplorer {
             pool.append(frontier);
             winners.clear();
             for c in merged.drain(..) {
-                if shards[shard_of(c.key)].insert(c.key) {
+                if visited.insert(c.key) {
                     states += 1;
                     if let Some(t) = tel {
                         t.states.inc();
@@ -461,7 +524,7 @@ impl ParallelExplorer {
     fn expand_level(&self, cfg: &ExploreConfig, por: PorCtx, arena: &mut ExploreArena) {
         let tel = self.telemetry.as_ref();
         let ExploreArena {
-            shards,
+            visited,
             pool,
             workers,
             frontier,
@@ -476,13 +539,15 @@ impl ParallelExplorer {
         if nworkers == 1 {
             let scratch = &mut workers[0];
             for (rank, sys) in frontier.iter().enumerate() {
-                expand_node(sys, rank as u32, shards, cfg, por, tel, scratch);
+                expand_node(sys, rank as u32, &**visited, cfg, por, tel, scratch);
             }
             return;
         }
         let cursor = ChunkCursor::new(frontier.len(), CHUNK);
         let frontier = &*frontier;
-        let shards = &*shards;
+        // Frozen for the level: workers only probe membership, so a shared
+        // borrow of the tier is all they get (the trait requires `Sync`).
+        let visited: &dyn VisitedSet = &**visited;
         std::thread::scope(|scope| {
             for scratch in workers[..nworkers].iter_mut() {
                 let cursor = &cursor;
@@ -490,7 +555,7 @@ impl ParallelExplorer {
                     while let Some(range) = cursor.claim() {
                         let start = range.start;
                         for (i, sys) in frontier[range].iter().enumerate() {
-                            expand_node(sys, (start + i) as u32, shards, cfg, por, tel, scratch);
+                            expand_node(sys, (start + i) as u32, visited, cfg, por, tel, scratch);
                         }
                     }
                 });
@@ -499,14 +564,10 @@ impl ParallelExplorer {
     }
 }
 
-fn shard_of(key: u64) -> usize {
-    (key % SHARDS as u64) as usize
-}
-
 fn expand_node(
     sys: &System,
     rank: u32,
-    shards: &[FnvSet],
+    visited: &dyn VisitedSet,
     cfg: &ExploreConfig,
     por: PorCtx,
     tel: Option<&ExploreTelemetry>,
@@ -548,7 +609,7 @@ fn expand_node(
         let key = por.key(&next);
         // Frozen prior-level membership check; same-level duplicates are
         // resolved in the sorted merge.
-        if !shards[shard_of(key)].contains(&key) {
+        if !visited.contains(key) {
             if let Some(t) = tel {
                 t.candidates.inc();
             }
@@ -602,7 +663,10 @@ pub fn explore_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{explore, state_key, Discipline};
+    use crate::codec::state_key;
+    use crate::explore::{explore, Discipline};
+    use crate::visited::FnvSet;
+    use crate::visited::SHARDS;
     use nonfifo_protocols::{AlternatingBit, GoBackN, NaiveCycle, SequenceNumber};
 
     fn outcome_kind(o: &ExploreOutcome) -> &'static str {

@@ -1,0 +1,292 @@
+//! The unified exploration facade.
+//!
+//! Historically callers picked an engine by picking an entry point —
+//! [`explore_with_stats`](crate::explore_with_stats) for the sequential
+//! oracle, [`ParallelExplorer`] for the level-synchronized engine — and
+//! each entry point hard-wired its own visited-set construction. The
+//! [`Explorer`] facade owns all three decisions in one place: the
+//! [`ExploreConfig`] scope, the engine choice, and the [`VisitedSpec`]
+//! tier (plus the arena the tier lives in), with telemetry attached once
+//! and flowing to whichever engine runs.
+//!
+//! The historical entry points remain as thin delegating wrappers —
+//! `explore_with_stats` builds a default facade, and
+//! [`ParallelExplorer::explore`] remains thin over
+//! [`ParallelExplorer::explore_in`], the engine the facade's parallel path
+//! drives — so every existing pin and differential harness keeps its
+//! meaning.
+//!
+//! ```
+//! use nonfifo_adversary::{ExploreConfig, Explorer, VisitedSpec};
+//! use nonfifo_protocols::SequenceNumber;
+//!
+//! // Sequential engine, exact disk-spilling tier under a 64 KiB budget:
+//! // the report is byte-identical to the default in-RAM run.
+//! let mut tiered = Explorer::new(ExploreConfig::default())
+//!     .visited(VisitedSpec::Tiered { memory_budget: 64 * 1024 });
+//! let mut ram = Explorer::new(ExploreConfig::default());
+//! let proto = SequenceNumber::new();
+//! assert_eq!(tiered.explore(&proto).report(), ram.explore(&proto).report());
+//! ```
+
+use crate::codec::EncodedState;
+use crate::explore::{run_sequential, ExploreConfig, ExploreOutcome, ExploreStats};
+use crate::explore_par::{ExploreArena, ParallelExplorer};
+use crate::visited::{VisitedSet, VisitedSpec};
+use nonfifo_protocols::DataLink;
+use nonfifo_telemetry::{Registry, TraceSink};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One front door for exhaustive exploration: owns the scope config, the
+/// engine choice (sequential oracle or level-synchronized parallel), the
+/// visited-tier spec, the reusable [`ExploreArena`], and the telemetry
+/// sinks. Build it fluent-style, then call
+/// [`explore`](Explorer::explore) any number of times — runs reuse the
+/// arena's warmed buffers, and after each run the visited set stays
+/// readable through [`visited_set`](Explorer::visited_set) for spill and
+/// false-dedup introspection.
+#[derive(Debug)]
+pub struct Explorer {
+    cfg: ExploreConfig,
+    /// `None` = the sequential oracle; `Some(n)` = the parallel engine on
+    /// `n` resolved worker threads.
+    threads: Option<usize>,
+    spec: VisitedSpec,
+    registry: Option<Arc<Registry>>,
+    trace: Option<Arc<TraceSink>>,
+    arena: ExploreArena,
+    last_stats: ExploreStats,
+}
+
+impl Explorer {
+    /// A facade over `cfg` in the default configuration: sequential
+    /// engine, exact in-RAM visited tier, no telemetry.
+    pub fn new(cfg: ExploreConfig) -> Self {
+        Explorer {
+            cfg,
+            threads: None,
+            spec: VisitedSpec::Ram,
+            registry: None,
+            trace: None,
+            arena: ExploreArena::new(),
+            last_stats: ExploreStats::default(),
+        }
+    }
+
+    /// Switches to the parallel engine on `threads` workers (`0` = one per
+    /// available core, resolved immediately).
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = Some(ParallelExplorer::new(threads).threads());
+        self
+    }
+
+    /// Switches (back) to the sequential oracle engine.
+    pub fn sequential(mut self) -> Self {
+        self.threads = None;
+        self
+    }
+
+    /// Selects the visited tier runs deduplicate through. Exact tiers
+    /// ([`VisitedSpec::is_exact`]) produce reports byte-identical to the
+    /// default at any budget; the probabilistic tier's certificates hold
+    /// modulo [`VisitedSet::false_dedup_bound`].
+    pub fn visited(mut self, spec: VisitedSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Attaches a metrics registry (and optionally a trace sink) that
+    /// every subsequent run records into, whichever engine runs.
+    /// Telemetry never feeds back into the search — outcomes stay
+    /// byte-identical with it on or off.
+    pub fn with_telemetry(
+        mut self,
+        registry: Arc<Registry>,
+        trace: Option<Arc<TraceSink>>,
+    ) -> Self {
+        self.registry = Some(registry);
+        self.trace = trace;
+        self
+    }
+
+    /// The scope this facade explores.
+    pub fn config(&self) -> &ExploreConfig {
+        &self.cfg
+    }
+
+    /// Resolved worker threads of the parallel engine, or `None` for the
+    /// sequential oracle.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The visited-tier spec runs are built on.
+    pub fn visited_spec(&self) -> VisitedSpec {
+        self.spec
+    }
+
+    /// The visited set of the most recent run: spill count, disk bytes,
+    /// peak resident bytes, and — on the probabilistic tier — the
+    /// false-dedup bound the certificate must be annotated with.
+    pub fn visited_set(&self) -> &dyn VisitedSet {
+        self.arena.visited()
+    }
+
+    /// Side statistics of the most recent run. The parallel engine reports
+    /// its pruning through telemetry counters instead, so this is
+    /// meaningful after sequential runs only.
+    pub fn last_stats(&self) -> ExploreStats {
+        self.last_stats
+    }
+
+    /// Explores `proto` within the configured scope. Same outcome contract
+    /// as [`explore`](crate::explore()): shortest counterexample,
+    /// certificate, or truncation — deterministic in (protocol, config,
+    /// spec), whatever the engine or thread count.
+    pub fn explore(&mut self, proto: &dyn DataLink) -> ExploreOutcome {
+        self.explore_with_stats(proto).0
+    }
+
+    /// [`explore`](Explorer::explore), also returning the run's
+    /// [`ExploreStats`].
+    pub fn explore_with_stats(&mut self, proto: &dyn DataLink) -> (ExploreOutcome, ExploreStats) {
+        self.arena.install_visited(self.spec);
+        self.last_stats = ExploreStats::default();
+        let outcome = match self.threads {
+            Some(threads) => {
+                let mut engine = ParallelExplorer::new(threads);
+                if let Some(registry) = &self.registry {
+                    engine = engine.with_telemetry(Arc::clone(registry), self.trace.clone());
+                }
+                engine.explore_in(proto, &self.cfg, &mut self.arena)
+            }
+            None => {
+                let started = Instant::now();
+                self.arena.visited_mut().clear();
+                let (outcome, stats) = run_sequential(proto, &self.cfg, self.arena.visited_mut());
+                self.last_stats = stats;
+                if let Some(registry) = &self.registry {
+                    // The sequential oracle is uninstrumented (it is the
+                    // reference implementation); record the coarse counters
+                    // after the fact so metrics are meaningful on both
+                    // engines.
+                    registry.counter("explore.pruned_states").add(stats.pruned);
+                    if let ExploreOutcome::Exhausted { states }
+                    | ExploreOutcome::Truncated { states } = &outcome
+                    {
+                        registry.counter("explore.states").add(*states as u64);
+                        let secs = started.elapsed().as_secs_f64();
+                        if secs > 0.0 {
+                            registry.set_value("explore.states_per_sec", *states as f64 / secs);
+                        }
+                    }
+                    let visited = self.arena.visited();
+                    registry
+                        .gauge("explore.visited_bytes")
+                        .set(visited.peak_memory_bytes() as u64);
+                    registry
+                        .gauge("explore.codec_bytes_per_state")
+                        .set(EncodedState::BYTES as u64);
+                    if visited.spills() > 0 {
+                        registry
+                            .counter("explore.visited_spills")
+                            .add(visited.spills());
+                    }
+                }
+                outcome
+            }
+        };
+        (outcome, self.last_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_with_stats, Discipline};
+    use nonfifo_protocols::{AlternatingBit, SequenceNumber};
+
+    #[test]
+    fn facade_defaults_match_the_historical_entry_points() {
+        let cfg = ExploreConfig::default();
+        for proto in [
+            &SequenceNumber::new() as &dyn DataLink,
+            &AlternatingBit::new(),
+        ] {
+            let (legacy, legacy_stats) = explore_with_stats(proto, &cfg);
+            let mut facade = Explorer::new(cfg);
+            let (outcome, stats) = facade.explore_with_stats(proto);
+            assert_eq!(legacy.report(), outcome.report(), "{}", proto.name());
+            assert_eq!(legacy_stats, stats);
+
+            let par = ParallelExplorer::new(4).explore(proto, &cfg);
+            let mut par_facade = Explorer::new(cfg).parallel(4);
+            assert_eq!(
+                par.report(),
+                par_facade.explore(proto).report(),
+                "{}",
+                proto.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tier_choice_is_invisible_in_exact_modes() {
+        let cfg = ExploreConfig {
+            discipline: Discipline::LossyFifo,
+            ..ExploreConfig::default()
+        };
+        let proto = AlternatingBit::new();
+        let reference = Explorer::new(cfg).explore(&proto).report();
+        // A 128-byte budget forces a spill every dozen states in this scope.
+        let mut tiered = Explorer::new(cfg).visited(VisitedSpec::Tiered { memory_budget: 128 });
+        assert_eq!(tiered.explore(&proto).report(), reference);
+        assert!(
+            tiered.visited_set().spills() > 0,
+            "tiny budget must have spilled"
+        );
+        let mut par_tiered = Explorer::new(cfg)
+            .parallel(4)
+            .visited(VisitedSpec::Tiered { memory_budget: 128 });
+        assert_eq!(par_tiered.explore(&proto).report(), reference);
+    }
+
+    #[test]
+    fn facade_runs_reuse_one_arena_across_engines_and_tiers() {
+        let cfg = ExploreConfig::default();
+        let proto = SequenceNumber::new();
+        let reference = Explorer::new(cfg).explore(&proto).report();
+        let mut facade = Explorer::new(cfg);
+        for _ in 0..2 {
+            facade = facade.sequential();
+            assert_eq!(facade.explore(&proto).report(), reference);
+            facade = facade.parallel(2);
+            assert_eq!(facade.explore(&proto).report(), reference);
+            facade = facade.visited(VisitedSpec::Tiered {
+                memory_budget: 4096,
+            });
+            assert_eq!(facade.explore(&proto).report(), reference);
+            facade = facade.visited(VisitedSpec::Ram);
+        }
+    }
+
+    #[test]
+    fn probabilistic_runs_report_a_bound() {
+        let cfg = ExploreConfig::default();
+        let proto = SequenceNumber::new();
+        let mut facade = Explorer::new(cfg).visited(VisitedSpec::Probabilistic {
+            memory_budget: 1 << 20,
+        });
+        let outcome = facade.explore(&proto);
+        let bound = facade
+            .visited_set()
+            .false_dedup_bound()
+            .expect("probabilistic tier reports a bound");
+        assert!((0.0..1.0).contains(&bound));
+        // An ample filter over this small scope misses nothing: the state
+        // count matches the exact engines'.
+        let exact = Explorer::new(cfg).explore(&proto);
+        assert_eq!(outcome.report(), exact.report());
+    }
+}

@@ -34,6 +34,14 @@
 //!   worker threads with a sharded visited set: deterministic outcomes
 //!   independent of thread count, with the sequential explorer kept as the
 //!   differential oracle.
+//! - [`Explorer`] — the unified facade over both engines: one owner for
+//!   the scope config, engine choice, arena, and visited-tier
+//!   construction.
+//! - [`StateCodec`] / [`VisitedSet`] — the state-identity layer: states
+//!   bit-packed to [`EncodedState::BYTES`] fixed bytes, deduplicated
+//!   through an exact in-RAM tier, an exact disk-spilling tier bounded by
+//!   a memory budget, or a probabilistic Bloom tier with a reported
+//!   false-dedup bound ([`VisitedSpec`]).
 //! - [`shrink()`] — greedy counterexample shrinking: deletes runs of
 //!   adversary actions while the schedule still replays to a violation, so
 //!   machine-found attacks come back minimal and human-readable.
@@ -63,9 +71,11 @@
 #![warn(missing_docs)]
 
 pub mod boundness;
+pub mod codec;
 mod dominant;
 pub mod explore;
 pub mod explore_par;
+mod explorer;
 mod greedy;
 mod mf;
 mod oracle;
@@ -74,14 +84,17 @@ pub mod por;
 mod schedule;
 mod shrink;
 mod system;
+pub mod visited;
 mod workpool;
 
+pub use codec::{CodecMode, EncodedState, StateCodec};
 pub use dominant::{DominantReport, DominantTracker, ProbRunConfig};
 pub use explore::{
     explore, explore_with_stats, scope_root, Discipline, ExploreConfig, ExploreOutcome,
     ExploreStats,
 };
 pub use explore_par::{explore_parallel, ExploreArena, ParallelExplorer};
+pub use explorer::Explorer;
 pub use greedy::GreedyReplayAdversary;
 pub use mf::{MfConfig, MfFalsifier, MfGrowthStage};
 pub use oracle::{BoundnessOracle, Extension};
@@ -90,6 +103,9 @@ pub use por::{apply_step, state_digest, steps_independent_at};
 pub use schedule::{Schedule, ScheduleError, ScheduleStep};
 pub use shrink::{shrink, ShrinkError, ShrinkOutcome};
 pub use system::{Disposition, System};
+pub use visited::{
+    ProbabilisticVisited, RamVisited, TieredVisited, VisitedSet, VisitedSpec, DEFAULT_MEMORY_BUDGET,
+};
 pub use workpool::ChunkCursor;
 
 use nonfifo_ioa::{Execution, SpecViolation};

@@ -104,18 +104,20 @@
 //! reused header comes back into expectation) get the identity quotient and
 //! behave exactly as without `--por`.
 
-use crate::explore::{enabled_actions, state_key, Action, Discipline, ExploreConfig};
+use crate::codec::{state_key, CodecMode, StateCodec};
+use crate::explore::{enabled_actions, Action, Discipline, ExploreConfig};
 use crate::schedule::ScheduleStep;
 use crate::system::System;
 use nonfifo_channel::Channel as _;
-use nonfifo_ioa::fingerprint::{fnv64, mix64, StateHash};
 use nonfifo_ioa::Packet;
 
-/// Per-run reduction context, fixed at the root: whether the sleep-set
-/// rule is live for this (protocol, config) pair.
+/// Per-run reduction context, fixed at the root: which [`StateCodec`] the
+/// run deduplicates through — the retired-copy quotient when the sleep-set
+/// rule is live for this (protocol, config) pair, the plain full codec
+/// otherwise.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PorCtx {
-    active: bool,
+    codec: StateCodec,
 }
 
 impl PorCtx {
@@ -125,9 +127,19 @@ impl PorCtx {
     /// and the protocol is ghost-free (so channel-only edits are invisible
     /// to the automata).
     pub(crate) fn new(root: &System, cfg: &ExploreConfig) -> Self {
+        let active = cfg.por && cfg.discipline == Discipline::NonFifo && !root.uses_ghosts();
         PorCtx {
-            active: cfg.por && cfg.discipline == Discipline::NonFifo && !root.uses_ghosts(),
+            codec: if active {
+                StateCodec::retired_quotient()
+            } else {
+                StateCodec::full()
+            },
         }
+    }
+
+    /// True when the sleep-set rule (and the quotient key) is live.
+    fn active(&self) -> bool {
+        self.codec.mode() == CodecMode::RetiredQuotient
     }
 
     /// True when `action`, taken from `parent` and producing `child`, goes
@@ -141,7 +153,7 @@ impl PorCtx {
         action: Action,
         cfg: &ExploreConfig,
     ) -> bool {
-        if !self.active || !matches!(action, Action::Deliver(_)) {
+        if !self.active() || !matches!(action, Action::Deliver(_)) {
             return false;
         }
         // Rule 2: `park` must be enabled, so the slept delivery's tick is
@@ -161,32 +173,11 @@ impl PorCtx {
     /// both stations, so delivering one retired copy mirrors delivering
     /// any other), and this collapse, not edge pruning, is where the
     /// reduction's state savings come from. Inactive contexts return the
-    /// full [`state_key`] unchanged.
+    /// full [`state_key`] unchanged. The derivation itself lives in the
+    /// shared [`StateCodec`] ([`CodecMode::RetiredQuotient`]), bit-for-bit
+    /// the historical chain.
     pub(crate) fn key(&self, sys: &System) -> u64 {
-        if !self.active {
-            return state_key(sys);
-        }
-        let ms = sys.fwd.parked_multiset();
-        // Start from the incrementally maintained whole-pool digest and
-        // subtract the retired copies back out — the walk only pays for
-        // what it anonymises.
-        let mut live = ms.content_hash();
-        let mut retired = 0u64;
-        for (p, _) in ms.iter() {
-            if sys.packet_retired(p) {
-                live = live.wrapping_sub(mix64(fnv64(&p)));
-                retired += 1;
-            }
-        }
-        StateHash::new("explore-state-por")
-            .field(sys.tx.state_fingerprint())
-            .field(sys.rx.state_fingerprint())
-            .field(sys.counts().sm)
-            .field(sys.counts().rm)
-            .field(live)
-            .field(retired)
-            .field(ms.len() as u64)
-            .finish()
+        self.codec.key(sys)
     }
 }
 
@@ -447,9 +438,9 @@ mod tests {
         };
         let root = build_root(&AlternatingBit::new(), &cfg, true);
         let ctx = PorCtx::new(&root, &cfg);
-        assert!(!ctx.active);
+        assert!(!ctx.active());
         let clean = build_root(&AlternatingBit::new(), &nonfifo_cfg(), true);
-        assert!(PorCtx::new(&clean, &nonfifo_cfg()).active);
+        assert!(PorCtx::new(&clean, &nonfifo_cfg()).active());
     }
 
     #[test]

@@ -1,0 +1,812 @@
+//! Tiered visited-state sets — the dedup store behind both explorers.
+//!
+//! The exploration engines deduplicate on 64-bit state keys (see
+//! [`crate::codec`]). This module replaces the hard-wired in-RAM shard
+//! array with a [`VisitedSet`] trait and three interchangeable tiers:
+//!
+//! - [`RamVisited`] — the existing exact tier: 64 FNV shards in RAM.
+//!   Fastest, bounded by memory.
+//! - [`TieredVisited`] — an exact tier that **spills to disk** when a byte
+//!   budget is exceeded: a RAM delta absorbs inserts, and when it outgrows
+//!   the budget it is merge-compacted into a single sorted on-disk run of
+//!   little-endian keys, probed by binary search over in-RAM fence
+//!   pointers plus one positioned block read. Reports stay byte-identical
+//!   to [`RamVisited`] — membership answers are exact — while resident
+//!   memory stays under the budget.
+//! - [`ProbabilisticVisited`] — a Bloom-filter tier with a fixed byte
+//!   footprint and a **bounded false-dedup rate**: a filter hit for a
+//!   never-seen state wrongly skips it, so a certificate produced on this
+//!   tier holds only modulo the reported bound
+//!   ([`VisitedSet::false_dedup_bound`], the standard
+//!   `(1 − e^(−kn/m))^k` estimate). The filter is seeded with fixed hash
+//!   functions and no randomness, so runs are deterministic and the bound
+//!   is reproducible.
+//!
+//! **Determinism contract.** Both engines call [`VisitedSet::insert`] in a
+//! deterministic order (sequential BFS order, or the parallel engine's
+//! sorted per-level merge) and only ever *read* the set concurrently while
+//! it is frozen during a level ([`VisitedSet::contains`] takes `&self`;
+//! the trait requires `Sync`). Exact tiers therefore produce identical
+//! admit/reject decisions — and hence byte-identical reports — at any
+//! thread count and for any tier choice; the probabilistic tier is equally
+//! deterministic but trades exactness for footprint.
+//!
+//! Tier selection is data ([`VisitedSpec`]), parsed from the CLI's
+//! `--visited <ram|tiered|probabilistic>` / `--memory-budget <bytes>`
+//! flags and owned by the [`Explorer`](crate::Explorer) facade.
+
+use nonfifo_ioa::fingerprint::{mix64, Fnv64};
+use std::collections::HashSet;
+use std::fs::File;
+use std::hash::BuildHasherDefault;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Visited-state set on the fixed-key FNV-64 hasher: state keys are already
+/// well-mixed 64-bit fingerprints, so the cheap hash is safe and saves the
+/// SipHash pass `std`'s default would pay per probe.
+pub(crate) type FnvSet = HashSet<u64, BuildHasherDefault<Fnv64>>;
+
+/// Visited-set shards in the RAM tiers. Sharding keeps the per-level merge
+/// cache-friendly and the occupancy telemetry meaningful; lookups during a
+/// level are lock-free because the set is frozen.
+pub(crate) const SHARDS: usize = 64;
+
+/// Estimated resident bytes per live key in a RAM shard: the 8-byte key
+/// plus hash-table control and load-factor overhead. An estimate, not an
+/// allocator measurement — budgets and the `explore.visited_bytes` gauge
+/// are denominated in it, consistently across tiers.
+const RAM_ENTRY_BYTES: usize = 12;
+
+/// Keys per on-disk block: 512 × 8 B = one 4 KiB page per positioned read,
+/// with one in-RAM fence pointer (the block's first key) each.
+const BLOCK_KEYS: usize = 512;
+
+/// The shard a key lands in — derived from the *mixed* digest, not the raw
+/// key. State keys are FNV chains, which are nearly linear over inputs
+/// sharing a prefix (see [`mix64`]); masking the raw low bits inherits that
+/// structure, so the index goes through the SplitMix64 finalizer first and
+/// masks from full-avalanche bits.
+pub(crate) fn shard_of(key: u64) -> usize {
+    (mix64(key) & (SHARDS as u64 - 1)) as usize
+}
+
+/// A deduplication store for 64-bit state keys.
+///
+/// Implementations must be deterministic: the same insert sequence yields
+/// the same admit/reject answers, whatever the wall clock, thread count, or
+/// filesystem says. `contains` is a read-only probe safe to call from many
+/// threads while no insert is in flight (the engines freeze the set during
+/// a level); `insert` requires exclusive access and is the only mutator.
+pub trait VisitedSet: Send + Sync + std::fmt::Debug {
+    /// True if `key` has been admitted (exact tiers) or cannot be ruled out
+    /// (probabilistic tier).
+    fn contains(&self, key: u64) -> bool;
+
+    /// Records `key`; true if it was new (the state should be expanded),
+    /// false if it deduplicates against an earlier insert.
+    fn insert(&mut self, key: u64) -> bool;
+
+    /// Keys admitted so far.
+    fn len(&self) -> usize;
+
+    /// True when nothing has been admitted.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears logical content while retaining allocations — arenas call
+    /// this between runs to keep the steady state off the allocator.
+    fn clear(&mut self);
+
+    /// Estimated resident bytes right now (RAM structures only; spilled
+    /// runs are accounted by [`VisitedSet::disk_bytes`]).
+    fn memory_bytes(&self) -> usize;
+
+    /// High-water mark of [`VisitedSet::memory_bytes`] over the set's
+    /// lifetime — what the `explore.visited_bytes` gauge reports.
+    fn peak_memory_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+
+    /// Appends the resident shard occupancies (for the
+    /// `explore.shard_occupancy` telemetry histogram). Tiers without a
+    /// resident shard structure append nothing.
+    fn shard_sizes(&self, out: &mut Vec<u64>);
+
+    /// Times the RAM delta was merge-compacted to disk (0 for pure-RAM
+    /// tiers).
+    fn spills(&self) -> u64 {
+        0
+    }
+
+    /// Bytes currently resident in the on-disk run (0 for pure-RAM tiers).
+    fn disk_bytes(&self) -> u64 {
+        0
+    }
+
+    /// For probabilistic tiers: an upper estimate of the probability that
+    /// the *next* membership probe wrongly deduplicates a never-seen state.
+    /// `None` for exact tiers — their certificates are unconditional.
+    fn false_dedup_bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The exact in-RAM tier: 64 FNV-hashed shards, exactly the dedup store
+/// the parallel engine always used (with the shard index now derived from
+/// the mixed digest).
+#[derive(Debug)]
+pub struct RamVisited {
+    shards: Vec<FnvSet>,
+    len: usize,
+}
+
+impl RamVisited {
+    /// An empty set; shard tables grow on demand and are retained across
+    /// [`VisitedSet::clear`].
+    pub fn new() -> Self {
+        RamVisited {
+            shards: (0..SHARDS).map(|_| FnvSet::default()).collect(),
+            len: 0,
+        }
+    }
+}
+
+impl Default for RamVisited {
+    fn default() -> Self {
+        RamVisited::new()
+    }
+}
+
+impl VisitedSet for RamVisited {
+    fn contains(&self, key: u64) -> bool {
+        self.shards[shard_of(key)].contains(&key)
+    }
+
+    fn insert(&mut self, key: u64) -> bool {
+        let admitted = self.shards[shard_of(key)].insert(key);
+        if admitted {
+            self.len += 1;
+        }
+        admitted
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        self.len = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.len * RAM_ENTRY_BYTES
+    }
+
+    fn shard_sizes(&self, out: &mut Vec<u64>) {
+        out.extend(self.shards.iter().map(|s| s.len() as u64));
+    }
+}
+
+/// Process-unique sequence for spill-file names; combined with the PID so
+/// concurrent explorations (and concurrent test processes) never collide.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn spill_path() -> PathBuf {
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "nonfifo-visited-{}-{}.run",
+        std::process::id(),
+        seq
+    ))
+}
+
+/// One sorted on-disk run of unique little-endian `u64` keys, probed by
+/// binary search over in-RAM fence pointers (first key per 4 KiB block)
+/// plus a single positioned read. The file is deleted on drop.
+struct DiskRun {
+    file: File,
+    path: PathBuf,
+    keys: u64,
+    fences: Vec<u64>,
+    /// Serialises seek+read probes on platforms without positioned reads.
+    #[cfg(not(unix))]
+    probe: std::sync::Mutex<()>,
+}
+
+impl std::fmt::Debug for DiskRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskRun")
+            .field("path", &self.path)
+            .field("keys", &self.keys)
+            .field("blocks", &self.fences.len())
+            .finish()
+    }
+}
+
+impl Drop for DiskRun {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl DiskRun {
+    /// Writes `sorted` (strictly increasing, unique) to a fresh spill file.
+    fn write(sorted: &[u64]) -> std::io::Result<DiskRun> {
+        let path = spill_path();
+        let mut fences = Vec::with_capacity(sorted.len().div_ceil(BLOCK_KEYS));
+        // `File::create` would hand back a write-only descriptor; the run
+        // is probed (read) for the rest of its life, so open read+write.
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut writer = BufWriter::new(file);
+        for (i, &key) in sorted.iter().enumerate() {
+            if i % BLOCK_KEYS == 0 {
+                fences.push(key);
+            }
+            writer.write_all(&key.to_le_bytes())?;
+        }
+        writer.flush()?;
+        let file = writer.into_inner().map_err(|e| e.into_error())?;
+        Ok(DiskRun {
+            file,
+            path,
+            keys: sorted.len() as u64,
+            fences,
+            #[cfg(not(unix))]
+            probe: std::sync::Mutex::new(()),
+        })
+    }
+
+    fn read_block_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            // `Read`/`Seek` are implemented for `&File`, so a shared probe
+            // only needs the mutex to keep seek+read atomic.
+            let _guard = self.probe.lock().expect("disk-run probe lock");
+            let mut file = &self.file;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)
+        }
+    }
+
+    /// Exact membership probe: fence search picks the one candidate block,
+    /// a positioned read fetches it, binary search settles it.
+    fn contains(&self, key: u64) -> bool {
+        if self.keys == 0 || self.fences.first().is_some_and(|&f| key < f) {
+            return false;
+        }
+        let block = self.fences.partition_point(|&f| f <= key) - 1;
+        let start = block * BLOCK_KEYS;
+        let in_block = (self.keys as usize - start).min(BLOCK_KEYS);
+        let mut buf = [0u8; BLOCK_KEYS * 8];
+        let bytes = &mut buf[..in_block * 8];
+        if self.read_block_at((start * 8) as u64, bytes).is_err() {
+            // An unreadable spill file cannot silently fabricate dedup
+            // hits; treating the probe as a miss keeps the search sound
+            // (worst case it re-expands a state it already covered —
+            // impossible for exact tiers unless the file vanished mid-run).
+            return false;
+        }
+        let mut lo = 0usize;
+        let mut hi = in_block;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let at = mid * 8;
+            let probe = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("block layout"));
+            match probe.cmp(&key) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        false
+    }
+
+    /// Streams the run's keys in ascending order into `out`.
+    fn read_all_into(&mut self, out: &mut Vec<u64>) -> std::io::Result<()> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut reader = std::io::BufReader::new(&self.file);
+        let mut buf = [0u8; 8];
+        for _ in 0..self.keys {
+            reader.read_exact(&mut buf)?;
+            out.push(u64::from_le_bytes(buf));
+        }
+        Ok(())
+    }
+}
+
+/// The exact disk-spilling tier: a [`RamVisited`] delta under a byte
+/// budget, merge-compacted into one sorted [`DiskRun`] whenever the
+/// resident estimate crosses the budget. Membership is exact — delta OR
+/// run — so reports are byte-identical to the in-RAM tier at any budget.
+#[derive(Debug)]
+pub struct TieredVisited {
+    delta: RamVisited,
+    run: Option<DiskRun>,
+    budget: usize,
+    spills: u64,
+    peak: usize,
+    /// Spill scratch, retained across compactions and runs.
+    merge: Vec<u64>,
+}
+
+impl TieredVisited {
+    /// A tiered set that spills once its resident estimate exceeds
+    /// `memory_budget` bytes. Any budget is legal — a tiny one just spills
+    /// often; correctness never depends on it.
+    pub fn new(memory_budget: usize) -> Self {
+        TieredVisited {
+            delta: RamVisited::new(),
+            run: None,
+            budget: memory_budget,
+            spills: 0,
+            peak: 0,
+            merge: Vec::new(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Merge-compacts the delta into the on-disk run. Keys are unique
+    /// across the two sources by construction (`insert` probes the run
+    /// before admitting into the delta), so the merge is a plain sorted
+    /// union of disjoint sets.
+    fn spill(&mut self) {
+        self.merge.clear();
+        for shard in &self.delta.shards {
+            self.merge.extend(shard.iter().copied());
+        }
+        self.merge.sort_unstable();
+        if let Some(run) = &mut self.run {
+            run.read_all_into(&mut self.merge)
+                .expect("read back the visited spill run");
+            // Both halves are sorted and disjoint; a full sort of the
+            // concatenation is simple and the spill is off the hot path.
+            self.merge.sort_unstable();
+        }
+        let next = DiskRun::write(&self.merge).expect("write the visited spill run");
+        self.run = Some(next);
+        self.delta.clear();
+        self.spills += 1;
+    }
+}
+
+impl VisitedSet for TieredVisited {
+    fn contains(&self, key: u64) -> bool {
+        self.delta.contains(key) || self.run.as_ref().is_some_and(|r| r.contains(key))
+    }
+
+    fn insert(&mut self, key: u64) -> bool {
+        if self.contains(key) {
+            return false;
+        }
+        self.delta.insert(key);
+        let resident = self.memory_bytes();
+        self.peak = self.peak.max(resident);
+        if resident > self.budget && !self.delta.is_empty() {
+            self.spill();
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.delta.len() + self.run.as_ref().map_or(0, |r| r.keys as usize)
+    }
+
+    fn clear(&mut self) {
+        self.delta.clear();
+        self.run = None;
+        self.spills = 0;
+        self.peak = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.delta.memory_bytes() + self.run.as_ref().map_or(0, |r| r.fences.len() * 8)
+    }
+
+    fn peak_memory_bytes(&self) -> usize {
+        self.peak.max(self.memory_bytes())
+    }
+
+    fn shard_sizes(&self, out: &mut Vec<u64>) {
+        self.delta.shard_sizes(out);
+    }
+
+    fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        self.run.as_ref().map_or(0, |r| r.keys * 8)
+    }
+}
+
+/// Bloom hash count. With the filter sized from the byte budget rather
+/// than a known key count, a small fixed `k` keeps probes cheap and the
+/// closed-form bound exact to evaluate.
+const BLOOM_HASHES: u32 = 4;
+
+/// Smallest filter the probabilistic tier will build, whatever the budget:
+/// 1 KiB. Degenerate filters would saturate instantly and report a useless
+/// (though still honest) bound near 1.
+const BLOOM_MIN_BYTES: usize = 1024;
+
+/// The probabilistic tier: a fixed-footprint Bloom filter. Exactness is
+/// traded for memory — a saturated bit pattern can wrongly deduplicate a
+/// never-seen state ("false dedup"), silently shrinking the explored set —
+/// so certificates from this tier are annotated with
+/// [`VisitedSet::false_dedup_bound`] rather than reported unconditionally.
+/// Hashes are fixed (double hashing over [`mix64`] streams, no RNG), so
+/// runs and bounds are deterministic.
+#[derive(Debug)]
+pub struct ProbabilisticVisited {
+    bits: Vec<u64>,
+    nbits: u64,
+    admitted: usize,
+}
+
+impl ProbabilisticVisited {
+    /// A filter of `memory_budget` bytes (clamped up to a 1 KiB floor).
+    pub fn new(memory_budget: usize) -> Self {
+        let words = memory_budget.max(BLOOM_MIN_BYTES) / 8;
+        ProbabilisticVisited {
+            bits: vec![0u64; words],
+            nbits: (words * 64) as u64,
+            admitted: 0,
+        }
+    }
+
+    /// The `i`-th probe position for `key` (double hashing; `h2` is forced
+    /// odd so the stride never degenerates).
+    fn bit_of(&self, key: u64, i: u32) -> u64 {
+        let h1 = mix64(key);
+        let h2 = mix64(key ^ 0x9e37_79b9_7f4a_7c15) | 1;
+        h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.nbits
+    }
+
+    fn probe(&self, key: u64) -> bool {
+        (0..BLOOM_HASHES).all(|i| {
+            let bit = self.bit_of(key, i);
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+}
+
+impl VisitedSet for ProbabilisticVisited {
+    fn contains(&self, key: u64) -> bool {
+        self.probe(key)
+    }
+
+    fn insert(&mut self, key: u64) -> bool {
+        if self.probe(key) {
+            // Either a genuine duplicate or a false dedup — by design the
+            // filter cannot tell, which is exactly what the reported bound
+            // quantifies.
+            return false;
+        }
+        for i in 0..BLOOM_HASHES {
+            let bit = self.bit_of(key, i);
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.admitted += 1;
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.admitted
+    }
+
+    fn clear(&mut self) {
+        self.bits.fill(0);
+        self.admitted = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    fn shard_sizes(&self, _out: &mut Vec<u64>) {}
+
+    fn false_dedup_bound(&self) -> Option<f64> {
+        // The standard Bloom estimate (1 − e^(−kn/m))^k with n = keys
+        // admitted so far, m = filter bits, k = probe count.
+        let k = f64::from(BLOOM_HASHES);
+        let n = self.admitted as f64;
+        let m = self.nbits as f64;
+        Some((1.0 - (-k * n / m).exp()).powf(k))
+    }
+}
+
+/// Tier selection as data: which [`VisitedSet`] an exploration should
+/// deduplicate through. Parsed from `--visited` / `--memory-budget` and
+/// owned by the [`Explorer`](crate::Explorer) facade.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum VisitedSpec {
+    /// Exact, all in RAM ([`RamVisited`]) — the default.
+    #[default]
+    Ram,
+    /// Exact, spilling to disk past a resident-byte budget
+    /// ([`TieredVisited`]).
+    Tiered {
+        /// Resident-byte budget before a spill compaction.
+        memory_budget: usize,
+    },
+    /// Bloom filter of a fixed byte footprint ([`ProbabilisticVisited`]);
+    /// certificates hold modulo the reported false-dedup bound.
+    Probabilistic {
+        /// Filter size in bytes.
+        memory_budget: usize,
+    },
+}
+
+/// Default byte budget when `--visited tiered|probabilistic` is given
+/// without `--memory-budget`: 1 GiB.
+pub const DEFAULT_MEMORY_BUDGET: usize = 1 << 30;
+
+impl VisitedSpec {
+    /// Constructs the tier this spec names.
+    pub fn build(&self) -> Box<dyn VisitedSet> {
+        match *self {
+            VisitedSpec::Ram => Box::new(RamVisited::new()),
+            VisitedSpec::Tiered { memory_budget } => Box::new(TieredVisited::new(memory_budget)),
+            VisitedSpec::Probabilistic { memory_budget } => {
+                Box::new(ProbabilisticVisited::new(memory_budget))
+            }
+        }
+    }
+
+    /// True for tiers whose membership answers are exact — the modes whose
+    /// reports are byte-identical to [`VisitedSpec::Ram`].
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, VisitedSpec::Probabilistic { .. })
+    }
+
+    /// Applies a `--memory-budget` value to the spec (no-op for
+    /// [`VisitedSpec::Ram`], which has no budget to bound).
+    pub fn with_budget(self, memory_budget: usize) -> Self {
+        match self {
+            VisitedSpec::Ram => VisitedSpec::Ram,
+            VisitedSpec::Tiered { .. } => VisitedSpec::Tiered { memory_budget },
+            VisitedSpec::Probabilistic { .. } => VisitedSpec::Probabilistic { memory_budget },
+        }
+    }
+}
+
+impl std::fmt::Display for VisitedSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VisitedSpec::Ram => write!(f, "ram"),
+            VisitedSpec::Tiered { memory_budget } => {
+                write!(f, "tiered (budget {memory_budget} B)")
+            }
+            VisitedSpec::Probabilistic { memory_budget } => {
+                write!(f, "probabilistic ({memory_budget} B filter)")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for VisitedSpec {
+    type Err = String;
+
+    /// Parses `ram`, `tiered`, or `probabilistic`; budgets ride separately
+    /// on [`VisitedSpec::with_budget`].
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "ram" => Ok(VisitedSpec::Ram),
+            "tiered" => Ok(VisitedSpec::Tiered {
+                memory_budget: DEFAULT_MEMORY_BUDGET,
+            }),
+            "probabilistic" => Ok(VisitedSpec::Probabilistic {
+                memory_budget: DEFAULT_MEMORY_BUDGET,
+            }),
+            other => Err(format!(
+                "unknown visited tier {other:?} (ram, tiered, probabilistic)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic mixed key stream with duplicates: every third key
+    /// repeats an earlier one.
+    fn key_stream(n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 2 {
+                    mix64((i / 2) as u64)
+                } else {
+                    mix64(i as u64)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ram_and_tiered_agree_on_every_answer() {
+        let mut ram = RamVisited::new();
+        // 1 KiB budget over ~10k keys: dozens of spill compactions.
+        let mut tiered = TieredVisited::new(1024);
+        for key in key_stream(10_000) {
+            assert_eq!(ram.contains(key), tiered.contains(key), "pre-probe {key}");
+            assert_eq!(ram.insert(key), tiered.insert(key), "insert {key}");
+            assert!(tiered.contains(key), "post-probe {key}");
+        }
+        assert_eq!(ram.len(), tiered.len());
+        assert!(tiered.spills() > 0, "the tiny budget must have spilled");
+        assert!(tiered.disk_bytes() > 0);
+        assert!(
+            tiered.memory_bytes() <= 1024 + SHARDS * RAM_ENTRY_BYTES,
+            "resident estimate near the budget after compactions: {}",
+            tiered.memory_bytes()
+        );
+        // Every admitted key answers true from the spilled run.
+        for key in key_stream(10_000) {
+            assert!(tiered.contains(key));
+        }
+        assert!(!tiered.contains(mix64(0xdead_beef)));
+    }
+
+    #[test]
+    fn tiered_clear_resets_to_an_empty_set() {
+        let mut tiered = TieredVisited::new(256);
+        for key in key_stream(2_000) {
+            tiered.insert(key);
+        }
+        assert!(tiered.spills() > 0);
+        tiered.clear();
+        assert_eq!(tiered.len(), 0);
+        assert_eq!(tiered.spills(), 0);
+        assert_eq!(tiered.disk_bytes(), 0);
+        assert!(!tiered.contains(mix64(1)));
+        // Reusable after the reset, exactly like a fresh set.
+        assert!(tiered.insert(42));
+        assert!(!tiered.insert(42));
+    }
+
+    #[test]
+    fn spill_files_are_deleted_on_drop() {
+        let path;
+        {
+            let mut tiered = TieredVisited::new(64);
+            for key in key_stream(500) {
+                tiered.insert(key);
+            }
+            path = tiered.run.as_ref().expect("spilled").path.clone();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "spill file must not outlive the set");
+    }
+
+    #[test]
+    fn disk_run_block_boundaries_are_exact() {
+        // Key counts straddling block boundaries: first/last key of each
+        // block, plus absent neighbours of every present key.
+        for n in [BLOCK_KEYS - 1, BLOCK_KEYS, BLOCK_KEYS + 1, 3 * BLOCK_KEYS] {
+            let keys: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+            let run = DiskRun::write(&keys).unwrap();
+            for &k in &keys {
+                assert!(run.contains(k), "{n} keys: present {k}");
+                assert!(!run.contains(k + 1), "{n} keys: absent {}", k + 1);
+            }
+            assert!(!run.contains(0), "{n} keys: below the first fence");
+        }
+    }
+
+    #[test]
+    fn probabilistic_is_deterministic_and_reports_an_honest_bound() {
+        let build = || {
+            let mut bloom = ProbabilisticVisited::new(64 * 1024);
+            let answers: Vec<bool> = key_stream(20_000)
+                .iter()
+                .map(|&k| bloom.insert(k))
+                .collect();
+            (bloom, answers)
+        };
+        let (a, answers_a) = build();
+        let (b, answers_b) = build();
+        assert_eq!(answers_a, answers_b, "no RNG anywhere: runs must replay");
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.false_dedup_bound(), b.false_dedup_bound());
+
+        // Honesty: the distinct-key count is known, so the observed false
+        // dedups are countable. The bound is a per-probe expectation; 2x
+        // slack absorbs the variance of one fixed hash draw.
+        let keys = key_stream(20_000);
+        let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        let false_dedups = distinct.len() - a.len();
+        let bound = a.false_dedup_bound().unwrap();
+        assert!(bound > 0.0 && bound < 1.0);
+        assert!(
+            (false_dedups as f64) <= (bound * distinct.len() as f64).mul_add(2.0, 8.0),
+            "{false_dedups} false dedups exceeds twice the reported bound \
+             ({bound:.2e} over {} keys)",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn probabilistic_with_ample_budget_is_effectively_exact() {
+        // 1 MiB of filter for 20k keys: the bound collapses and no false
+        // dedup occurs, so the admitted count equals the distinct count.
+        let mut bloom = ProbabilisticVisited::new(1 << 20);
+        let keys = key_stream(20_000);
+        for &k in &keys {
+            bloom.insert(k);
+        }
+        let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(bloom.len(), distinct.len());
+        assert!(bloom.false_dedup_bound().unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn shard_index_comes_from_the_mixed_digest() {
+        // Raw FNV state keys share high-entropy low bits only after
+        // mixing; the regression here is structural: consecutive FNV
+        // chains must not all land in a handful of shards.
+        let mut occupied = [false; SHARDS];
+        for i in 0..4096u64 {
+            // FNV-like near-linear keys: a fixed prefix times the prime
+            // plus a small delta — the adversarial shape for raw masking.
+            let key = 0xcbf2_9ce4_8422_2325u64
+                .wrapping_mul(0x0000_0100_0000_01b3)
+                .wrapping_add(i);
+            occupied[shard_of(key)] = true;
+        }
+        assert!(
+            occupied.iter().filter(|&&b| b).count() == SHARDS,
+            "mixed shard index must reach every shard"
+        );
+    }
+
+    #[test]
+    fn spec_parses_builds_and_displays() {
+        assert_eq!("ram".parse::<VisitedSpec>().unwrap(), VisitedSpec::Ram);
+        assert!(matches!(
+            "tiered".parse::<VisitedSpec>().unwrap(),
+            VisitedSpec::Tiered { .. }
+        ));
+        assert!(matches!(
+            "probabilistic".parse::<VisitedSpec>().unwrap(),
+            VisitedSpec::Probabilistic { .. }
+        ));
+        assert!("mmap".parse::<VisitedSpec>().is_err());
+        let spec = "tiered".parse::<VisitedSpec>().unwrap().with_budget(4096);
+        assert_eq!(
+            spec,
+            VisitedSpec::Tiered {
+                memory_budget: 4096
+            }
+        );
+        assert!(spec.is_exact());
+        assert!(!VisitedSpec::Probabilistic {
+            memory_budget: 4096
+        }
+        .is_exact());
+        let mut set = spec.build();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+        assert_eq!(VisitedSpec::Ram.to_string(), "ram");
+    }
+}

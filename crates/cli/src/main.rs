@@ -11,8 +11,9 @@
 //! nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
 //!                  [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
 //!                  [--parallel] [--threads N] [--por] [--differential]
-//!                  [--no-shrink] [--metrics] [--metrics-out FILE]
-//!                  [--trace-out FILE]
+//!                  [--visited ram|tiered|probabilistic]
+//!                  [--memory-budget BYTES] [--no-shrink] [--metrics]
+//!                  [--metrics-out FILE] [--trace-out FILE]
 //! nonfifo campaign <plan-file> [--threads N] [--cache FILE]
 //!                  [--metrics-out FILE]
 //! nonfifo serve    [--addr HOST:PORT] [--workers N] [--cache FILE]
@@ -41,8 +42,9 @@ mod registry;
 
 use args::{Args, ArgsError, CommonOpts};
 use nonfifo_adversary::{
-    explore, shrink, Discipline, ExploreConfig, ExploreOutcome, FalsifyOutcome,
+    explore, shrink, Discipline, ExploreConfig, ExploreOutcome, Explorer, FalsifyOutcome,
     GreedyReplayAdversary, MfConfig, MfFalsifier, ParallelExplorer, PfConfig, PfFalsifier,
+    VisitedSpec,
 };
 use nonfifo_core::{CrashEvent, CrashMode, NonFifoError, SimConfig, SimError, Station};
 use nonfifo_telemetry::{Registry, TraceSink};
@@ -64,8 +66,9 @@ usage:
   nonfifo explore  <protocol> [--messages N] [--depth D] [--pool P]
                    [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
                    [--parallel] [--threads N] [--por] [--differential]
-                   [--no-shrink] [--metrics] [--metrics-out FILE]
-                   [--trace-out FILE]
+                   [--visited ram|tiered|probabilistic]
+                   [--memory-budget BYTES] [--no-shrink] [--metrics]
+                   [--metrics-out FILE] [--trace-out FILE]
   nonfifo campaign <plan-file> [--threads N] [--cache FILE]
                    [--metrics-out FILE]
   nonfifo serve    [--addr HOST:PORT] [--workers N] [--cache FILE]
@@ -88,6 +91,14 @@ verdicts, far fewer states per scope. With --differential the reduced
 run is checked against the full explorer (outcome kind, counterexample
 depth, shrunk attack script) instead of the byte-report comparison the
 flag performs between the sequential and parallel engines otherwise.
+
+explore --visited picks the visited-set tier: ram (exact, in-RAM — the
+default), tiered (exact, spills to a sorted disk run when the resident
+estimate exceeds --memory-budget bytes; reports stay byte-identical to
+ram at any budget), or probabilistic (a fixed-footprint Bloom filter of
+--memory-budget bytes; certificates are annotated with the bounded
+false-dedup rate, exit codes unchanged). --memory-budget defaults to
+1 GiB and requires a non-ram tier.
 
 telemetry: --metrics prints a summary table; --metrics-out writes the
 schema-versioned metrics JSON; --trace-out writes a Chrome trace_events
@@ -554,21 +565,46 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         corrupt_start,
         por: args.flag("por"),
     };
+    let spec = {
+        let mut spec: VisitedSpec = match args.option("visited") {
+            None => VisitedSpec::Ram,
+            Some(s) => s.parse().map_err(ArgsError)?,
+        };
+        if let Some(text) = args.option("memory-budget") {
+            let bytes: usize = text.parse().map_err(|_| {
+                ArgsError(format!("--memory-budget needs a byte count, got {text:?}"))
+            })?;
+            if matches!(spec, VisitedSpec::Ram) {
+                return Err(ArgsError(
+                    "--memory-budget requires --visited tiered or probabilistic".into(),
+                )
+                .into());
+            }
+            spec = spec.with_budget(bytes);
+        }
+        spec
+    };
+    if args.flag("differential") && !spec.is_exact() {
+        // The probabilistic tier may certify with fewer states than the
+        // exact oracle, so a byte-report comparison is meaningless.
+        return Err(ArgsError("--differential requires an exact visited tier".into()).into());
+    }
     let opts = CommonOpts::from_args(args)?;
     let (metrics, trace) = telemetry_sinks(&opts);
     let parallel = args.flag("parallel") || args.option("threads").is_some();
-    let engine = if parallel {
-        let mut explorer = ParallelExplorer::new(args.option_or("threads", 0)?);
-        if let Some(registry) = &metrics {
-            explorer = explorer.with_telemetry(Arc::clone(registry), trace.clone());
-        }
-        let label = format!("parallel, {} threads", explorer.threads());
-        (label, explorer)
-    } else {
-        ("sequential".to_string(), ParallelExplorer::new(1))
+    let mut explorer = Explorer::new(cfg).visited(spec);
+    if parallel {
+        explorer = explorer.parallel(args.option_or("threads", 0)?);
+    }
+    if let Some(registry) = &metrics {
+        explorer = explorer.with_telemetry(Arc::clone(registry), trace.clone());
+    }
+    let engine_label = match explorer.threads() {
+        Some(t) => format!("parallel, {t} threads"),
+        None => "sequential".to_string(),
     };
     println!(
-        "exploring {} in scope msgs={} depth={} pool={} discipline={}{}{} ({})…",
+        "exploring {} in scope msgs={} depth={} pool={} discipline={}{}{} ({engine_label}{})…",
         proto.name(),
         cfg.max_messages,
         cfg.max_depth,
@@ -578,35 +614,15 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
             .map(|s| format!(" corrupt-start={s}"))
             .unwrap_or_default(),
         if cfg.por { " por" } else { "" },
-        engine.0,
+        match spec {
+            VisitedSpec::Ram => String::new(),
+            other => format!(", visited {other}"),
+        },
     );
-    let started = std::time::Instant::now();
-    let outcome = if parallel {
-        engine.1.explore(proto.as_ref(), &cfg)
-    } else {
-        let (outcome, stats) = nonfifo_adversary::explore_with_stats(proto.as_ref(), &cfg);
-        if let Some(registry) = &metrics {
-            registry.counter("explore.pruned_states").add(stats.pruned);
-        }
-        outcome
-    };
-    // The sequential oracle is uninstrumented (it is the reference
-    // implementation); record the coarse counters after the fact so
-    // `--metrics-out` is meaningful on both engines.
+    let outcome = explorer.explore(proto.as_ref());
     if let Some(registry) = &metrics {
         if let ExploreOutcome::Counterexample { depth, .. } = &outcome {
             registry.set_value("explore.counterexample_depth", *depth as f64);
-        }
-        if !parallel {
-            if let ExploreOutcome::Exhausted { states } | ExploreOutcome::Truncated { states } =
-                &outcome
-            {
-                registry.counter("explore.states").add(*states as u64);
-                let secs = started.elapsed().as_secs_f64();
-                if secs > 0.0 {
-                    registry.set_value("explore.states_per_sec", *states as f64 / secs);
-                }
-            }
         }
     }
     if args.flag("differential") {
@@ -679,11 +695,32 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         }
         ExploreOutcome::Exhausted { states } => {
             println!("certificate: no invalid execution in scope (exhaustive, {states} states)");
+            if let Some(bound) = explorer.visited_set().false_dedup_bound() {
+                println!(
+                    "(probabilistic tier: certificate holds modulo a false-dedup \
+                     probability ≤ {bound:.3e} per state — rerun with --visited \
+                     tiered for an exact certificate)"
+                );
+            }
         }
         ExploreOutcome::Truncated { states } => {
             println!("inconclusive: state budget exhausted after {states} states");
             println!("(NOT a certificate — raise --max-states to cover the scope)");
         }
+    }
+    let visited = explorer.visited_set();
+    if visited.spills() > 0 {
+        println!(
+            "visited: {} spill(s), {} bytes on disk, peak {} bytes resident (budget {})",
+            visited.spills(),
+            visited.disk_bytes(),
+            visited.peak_memory_bytes(),
+            match spec {
+                VisitedSpec::Tiered { memory_budget }
+                | VisitedSpec::Probabilistic { memory_budget } => memory_budget,
+                VisitedSpec::Ram => 0,
+            },
+        );
     }
     export_telemetry(&opts, metrics.as_ref(), trace.as_ref())?;
     match outcome {

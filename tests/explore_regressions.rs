@@ -7,7 +7,8 @@
 //! attributed directly.
 
 use nonfifo::adversary::{
-    explore, shrink, Discipline, ExploreConfig, ExploreOutcome, ParallelExplorer,
+    explore, shrink, Discipline, ExploreConfig, ExploreOutcome, Explorer, ParallelExplorer,
+    VisitedSpec,
 };
 use nonfifo::protocols::{
     AlternatingBit, DataLink, GoBackN, NaiveCycle, Outnumber, SequenceNumber, SlidingWindow,
@@ -78,6 +79,33 @@ fn sequence_number_certificate_pins_its_state_count() {
             panic!("expected certificate, got {outcome:?}");
         };
         assert_eq!(states, 111, "certified state count moved");
+    }
+}
+
+#[test]
+fn visited_tiers_preserve_the_pinned_certificate() {
+    // The same 111-state pin through the facade, on every tier: the
+    // disk-spilling tier under a budget small enough to force several
+    // compactions, and the probabilistic tier with an ample filter.
+    // Identical counts mean tier choice cannot move the certified surface.
+    for spec in [
+        VisitedSpec::Ram,
+        VisitedSpec::Tiered { memory_budget: 256 },
+        VisitedSpec::Probabilistic {
+            memory_budget: 1 << 20,
+        },
+    ] {
+        for threads in [None, Some(0)] {
+            let mut facade = Explorer::new(small()).visited(spec);
+            if let Some(t) = threads {
+                facade = facade.parallel(t);
+            }
+            let outcome = facade.explore(&SequenceNumber::new());
+            let ExploreOutcome::Exhausted { states } = outcome else {
+                panic!("expected certificate on {spec}, got {outcome:?}");
+            };
+            assert_eq!(states, 111, "certified state count moved on {spec}");
+        }
     }
 }
 

@@ -1,0 +1,221 @@
+//! Property harness for the visited-set tiers and the state codec.
+//!
+//! For random small scopes, random protocols, and every channel
+//! [`Discipline`], the exact tiers must be invisible: a run deduplicating
+//! through the disk-spilling tier — even under a budget tiny enough to
+//! force spills every few states — must produce a report byte-identical
+//! to the in-RAM run, on both engines. The probabilistic tier must honor
+//! the false-dedup bound it reports, and the [`StateCodec`] must
+//! reproduce the legacy state digests bit-for-bit on reachable states.
+//! Cases run on the workspace PRNG so each is addressable by seed;
+//! `PROPTEST_CASES` scales the case count (CI pins it for reproducible
+//! runtime).
+
+use nonfifo::adversary::{
+    scope_root, state_digest, Discipline, ExploreConfig, ExploreOutcome, Explorer, StateCodec,
+    VisitedSpec,
+};
+use nonfifo::protocols::{
+    AlternatingBit, DataLink, GoBackN, Outnumber, SequenceNumber, SlidingWindow,
+};
+use nonfifo_rng::StdRng;
+
+/// Cases per property: `PROPTEST_CASES` if set, else a small default that
+/// keeps the whole harness in tier-1 time.
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+fn for_seeds(cases: u64, case: impl Fn(u64, &mut StdRng)) {
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(seed, &mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!("property failed at seed {seed}; rerun replays it exactly");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn random_protocol(rng: &mut StdRng) -> Box<dyn DataLink> {
+    match rng.gen_range(0..5) {
+        0 => Box::new(SequenceNumber::new()),
+        1 => Box::new(AlternatingBit::new()),
+        2 => Box::new(GoBackN::new(1 + rng.gen_range(0..2) as u32)),
+        3 => Box::new(SlidingWindow::new(1 + rng.gen_range(0..2) as u32)),
+        _ => Box::new(Outnumber::new(3 + rng.gen_range(0..2) as u32)),
+    }
+}
+
+fn random_discipline(rng: &mut StdRng) -> Discipline {
+    match rng.gen_range(0..3) {
+        0 => Discipline::NonFifo,
+        1 => Discipline::BoundedReorder(rng.gen_range(0..4) as u64),
+        _ => Discipline::LossyFifo,
+    }
+}
+
+fn random_scope(rng: &mut StdRng) -> ExploreConfig {
+    ExploreConfig {
+        max_messages: 1 + rng.gen_range(0..3) as u64,
+        max_depth: 4 + rng.gen_range(0..6),
+        max_pool: 2 + rng.gen_range(0..3),
+        max_states: 2_000_000,
+        discipline: random_discipline(rng),
+        corrupt_start: if rng.gen_range(0..3) == 0 {
+            Some(rng.next_u64())
+        } else {
+            None
+        },
+        por: rng.gen_range(0..2) == 1,
+    }
+}
+
+fn states_of(outcome: &ExploreOutcome) -> Option<usize> {
+    match outcome {
+        ExploreOutcome::Exhausted { states } | ExploreOutcome::Truncated { states } => {
+            Some(*states)
+        }
+        ExploreOutcome::Counterexample { .. } => None,
+    }
+}
+
+#[test]
+fn exact_tiers_are_byte_identical_across_the_matrix() {
+    for_seeds(cases(), |seed, rng| {
+        let proto = random_protocol(rng);
+        let cfg = random_scope(rng);
+        let reference = Explorer::new(cfg).explore(proto.as_ref()).report();
+        // A budget this small spills every ~20 admitted states, so every
+        // scope that certifies exercises many delta→run compactions.
+        let spec = VisitedSpec::Tiered { memory_budget: 256 };
+        let seq = Explorer::new(cfg)
+            .visited(spec)
+            .explore(proto.as_ref())
+            .report();
+        assert_eq!(
+            reference,
+            seq,
+            "seed {seed}: tiered sequential report diverges for {} under {}",
+            proto.name(),
+            cfg.discipline,
+        );
+        for threads in [2, 8] {
+            let par = Explorer::new(cfg)
+                .parallel(threads)
+                .visited(spec)
+                .explore(proto.as_ref())
+                .report();
+            assert_eq!(
+                reference,
+                par,
+                "seed {seed}: tiered {threads}-thread report diverges for {} under {}",
+                proto.name(),
+                cfg.discipline,
+            );
+        }
+    });
+}
+
+#[test]
+fn forced_spills_leave_no_trace_in_the_report() {
+    // The regression the tier exists for: a budget far below the scope's
+    // working set must actually spill to disk (not silently stay
+    // resident) and still certify the exact same state count.
+    let cfg = ExploreConfig {
+        max_messages: 4,
+        max_depth: 14,
+        max_pool: 6,
+        max_states: 2_000_000,
+        discipline: Discipline::NonFifo,
+        corrupt_start: None,
+        por: false,
+    };
+    let proto = SequenceNumber::new();
+    let reference = Explorer::new(cfg).explore(&proto).report();
+    let mut tiered = Explorer::new(cfg).visited(VisitedSpec::Tiered { memory_budget: 512 });
+    assert_eq!(tiered.explore(&proto).report(), reference);
+    let visited = tiered.visited_set();
+    assert!(visited.spills() > 0, "512-byte budget must spill");
+    assert!(visited.disk_bytes() > 0, "spills must land on disk");
+    assert!(
+        visited.peak_memory_bytes() < 4096,
+        "resident stays near the budget, got {}",
+        visited.peak_memory_bytes()
+    );
+}
+
+#[test]
+fn probabilistic_tier_honors_its_reported_bound() {
+    for_seeds(cases(), |seed, rng| {
+        let proto = random_protocol(rng);
+        let cfg = random_scope(rng);
+        let exact = Explorer::new(cfg).explore(proto.as_ref());
+        let Some(exact_states) = states_of(&exact) else {
+            return; // Counterexample scopes have no state count to compare.
+        };
+        // A filter an order of magnitude under-sized for big scopes and
+        // ample for small ones: both regimes must stay within the bound
+        // the tier itself reports.
+        let mut prob = Explorer::new(cfg).visited(VisitedSpec::Probabilistic {
+            memory_budget: 16 * 1024,
+        });
+        let outcome = prob.explore(proto.as_ref());
+        let bound = prob
+            .visited_set()
+            .false_dedup_bound()
+            .expect("probabilistic tier reports a bound");
+        assert!(
+            (0.0..1.0).contains(&bound),
+            "seed {seed}: bound {bound} out of range"
+        );
+        let Some(prob_states) = states_of(&outcome) else {
+            return; // A (sound) counterexample ends the run early.
+        };
+        assert!(
+            prob_states <= exact_states,
+            "seed {seed}: false dedup can only shrink the state count"
+        );
+        // Expected misses ≤ bound × inserts; allow generous headroom so
+        // the assertion checks the bound's order of magnitude, not luck.
+        let missed = exact_states - prob_states;
+        let allowance = (bound * exact_states as f64 * 16.0).ceil() as usize + 1;
+        assert!(
+            missed <= allowance,
+            "seed {seed}: {missed} states lost to false dedup exceeds the \
+             reported bound {bound:.3e} × {exact_states} states (allowance \
+             {allowance}) for {} under {}",
+            proto.name(),
+            cfg.discipline,
+        );
+    });
+}
+
+#[test]
+fn codec_reproduces_the_legacy_digest_on_scope_roots() {
+    let codec = StateCodec::full();
+    for_seeds(cases(), |seed, rng| {
+        let proto = random_protocol(rng);
+        let cfg = random_scope(rng);
+        let root = scope_root(proto.as_ref(), &cfg);
+        let encoded = codec.encode(&root);
+        assert_eq!(
+            codec.key_of(&encoded),
+            state_digest(&root),
+            "seed {seed}: codec key diverges from the legacy digest for {} under {}",
+            proto.name(),
+            cfg.discipline,
+        );
+        const {
+            assert!(
+                nonfifo::adversary::EncodedState::BYTES <= 64,
+                "codec blew the 64-byte budget"
+            );
+        }
+    });
+}
