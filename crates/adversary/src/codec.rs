@@ -221,6 +221,33 @@ impl StateCodec {
     }
 }
 
+/// Reads the `i`-th key of a little-endian-packed sorted key block — the
+/// on-disk unit of the visited tiers' spill runs (see [`crate::visited`]).
+/// The codec owns every byte layout in the dedup path, so the run format
+/// lives here next to [`EncodedState`]'s.
+pub(crate) fn key_at(block: &[u8], i: usize) -> u64 {
+    let at = i * 8;
+    u64::from_le_bytes(block[at..at + 8].try_into().expect("block layout"))
+}
+
+/// Binary-searches a little-endian-packed sorted key block for `key`.
+/// `block.len()` must be a multiple of 8. This is the probe primitive the
+/// visited tiers' positioned and batched disk probes both settle on, so a
+/// single-key probe and a batched sequential probe can never disagree.
+pub(crate) fn block_contains_key(block: &[u8], key: u64) -> bool {
+    let mut lo = 0usize;
+    let mut hi = block.len() / 8;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match key_at(block, mid).cmp(&key) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+        }
+    }
+    false
+}
+
 /// The plain state key of `sys` — the soundness anchor of deduplication:
 /// every action ends with the transmitter's outbox drained and the backward
 /// channel empty, so these fields determine all future behaviour of the
@@ -323,6 +350,22 @@ mod tests {
         const {
             assert!(EncodedState::BYTES <= 64);
         }
+    }
+
+    #[test]
+    fn key_blocks_round_trip_and_probe_exactly() {
+        let keys: Vec<u64> = (0..321u64).map(|i| i * 7 + 3).collect();
+        let mut block = Vec::new();
+        for &k in &keys {
+            block.extend_from_slice(&k.to_le_bytes());
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(key_at(&block, i), k);
+            assert!(block_contains_key(&block, k));
+            assert!(!block_contains_key(&block, k + 1));
+        }
+        assert!(!block_contains_key(&block, 0));
+        assert!(!block_contains_key(&[], 42));
     }
 
     #[test]

@@ -27,6 +27,18 @@
 //! parallel engine in [`explore_par`](crate::explore_par) shares the
 //! expansion core below (`enabled_actions` / `apply` / `state_key`) and is
 //! differentially tested against this one.
+//!
+//! The two engines drive the visited tier through deliberately different
+//! contracts. The oracle calls [`VisitedSet::insert`] one key at a time —
+//! the simplest use of the trait, and the easiest to audit. The parallel
+//! engine uses the batched side of the same trait
+//! ([`VisitedSet::contains_resident`] during expansion, then
+//! [`VisitedSet::probe_spilled_sorted`] over sorted per-shard batches and
+//! [`VisitedSet::insert_new`] at the level merge), which turns disk-tier
+//! probing into one sequential block read per batch instead of a random
+//! read per key. Byte-identical reports across both engines and every
+//! tier — pinned by `tests/visited_props.rs` — are what certify that the
+//! batched path implements exactly this oracle's semantics.
 
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;

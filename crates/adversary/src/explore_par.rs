@@ -45,6 +45,18 @@
 //!   paths reach the same state in the same level, the lexicographically
 //!   smallest path deterministically claims it, exactly as the old
 //!   owned-path engine did (property-tested in `tests/explore_props.rs`).
+//! - The merge itself is **sharded and parallel**: candidates are binned
+//!   by the 64-way mixed-digest shard index ([`shard_of`]) as workers
+//!   discover them, and each shard is sorted, deduplicated, and probed
+//!   against the visited tier's spilled runs independently — shards are
+//!   disjoint key spaces, so per-shard winners concatenated shard-major
+//!   and then emitted in global path-rank order are exactly the winners
+//!   the old single-threaded full-sort merge produced, whatever thread
+//!   ran which shard (the determinism argument is spelled out in
+//!   `docs/explorer_internals.md` §7). Disk-backed tiers are probed once
+//!   per shard with a sorted key batch
+//!   ([`VisitedSet::probe_spilled_sorted`]), so a 4 KiB run block is read
+//!   once per level instead of once per candidate.
 //! - Violations found within a level are collected, and the
 //!   lexicographically smallest schedule wins — not the first one a thread
 //!   happened to stumble on. (The sequential oracle instead returns the
@@ -70,7 +82,7 @@ use crate::explore::{
 use crate::por::PorCtx;
 use crate::schedule::{Schedule, ScheduleStep};
 use crate::system::System;
-use crate::visited::{VisitedSet, VisitedSpec};
+use crate::visited::{shard_of, VisitedSet, VisitedSpec, SHARDS};
 use crate::workpool::ChunkCursor;
 use nonfifo_ioa::{CopyId, Packet};
 use nonfifo_protocols::DataLink;
@@ -105,15 +117,31 @@ struct Candidate {
 }
 
 /// Per-worker scratch: action/oldest-copy buffers for the expansion core, a
-/// local system pool, and the candidate/violation out-buffers. Everything
-/// is reused level to level and run to run.
+/// local system pool, and the candidate/violation out-buffers. Candidates
+/// are binned by visited-shard index at discovery time ([`shard_of`]), so
+/// the post-level merge starts from 64 disjoint key spaces per worker.
+/// Everything is reused level to level and run to run.
 #[derive(Debug, Default)]
 struct WorkerScratch {
     actions: Vec<Action>,
     oldest: Vec<(Packet, CopyId)>,
     pool: Vec<System>,
-    candidates: Vec<Candidate>,
+    candidates: Vec<Vec<Candidate>>,
     violations: Vec<PathRec>,
+}
+
+/// Per-shard merge state, retained in the arena: the shard's combined
+/// candidate bin, the sorted unique key batch handed to
+/// [`VisitedSet::probe_spilled_sorted`], and the partition point left by
+/// the in-place winner compaction (`bin[..start]` are rejected duplicates,
+/// `bin[start..]` the shard's winners in descending path-record order so
+/// rank assignment can pop them off the tail).
+#[derive(Debug, Default)]
+struct ShardMerge {
+    bin: Vec<Candidate>,
+    keys: Vec<u64>,
+    hits: Vec<bool>,
+    start: usize,
 }
 
 impl std::fmt::Debug for Candidate {
@@ -141,8 +169,14 @@ pub struct ExploreArena {
     /// (`levels[0]` stays empty: the root has no incoming step).
     levels: Vec<Vec<PathRec>>,
     frontier: Vec<System>,
-    merged: Vec<Candidate>,
-    winners: Vec<Candidate>,
+    /// Shard-major transpose buffer: `bins_in[s * stride + w]` is worker
+    /// `w`'s candidate bin for shard `s`, swapped in header-only so the
+    /// merge can hand disjoint shard groups to threads.
+    bins_in: Vec<Vec<Candidate>>,
+    /// One [`ShardMerge`] per visited shard.
+    merges: Vec<ShardMerge>,
+    /// Rank-assignment scratch: a 64-way min-heap over shard bin tails.
+    heap: Vec<(PathRec, usize)>,
 }
 
 impl Default for ExploreArena {
@@ -154,8 +188,9 @@ impl Default for ExploreArena {
             workers: Vec::new(),
             levels: Vec::new(),
             frontier: Vec::new(),
-            merged: Vec::new(),
-            winners: Vec::new(),
+            bins_in: Vec::new(),
+            merges: (0..SHARDS).map(|_| ShardMerge::default()).collect(),
+            heap: Vec::with_capacity(SHARDS),
         }
     }
 }
@@ -212,15 +247,24 @@ impl ExploreArena {
             workers,
             levels,
             frontier,
-            merged,
-            winners,
+            bins_in,
+            merges,
             ..
         } = self;
         pool.append(frontier);
-        pool.extend(merged.drain(..).map(|c| c.sys));
-        pool.extend(winners.drain(..).map(|c| c.sys));
+        for bin in bins_in.iter_mut() {
+            pool.extend(bin.drain(..).map(|c| c.sys));
+        }
+        for m in merges.iter_mut() {
+            pool.extend(m.bin.drain(..).map(|c| c.sys));
+        }
         for w in workers.iter_mut() {
-            pool.extend(w.candidates.drain(..).map(|c| c.sys));
+            while w.candidates.len() < SHARDS {
+                w.candidates.push(Vec::new());
+            }
+            for bin in w.candidates.iter_mut() {
+                pool.extend(bin.drain(..).map(|c| c.sys));
+            }
             w.violations.clear();
         }
         for level in levels.iter_mut() {
@@ -286,6 +330,11 @@ struct ExploreTelemetry {
     /// Successor transitions put to sleep by the partial-order reduction
     /// (worker-side; stays 0 with `--por` off or inapplicable).
     pruned: Counter,
+    /// Nanoseconds spent in the *serial* part of the per-level merge
+    /// (transpose, admit, rank assignment — the per-shard sort/probe work
+    /// runs on worker threads and is excluded). This over wall time is the
+    /// engine's Amdahl serial fraction; CI guards its share.
+    merge_serial: Counter,
     /// Frontier width, one observation per depth level.
     frontier_width: Histogram,
 }
@@ -298,6 +347,7 @@ impl ExploreTelemetry {
             dedup_hits: registry.counter("explore.dedup_hits"),
             states: registry.counter("explore.states"),
             pruned: registry.counter("explore.pruned_states"),
+            merge_serial: registry.counter("explore.merge_serial_ns"),
             frontier_width: registry.histogram("explore.frontier_width"),
             registry,
             trace,
@@ -334,6 +384,20 @@ impl ExploreTelemetry {
             self.registry
                 .counter("explore.visited_spills")
                 .add(visited.spills());
+        }
+        // Wall time in the values map so CI can ratio merge_serial_ns
+        // against it without parsing states_per_sec backwards.
+        self.registry
+            .set_value("explore.wall_ns", elapsed_secs * 1e9);
+        if visited.disk_runs() > 0 {
+            self.registry
+                .gauge("explore.disk_runs")
+                .set(visited.disk_runs());
+        }
+        if visited.compaction_bytes() > 0 {
+            self.registry
+                .counter("explore.compaction_bytes")
+                .add(visited.compaction_bytes());
         }
     }
 }
@@ -461,57 +525,147 @@ impl ParallelExplorer {
                 return (materialize(proto, cfg, steps), peak_frontier_bytes);
             }
 
-            // Deterministic merge: sorted by (key, parent rank, step) — for
-            // the equal-length paths of one level this is (key, path), so
-            // the smallest path claims each state whatever order threads
-            // found them in.
+            // Deterministic sharded merge: every shard is a disjoint key
+            // space, so each is sorted by (key, parent rank, step),
+            // deduplicated, and disk-probed independently — on worker
+            // threads — and the shard-local decisions concatenated
+            // shard-major are exactly the decisions the old global sort
+            // made. Only the transpose, the admit pass, and rank
+            // assignment remain serial (timed as `explore.merge_serial_ns`
+            // when telemetry is attached).
             let ExploreArena {
                 visited,
                 pool,
                 workers,
                 levels,
                 frontier,
-                merged,
-                winners,
+                bins_in,
+                merges,
+                heap,
                 ..
             } = &mut *arena;
-            for w in workers.iter_mut() {
-                merged.append(&mut w.candidates);
+
+            let serial_started = tel.map(|_| Instant::now());
+            // Transpose worker-major bins into shard-major groups with
+            // header-only Vec swaps; `bins_in[s * stride + w]` then holds
+            // worker w's candidates for shard s.
+            let stride = workers.len();
+            while bins_in.len() < SHARDS * stride {
+                bins_in.push(Vec::new());
             }
-            merged.sort_unstable_by_key(|c| (c.key, c.rec));
-            // The expanded frontier is dead; recycle its systems.
-            pool.append(frontier);
-            winners.clear();
-            for c in merged.drain(..) {
-                if visited.insert(c.key) {
-                    states += 1;
-                    if let Some(t) = tel {
-                        t.states.inc();
+            let mut total = 0usize;
+            for (w, scratch) in workers.iter_mut().enumerate() {
+                for (s, bin) in scratch.candidates.iter_mut().enumerate() {
+                    if !bin.is_empty() {
+                        total += bin.len();
+                        std::mem::swap(&mut bins_in[s * stride + w], bin);
                     }
-                    if states >= cfg.max_states {
-                        return (ExploreOutcome::Truncated { states }, peak_frontier_bytes);
-                    }
-                    winners.push(c);
-                } else {
-                    if let Some(t) = tel {
-                        t.dedup_hits.inc();
-                    }
-                    pool.push(c.sys);
                 }
             }
-            // Rank assignment: sorted by (parent rank, step) the winners
-            // are in lexicographic path order, so each node's index in the
-            // next frontier — and in the level's record arena — *is* its
-            // path rank. This invariant is what lets the merge above
-            // compare two-word records instead of whole paths.
-            winners.sort_unstable_by_key(|c| c.rec);
+            let mut serial_ns = serial_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+
+            // Per-shard sort + same-level dedup + batched spilled-run
+            // probe + winner compaction (phase A), fanned out over the
+            // worker threads. Tiny levels stay inline: a scope spawn costs
+            // more than sorting a few dozen candidates.
+            let frozen: &dyn VisitedSet = &**visited;
+            let merge_threads = self.threads.min(SHARDS);
+            if merge_threads == 1 || total < CHUNK * SHARDS {
+                for (s, m) in merges.iter_mut().enumerate() {
+                    merge_shard(m, &mut bins_in[s * stride..(s + 1) * stride]);
+                    frozen.probe_spilled_sorted(&m.keys, &mut m.hits);
+                    compact_winners(m);
+                }
+            } else {
+                let per = SHARDS.div_ceil(merge_threads);
+                std::thread::scope(|scope| {
+                    for (ms, bs) in merges
+                        .chunks_mut(per)
+                        .zip(bins_in[..SHARDS * stride].chunks_mut(per * stride))
+                    {
+                        scope.spawn(move || {
+                            for (j, m) in ms.iter_mut().enumerate() {
+                                merge_shard(m, &mut bs[j * stride..(j + 1) * stride]);
+                                frozen.probe_spilled_sorted(&m.keys, &mut m.hits);
+                                compact_winners(m);
+                            }
+                        });
+                    }
+                });
+            }
+
+            let serial_resumed = tel.map(|_| Instant::now());
+            // The expanded frontier is dead; recycle its systems.
+            pool.append(frontier);
+
+            // Admit pass (serial): shard-major over the compacted winners.
+            // Each winner key was proven absent by the resident probe at
+            // expansion time plus the spilled probe above, so exact tiers
+            // take the probe-free insert; the probabilistic tier re-probes
+            // its filter and may still reject (a same-level false dedup),
+            // which stays on the rare path.
+            let mut level_dedup = 0u64;
+            for m in merges.iter_mut() {
+                level_dedup += m.start as u64;
+                let mut i = m.start;
+                while i < m.bin.len() {
+                    if visited.insert_new(m.bin[i].key) {
+                        states += 1;
+                        if let Some(t) = tel {
+                            t.states.inc();
+                        }
+                        if states >= cfg.max_states {
+                            if let Some(t) = tel {
+                                t.dedup_hits.add(level_dedup);
+                            }
+                            return (ExploreOutcome::Truncated { states }, peak_frontier_bytes);
+                        }
+                        i += 1;
+                    } else {
+                        level_dedup += 1;
+                        let c = m.bin.remove(i);
+                        pool.push(c.sys);
+                    }
+                }
+            }
+            if let Some(t) = tel {
+                t.dedup_hits.add(level_dedup);
+            }
+
+            // Rank assignment (serial): each shard's winners sit at its
+            // bin tail in descending (parent rank, step) order, so a
+            // 64-way min-heap over the tails emits the level in global
+            // path order with O(1) by-value pops — each node's index in
+            // the next frontier and the level's record arena *is* its path
+            // rank, the invariant that lets the merge compare two-word
+            // records instead of whole paths.
             while levels.len() <= depth + 1 {
                 levels.push(Vec::new());
             }
             let level = &mut levels[depth + 1];
-            for c in winners.drain(..) {
+            heap.clear();
+            for (s, m) in merges.iter().enumerate() {
+                if m.bin.len() > m.start {
+                    heap_push(heap, (m.bin[m.bin.len() - 1].rec, s));
+                }
+            }
+            while let Some((_, s)) = heap_pop(heap) {
+                let m = &mut merges[s];
+                let c = m.bin.pop().expect("heap tracks non-empty tails");
                 level.push(c.rec);
                 frontier.push(c.sys);
+                if m.bin.len() > m.start {
+                    heap_push(heap, (m.bin[m.bin.len() - 1].rec, s));
+                }
+            }
+            // What is left in the bins are the level's duplicates;
+            // recycle their systems.
+            for m in merges.iter_mut() {
+                pool.extend(m.bin.drain(..).map(|c| c.sys));
+            }
+            if let (Some(t), Some(resumed)) = (tel, serial_resumed) {
+                serial_ns += resumed.elapsed().as_nanos() as u64;
+                t.merge_serial.add(serial_ns);
             }
         }
         (ExploreOutcome::Exhausted { states }, peak_frontier_bytes)
@@ -607,13 +761,16 @@ fn expand_node(
             continue;
         }
         let key = por.key(&next);
-        // Frozen prior-level membership check; same-level duplicates are
-        // resolved in the sorted merge.
-        if !visited.contains(key) {
+        // Frozen *resident* membership check — for disk-spilling tiers
+        // this is the RAM delta only; spilled-run membership is settled
+        // once per level by the merge's batched sorted probe, so the hot
+        // loop never waits on a positioned read. Same-level duplicates are
+        // likewise resolved in the merge.
+        if !visited.contains_resident(key) {
             if let Some(t) = tel {
                 t.candidates.inc();
             }
-            scratch.candidates.push(Candidate {
+            scratch.candidates[shard_of(key)].push(Candidate {
                 key,
                 rec,
                 sys: next,
@@ -625,6 +782,101 @@ fn expand_node(
             scratch.pool.push(next);
         }
     }
+}
+
+/// Phase A of the sharded merge, one shard at a time: combine the workers'
+/// bins for this shard, sort by `(key, parent rank, step)`, and build the
+/// sorted unique key batch for the spilled-run probe. Runs concurrently
+/// across shards — every buffer it touches is shard-local.
+fn merge_shard(m: &mut ShardMerge, bins: &mut [Vec<Candidate>]) {
+    m.bin.clear();
+    m.keys.clear();
+    m.start = 0;
+    for bin in bins {
+        m.bin.append(bin);
+    }
+    if m.bin.is_empty() {
+        m.hits.clear();
+        return;
+    }
+    m.bin.sort_unstable_by_key(|c| (c.key, c.rec));
+    for c in &m.bin {
+        if m.keys.last() != Some(&c.key) {
+            m.keys.push(c.key);
+        }
+    }
+    m.hits.clear();
+    m.hits.resize(m.keys.len(), false);
+}
+
+/// Tail of phase A, after the spilled-run probe filled `m.hits`: compact
+/// the shard's winners — the first occurrence of each key that is not
+/// already on disk — to the tail of the bin in place, losers to the front,
+/// then order the winners by *descending* path record so rank assignment
+/// can pop the shard's minimum off the tail in O(1).
+fn compact_winners(m: &mut ShardMerge) {
+    let mut w = m.bin.len();
+    let mut key_idx = m.keys.len();
+    for i in (0..m.bin.len()).rev() {
+        let key = m.bin[i].key;
+        if key_idx == m.keys.len() || m.keys[key_idx] != key {
+            key_idx -= 1;
+        }
+        let first = i == 0 || m.bin[i - 1].key != key;
+        if first && !m.hits[key_idx] {
+            // The swap target is always in the already-scanned suffix, so
+            // the backward scan never revisits a displaced element.
+            w -= 1;
+            m.bin.swap(i, w);
+        }
+    }
+    m.start = w;
+    m.bin[w..].sort_unstable_by_key(|b| std::cmp::Reverse(b.rec));
+}
+
+/// Sift-up push into the arena-retained min-heap over shard bin tails.
+/// Path records within a level are unique (a `(parent, step)` pair is one
+/// edge), so ordering by record alone is total and deterministic.
+fn heap_push(heap: &mut Vec<(PathRec, usize)>, item: (PathRec, usize)) {
+    heap.push(item);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[parent].0 <= heap[i].0 {
+            break;
+        }
+        heap.swap(i, parent);
+        i = parent;
+    }
+}
+
+/// Pop the minimum record off the tail heap (sift-down).
+fn heap_pop(heap: &mut Vec<(PathRec, usize)>) -> Option<(PathRec, usize)> {
+    let n = heap.len();
+    if n == 0 {
+        return None;
+    }
+    heap.swap(0, n - 1);
+    let top = heap.pop();
+    let n = heap.len();
+    let mut i = 0;
+    loop {
+        let left = 2 * i + 1;
+        if left >= n {
+            break;
+        }
+        let child = if left + 1 < n && heap[left + 1].0 < heap[left].0 {
+            left + 1
+        } else {
+            left
+        };
+        if heap[i].0 <= heap[child].0 {
+            break;
+        }
+        heap.swap(i, child);
+        i = child;
+    }
+    top
 }
 
 /// Re-runs the winning path through the strict scheduler to recover the

@@ -23,7 +23,7 @@
 //! // Sequential engine, exact disk-spilling tier under a 64 KiB budget:
 //! // the report is byte-identical to the default in-RAM run.
 //! let mut tiered = Explorer::new(ExploreConfig::default())
-//!     .visited(VisitedSpec::Tiered { memory_budget: 64 * 1024 });
+//!     .visited(VisitedSpec::tiered(64 * 1024));
 //! let mut ram = Explorer::new(ExploreConfig::default());
 //! let proto = SequenceNumber::new();
 //! assert_eq!(tiered.explore(&proto).report(), ram.explore(&proto).report());
@@ -193,6 +193,14 @@ impl Explorer {
                             .counter("explore.visited_spills")
                             .add(visited.spills());
                     }
+                    if visited.disk_runs() > 0 {
+                        registry.gauge("explore.disk_runs").set(visited.disk_runs());
+                    }
+                    if visited.compaction_bytes() > 0 {
+                        registry
+                            .counter("explore.compaction_bytes")
+                            .add(visited.compaction_bytes());
+                    }
                 }
                 outcome
             }
@@ -240,7 +248,7 @@ mod tests {
         let proto = AlternatingBit::new();
         let reference = Explorer::new(cfg).explore(&proto).report();
         // A 128-byte budget forces a spill every dozen states in this scope.
-        let mut tiered = Explorer::new(cfg).visited(VisitedSpec::Tiered { memory_budget: 128 });
+        let mut tiered = Explorer::new(cfg).visited(VisitedSpec::tiered(128));
         assert_eq!(tiered.explore(&proto).report(), reference);
         assert!(
             tiered.visited_set().spills() > 0,
@@ -248,7 +256,7 @@ mod tests {
         );
         let mut par_tiered = Explorer::new(cfg)
             .parallel(4)
-            .visited(VisitedSpec::Tiered { memory_budget: 128 });
+            .visited(VisitedSpec::tiered(128));
         assert_eq!(par_tiered.explore(&proto).report(), reference);
     }
 
@@ -263,9 +271,7 @@ mod tests {
             assert_eq!(facade.explore(&proto).report(), reference);
             facade = facade.parallel(2);
             assert_eq!(facade.explore(&proto).report(), reference);
-            facade = facade.visited(VisitedSpec::Tiered {
-                memory_budget: 4096,
-            });
+            facade = facade.visited(VisitedSpec::tiered(4096));
             assert_eq!(facade.explore(&proto).report(), reference);
             facade = facade.visited(VisitedSpec::Ram);
         }

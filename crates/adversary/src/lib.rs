@@ -104,7 +104,8 @@ pub use schedule::{Schedule, ScheduleError, ScheduleStep};
 pub use shrink::{shrink, ShrinkError, ShrinkOutcome};
 pub use system::{Disposition, System};
 pub use visited::{
-    ProbabilisticVisited, RamVisited, TieredVisited, VisitedSet, VisitedSpec, DEFAULT_MEMORY_BUDGET,
+    ProbabilisticVisited, RamVisited, TieredVisited, VisitedSet, VisitedSpec, DEFAULT_COMPACT_RUNS,
+    DEFAULT_MEMORY_BUDGET,
 };
 pub use workpool::ChunkCursor;
 

@@ -19,7 +19,16 @@
 //! ```text
 //! bench_guard <current.json> <baseline.json> [--max-regression 0.30]
 //!             [--max-growth 0.50] [--metric explore.states_per_sec]
+//!             [--record BENCH_history.jsonl]
 //! ```
+//!
+//! `--record <path>` appends one JSON line per invocation —
+//! `{"t": unix_seconds, "metric": …, "baseline": …, "current": …,
+//! "ratio": …, "ok": …}` — so the perf trajectory accumulates across
+//! PRs in `BENCH_history.jsonl` instead of each baseline refresh
+//! overwriting the last. The line is written whether or not the guard
+//! passes (a recorded regression is more useful than a missing point);
+//! only usage/parse errors skip it.
 //!
 //! `--metric` names an entry in the snapshots' `values` map or, failing
 //! that, a gauge — compared at its **high-water mark**, because gauges
@@ -51,11 +60,43 @@ fn load_metric(path: &str, metric: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{path}: no positive {metric} value or gauge"))
 }
 
+/// Appends the comparison to `path` as one self-describing JSON line.
+/// Hand-rolled serialization, like the snapshot codec: two numbers, two
+/// floats, a bool, and an escaped metric name need no dependency.
+fn record_history(
+    path: &str,
+    metric: &str,
+    baseline: f64,
+    current: f64,
+    ok: bool,
+) -> Result<(), String> {
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let escaped: String = metric
+        .chars()
+        .filter(|c| c.is_ascii_graphic() && *c != '"' && *c != '\\')
+        .collect();
+    let line = format!(
+        "{{\"t\":{stamp},\"metric\":\"{escaped}\",\"baseline\":{baseline:.3},\
+         \"current\":{current:.3},\"ratio\":{:.4},\"ok\":{ok}}}\n",
+        current / baseline
+    );
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()))
+        .map_err(|e| format!("cannot append to {path}: {e}"))
+}
+
 fn run(args: &[String]) -> Result<bool, String> {
     let mut paths = Vec::new();
     let mut max_regression = DEFAULT_MAX_REGRESSION;
     let mut max_growth: Option<f64> = None;
     let mut metric = DEFAULT_RATE_METRIC.to_string();
+    let mut record: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--max-regression" {
@@ -86,6 +127,12 @@ fn run(args: &[String]) -> Result<bool, String> {
                 .next()
                 .ok_or_else(|| "--metric needs a value name".to_string())?
                 .clone();
+        } else if arg == "--record" {
+            record = Some(
+                iter.next()
+                    .ok_or_else(|| "--record needs a history path".to_string())?
+                    .clone(),
+            );
         } else {
             paths.push(arg.clone());
         }
@@ -93,7 +140,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     let [current_path, baseline_path] = paths.as_slice() else {
         return Err("usage: bench_guard <current.json> <baseline.json> \
                     [--max-regression 0.30] [--max-growth 0.50] \
-                    [--metric explore.states_per_sec]"
+                    [--metric explore.states_per_sec] \
+                    [--record BENCH_history.jsonl]"
             .to_string());
     };
 
@@ -103,20 +151,25 @@ fn run(args: &[String]) -> Result<bool, String> {
     println!("{metric}:");
     println!("  baseline : {baseline:>12.0}  ({baseline_path})");
     println!("  current  : {current:>12.0}  ({current_path})");
-    match max_growth {
+    let ok = match max_growth {
         // Footprint guard: bigger is worse.
         Some(growth) => {
             let ceiling = 1.0 + growth;
             println!("  ratio    : {ratio:>12.2}  (must stay <= {ceiling:.2})");
-            Ok(ratio <= ceiling)
+            ratio <= ceiling
         }
         // Rate guard: smaller is worse.
         None => {
             let floor = 1.0 - max_regression;
             println!("  ratio    : {ratio:>12.2}  (must stay >= {floor:.2})");
-            Ok(ratio >= floor)
+            ratio >= floor
         }
+    };
+    if let Some(path) = &record {
+        record_history(path, &metric, baseline, current, ok)?;
+        println!("  recorded : {path}");
     }
+    Ok(ok)
 }
 
 fn main() -> ExitCode {
@@ -134,5 +187,78 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run;
+
+    fn snapshot_file(dir: &std::path::Path, name: &str, rate: f64) -> String {
+        let path = dir.join(name);
+        let text = format!(
+            "{{\"schema_version\":1,\"counters\":{{}},\"gauges\":{{}},\
+             \"histograms\":{{}},\"values\":{{\"explore.states_per_sec\":{rate}}}}}"
+        );
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn record_appends_one_json_line_per_comparison() {
+        let dir = std::env::temp_dir().join("bench_guard_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = snapshot_file(&dir, "current.json", 150.0);
+        let baseline = snapshot_file(&dir, "baseline.json", 100.0);
+        let history = dir.join("history.jsonl");
+        let _ = std::fs::remove_file(&history);
+        let history_arg = history.to_string_lossy().into_owned();
+
+        // A pass and a (recorded) regression both land in the history.
+        let args: Vec<String> = [&current, &baseline, "--record", &history_arg]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args), Ok(true));
+        let args: Vec<String> = [&baseline, &current, "--record", &history_arg]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args), Ok(false), "100/150 is below the 0.70 floor");
+
+        let text = std::fs::read_to_string(&history).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per invocation:\n{text}");
+        assert!(
+            lines[0].contains("\"ratio\":1.5000") && lines[0].contains("\"ok\":true"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"ratio\":0.6667") && lines[1].contains("\"ok\":false"),
+            "{}",
+            lines[1]
+        );
+        for line in lines {
+            assert!(
+                line.starts_with("{\"t\":") && line.ends_with('}'),
+                "self-describing JSON object per line: {line}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn guard_still_judges_without_recording() {
+        let dir = std::env::temp_dir().join("bench_guard_plain_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = snapshot_file(&dir, "current.json", 80.0);
+        let baseline = snapshot_file(&dir, "baseline.json", 100.0);
+        let args: Vec<String> = [current.as_str(), baseline.as_str()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args), Ok(true), "a 20% dip is inside the 30% budget");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -168,10 +168,18 @@ impl CampaignService {
         }
 
         let workers = self.effective_workers(requested_workers);
-        let shards = expansion.shards(&misses, workers);
+        // Weight-balanced sharding: a plan mixing an exponential-cost cell
+        // (outnumber/afek at high traffic) with cheap seeds would leave
+        // round-robin workers idle behind one hot shard. Placement never
+        // reaches the report — the merge is fingerprint-keyed and
+        // index-addressed — so any partition is byte-identical.
+        let shards = expansion.shards_weighted(&misses, workers);
         self.registry
             .gauge("service.active_workers")
             .set(shards.len() as u64);
+        self.registry
+            .gauge("service.shard_imbalance")
+            .set(expansion.shard_imbalance_pct(&shards));
 
         let sink: Sink<'_> = Mutex::new(sink);
         let raw_parts: Vec<(ShardSpec, Vec<ShardRecord>)> = std::thread::scope(|scope| {

@@ -115,6 +115,87 @@ impl PlanExpansion {
         let all: Vec<usize> = (0..self.runs.len()).collect();
         self.shards(&all, n)
     }
+
+    /// Partitions `indices` into `n` shards balanced by **expected run
+    /// cost** ([`cost_weight`]) instead of run count: longest-processing-
+    /// time greedy — heaviest run first, each to the lightest-loaded shard.
+    /// Round-robin balances counts, but a plan mixing an `outnumber` cell
+    /// with cheap `abp` seeds ships one worker a shard that runs orders of
+    /// magnitude longer than the rest; weighting by cost keeps wall time
+    /// balanced instead.
+    ///
+    /// The partition is a pure function of the expansion (weight ties
+    /// resolve in input order, load ties to the lowest shard id), and the
+    /// merged report is byte-identical to any other partition's — the
+    /// merge is fingerprint-keyed and index-addressed, so *placement*
+    /// can never leak into the report.
+    ///
+    /// Shards with no work are dropped, exactly as in
+    /// [`shards`](PlanExpansion::shards).
+    pub fn shards_weighted(&self, indices: &[usize], n: usize) -> Vec<ShardSpec> {
+        let n = n.max(1).min(indices.len().max(1));
+        let mut order: Vec<usize> = indices.to_vec();
+        // Stable sort: equal weights keep input order.
+        order.sort_by_key(|&i| std::cmp::Reverse(cost_weight(&self.runs[i])));
+        let mut shards: Vec<ShardSpec> = (0..n)
+            .map(|shard| ShardSpec {
+                shard,
+                of: n,
+                indices: Vec::new(),
+            })
+            .collect();
+        let mut loads = vec![0u64; n];
+        for &index in &order {
+            let slot = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(s, &load)| (load, s))
+                .map(|(s, _)| s)
+                .expect("n >= 1 shard slots");
+            loads[slot] = loads[slot].saturating_add(cost_weight(&self.runs[index]));
+            shards[slot].indices.push(index);
+        }
+        for shard in &mut shards {
+            // Execution and the wire protocol expect ascending indices.
+            shard.indices.sort_unstable();
+        }
+        shards.retain(|s| !s.indices.is_empty());
+        shards
+    }
+
+    /// Percent imbalance of a partition under [`cost_weight`]: the
+    /// heaviest shard's load over the ideal per-shard average, ×100 — so
+    /// 100 is a perfect balance and 300 means the slowest worker carries
+    /// three averages. The `service.shard_imbalance` gauge reports this.
+    pub fn shard_imbalance_pct(&self, shards: &[ShardSpec]) -> u64 {
+        let loads: Vec<u64> = shards
+            .iter()
+            .map(|s| s.indices.iter().map(|&i| cost_weight(&self.runs[i])).sum())
+            .collect();
+        let total: u64 = loads.iter().sum();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        if total == 0 {
+            return 100;
+        }
+        let avg = total as f64 / loads.len() as f64;
+        ((max as f64 / avg) * 100.0).round() as u64
+    }
+}
+
+/// Expected relative cost of one run — the weight
+/// [`PlanExpansion::shards_weighted`] balances. Linear in the message
+/// count for ordinary protocols; the catalog's `outnumber<L>` and
+/// `afek<k>` families drive state spaces that grow exponentially with
+/// traffic, so their weight doubles every few messages (capped well below
+/// overflow so a single cell cannot swamp the load sums).
+pub fn cost_weight(spec: &RunSpec) -> u64 {
+    let base = spec.messages.max(1);
+    let exponential = spec.protocol.starts_with("outnumber") || spec.protocol.starts_with("afek");
+    if exponential {
+        base.saturating_mul(1u64 << (spec.messages / 4).min(20))
+    } else {
+        base
+    }
 }
 
 /// Stage 2's unit of assignment: one worker's slice of the expansion.
@@ -404,6 +485,116 @@ mod tests {
         let part = exp.shard_all(1)[0].execute(&exp, |_| {});
         let err = merge_reports(&exp, Vec::new(), vec![part.clone(), part]).unwrap_err();
         assert!(err.to_string().contains("two records"), "{err}");
+    }
+
+    /// One exponential `outnumber5` cell next to a pile of cheap `abp`
+    /// seeds — the shape round-robin splits badly.
+    fn skewed_expansion() -> PlanExpansion {
+        let mut runs = ScenarioSpec::new("hot")
+            .protocol("outnumber5")
+            .discipline(Discipline::Fifo)
+            .message_counts(&[12])
+            .seeds(0..1)
+            .expand();
+        runs.extend(
+            ScenarioSpec::new("cold")
+                .protocol("abp")
+                .discipline(Discipline::Fifo)
+                .message_counts(&[5])
+                .seeds(0..7)
+                .expand(),
+        );
+        PlanExpansion::new(runs).unwrap()
+    }
+
+    fn max_load(exp: &PlanExpansion, shards: &[ShardSpec]) -> u64 {
+        shards
+            .iter()
+            .map(|s| s.indices.iter().map(|&i| cost_weight(&exp.runs()[i])).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn cost_weight_is_linear_except_for_exponential_families() {
+        let mut spec = expansion().runs()[0].clone();
+        spec.protocol = "seqnum".into();
+        spec.messages = 12;
+        assert_eq!(cost_weight(&spec), 12);
+        spec.protocol = "outnumber5".into();
+        assert_eq!(cost_weight(&spec), 12 << 3);
+        spec.messages = 0;
+        assert_eq!(cost_weight(&spec), 1, "zero-message runs still cost one");
+    }
+
+    #[test]
+    fn weighted_shards_cover_exactly_the_input() {
+        let exp = skewed_expansion();
+        let all: Vec<usize> = (0..exp.len()).collect();
+        for n in [1, 2, 3, exp.len(), exp.len() + 5] {
+            let shards = exp.shards_weighted(&all, n);
+            assert!(shards.len() <= n.min(exp.len()));
+            let mut seen: Vec<usize> = shards.iter().flat_map(|s| s.indices.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, all, "n={n}");
+            for shard in &shards {
+                assert!(
+                    shard.indices.windows(2).all(|w| w[0] < w[1]),
+                    "n={n}: indices must stay ascending for the wire protocol"
+                );
+            }
+            // Pure function of the expansion: re-partitioning is identical.
+            assert_eq!(shards, exp.shards_weighted(&all, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn weighted_shards_beat_round_robin_on_a_skewed_plan() {
+        let exp = skewed_expansion();
+        let all: Vec<usize> = (0..exp.len()).collect();
+        let round_robin = exp.shards(&all, 2);
+        let weighted = exp.shards_weighted(&all, 2);
+        assert!(
+            max_load(&exp, &weighted) < max_load(&exp, &round_robin),
+            "LPT must shrink the critical path: weighted {} vs round-robin {}",
+            max_load(&exp, &weighted),
+            max_load(&exp, &round_robin),
+        );
+        assert!(
+            exp.shard_imbalance_pct(&weighted) <= exp.shard_imbalance_pct(&round_robin),
+            "imbalance gauge must not worsen under weighting"
+        );
+        // The helper's scale: 100 = perfect, and a uniform plan hits it.
+        let uniform = expansion();
+        let all: Vec<usize> = (0..uniform.len()).collect();
+        assert_eq!(
+            uniform.shard_imbalance_pct(&uniform.shards_weighted(&all, 3)),
+            100,
+            "12 equal-cost runs across 3 shards is a perfect balance"
+        );
+    }
+
+    #[test]
+    fn weighted_sharded_execution_merges_byte_identically() {
+        // Placement must never leak into the report: the weighted partition
+        // merges to the same bytes as the single-worker baseline.
+        let exp = expansion();
+        let baseline = CampaignRunner::new(1).run(exp.runs()).unwrap();
+        let all: Vec<usize> = (0..exp.len()).collect();
+        for n in [1, 2, 4] {
+            let parts: Vec<ShardReport> = exp
+                .shards_weighted(&all, n)
+                .iter()
+                .map(|shard| shard.execute(&exp, |_| {}))
+                .collect();
+            let merged = merge_reports(&exp, Vec::new(), parts).unwrap();
+            assert_eq!(merged.render(), baseline.render(), "{n} weighted shards");
+            assert_eq!(
+                merged.aggregate_metrics().to_json(),
+                baseline.aggregate_metrics().to_json(),
+                "{n} weighted shards"
+            );
+        }
     }
 
     #[test]

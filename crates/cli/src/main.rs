@@ -12,7 +12,8 @@
 //!                  [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
 //!                  [--parallel] [--threads N] [--por] [--differential]
 //!                  [--visited ram|tiered|probabilistic]
-//!                  [--memory-budget BYTES] [--no-shrink] [--metrics]
+//!                  [--memory-budget BYTES] [--compact-runs N]
+//!                  [--no-shrink] [--metrics]
 //!                  [--metrics-out FILE] [--trace-out FILE]
 //! nonfifo campaign <plan-file> [--threads N] [--cache FILE]
 //!                  [--metrics-out FILE]
@@ -67,7 +68,8 @@ usage:
                    [--max-states M] [--discipline nonfifo|reorder<b>|lossy]
                    [--parallel] [--threads N] [--por] [--differential]
                    [--visited ram|tiered|probabilistic]
-                   [--memory-budget BYTES] [--no-shrink] [--metrics]
+                   [--memory-budget BYTES] [--compact-runs N]
+                   [--no-shrink] [--metrics]
                    [--metrics-out FILE] [--trace-out FILE]
   nonfifo campaign <plan-file> [--threads N] [--cache FILE]
                    [--metrics-out FILE]
@@ -93,12 +95,17 @@ depth, shrunk attack script) instead of the byte-report comparison the
 flag performs between the sequential and parallel engines otherwise.
 
 explore --visited picks the visited-set tier: ram (exact, in-RAM — the
-default), tiered (exact, spills to a sorted disk run when the resident
+default), tiered (exact, spills sorted disk runs when the resident
 estimate exceeds --memory-budget bytes; reports stay byte-identical to
 ram at any budget), or probabilistic (a fixed-footprint Bloom filter of
 --memory-budget bytes; certificates are annotated with the bounded
 false-dedup rate, exit codes unchanged). --memory-budget defaults to
-1 GiB and requires a non-ram tier.
+1 GiB (2^30 bytes) and requires a non-ram tier; the effective budget —
+default or not — is always printed in the scope banner. --compact-runs
+(tiered only, default 8) sets how many spilled runs may accumulate
+before a background streaming merge compacts them into one: lower
+values probe fewer runs per level, higher values compact less often.
+Reports are byte-identical at any setting.
 
 telemetry: --metrics prints a summary table; --metrics-out writes the
 schema-versioned metrics JSON; --trace-out writes a Chrome trace_events
@@ -565,11 +572,12 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         corrupt_start,
         por: args.flag("por"),
     };
-    let spec = {
+    let (spec, budget_defaulted) = {
         let mut spec: VisitedSpec = match args.option("visited") {
             None => VisitedSpec::Ram,
             Some(s) => s.parse().map_err(ArgsError)?,
         };
+        let mut budget_defaulted = !matches!(spec, VisitedSpec::Ram);
         if let Some(text) = args.option("memory-budget") {
             let bytes: usize = text.parse().map_err(|_| {
                 ArgsError(format!("--memory-budget needs a byte count, got {text:?}"))
@@ -581,8 +589,20 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
                 .into());
             }
             spec = spec.with_budget(bytes);
+            budget_defaulted = false;
         }
-        spec
+        if let Some(text) = args.option("compact-runs") {
+            let runs: usize = text.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                ArgsError(format!(
+                    "--compact-runs needs a positive run count, got {text:?}"
+                ))
+            })?;
+            if !matches!(spec, VisitedSpec::Tiered { .. }) {
+                return Err(ArgsError("--compact-runs requires --visited tiered".into()).into());
+            }
+            spec = spec.with_compact_runs(runs);
+        }
+        (spec, budget_defaulted)
     };
     if args.flag("differential") && !spec.is_exact() {
         // The probabilistic tier may certify with fewer states than the
@@ -616,6 +636,9 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
         if cfg.por { " por" } else { "" },
         match spec {
             VisitedSpec::Ram => String::new(),
+            // The effective budget is always visible — in particular the
+            // implicit 1 GiB default a bare `--visited tiered` picks.
+            other if budget_defaulted => format!(", visited {other} [default budget]"),
             other => format!(", visited {other}"),
         },
     );
@@ -710,13 +733,18 @@ fn cmd_explore(args: &Args) -> Result<(), NonFifoError> {
     }
     let visited = explorer.visited_set();
     if visited.spills() > 0 {
+        // Every figure here is deterministic schedule-time accounting, so
+        // this line is byte-identical across thread counts (CI diffs it).
         println!(
-            "visited: {} spill(s), {} bytes on disk, peak {} bytes resident (budget {})",
+            "visited: {} spill(s), {} bytes on disk in {} run(s), {} bytes of \
+             spill I/O, peak {} bytes resident (budget {})",
             visited.spills(),
             visited.disk_bytes(),
+            visited.disk_runs(),
+            visited.compaction_bytes(),
             visited.peak_memory_bytes(),
             match spec {
-                VisitedSpec::Tiered { memory_budget }
+                VisitedSpec::Tiered { memory_budget, .. }
                 | VisitedSpec::Probabilistic { memory_budget } => memory_budget,
                 VisitedSpec::Ram => 0,
             },

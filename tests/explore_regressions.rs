@@ -90,7 +90,7 @@ fn visited_tiers_preserve_the_pinned_certificate() {
     // Identical counts mean tier choice cannot move the certified surface.
     for spec in [
         VisitedSpec::Ram,
-        VisitedSpec::Tiered { memory_budget: 256 },
+        VisitedSpec::tiered(256),
         VisitedSpec::Probabilistic {
             memory_budget: 1 << 20,
         },

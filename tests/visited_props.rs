@@ -93,7 +93,7 @@ fn exact_tiers_are_byte_identical_across_the_matrix() {
         let reference = Explorer::new(cfg).explore(proto.as_ref()).report();
         // A budget this small spills every ~20 admitted states, so every
         // scope that certifies exercises many delta→run compactions.
-        let spec = VisitedSpec::Tiered { memory_budget: 256 };
+        let spec = VisitedSpec::tiered(256);
         let seq = Explorer::new(cfg)
             .visited(spec)
             .explore(proto.as_ref())
@@ -123,6 +123,89 @@ fn exact_tiers_are_byte_identical_across_the_matrix() {
 }
 
 #[test]
+fn multi_run_invariance_across_budget_compaction_and_threads() {
+    // The streaming multi-run tier's whole contract in one matrix: for a
+    // scope big enough to spill repeatedly, the report is byte-identical
+    // across every (budget, compact-runs, engine, thread-count)
+    // combination — spill boundaries, run counts, and compaction timing
+    // are invisible to the search.
+    let cfg = ExploreConfig {
+        max_messages: 8,
+        max_depth: 18,
+        max_pool: 8,
+        max_states: 2_000_000,
+        discipline: Discipline::NonFifo,
+        corrupt_start: None,
+        por: false,
+    };
+    let proto = SequenceNumber::new();
+    let reference = Explorer::new(cfg).explore(&proto).report();
+    // 4 KiB forces a spill every ~340 admitted states (many compaction
+    // cycles at every threshold); 64 KiB spills a few times; usize::MAX
+    // never spills and must degenerate to the pure-RAM answer.
+    for budget in [4 * 1024, 64 * 1024, usize::MAX] {
+        for compact_runs in [1, 2, 8] {
+            let spec = VisitedSpec::tiered(budget).with_compact_runs(compact_runs);
+            let seq = Explorer::new(cfg).visited(spec).explore(&proto).report();
+            assert_eq!(
+                reference, seq,
+                "sequential report diverges at budget {budget}, \
+                 compact-runs {compact_runs}"
+            );
+            for threads in [1, 2, 8] {
+                let par = Explorer::new(cfg)
+                    .parallel(threads)
+                    .visited(spec)
+                    .explore(&proto)
+                    .report();
+                assert_eq!(
+                    reference, par,
+                    "{threads}-thread report diverges at budget {budget}, \
+                     compact-runs {compact_runs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dropped_arena_deletes_every_spill_file() {
+    // Crash safety: however many runs are live (including sources of an
+    // in-flight compaction), dropping the explorer — and the arena and
+    // tier inside it — must delete every spill file it ever created.
+    let cfg = ExploreConfig {
+        max_messages: 8,
+        max_depth: 18,
+        max_pool: 8,
+        max_states: 2_000_000,
+        discipline: Discipline::NonFifo,
+        corrupt_start: None,
+        por: false,
+    };
+    // A compaction threshold above the spill count keeps every run live.
+    let mut facade = Explorer::new(cfg)
+        .parallel(2)
+        .visited(VisitedSpec::tiered(4 * 1024).with_compact_runs(64));
+    facade.explore(&SequenceNumber::new());
+    let paths = facade.visited_set().spill_paths();
+    assert!(
+        paths.len() > 1,
+        "the 4 KiB budget should have left several live runs, got {}",
+        paths.len()
+    );
+    for path in &paths {
+        assert!(path.exists(), "live run {path:?} must be on disk");
+    }
+    drop(facade);
+    for path in &paths {
+        assert!(
+            !path.exists(),
+            "spill file {path:?} must not outlive its arena"
+        );
+    }
+}
+
+#[test]
 fn forced_spills_leave_no_trace_in_the_report() {
     // The regression the tier exists for: a budget far below the scope's
     // working set must actually spill to disk (not silently stay
@@ -138,14 +221,23 @@ fn forced_spills_leave_no_trace_in_the_report() {
     };
     let proto = SequenceNumber::new();
     let reference = Explorer::new(cfg).explore(&proto).report();
-    let mut tiered = Explorer::new(cfg).visited(VisitedSpec::Tiered { memory_budget: 512 });
+    let mut tiered = Explorer::new(cfg).visited(VisitedSpec::tiered(512).with_compact_runs(2));
     assert_eq!(tiered.explore(&proto).report(), reference);
     let visited = tiered.visited_set();
     assert!(visited.spills() > 0, "512-byte budget must spill");
     assert!(visited.disk_bytes() > 0, "spills must land on disk");
+    // The peak folds in the background compactor's block buffers — one
+    // 4 KiB block per source run plus the output's write buffer, 12 KiB at
+    // this threshold — which dominate a budget this tiny. The point stands:
+    // the peak tracks budget + a small constant, never the spilled volume
+    // (the old rewrite-all scheme read all of disk_bytes back into RAM).
+    // (The "peak < 2× budget under heavy spilling" regression itself is
+    // pinned by `spill_transient_stays_within_twice_the_budget` in
+    // `crates/adversary/src/visited.rs`, at budgets that dwarf the buffer
+    // constant.)
     assert!(
-        visited.peak_memory_bytes() < 4096,
-        "resident stays near the budget, got {}",
+        visited.peak_memory_bytes() < 16 * 1024,
+        "resident stays near budget + compactor buffers, got {}",
         visited.peak_memory_bytes()
     );
 }
